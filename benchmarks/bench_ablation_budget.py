@@ -1,0 +1,58 @@
+"""Ablation — nested-SA budget versus structure quality.
+
+Sweeps the outer (explorer) iteration budget and reports how the number of
+stored placements, the coverage and the mean instantiation cost respond —
+the knob that traded the paper's hours of generation time for placement
+quality.
+"""
+
+import random
+
+import pytest
+
+from repro.benchcircuits.library import get_benchmark
+from repro.core.bdio import BDIOConfig
+from repro.core.explorer import ExplorerConfig
+from repro.core.generator import GeneratorConfig, MultiPlacementGenerator
+from repro.core.instantiator import PlacementInstantiator
+
+
+@pytest.mark.parametrize("outer_iterations", [4, 12, 24])
+def test_budget_vs_quality(benchmark, outer_iterations):
+    circuit = get_benchmark("two_stage_opamp")
+    config = GeneratorConfig(
+        explorer=ExplorerConfig(
+            max_iterations=outer_iterations,
+            coverage_target=0.99,
+            coverage_metric="volume",
+            initial_placement="packed",
+        ),
+        bdio=BDIOConfig(max_iterations=60),
+        whitespace_factor=2.0,
+        seed=0,
+    )
+
+    def generate():
+        return MultiPlacementGenerator(circuit, config).generate()
+
+    structure = benchmark.pedantic(generate, rounds=1, iterations=1)
+    instantiator = PlacementInstantiator(structure)
+    rng = random.Random(0)
+    costs = []
+    hits = 0
+    for _ in range(40):
+        dims = [
+            (rng.randint(b.min_w, b.max_w), rng.randint(b.min_h, b.max_h))
+            for b in circuit.blocks
+        ]
+        placement = instantiator.instantiate(dims)
+        costs.append(placement.total_cost)
+        if placement.used_stored_placement:
+            hits += 1
+
+    benchmark.extra_info["outer_iterations"] = outer_iterations
+    benchmark.extra_info["placements"] = structure.num_placements
+    benchmark.extra_info["coverage"] = round(structure.marginal_coverage(), 3)
+    benchmark.extra_info["mean_instantiation_cost"] = round(sum(costs) / len(costs), 2)
+    benchmark.extra_info["stored_hit_fraction"] = round(hits / 40, 3)
+    assert structure.num_placements >= 1

@@ -1,0 +1,46 @@
+"""Ablation — overlap-resolution policy.
+
+The paper shrinks the placement with the *higher average cost* when two
+placements' dimension boxes overlap.  This bench compares that rule with
+two simpler alternatives (always shrink the newer placement; discard the
+newer placement) on the number of stored placements, the coverage reached
+and the mean cost of the placements that survive.
+"""
+
+import pytest
+
+from repro.benchcircuits.library import get_benchmark
+from repro.core.explorer import ExplorerConfig
+from repro.core.generator import GeneratorConfig, MultiPlacementGenerator
+from repro.core.bdio import BDIOConfig
+from repro.core.overlap_resolution import POLICIES
+
+
+@pytest.mark.parametrize("policy", list(POLICIES))
+def test_overlap_resolution_policy(benchmark, policy):
+    circuit = get_benchmark("two_stage_opamp")
+    config = GeneratorConfig(
+        explorer=ExplorerConfig(
+            max_iterations=10,
+            coverage_target=0.99,
+            coverage_metric="volume",
+            overlap_policy=policy,
+            initial_placement="packed",
+        ),
+        bdio=BDIOConfig(max_iterations=60),
+        whitespace_factor=2.0,
+        seed=0,
+    )
+
+    def generate():
+        return MultiPlacementGenerator(circuit, config).generate_with_stats()
+
+    result = benchmark.pedantic(generate, rounds=1, iterations=1)
+    structure = result.structure
+    structure.check_invariants()
+    costs = [p.average_cost for p in structure]
+    benchmark.extra_info["policy"] = policy
+    benchmark.extra_info["placements"] = structure.num_placements
+    benchmark.extra_info["coverage"] = round(structure.marginal_coverage(), 3)
+    benchmark.extra_info["mean_stored_cost"] = round(sum(costs) / len(costs), 2) if costs else 0.0
+    assert structure.num_placements >= 1

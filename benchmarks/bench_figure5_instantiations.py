@@ -1,0 +1,36 @@
+"""Figure 5 — size-dependent floorplan instantiations vs the fixed template.
+
+Checks the figure's qualitative content (two different size vectors get two
+different floorplans out of the structure; the fixed template gives one
+arrangement whose cost the structure matches or beats) and measures the
+latency of the repeated structure queries a synthesis loop would issue.
+"""
+
+from repro.core.instantiator import PlacementInstantiator
+from repro.experiments.figure5 import run_figure5
+from benchmarks.conftest import bench_scale
+
+
+def test_figure5_instantiations(benchmark):
+    scale = bench_scale()
+    result = run_figure5(scale=scale, seed=0)
+    instantiator = PlacementInstantiator(result.structure)
+    queries = [result.dims_a, result.dims_b]
+    counter = {"i": 0}
+
+    def reinstantiate():
+        dims = queries[counter["i"] % 2]
+        counter["i"] += 1
+        return instantiator.instantiate(dims)
+
+    benchmark(reinstantiate)
+    benchmark.extra_info["arrangements_differ"] = result.arrangements_differ
+    benchmark.extra_info["cost_a"] = round(result.instantiation_a.total_cost, 2)
+    benchmark.extra_info["template_cost_a"] = round(result.template_cost_a, 2)
+    benchmark.extra_info["cost_b"] = round(result.instantiation_b.total_cost, 2)
+    benchmark.extra_info["template_cost_b"] = round(result.template_cost_b, 2)
+
+    assert result.instantiation_a.used_stored_placement
+    assert result.instantiation_b.used_stored_placement
+    assert result.arrangements_differ
+    assert result.structure_beats_or_matches_template

@@ -1,0 +1,26 @@
+"""Figure 6 — lowest-cost placement selection along a 1-D size sweep.
+
+The bench times the full sweep evaluation (per-placement curves plus the
+structure-selected curve) and asserts the figure's claim: the structure's
+selected cost tracks the lower envelope of the individual placement
+curves.
+"""
+
+from repro.experiments.figure6 import run_figure6
+from benchmarks.conftest import bench_scale
+
+
+def test_figure6_lowest_cost_selection(benchmark):
+    scale = bench_scale()
+
+    def run_sweep():
+        return run_figure6(scale=scale, seed=0, sweep_points=10)
+
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    benchmark.extra_info["sweep_block"] = result.sweep_block
+    benchmark.extra_info["sweep_points"] = len(result.sweep_values)
+    benchmark.extra_info["stored_placements"] = len(result.placement_curves)
+    benchmark.extra_info["envelope_gap"] = round(result.envelope_gap, 4)
+
+    assert result.tracks_lower_envelope
+    assert len(result.selected_costs) == len(result.sweep_values)

@@ -1,0 +1,42 @@
+"""Figure 7 — floorplan instantiation for the 21-module tso-cascode circuit.
+
+Times repeated instantiation on the largest "realistic analog block" of the
+benchmark suite and asserts the resulting floorplan is legal — the paper's
+demonstration that the method scales to ~25-module circuits.
+"""
+
+import random
+
+from repro.core.instantiator import PlacementInstantiator
+from benchmarks.conftest import bench_scale  # noqa: F401  (fixture wiring)
+
+
+def test_figure7_cascode_instantiation(benchmark, cascode_structure):
+    generation, generator = cascode_structure
+    structure = generation.structure
+    circuit = structure.circuit
+    instantiator = PlacementInstantiator(structure)
+    rng = random.Random(2)
+    samples = [
+        [
+            (rng.randint(b.min_w, b.max_w), rng.randint(b.min_h, b.max_h))
+            for b in circuit.blocks
+        ]
+        for _ in range(32)
+    ]
+    counter = {"i": 0}
+
+    def instantiate_one():
+        dims = samples[counter["i"] % len(samples)]
+        counter["i"] += 1
+        return instantiator.instantiate(dims)
+
+    placement = benchmark(instantiate_one)
+    benchmark.extra_info["blocks"] = circuit.num_blocks
+    benchmark.extra_info["placements"] = structure.num_placements
+    benchmark.extra_info["generation_seconds"] = round(generation.elapsed_seconds, 2)
+
+    rects = list(placement.rects.values())
+    for i in range(len(rects)):
+        for j in range(i + 1, len(rects)):
+            assert not rects[i].intersects(rects[j])

@@ -1,0 +1,56 @@
+"""Synthesis-loop comparison — the motivation behind the whole method.
+
+Times one layout-inclusive sizing evaluation under each placement backend.
+The shape to reproduce: the multi-placement structure and the template are
+orders of magnitude faster per evaluation than per-instance annealing,
+which is what makes them usable inside the sizing loop.
+"""
+
+import pytest
+
+from repro.baselines.annealing_placer import AnnealingPlacer, AnnealingPlacerConfig
+from repro.baselines.template import TemplatePlacer
+from repro.core.generator import MultiPlacementGenerator
+from repro.synthesis.backends import AnnealingBackend, MPSBackend, TemplateBackend
+from repro.synthesis.loop import LayoutInclusiveSynthesis
+from repro.synthesis.opamp_design import two_stage_opamp_design
+from benchmarks.conftest import bench_scale
+
+
+def _loop_for(backend_name):
+    scale = bench_scale()
+    design = two_stage_opamp_design()
+    generator = MultiPlacementGenerator(
+        design.circuit, scale.generator_config(design.circuit, seed=0)
+    )
+    structure = generator.generate()
+    if backend_name == "mps":
+        backend = MPSBackend(structure, generator.cost_function)
+    elif backend_name == "template":
+        backend = TemplateBackend(TemplatePlacer(design.circuit, generator.bounds, seed=0))
+    else:
+        backend = AnnealingBackend(
+            AnnealingPlacer(
+                design.circuit,
+                generator.bounds,
+                config=AnnealingPlacerConfig(max_iterations=scale.annealing_iterations),
+                seed=0,
+            )
+        )
+    return design, LayoutInclusiveSynthesis(
+        design.sizing_model, design.performance_model, design.spec, backend, seed=0
+    )
+
+
+@pytest.mark.parametrize("backend_name", ["mps", "template", "annealing"])
+def test_synthesis_evaluation(benchmark, backend_name):
+    design, loop = _loop_for(backend_name)
+    point = design.sizing_model.design_space.default_point()
+
+    evaluation = benchmark.pedantic(
+        lambda: loop.evaluate(point), rounds=3, iterations=1
+    )
+    benchmark.extra_info["backend"] = backend_name
+    benchmark.extra_info["objective"] = round(evaluation.objective, 3)
+    benchmark.extra_info["placement_source"] = evaluation.placement.source
+    assert evaluation.performance.power_mw > 0

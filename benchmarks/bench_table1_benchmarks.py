@@ -1,0 +1,20 @@
+"""Table 1 — building the benchmark circuit suite.
+
+Regenerates the paper's Table 1 (circuit statistics) and measures how long
+building the whole suite takes; the statistics are asserted to match the
+published numbers exactly.
+"""
+
+from repro.benchcircuits.library import TABLE1, all_benchmarks
+from repro.experiments.table1 import table1_rows
+
+
+def test_table1_statistics_match_paper(benchmark):
+    rows = benchmark(table1_rows)
+    assert len(rows) == len(TABLE1)
+    assert all(row["matches_paper"] for row in rows)
+
+
+def test_table1_build_all_benchmarks(benchmark):
+    circuits = benchmark(all_benchmarks)
+    assert set(circuits) == set(TABLE1)

@@ -1,0 +1,35 @@
+"""Table 2 (generation columns) — one-time structure generation per circuit.
+
+The paper reports CPU generation times growing from ~21 minutes (circ01,
+4 blocks) to ~4 hours (benchmark24, 24 blocks).  Absolute numbers differ
+(Python, scaled SA budgets); the *shape* to check is that generation time
+grows with circuit size while the structure still stores multiple
+placements.
+"""
+
+import pytest
+
+from repro.benchcircuits.library import get_benchmark
+from repro.core.generator import MultiPlacementGenerator
+from benchmarks.conftest import bench_scale
+
+#: A small/medium/large slice of Table 1; set REPRO_BENCH_SCALE=full and add
+#: circuits here to run the complete table.
+CIRCUITS = ["circ01", "two_stage_opamp", "mixer", "tso_cascode"]
+
+
+@pytest.mark.parametrize("circuit_name", CIRCUITS)
+def test_table2_generation(benchmark, circuit_name):
+    scale = bench_scale()
+    circuit = get_benchmark(circuit_name)
+    config = scale.generator_config(circuit, seed=0)
+
+    def generate():
+        return MultiPlacementGenerator(circuit, config).generate_with_stats()
+
+    result = benchmark.pedantic(generate, rounds=1, iterations=1)
+    benchmark.extra_info["placements"] = result.num_placements
+    benchmark.extra_info["coverage"] = round(result.structure.marginal_coverage(), 3)
+    benchmark.extra_info["blocks"] = circuit.num_blocks
+    assert result.num_placements >= 1
+    result.structure.check_invariants()

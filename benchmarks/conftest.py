@@ -1,0 +1,44 @@
+"""Shared fixtures for the pytest-benchmark harness.
+
+Every bench runs at the ``smoke`` experiment scale so the whole suite
+finishes in minutes; pass ``--scale`` through the environment variable
+``REPRO_BENCH_SCALE`` (smoke / medium / full) to get closer to the paper's
+budgets.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.benchcircuits.library import get_benchmark
+from repro.core.generator import MultiPlacementGenerator
+from repro.experiments.config import get_scale
+
+
+def bench_scale():
+    """The experiment scale selected for this benchmark session."""
+    return get_scale(os.environ.get("REPRO_BENCH_SCALE", "smoke"))
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """Session-wide experiment scale."""
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def opamp_structure(scale):
+    """A generated structure for the two-stage opamp (shared by several benches)."""
+    circuit = get_benchmark("two_stage_opamp")
+    generator = MultiPlacementGenerator(circuit, scale.generator_config(circuit, seed=0))
+    return generator.generate_with_stats(), generator
+
+
+@pytest.fixture(scope="session")
+def cascode_structure(scale):
+    """A generated structure for the 21-block tso-cascode benchmark."""
+    circuit = get_benchmark("tso_cascode")
+    generator = MultiPlacementGenerator(circuit, scale.generator_config(circuit, seed=0))
+    return generator.generate_with_stats(), generator

@@ -1,0 +1,49 @@
+"""Quickstart: generate a multi-placement structure once, instantiate it many times.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.benchcircuits import get_benchmark
+from repro.core import GeneratorConfig, MultiPlacementGenerator, PlacementInstantiator
+from repro.core.serialization import save_structure
+from repro.utils.timer import Timer, format_duration
+from repro.viz import render_ascii
+
+
+def main() -> None:
+    # 1. Pick a circuit topology (here: the paper's two-stage opamp benchmark).
+    circuit = get_benchmark("two_stage_opamp")
+    print(f"Circuit {circuit.name}: {circuit.summary()}")
+
+    # 2. One-time generation of the multi-placement structure (Figure 1.a).
+    #    GeneratorConfig.default() takes a few seconds; .paper() takes minutes.
+    generator = MultiPlacementGenerator(circuit, GeneratorConfig.default(seed=0))
+    with Timer() as generation_timer:
+        structure = generator.generate()
+    print(
+        f"Generated {structure.num_placements} placements in "
+        f"{format_duration(generation_timer.elapsed)} "
+        f"(marginal coverage {structure.marginal_coverage():.2f})"
+    )
+
+    # 3. Persist it: the structure is generated once per topology and reused.
+    path = save_structure(structure, "two_stage_opamp.mps.json")
+    print(f"Structure saved to {path}")
+
+    # 4. Fast placement instantiation for specific block dimensions (Figure 1.b).
+    instantiator = PlacementInstantiator(structure)
+    dims = [(18, 12), (16, 10), (10, 8), (14, 12), (20, 20)]
+    with Timer() as instantiation_timer:
+        placement = instantiator.instantiate(dims)
+    print(
+        f"\nInstantiated a floorplan from the '{placement.source}' tier in "
+        f"{format_duration(instantiation_timer.elapsed)} "
+        f"(cost {placement.total_cost:.1f})"
+    )
+    print(render_ascii(placement.rects, generator.bounds, max_width=70, max_height=30))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Layout-inclusive sizing of the two-stage opamp (the paper's Figure 1.b loop).
+
+Compares the same sizing run with three placement backends:
+
+* the multi-placement structure (fast, size-adapted placements),
+* a fixed template (fast, one arrangement for every size),
+* per-instance simulated annealing (slow, the quality reference).
+
+Run with::
+
+    python examples/synthesis_loop.py
+"""
+
+from repro.baselines.annealing_placer import AnnealingPlacer, AnnealingPlacerConfig
+from repro.baselines.template import TemplatePlacer
+from repro.core import MultiPlacementGenerator
+from repro.experiments.config import SMOKE
+from repro.synthesis import (
+    AnnealingBackend,
+    LayoutInclusiveSynthesis,
+    MPSBackend,
+    SynthesisConfig,
+    TemplateBackend,
+)
+from repro.synthesis.opamp_design import two_stage_opamp_design
+from repro.synthesis.optimizer import SizingOptimizerConfig
+from repro.viz import format_table
+
+
+def main() -> None:
+    design = two_stage_opamp_design()
+    circuit = design.circuit
+    scale = SMOKE  # switch to MEDIUM / FULL for a closer look
+
+    print("Generating the multi-placement structure (one-time cost)...")
+    generator = MultiPlacementGenerator(circuit, scale.generator_config(circuit, seed=0))
+    structure = generator.generate()
+    print(f"  {structure.num_placements} placements stored\n")
+
+    backends = {
+        "mps": MPSBackend(structure, generator.cost_function),
+        "template": TemplateBackend(TemplatePlacer(circuit, generator.bounds, seed=0)),
+        "annealing": AnnealingBackend(
+            AnnealingPlacer(
+                circuit,
+                generator.bounds,
+                config=AnnealingPlacerConfig(max_iterations=scale.annealing_iterations),
+                seed=0,
+            )
+        ),
+    }
+
+    config = SynthesisConfig(
+        optimizer=SizingOptimizerConfig(max_iterations=scale.synthesis_iterations)
+    )
+    rows = []
+    for name, backend in backends.items():
+        loop = LayoutInclusiveSynthesis(
+            design.sizing_model,
+            design.performance_model,
+            design.spec,
+            backend,
+            config=config,
+            seed=0,
+        )
+        result = loop.run()
+        best = result.best
+        rows.append(
+            {
+                "backend": name,
+                "wall_s": round(result.elapsed_seconds, 2),
+                "placement_ms_per_eval": round(
+                    1000 * result.placement_seconds / max(1, result.evaluations), 2
+                ),
+                "objective": round(best.objective, 2),
+                "gain_dB": round(best.performance.gain_db, 1),
+                "UGBW_MHz": round(best.performance.unity_gain_bandwidth_hz / 1e6, 1),
+                "PM_deg": round(best.performance.phase_margin_deg, 1),
+                "power_mW": round(best.performance.power_mw, 2),
+                "spec_met": best.spec_penalty == 0.0,
+            }
+        )
+
+    print(format_table(rows))
+    print(
+        "\nThe multi-placement structure keeps per-evaluation placement time at the\n"
+        "template's level while re-annealing from scratch is orders of magnitude slower."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Reproduction of "Multi-Placement Structures for Fast and Optimized Placement
+in Analog Circuit Synthesis" (Badaoui & Vemuri, DATE 2005).
+
+The package is organised as a set of substrates (geometry, circuit, module
+generators, cost models, annealing) underneath the paper's primary
+contribution: the multi-placement structure (:mod:`repro.core`) and its
+generation algorithm, plus the baselines and the layout-inclusive synthesis
+loop the paper motivates.
+
+Typical usage::
+
+    from repro.benchcircuits import get_benchmark
+    from repro.core import MultiPlacementGenerator, GeneratorConfig
+
+    circuit = get_benchmark("two_stage_opamp")
+    generator = MultiPlacementGenerator(circuit, GeneratorConfig.smoke())
+    structure = generator.generate()
+    result = structure.instantiate([(10, 12), (8, 8), (14, 10), (9, 9), (11, 7)])
+    print(result.source, result.cost)
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

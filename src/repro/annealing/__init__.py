@@ -1,0 +1,20 @@
+"""Generic simulated annealing engine shared by the explorer, BDIO and baselines."""
+
+from repro.annealing.acceptance import metropolis_accept
+from repro.annealing.annealer import AnnealResult, SimulatedAnnealer
+from repro.annealing.schedule import (
+    AdaptiveSchedule,
+    CoolingSchedule,
+    GeometricSchedule,
+    LinearSchedule,
+)
+
+__all__ = [
+    "metropolis_accept",
+    "AnnealResult",
+    "SimulatedAnnealer",
+    "AdaptiveSchedule",
+    "CoolingSchedule",
+    "GeometricSchedule",
+    "LinearSchedule",
+]

@@ -1,0 +1,26 @@
+"""Metropolis acceptance criterion."""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+def metropolis_accept(
+    current_cost: float,
+    candidate_cost: float,
+    temperature: float,
+    rng: random.Random,
+) -> bool:
+    """Standard Metropolis rule: always accept improvements, otherwise accept
+    with probability ``exp(-delta / T)``.
+
+    A non-positive temperature degenerates to greedy acceptance.
+    """
+    delta = candidate_cost - current_cost
+    if delta <= 0:
+        return True
+    if temperature <= 0:
+        return False
+    probability = math.exp(-delta / temperature)
+    return rng.random() < probability

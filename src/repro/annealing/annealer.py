@@ -1,0 +1,128 @@
+"""A small, generic simulated annealing driver.
+
+The BDIO (inner loop), the per-instance baseline placer and the sizing
+optimizer all share this engine; the placement explorer keeps its own loop
+because it interleaves structure bookkeeping (expansion, overlap
+resolution, storage) between SA moves, but reuses the schedules and the
+acceptance rule.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Generic, List, Optional, TypeVar
+
+from repro.annealing.acceptance import metropolis_accept
+from repro.annealing.schedule import CoolingSchedule, GeometricSchedule
+from repro.utils.rng import RandomLike, make_rng
+from repro.utils.stats import RunningStats
+
+State = TypeVar("State")
+
+
+@dataclass
+class AnnealResult(Generic[State]):
+    """Outcome of an annealing run."""
+
+    best_state: State
+    best_cost: float
+    final_state: State
+    final_cost: float
+    average_cost: float
+    iterations: int
+    accepted_moves: int
+    cost_history: List[float] = field(default_factory=list)
+
+    @property
+    def acceptance_ratio(self) -> float:
+        """Fraction of proposed moves that were accepted."""
+        if self.iterations == 0:
+            return 0.0
+        return self.accepted_moves / self.iterations
+
+
+class SimulatedAnnealer(Generic[State]):
+    """Drive simulated annealing over user-supplied propose/evaluate callables.
+
+    Parameters
+    ----------
+    evaluate:
+        Maps a state to its scalar cost (lower is better).
+    propose:
+        Maps ``(state, rng)`` to a neighbouring candidate state.  States are
+        treated as immutable values; ``propose`` must return a new state.
+    schedule:
+        Cooling schedule; defaults to a geometric schedule.
+    moves_per_temperature:
+        Number of proposals evaluated at each temperature step.
+    max_iterations:
+        Hard cap on the total number of proposals (safety net for schedules
+        that cool slowly).
+    record_history:
+        When true, every accepted cost is appended to the result's history.
+    """
+
+    def __init__(
+        self,
+        evaluate: Callable[[State], float],
+        propose: Callable[[State, "random.Random"], State],
+        schedule: Optional[CoolingSchedule] = None,
+        moves_per_temperature: int = 20,
+        max_iterations: int = 10000,
+        record_history: bool = False,
+        seed: RandomLike = None,
+    ) -> None:
+        if moves_per_temperature <= 0:
+            raise ValueError("moves_per_temperature must be positive")
+        if max_iterations <= 0:
+            raise ValueError("max_iterations must be positive")
+        self._evaluate = evaluate
+        self._propose = propose
+        self._schedule = schedule or GeometricSchedule()
+        self._moves = moves_per_temperature
+        self._max_iterations = max_iterations
+        self._record_history = record_history
+        self._rng = make_rng(seed)
+
+    def run(self, initial_state: State) -> AnnealResult[State]:
+        """Anneal starting from ``initial_state`` and return the best state found."""
+        current = initial_state
+        current_cost = self._evaluate(current)
+        best = current
+        best_cost = current_cost
+        stats = RunningStats()
+        stats.add(current_cost)
+        history: List[float] = [current_cost] if self._record_history else []
+        iterations = 0
+        accepted = 0
+        step = 0
+        while not self._schedule.finished(step) and iterations < self._max_iterations:
+            temperature = self._schedule.temperature(step)
+            for _ in range(self._moves):
+                if iterations >= self._max_iterations:
+                    break
+                candidate = self._propose(current, self._rng)
+                candidate_cost = self._evaluate(candidate)
+                iterations += 1
+                stats.add(candidate_cost)
+                if metropolis_accept(current_cost, candidate_cost, temperature, self._rng):
+                    current = candidate
+                    current_cost = candidate_cost
+                    accepted += 1
+                    if self._record_history:
+                        history.append(current_cost)
+                    if current_cost < best_cost:
+                        best = current
+                        best_cost = current_cost
+            step += 1
+        return AnnealResult(
+            best_state=best,
+            best_cost=best_cost,
+            final_state=current,
+            final_cost=current_cost,
+            average_cost=stats.mean,
+            iterations=iterations,
+            accepted_moves=accepted,
+            cost_history=history,
+        )

@@ -1,0 +1,96 @@
+"""Cooling schedules for simulated annealing."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+class CoolingSchedule(abc.ABC):
+    """A temperature trajectory ``T(k)`` over cooling steps ``k``."""
+
+    @abc.abstractmethod
+    def temperature(self, step: int) -> float:
+        """Temperature at cooling step ``step`` (0-based)."""
+
+    @abc.abstractmethod
+    def finished(self, step: int) -> bool:
+        """True when the schedule has cooled past its stopping temperature."""
+
+
+@dataclass(frozen=True)
+class GeometricSchedule(CoolingSchedule):
+    """The classic geometric schedule ``T_k = T_0 * alpha^k``."""
+
+    initial_temperature: float = 100.0
+    alpha: float = 0.9
+    minimum_temperature: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.initial_temperature <= 0:
+            raise ValueError("initial temperature must be positive")
+        if not (0.0 < self.alpha < 1.0):
+            raise ValueError("alpha must lie in (0, 1)")
+        if self.minimum_temperature <= 0:
+            raise ValueError("minimum temperature must be positive")
+
+    def temperature(self, step: int) -> float:
+        return self.initial_temperature * (self.alpha ** step)
+
+    def finished(self, step: int) -> bool:
+        return self.temperature(step) < self.minimum_temperature
+
+
+@dataclass(frozen=True)
+class LinearSchedule(CoolingSchedule):
+    """A linear ramp from the initial temperature down to zero over ``steps`` steps."""
+
+    initial_temperature: float = 100.0
+    steps: int = 50
+
+    def __post_init__(self) -> None:
+        if self.initial_temperature <= 0:
+            raise ValueError("initial temperature must be positive")
+        if self.steps <= 0:
+            raise ValueError("steps must be positive")
+
+    def temperature(self, step: int) -> float:
+        remaining = max(0, self.steps - step)
+        return self.initial_temperature * remaining / self.steps
+
+    def finished(self, step: int) -> bool:
+        return step >= self.steps
+
+
+@dataclass(frozen=True)
+class AdaptiveSchedule(CoolingSchedule):
+    """Geometric cooling whose starting temperature is scaled to the cost magnitude.
+
+    The explorer and BDIO operate on costs whose scale depends on the
+    circuit; seeding the temperature from an initial cost sample keeps the
+    early acceptance rate comparable across benchmarks.
+    """
+
+    reference_cost: float = 100.0
+    fraction: float = 0.3
+    alpha: float = 0.9
+    minimum_temperature: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.reference_cost <= 0:
+            raise ValueError("reference cost must be positive")
+        if not (0.0 < self.fraction <= 1.0):
+            raise ValueError("fraction must lie in (0, 1]")
+        if not (0.0 < self.alpha < 1.0):
+            raise ValueError("alpha must lie in (0, 1)")
+
+    @property
+    def initial_temperature(self) -> float:
+        """Starting temperature derived from the reference cost."""
+        return self.reference_cost * self.fraction
+
+    def temperature(self, step: int) -> float:
+        return self.initial_temperature * (self.alpha ** step)
+
+    def finished(self, step: int) -> bool:
+        return self.temperature(step) < self.minimum_temperature

@@ -1,0 +1,26 @@
+"""Baseline placement approaches the paper positions itself against.
+
+* :class:`TemplatePlacer` — template-based layout generation (BALLISTIC /
+  MSL style): one fixed relative arrangement instantiated for any sizes.
+* :class:`AnnealingPlacer` — optimization-based, per-instance simulated
+  annealing placement (KOAN/ANAGRAM style): high quality, slow.
+* :class:`GeneticPlacer` — genetic-algorithm placement (Zhang, ISCAS 2002).
+* :class:`RandomPlacer` — legal random placement, the sanity-check floor.
+"""
+
+from repro.baselines.annealing_placer import AnnealingPlacer, AnnealingPlacerConfig
+from repro.baselines.base import PlacementResult, Placer
+from repro.baselines.genetic import GeneticPlacer, GeneticPlacerConfig
+from repro.baselines.random_placer import RandomPlacer
+from repro.baselines.template import TemplatePlacer
+
+__all__ = [
+    "AnnealingPlacer",
+    "AnnealingPlacerConfig",
+    "PlacementResult",
+    "Placer",
+    "GeneticPlacer",
+    "GeneticPlacerConfig",
+    "RandomPlacer",
+    "TemplatePlacer",
+]

@@ -1,0 +1,99 @@
+"""Common interface of all placement backends.
+
+A placer receives a circuit, a concrete dimension vector and a floorplan
+canvas and returns the placed rectangles plus their cost.  The
+multi-placement structure is exposed through the same interface by
+:class:`repro.synthesis.backends.MPSBackend` so the synthesis loop can swap
+backends freely.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.cost.cost_function import CostBreakdown, CostWeights, PlacementCostFunction
+from repro.geometry.floorplan import FloorplanBounds
+from repro.geometry.rect import Rect
+
+Dims = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """A placed layout and its cost."""
+
+    rects: Dict[str, Rect]
+    cost: CostBreakdown
+    placer: str
+    elapsed_seconds: float = 0.0
+
+    @property
+    def total_cost(self) -> float:
+        """Weighted total cost of the layout."""
+        return self.cost.total
+
+
+class Placer(abc.ABC):
+    """Base class of the placement backends."""
+
+    #: Human-readable backend name (used in experiment reports).
+    name: str = "placer"
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        bounds: Optional[FloorplanBounds] = None,
+        weights: CostWeights = CostWeights(),
+        wirelength_model: str = "hpwl",
+    ) -> None:
+        self._circuit = circuit
+        self._bounds = bounds or FloorplanBounds.for_blocks(circuit.max_dims())
+        self._cost_function = PlacementCostFunction(
+            circuit, self._bounds, weights=weights, wirelength_model=wirelength_model
+        )
+
+    @property
+    def circuit(self) -> Circuit:
+        """The circuit being placed."""
+        return self._circuit
+
+    @property
+    def bounds(self) -> FloorplanBounds:
+        """The floorplan canvas."""
+        return self._bounds
+
+    @property
+    def cost_function(self) -> PlacementCostFunction:
+        """The cost function used for evaluation."""
+        return self._cost_function
+
+    @abc.abstractmethod
+    def place(self, dims: Sequence[Dims]) -> PlacementResult:
+        """Place the circuit's blocks at the given dimensions."""
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    def _clamp_dims(self, dims: Sequence[Dims]) -> Tuple[Dims, ...]:
+        if len(dims) != self._circuit.num_blocks:
+            raise ValueError(
+                f"dims must have {self._circuit.num_blocks} entries, got {len(dims)}"
+            )
+        return tuple(
+            block.clamp_dims(int(w), int(h))
+            for block, (w, h) in zip(self._circuit.blocks, dims)
+        )
+
+    def _result(
+        self, anchors: Sequence[Tuple[int, int]], dims: Sequence[Dims], elapsed: float
+    ) -> PlacementResult:
+        rects = self._cost_function.rects_from(anchors, dims)
+        return PlacementResult(
+            rects=rects,
+            cost=self._cost_function.evaluate(rects),
+            placer=self.name,
+            elapsed_seconds=elapsed,
+        )

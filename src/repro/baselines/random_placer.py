@@ -1,0 +1,57 @@
+"""Legal random placement — the sanity-check floor for comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.baselines.base import Dims, PlacementResult, Placer
+from repro.geometry.packing import shelf_pack
+from repro.geometry.rect import Rect
+from repro.utils.rng import make_rng
+from repro.utils.timer import Timer
+
+
+class RandomPlacer(Placer):
+    """Rejection-sample a legal placement; fall back to a shuffled shelf packing."""
+
+    name = "random"
+
+    def __init__(self, *args, seed: Optional[int] = 0, attempts: int = 200, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._rng = make_rng(seed)
+        self._attempts = attempts
+
+    def place(self, dims: Sequence[Dims]) -> PlacementResult:
+        clamped = self._clamp_dims(dims)
+        with Timer() as timer:
+            anchors = self._sample_legal(clamped)
+        return self._result(anchors, clamped, timer.elapsed)
+
+    def _sample_legal(self, dims: Sequence[Dims]) -> List[Tuple[int, int]]:
+        bounds = self._bounds
+        for _ in range(self._attempts):
+            anchors = [
+                (
+                    self._rng.randint(0, max(0, bounds.width - w)),
+                    self._rng.randint(0, max(0, bounds.height - h)),
+                )
+                for (w, h) in dims
+            ]
+            rects = [Rect(x, y, w, h) for (x, y), (w, h) in zip(anchors, dims)]
+            legal = True
+            for i in range(len(rects)):
+                if not bounds.contains(rects[i]):
+                    legal = False
+                    break
+                for j in range(i + 1, len(rects)):
+                    if rects[i].intersects(rects[j]):
+                        legal = False
+                        break
+                if not legal:
+                    break
+            if legal:
+                return anchors
+        order = list(range(len(dims)))
+        self._rng.shuffle(order)
+        return shelf_pack(list(dims), max_width=bounds.width, order=order)

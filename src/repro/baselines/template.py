@@ -1,0 +1,174 @@
+"""Template-based placement (the fast baseline, Figure 5.c).
+
+A template is a fixed arrangement of the blocks, designed once from the
+circuit's connectivity (recursive min-cut bipartitioning into a slicing
+tree, as an expert would group tightly-connected analog sub-structures).
+
+Two instantiation modes are provided:
+
+* ``"fixed"`` (default, the paper's definition: "the placement is set to a
+  fixed set of (x, y) coordinates") — the slicing tree is packed once for
+  the blocks' maximum dimensions and those anchors are reused for every
+  query, so the arrangement never adapts to the actual sizes.
+* ``"adaptive"`` — the slicing tree is re-packed for every queried
+  dimension vector.  This is a stronger baseline than the paper's template
+  (closer to a procedural module generator) and is used in the ablation
+  benches.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import networkx as nx
+
+from repro.baselines.base import Dims, PlacementResult, Placer
+from repro.utils.timer import Timer
+
+
+@dataclass
+class _Leaf:
+    block_index: int
+
+
+@dataclass
+class _Node:
+    left: Union["_Node", _Leaf]
+    right: Union["_Node", _Leaf]
+    orientation: str  # "h": children side by side, "v": children stacked
+
+
+_TreeNode = Union[_Node, _Leaf]
+
+
+#: Instantiation modes of the template placer.
+MODE_FIXED = "fixed"
+MODE_ADAPTIVE = "adaptive"
+
+
+class TemplatePlacer(Placer):
+    """Slicing-tree template placement."""
+
+    name = "template"
+
+    def __init__(
+        self, *args, seed: Optional[int] = 0, mode: str = MODE_FIXED, **kwargs
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if mode not in (MODE_FIXED, MODE_ADAPTIVE):
+            raise ValueError(f"mode must be '{MODE_FIXED}' or '{MODE_ADAPTIVE}'")
+        self._rng = random.Random(seed)
+        self._mode = mode
+        self._tree = self._build_tree()
+        # Fixed-mode anchors are computed once for the maximum dimensions so
+        # the arrangement stays legal for every admissible dimension vector.
+        self._fixed_anchors: Optional[List[Tuple[int, int]]] = None
+        if mode == MODE_FIXED:
+            max_dims = tuple(self._circuit.max_dims())
+            anchors = [(0, 0)] * self._circuit.num_blocks
+            self._layout(self._tree, max_dims, 0, 0, anchors)
+            self._fixed_anchors = anchors
+
+    @property
+    def mode(self) -> str:
+        """The instantiation mode in use."""
+        return self._mode
+
+    # ------------------------------------------------------------------ #
+    # Template construction (done once per circuit)
+    # ------------------------------------------------------------------ #
+    def _build_tree(self) -> _TreeNode:
+        graph = self._circuit.connectivity_graph()
+        indices = list(range(self._circuit.num_blocks))
+        return self._partition(indices, graph, depth=0)
+
+    def _partition(self, indices: List[int], graph: "nx.Graph", depth: int) -> _TreeNode:
+        if len(indices) == 1:
+            return _Leaf(indices[0])
+        left, right = self._bipartition(indices, graph)
+        orientation = "h" if depth % 2 == 0 else "v"
+        return _Node(
+            left=self._partition(left, graph, depth + 1),
+            right=self._partition(right, graph, depth + 1),
+            orientation=orientation,
+        )
+
+    def _bipartition(self, indices: List[int], graph: "nx.Graph") -> Tuple[List[int], List[int]]:
+        """Split blocks into two balanced halves cutting few net connections.
+
+        Kernighan–Lin on the induced subgraph; falls back to an area-balanced
+        split when the subgraph is disconnected or too small for KL.
+        """
+        names = [self._circuit.blocks[i].name for i in indices]
+        subgraph = graph.subgraph(names).copy()
+        if len(indices) > 3 and subgraph.number_of_edges() > 0:
+            try:
+                part_a, part_b = nx.algorithms.community.kernighan_lin_bisection(
+                    subgraph, weight="weight", seed=self._rng.randint(0, 2 ** 31)
+                )
+                left = [i for i in indices if self._circuit.blocks[i].name in part_a]
+                right = [i for i in indices if self._circuit.blocks[i].name in part_b]
+                if left and right:
+                    return left, right
+            except nx.NetworkXError:  # pragma: no cover - degenerate subgraphs
+                pass
+        ordered = sorted(indices, key=lambda i: -self._circuit.blocks[i].max_area)
+        left: List[int] = []
+        right: List[int] = []
+        area_left = 0
+        area_right = 0
+        for index in ordered:
+            if area_left <= area_right:
+                left.append(index)
+                area_left += self._circuit.blocks[index].max_area
+            else:
+                right.append(index)
+                area_right += self._circuit.blocks[index].max_area
+        return left, right
+
+    # ------------------------------------------------------------------ #
+    # Instantiation (done per dimension vector)
+    # ------------------------------------------------------------------ #
+    def place(self, dims: Sequence[Dims]) -> PlacementResult:
+        clamped = self._clamp_dims(dims)
+        with Timer() as timer:
+            anchors = self.anchors_for(clamped)
+        return self._result(anchors, clamped, timer.elapsed)
+
+    def anchors_for(self, dims: Sequence[Dims]) -> List[Tuple[int, int]]:
+        """Lower-left anchors of the template instantiated at ``dims``."""
+        if self._mode == MODE_FIXED:
+            assert self._fixed_anchors is not None
+            return list(self._fixed_anchors)
+        anchors: List[Tuple[int, int]] = [(0, 0)] * self._circuit.num_blocks
+        self._layout(self._tree, dims, 0, 0, anchors)
+        return anchors
+
+    def _extent(self, node: _TreeNode, dims: Sequence[Dims]) -> Dims:
+        if isinstance(node, _Leaf):
+            return dims[node.block_index]
+        left_w, left_h = self._extent(node.left, dims)
+        right_w, right_h = self._extent(node.right, dims)
+        if node.orientation == "h":
+            return (left_w + right_w, max(left_h, right_h))
+        return (max(left_w, right_w), left_h + right_h)
+
+    def _layout(
+        self,
+        node: _TreeNode,
+        dims: Sequence[Dims],
+        x: int,
+        y: int,
+        anchors: List[Tuple[int, int]],
+    ) -> None:
+        if isinstance(node, _Leaf):
+            anchors[node.block_index] = (x, y)
+            return
+        left_w, left_h = self._extent(node.left, dims)
+        self._layout(node.left, dims, x, y, anchors)
+        if node.orientation == "h":
+            self._layout(node.right, dims, x + left_w, y, anchors)
+        else:
+            self._layout(node.right, dims, x, y + left_h, anchors)

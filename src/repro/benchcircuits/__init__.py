@@ -1,0 +1,16 @@
+"""The paper's Table 1 benchmark circuits.
+
+The original netlists are not published; these circuits are rebuilt from
+analog sub-structures (differential pairs, current mirrors, cascodes,
+passives) so that the block / net / terminal counts match Table 1 exactly
+(see ``TABLE1`` in :mod:`repro.benchcircuits.library`).
+"""
+
+from repro.benchcircuits.library import (
+    TABLE1,
+    all_benchmarks,
+    benchmark_names,
+    get_benchmark,
+)
+
+__all__ = ["TABLE1", "all_benchmarks", "benchmark_names", "get_benchmark"]

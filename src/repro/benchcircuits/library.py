@@ -1,0 +1,73 @@
+"""Lookup of all Table 1 benchmark circuits."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.benchcircuits.mixer import mixer
+from repro.benchcircuits.opamps import single_ended_opamp, two_stage_opamp
+from repro.benchcircuits.synthetic import (
+    benchmark24,
+    circ01,
+    circ02,
+    circ06,
+    circ08,
+    tso_cascode,
+)
+from repro.circuit.netlist import Circuit
+
+#: The published Table 1 statistics: name -> (blocks, nets, terminals).
+TABLE1: Dict[str, Dict[str, int]] = {
+    "circ01": {"blocks": 4, "nets": 4, "terminals": 12},
+    "circ02": {"blocks": 6, "nets": 4, "terminals": 18},
+    "circ06": {"blocks": 6, "nets": 4, "terminals": 18},
+    "two_stage_opamp": {"blocks": 5, "nets": 9, "terminals": 22},
+    "single_ended_opamp": {"blocks": 9, "nets": 14, "terminals": 32},
+    "mixer": {"blocks": 8, "nets": 6, "terminals": 15},
+    "circ08": {"blocks": 8, "nets": 8, "terminals": 24},
+    "tso_cascode": {"blocks": 21, "nets": 36, "terminals": 46},
+    "benchmark24": {"blocks": 24, "nets": 48, "terminals": 48},
+}
+
+#: Aliases used by the paper's tables.
+ALIASES: Dict[str, str] = {
+    "tso": "two_stage_opamp",
+    "seo": "single_ended_opamp",
+    "twostage opamp": "two_stage_opamp",
+    "singleended opamp": "single_ended_opamp",
+    "tso-cascode": "tso_cascode",
+}
+
+_BUILDERS: Dict[str, Callable[[], Circuit]] = {
+    "circ01": circ01,
+    "circ02": circ02,
+    "circ06": circ06,
+    "two_stage_opamp": two_stage_opamp,
+    "single_ended_opamp": single_ended_opamp,
+    "mixer": mixer,
+    "circ08": circ08,
+    "tso_cascode": tso_cascode,
+    "benchmark24": benchmark24,
+}
+
+
+def benchmark_names() -> List[str]:
+    """Benchmark names in the order the paper's tables list them."""
+    return list(TABLE1)
+
+
+def get_benchmark(name: str) -> Circuit:
+    """Build the benchmark circuit called ``name`` (aliases accepted)."""
+    key = name.strip().lower()
+    key = ALIASES.get(key, key)
+    try:
+        return _BUILDERS[key]()
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {benchmark_names()}"
+        ) from exc
+
+
+def all_benchmarks() -> Dict[str, Circuit]:
+    """Build every benchmark circuit, keyed by canonical name."""
+    return {name: builder() for name, builder in _BUILDERS.items()}

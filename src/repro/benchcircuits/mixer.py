@@ -1,0 +1,51 @@
+"""The mixer benchmark: 8 blocks, 6 nets, 15 terminals (Table 1)."""
+
+from __future__ import annotations
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.devices import DeviceType
+from repro.circuit.netlist import Circuit
+
+_DIFF_PAIR_PINS = {
+    "inp": (0.1, 0.9),
+    "inn": (0.9, 0.9),
+    "outp": (0.25, 0.1),
+    "outn": (0.75, 0.1),
+    "tail": (0.5, 0.05),
+}
+_MOS_PINS = {"d": (0.2, 0.6), "g": (0.5, 0.9), "s": (0.8, 0.6)}
+_CAP_PINS = {"top": (0.5, 0.85), "bottom": (0.5, 0.15)}
+_RES_PINS = {"a": (0.1, 0.1), "rb": (0.9, 0.1)}
+
+
+def mixer() -> Circuit:
+    """A Gilbert-cell style downconversion mixer as eight layout modules."""
+    builder = CircuitBuilder("mixer")
+    builder.block("rf_dp", 8, 32, 6, 26, DeviceType.DIFF_PAIR, generator="diff_pair",
+                  symmetry_group="rf", pins=_DIFF_PAIR_PINS)
+    builder.block("lo_sw1", 8, 28, 6, 24, DeviceType.DIFF_PAIR, generator="diff_pair",
+                  symmetry_group="lo", pins=_DIFF_PAIR_PINS)
+    builder.block("lo_sw2", 8, 28, 6, 24, DeviceType.DIFF_PAIR, generator="diff_pair",
+                  symmetry_group="lo", pins=_DIFF_PAIR_PINS)
+    builder.block("load_r1", 6, 22, 6, 24, DeviceType.RESISTOR, generator="poly_resistor",
+                  symmetry_group="load", pins=_RES_PINS)
+    builder.block("load_r2", 6, 22, 6, 24, DeviceType.RESISTOR, generator="poly_resistor",
+                  symmetry_group="load", pins=_RES_PINS)
+    builder.block("tail", 6, 24, 6, 20, DeviceType.NMOS, generator="folded_mosfet",
+                  pins=_MOS_PINS)
+    builder.block("c_out1", 8, 30, 8, 30, DeviceType.CAPACITOR, generator="mim_capacitor",
+                  symmetry_group="out", pins=_CAP_PINS)
+    builder.block("c_out2", 8, 30, 8, 30, DeviceType.CAPACITOR, generator="mim_capacitor",
+                  symmetry_group="out", pins=_CAP_PINS)
+
+    builder.net("rf", ("rf_dp", "inp"), external=True, io_position=(0.0, 0.5))
+    builder.net("n_rfp", ("rf_dp", "outp"), ("lo_sw1", "tail"))
+    builder.net("n_rfn", ("rf_dp", "outn"), ("lo_sw2", "tail"))
+    builder.net("ifp", ("lo_sw1", "outp"), ("load_r1", "a"), ("c_out1", "top"), weight=1.5)
+    builder.net("ifn", ("lo_sw2", "outp"), ("load_r2", "a"), ("c_out2", "top"), weight=1.5)
+    builder.net("bias", ("tail", "d"), ("rf_dp", "tail"), ("load_r1", "rb"), ("load_r2", "rb"))
+
+    builder.symmetry("lo", pairs=(("lo_sw1", "lo_sw2"),))
+    builder.symmetry("load", pairs=(("load_r1", "load_r2"),))
+    builder.symmetry("out", pairs=(("c_out1", "c_out2"),))
+    return builder.build()

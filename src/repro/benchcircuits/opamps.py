@@ -1,0 +1,107 @@
+"""Operational amplifier benchmarks: the two-stage and single-ended opamps.
+
+Block/net/terminal counts match Table 1 of the paper:
+
+* two-stage opamp — 5 blocks, 9 nets, 22 terminals
+* single-ended opamp — 9 blocks, 14 nets, 32 terminals
+"""
+
+from __future__ import annotations
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.devices import DeviceType
+from repro.circuit.netlist import Circuit
+
+# Pin offset tables reused by the opamp blocks.
+_DIFF_PAIR_PINS = {
+    "inp": (0.1, 0.9),
+    "inn": (0.9, 0.9),
+    "outp": (0.25, 0.1),
+    "outn": (0.75, 0.1),
+    "tail": (0.5, 0.05),
+    "b": (0.5, 0.5),
+}
+_MIRROR_PINS = {
+    "ref": (0.15, 0.5),
+    "out": (0.85, 0.5),
+    "g": (0.5, 0.9),
+    "common": (0.5, 0.1),
+    "b": (0.5, 0.5),
+}
+_MOS_PINS = {"d": (0.2, 0.6), "g": (0.5, 0.9), "s": (0.8, 0.6), "b": (0.5, 0.3)}
+_CAP_PINS = {"top": (0.5, 0.85), "bottom": (0.5, 0.15), "shield": (0.05, 0.05)}
+_RES_PINS = {"a": (0.1, 0.1), "rb": (0.9, 0.1)}
+
+
+def two_stage_opamp() -> Circuit:
+    """A Miller-compensated two-stage opamp as five layout modules."""
+    builder = CircuitBuilder("two_stage_opamp")
+    builder.block("dp", 8, 36, 6, 28, DeviceType.DIFF_PAIR, generator="diff_pair",
+                  symmetry_group="input", pins=_DIFF_PAIR_PINS)
+    builder.block("load", 8, 32, 6, 24, DeviceType.CURRENT_MIRROR, generator="current_mirror",
+                  pins=_MIRROR_PINS)
+    builder.block("tail", 6, 24, 6, 20, DeviceType.NMOS, generator="folded_mosfet",
+                  pins=_MOS_PINS)
+    builder.block("cs", 6, 30, 6, 26, DeviceType.PMOS, generator="folded_mosfet",
+                  pins=_MOS_PINS)
+    builder.block("cc", 8, 40, 8, 40, DeviceType.CAPACITOR, generator="mim_capacitor",
+                  pins=_CAP_PINS)
+
+    builder.net("inp", ("dp", "inp"), external=True, io_position=(0.0, 0.7))
+    builder.net("inn", ("dp", "inn"), external=True, io_position=(0.0, 0.3))
+    builder.net("n1", ("dp", "outp"), ("load", "ref"), ("load", "g"))
+    builder.net("n2", ("dp", "outn"), ("load", "out"), ("cs", "g"), ("cc", "top"), weight=2.0)
+    builder.net("out", ("cs", "d"), ("cc", "bottom"), external=True, io_position=(1.0, 0.5))
+    builder.net("ntail", ("dp", "tail"), ("tail", "d"))
+    builder.net("vbias", ("tail", "g"), external=True, io_position=(0.0, 0.0))
+    builder.net("vdd", ("load", "common"), ("load", "b"), ("cs", "s"), ("cs", "b"),
+                external=True, io_position=(0.5, 1.0))
+    builder.net("vss", ("tail", "s"), ("tail", "b"), ("dp", "b"), ("cc", "shield"),
+                external=True, io_position=(0.5, 0.0))
+
+    builder.symmetry("input", self_symmetric=("dp", "load"))
+    return builder.build()
+
+
+def single_ended_opamp() -> Circuit:
+    """A single-ended two-stage opamp with bias branch, zero-nulling resistor and load."""
+    builder = CircuitBuilder("single_ended_opamp")
+    builder.block("dp", 8, 36, 6, 28, DeviceType.DIFF_PAIR, generator="diff_pair",
+                  symmetry_group="input", pins=_DIFF_PAIR_PINS)
+    builder.block("load", 8, 32, 6, 24, DeviceType.CURRENT_MIRROR, generator="current_mirror",
+                  pins=_MIRROR_PINS)
+    builder.block("tail", 6, 24, 6, 20, DeviceType.NMOS, generator="folded_mosfet",
+                  pins=_MOS_PINS)
+    builder.block("cs", 6, 30, 6, 26, DeviceType.PMOS, generator="folded_mosfet",
+                  pins=_MOS_PINS)
+    builder.block("cc", 8, 36, 8, 36, DeviceType.CAPACITOR, generator="mim_capacitor",
+                  pins=_CAP_PINS)
+    builder.block("rz", 6, 24, 6, 24, DeviceType.RESISTOR, generator="poly_resistor",
+                  pins=_RES_PINS)
+    builder.block("bias1", 6, 20, 6, 18, DeviceType.NMOS, generator="folded_mosfet",
+                  pins=_MOS_PINS)
+    builder.block("bias2", 6, 20, 6, 18, DeviceType.PMOS, generator="folded_mosfet",
+                  pins=_MOS_PINS)
+    builder.block("cl", 8, 36, 8, 36, DeviceType.CAPACITOR, generator="mim_capacitor",
+                  pins=_CAP_PINS)
+
+    builder.net("inp", ("dp", "inp"), external=True, io_position=(0.0, 0.7))
+    builder.net("inn", ("dp", "inn"), external=True, io_position=(0.0, 0.3))
+    builder.net("n1", ("dp", "outp"), ("load", "ref"), ("load", "g"))
+    builder.net("n2", ("dp", "outn"), ("load", "out"), ("cs", "g"), ("rz", "rb"), weight=2.0)
+    builder.net("ncomp", ("cc", "top"), ("rz", "a"))
+    builder.net("out", ("cs", "d"), ("cc", "bottom"), ("cl", "top"),
+                external=True, io_position=(1.0, 0.5))
+    builder.net("ntail", ("dp", "tail"), ("tail", "d"))
+    builder.net("vbias1", ("tail", "g"), ("bias1", "g"), ("bias1", "d"))
+    builder.net("vbias2", ("bias2", "g"), ("bias2", "d"), external=True, io_position=(0.0, 0.1))
+    builder.net("vdd", ("load", "common"), ("load", "b"), ("cs", "s"), ("cs", "b"),
+                external=True, io_position=(0.5, 1.0))
+    builder.net("vss", ("tail", "s"), ("tail", "b"), ("dp", "b"), ("bias1", "s"),
+                external=True, io_position=(0.5, 0.0))
+    builder.net("vdd2", ("bias2", "s"), external=True, io_position=(0.2, 1.0))
+    builder.net("agnd", ("cl", "bottom"), external=True, io_position=(1.0, 0.0))
+    builder.net("guard", ("bias1", "b"), external=True, io_position=(0.0, 0.0))
+
+    builder.symmetry("input", self_symmetric=("dp", "load"))
+    return builder.build()

@@ -1,0 +1,157 @@
+"""Synthetic benchmark circuits (circ01, circ02, circ06, circ08, tso-cascode, benchmark24).
+
+The paper gives only the block / net / terminal counts of these in-house
+circuits (Table 1); the netlists here are synthetic but reproduce those
+counts exactly and provide realistic block dimension bounds so the
+generation algorithm sees the same problem sizes.
+
+For ``tso-cascode`` (36 nets, 46 terminals) and ``benchmark24`` (48 nets,
+48 terminals) the published counts imply many single-terminal nets; those
+are modelled as external nets whose second connection point is an I/O pin
+on the floorplan boundary, so their wirelength contribution remains
+meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.devices import DeviceType
+from repro.circuit.netlist import Circuit
+
+#: Device types cycled through when building the larger synthetic circuits.
+_DEVICE_CYCLE = (
+    DeviceType.DIFF_PAIR,
+    DeviceType.CURRENT_MIRROR,
+    DeviceType.NMOS,
+    DeviceType.PMOS,
+    DeviceType.CAPACITOR,
+    DeviceType.RESISTOR,
+)
+
+#: Dimension bounds cycled through (min_w, max_w, min_h, max_h).
+_BOUND_CYCLE = (
+    (8, 30, 6, 24),
+    (8, 28, 6, 22),
+    (6, 22, 6, 20),
+    (6, 24, 6, 22),
+    (8, 32, 8, 32),
+    (6, 20, 6, 26),
+)
+
+
+def _add_blocks(builder: CircuitBuilder, count: int, prefix: str = "b") -> List[str]:
+    """Add ``count`` blocks with cycling device types and bounds; return their names."""
+    names = []
+    for i in range(count):
+        name = f"{prefix}{i}"
+        min_w, max_w, min_h, max_h = _BOUND_CYCLE[i % len(_BOUND_CYCLE)]
+        builder.block(
+            name,
+            min_w,
+            max_w,
+            min_h,
+            max_h,
+            device_type=_DEVICE_CYCLE[i % len(_DEVICE_CYCLE)],
+        )
+        names.append(name)
+    return names
+
+
+def _boundary_io(index: int, total: int) -> Tuple[float, float]:
+    """Spread external I/O positions evenly around the floorplan boundary."""
+    fraction = (index + 0.5) / max(total, 1)
+    side = index % 4
+    if side == 0:
+        return (0.0, fraction)
+    if side == 1:
+        return (1.0, fraction)
+    if side == 2:
+        return (fraction, 0.0)
+    return (fraction, 1.0)
+
+
+def circ01() -> Circuit:
+    """circ01 — 4 blocks, 4 nets, 12 terminals (every net touches three blocks)."""
+    builder = CircuitBuilder("circ01")
+    names = _add_blocks(builder, 4)
+    builder.simple_net("n1", [names[0], names[1], names[2]])
+    builder.simple_net("n2", [names[1], names[2], names[3]])
+    builder.simple_net("n3", [names[0], names[2], names[3]])
+    builder.simple_net("n4", [names[0], names[1], names[3]])
+    return builder.build()
+
+
+def circ02() -> Circuit:
+    """circ02 — 6 blocks, 4 nets, 18 terminals (two 5-pin and two 4-pin nets)."""
+    builder = CircuitBuilder("circ02")
+    names = _add_blocks(builder, 6)
+    builder.simple_net("n1", names[0:5])
+    builder.simple_net("n2", names[1:6])
+    builder.simple_net("n3", [names[0], names[2], names[4], names[5]])
+    builder.simple_net("n4", [names[1], names[3], names[4], names[5]])
+    return builder.build()
+
+
+def circ06() -> Circuit:
+    """circ06 — 6 blocks, 4 nets, 18 terminals (one global 6-pin net plus three 4-pin nets)."""
+    builder = CircuitBuilder("circ06")
+    names = _add_blocks(builder, 6)
+    builder.simple_net("n1", names, weight=0.5)
+    builder.simple_net("n2", names[0:4])
+    builder.simple_net("n3", names[2:6])
+    builder.simple_net("n4", [names[0], names[1], names[4], names[5]])
+    return builder.build()
+
+
+def circ08() -> Circuit:
+    """circ08 — 8 blocks, 8 nets, 24 terminals (a ring of three-pin nets)."""
+    builder = CircuitBuilder("circ08")
+    names = _add_blocks(builder, 8)
+    for i in range(8):
+        builder.simple_net(
+            f"n{i + 1}", [names[i], names[(i + 1) % 8], names[(i + 2) % 8]]
+        )
+    return builder.build()
+
+
+def tso_cascode() -> Circuit:
+    """tso-cascode — 21 blocks, 36 nets, 46 terminals.
+
+    A cascode arrangement of op-amp stages: ten two-terminal internal nets
+    chain neighbouring stages and twenty-six external nets bring in bias,
+    supply and I/O connections (10 * 2 + 26 = 46 terminals).
+    """
+    builder = CircuitBuilder("tso_cascode")
+    names = _add_blocks(builder, 21, prefix="m")
+    internal_pairs = [(names[i], names[i + 1]) for i in range(10)]
+    for i, (left, right) in enumerate(internal_pairs):
+        builder.simple_net(f"int{i + 1}", [left, right])
+    external_count = 26
+    for i in range(external_count):
+        block = names[i % len(names)]
+        builder.net(
+            f"ext{i + 1}",
+            (block, "c"),
+            external=True,
+            io_position=_boundary_io(i, external_count),
+        )
+    return builder.build()
+
+
+def benchmark24() -> Circuit:
+    """benchmark24 — 24 blocks, 48 nets, 48 terminals (two external nets per block)."""
+    builder = CircuitBuilder("benchmark24")
+    names = _add_blocks(builder, 24, prefix="m")
+    net_index = 0
+    for block in names:
+        for _ in range(2):
+            builder.net(
+                f"ext{net_index + 1}",
+                (block, "c"),
+                external=True,
+                io_position=_boundary_io(net_index, 48),
+            )
+            net_index += 1
+    return builder.build()

@@ -1,0 +1,23 @@
+"""Circuit substrate: blocks, pins, nets, netlists and symmetry constraints."""
+
+from repro.circuit.block import Block
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.devices import DeviceType
+from repro.circuit.net import Net, Terminal
+from repro.circuit.netlist import Circuit
+from repro.circuit.pin import Pin
+from repro.circuit.symmetry import SymmetryGroup
+from repro.circuit.validation import CircuitValidationError, validate_circuit
+
+__all__ = [
+    "Block",
+    "CircuitBuilder",
+    "DeviceType",
+    "Net",
+    "Terminal",
+    "Circuit",
+    "Pin",
+    "SymmetryGroup",
+    "CircuitValidationError",
+    "validate_circuit",
+]

@@ -1,0 +1,108 @@
+"""Circuit blocks (modules) with designer-specified dimension bounds.
+
+Section 2.1 of the paper: a block ``i`` has variable width ``w_i`` and
+height ``h_i`` bounded by designer-set constants ``w^m_i <= w_i <= w^M_i``
+and ``h^m_i <= h_i <= h^M_i``.  Those bounds define the axis ranges of the
+multi-placement structure's interval rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.circuit.devices import DeviceType
+from repro.circuit.pin import CENTER_PIN, Pin
+
+
+@dataclass
+class Block:
+    """A layout module with bounded, variable dimensions.
+
+    Parameters
+    ----------
+    name:
+        Unique block identifier within its circuit.
+    min_w, max_w, min_h, max_h:
+        Designer-set dimension bounds in grid units (inclusive).
+    device_type:
+        The analog primitive the block implements.
+    generator:
+        Optional name of the module generator that produces this block's
+        footprint from device sizes (see :mod:`repro.modgen`).
+    symmetry_group:
+        Optional name of the symmetry group the block belongs to.
+    pins:
+        Named pins; a center pin ``"c"`` is always available.
+    """
+
+    name: str
+    min_w: int
+    max_w: int
+    min_h: int
+    max_h: int
+    device_type: DeviceType = DeviceType.GENERIC
+    generator: Optional[str] = None
+    symmetry_group: Optional[str] = None
+    pins: Dict[str, Pin] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("block name must be non-empty")
+        if self.min_w <= 0 or self.min_h <= 0:
+            raise ValueError(f"block {self.name}: minimum dimensions must be positive")
+        if self.max_w < self.min_w or self.max_h < self.min_h:
+            raise ValueError(
+                f"block {self.name}: maximum dimensions must be >= minimum dimensions"
+            )
+        if CENTER_PIN.name not in self.pins:
+            self.pins = {CENTER_PIN.name: CENTER_PIN, **self.pins}
+
+    @property
+    def min_dims(self) -> Tuple[int, int]:
+        """``(min_w, min_h)``."""
+        return (self.min_w, self.min_h)
+
+    @property
+    def max_dims(self) -> Tuple[int, int]:
+        """``(max_w, max_h)``."""
+        return (self.max_w, self.max_h)
+
+    @property
+    def width_span(self) -> int:
+        """Number of admissible integer widths."""
+        return self.max_w - self.min_w + 1
+
+    @property
+    def height_span(self) -> int:
+        """Number of admissible integer heights."""
+        return self.max_h - self.min_h + 1
+
+    @property
+    def max_area(self) -> int:
+        """Area at maximum dimensions."""
+        return self.max_w * self.max_h
+
+    def clamp_dims(self, w: int, h: int) -> Tuple[int, int]:
+        """Clamp a dimension pair into the block's admissible range."""
+        return (
+            min(max(w, self.min_w), self.max_w),
+            min(max(h, self.min_h), self.max_h),
+        )
+
+    def admits(self, w: int, h: int) -> bool:
+        """True when ``(w, h)`` lies inside the designer bounds."""
+        return self.min_w <= w <= self.max_w and self.min_h <= h <= self.max_h
+
+    def pin(self, name: str) -> Pin:
+        """Look up a pin by name."""
+        try:
+            return self.pins[name]
+        except KeyError as exc:
+            raise KeyError(f"block {self.name} has no pin named {name!r}") from exc
+
+    def add_pin(self, pin: Pin) -> None:
+        """Register an additional pin on the block."""
+        if pin.name in self.pins:
+            raise ValueError(f"block {self.name} already has a pin named {pin.name!r}")
+        self.pins[pin.name] = pin

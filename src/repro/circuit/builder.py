@@ -1,0 +1,115 @@
+"""Fluent builder for circuits.
+
+The benchmark library (:mod:`repro.benchcircuits`) constructs the paper's
+Table 1 circuits through this builder, and example scripts use it to define
+custom topologies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.circuit.block import Block
+from repro.circuit.devices import DeviceType
+from repro.circuit.net import Net, Terminal
+from repro.circuit.netlist import Circuit
+from repro.circuit.pin import Pin
+from repro.circuit.symmetry import SymmetryGroup
+from repro.circuit.validation import validate_circuit
+
+
+class CircuitBuilder:
+    """Incrementally assemble a :class:`~repro.circuit.netlist.Circuit`.
+
+    >>> builder = CircuitBuilder("demo")
+    >>> _ = builder.block("m1", 4, 12, 4, 12, device_type=DeviceType.NMOS)
+    >>> _ = builder.block("m2", 4, 12, 4, 12, device_type=DeviceType.PMOS)
+    >>> _ = builder.net("out", ("m1", "c"), ("m2", "c"))
+    >>> circuit = builder.build()
+    >>> circuit.num_blocks, circuit.num_nets, circuit.num_terminals
+    (2, 1, 2)
+    """
+
+    def __init__(self, name: str) -> None:
+        self._circuit = Circuit(name)
+
+    def block(
+        self,
+        name: str,
+        min_w: int,
+        max_w: int,
+        min_h: int,
+        max_h: int,
+        device_type: DeviceType = DeviceType.GENERIC,
+        generator: Optional[str] = None,
+        symmetry_group: Optional[str] = None,
+        pins: Optional[Dict[str, Tuple[float, float]]] = None,
+    ) -> "CircuitBuilder":
+        """Add a block; ``pins`` maps pin names to fractional offsets."""
+        pin_objs = {}
+        if pins:
+            pin_objs = {pin_name: Pin(pin_name, fx, fy) for pin_name, (fx, fy) in pins.items()}
+        self._circuit.add_block(
+            Block(
+                name=name,
+                min_w=min_w,
+                max_w=max_w,
+                min_h=min_h,
+                max_h=max_h,
+                device_type=device_type,
+                generator=generator,
+                symmetry_group=symmetry_group,
+                pins=pin_objs,
+            )
+        )
+        return self
+
+    def net(
+        self,
+        name: str,
+        *attachments: Tuple[str, str],
+        weight: float = 1.0,
+        external: bool = False,
+        io_position: Tuple[float, float] = (0.0, 0.5),
+    ) -> "CircuitBuilder":
+        """Add a net connecting ``(block, pin)`` attachments."""
+        terminals = tuple(Terminal(block, pin) for block, pin in attachments)
+        self._circuit.add_net(
+            Net(
+                name,
+                terminals,
+                weight=weight,
+                external=external,
+                io_position=io_position,
+            )
+        )
+        return self
+
+    def simple_net(
+        self, name: str, blocks: Sequence[str], weight: float = 1.0, external: bool = False
+    ) -> "CircuitBuilder":
+        """Add a net attached to the center pin of each block in ``blocks``."""
+        return self.net(
+            name,
+            *[(block, "c") for block in blocks],
+            weight=weight,
+            external=external,
+        )
+
+    def symmetry(
+        self,
+        name: str,
+        pairs: Iterable[Tuple[str, str]] = (),
+        self_symmetric: Iterable[str] = (),
+    ) -> "CircuitBuilder":
+        """Add a vertical-axis symmetry group."""
+        self._circuit.add_symmetry_group(
+            SymmetryGroup(name, tuple(tuple(p) for p in pairs), tuple(self_symmetric))
+        )
+        return self
+
+    def build(self, validate: bool = True) -> Circuit:
+        """Finish and (by default) validate the circuit."""
+        if validate:
+            validate_circuit(self._circuit)
+        return self._circuit

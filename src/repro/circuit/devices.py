@@ -1,0 +1,41 @@
+"""Device categories for the blocks of an analog circuit.
+
+A block is "any module defined by its module generator functions" (Section
+2.1); the device type records which analog primitive the module implements
+so module generators and performance models can be bound automatically.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class DeviceType(Enum):
+    """Analog module categories used by the benchmark circuits."""
+
+    NMOS = "nmos"
+    PMOS = "pmos"
+    DIFF_PAIR = "diff_pair"
+    CURRENT_MIRROR = "current_mirror"
+    CASCODE_PAIR = "cascode_pair"
+    CAPACITOR = "capacitor"
+    RESISTOR = "resistor"
+    BIAS = "bias"
+    GENERIC = "generic"
+
+    @property
+    def is_transistor_based(self) -> bool:
+        """True for modules built out of MOS devices."""
+        return self in (
+            DeviceType.NMOS,
+            DeviceType.PMOS,
+            DeviceType.DIFF_PAIR,
+            DeviceType.CURRENT_MIRROR,
+            DeviceType.CASCODE_PAIR,
+            DeviceType.BIAS,
+        )
+
+    @property
+    def is_passive(self) -> bool:
+        """True for passive modules (capacitors and resistors)."""
+        return self in (DeviceType.CAPACITOR, DeviceType.RESISTOR)

@@ -1,0 +1,38 @@
+"""Block pins.
+
+Pins are located by fractional offsets inside their block footprint so the
+same pin definition remains valid for every width/height the module
+generator can produce — exactly the property the multi-placement structure
+relies on when it reuses one placement across a range of block dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True)
+class Pin:
+    """A named connection point at a fractional position inside a block."""
+
+    name: str
+    fx: float = 0.5
+    fy: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("pin name must be non-empty")
+        if not (0.0 <= self.fx <= 1.0 and 0.0 <= self.fy <= 1.0):
+            raise ValueError(
+                f"pin fractional offsets must lie in [0, 1], got ({self.fx}, {self.fy})"
+            )
+
+    def position(self, rect: Rect) -> Tuple[float, float]:
+        """Absolute pin position when the block occupies ``rect``."""
+        return rect.terminal_position(self.fx, self.fy)
+
+
+CENTER_PIN = Pin("c", 0.5, 0.5)

@@ -1,0 +1,59 @@
+"""Structural validation of circuits before structure generation."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.circuit.netlist import Circuit
+
+
+class CircuitValidationError(ValueError):
+    """Raised when a circuit fails structural validation."""
+
+    def __init__(self, circuit_name: str, problems: List[str]) -> None:
+        self.circuit_name = circuit_name
+        self.problems = list(problems)
+        details = "; ".join(problems)
+        super().__init__(f"circuit {circuit_name!r} failed validation: {details}")
+
+
+def collect_problems(circuit: Circuit) -> List[str]:
+    """Return a list of structural problems (empty when the circuit is valid)."""
+    problems: List[str] = []
+    if circuit.num_blocks == 0:
+        problems.append("circuit has no blocks")
+    seen_nets = set()
+    for net in circuit.nets:
+        if net.name in seen_nets:
+            problems.append(f"duplicate net name {net.name!r}")
+        seen_nets.add(net.name)
+        for terminal in net.terminals:
+            if not circuit.has_block(terminal.block):
+                problems.append(
+                    f"net {net.name!r} references unknown block {terminal.block!r}"
+                )
+                continue
+            block = circuit.block(terminal.block)
+            if terminal.pin not in block.pins:
+                problems.append(
+                    f"net {net.name!r} references unknown pin {terminal.pin!r} on block "
+                    f"{terminal.block!r}"
+                )
+        if net.num_terminals < 2 and not net.external:
+            problems.append(
+                f"net {net.name!r} has fewer than two terminals and is not external"
+            )
+    for group in circuit.symmetry_groups:
+        for name in group.blocks():
+            if not circuit.has_block(name):
+                problems.append(
+                    f"symmetry group {group.name!r} references unknown block {name!r}"
+                )
+    return problems
+
+
+def validate_circuit(circuit: Circuit) -> None:
+    """Raise :class:`CircuitValidationError` when the circuit is malformed."""
+    problems = collect_problems(circuit)
+    if problems:
+        raise CircuitValidationError(circuit.name, problems)

@@ -1,0 +1,117 @@
+"""Placement Expansion (Section 3.1.2).
+
+Given a selected placement (block anchors) with all dimensions at their
+minimum, grow the blocks "one by one until no further expansion is possible
+due to overlapping or out-of-bounds constraints".  The resulting per-block
+width/height intervals ``[min, expanded]`` are the starting ranges handed to
+the Block Dimensions-Interval Optimizer.
+
+Because every block is anchored at its lower-left corner and only grows to
+the right and upwards, the final expanded rectangles are mutually
+overlap-free, and therefore *any* dimension vector inside the expanded
+intervals is also overlap-free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.core.intervals import Interval
+from repro.core.placement_entry import Anchor, DimensionRange
+from repro.geometry.floorplan import FloorplanBounds
+from repro.geometry.rect import Rect
+
+
+def _overlaps_others(rects: List[Rect], index: int) -> bool:
+    candidate = rects[index]
+    for other_index, other in enumerate(rects):
+        if other_index != index and candidate.intersects(other):
+            return True
+    return False
+
+
+def placement_is_legal_at_min_dims(
+    circuit: Circuit, anchors: Sequence[Anchor], bounds: FloorplanBounds
+) -> bool:
+    """True when the anchors give an overlap-free, in-bounds layout at minimum dims."""
+    rects = [
+        Rect(x, y, block.min_w, block.min_h)
+        for (x, y), block in zip(anchors, circuit.blocks)
+    ]
+    if any(not bounds.contains(rect) for rect in rects):
+        return False
+    for i in range(len(rects)):
+        for j in range(i + 1, len(rects)):
+            if rects[i].intersects(rects[j]):
+                return False
+    return True
+
+
+def expand_placement(
+    circuit: Circuit,
+    anchors: Sequence[Anchor],
+    bounds: FloorplanBounds,
+    step: int = 1,
+) -> Optional[List[DimensionRange]]:
+    """Expand block dimensions from their minima and return the per-block intervals.
+
+    Returns ``None`` when the placement is illegal even at minimum
+    dimensions (the explorer then rejects the proposed placement).
+
+    ``step`` controls the growth increment per visit; 1 reproduces the
+    paper's one-unit-at-a-time expansion, larger values trade interval
+    tightness for speed on large blocks.
+    """
+    if len(anchors) != circuit.num_blocks:
+        raise ValueError("anchors must have one entry per circuit block")
+    if step <= 0:
+        raise ValueError("step must be positive")
+    if not placement_is_legal_at_min_dims(circuit, anchors, bounds):
+        return None
+
+    dims: List[List[int]] = [[block.min_w, block.min_h] for block in circuit.blocks]
+    rects: List[Rect] = [
+        Rect(x, y, w, h) for (x, y), (w, h) in zip(anchors, dims)
+    ]
+    # Each entry is (block_index, axis) with axis 0 = width, 1 = height.
+    active: List[Tuple[int, int]] = []
+    for block_index, block in enumerate(circuit.blocks):
+        if block.max_w > block.min_w:
+            active.append((block_index, 0))
+        if block.max_h > block.min_h:
+            active.append((block_index, 1))
+
+    while active:
+        still_active: List[Tuple[int, int]] = []
+        for block_index, axis in active:
+            block = circuit.blocks[block_index]
+            limit = block.max_w if axis == 0 else block.max_h
+            current = dims[block_index][axis]
+            grown = min(current + step, limit)
+            if grown == current:
+                continue
+            x, y = anchors[block_index]
+            if axis == 0:
+                candidate = Rect(x, y, grown, dims[block_index][1])
+            else:
+                candidate = Rect(x, y, dims[block_index][0], grown)
+            rects[block_index] = candidate
+            if bounds.contains(candidate) and not _overlaps_others(rects, block_index):
+                dims[block_index][axis] = grown
+                if grown < limit:
+                    still_active.append((block_index, axis))
+            else:
+                # Revert and retire this growth direction.
+                rects[block_index] = Rect(x, y, dims[block_index][0], dims[block_index][1])
+        active = still_active
+
+    ranges: List[DimensionRange] = []
+    for block_index, block in enumerate(circuit.blocks):
+        ranges.append(
+            DimensionRange(
+                Interval(block.min_w, dims[block_index][0]),
+                Interval(block.min_h, dims[block_index][1]),
+            )
+        )
+    return ranges

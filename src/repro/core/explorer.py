@@ -1,0 +1,305 @@
+"""The Placement Explorer (Section 3.1) — the outer simulated annealing loop.
+
+Each iteration:
+
+1. **Placement Selector / Perturb Placement** — start from a random legal
+   placement, then perturb the accepted placement's anchors (a user-set
+   fraction of blocks move; out-of-bounds moves wrap to the opposite side).
+2. **Placement Expansion** — grow block dimensions from their minima until
+   blocked (see :mod:`repro.core.expansion`).
+3. **BDIO** — score the placement and shrink its dimension intervals.
+4. **Resolve Overlaps + Store Placement** — make the new intervals disjoint
+   from every stored placement and add the surviving pieces to the
+   structure.
+5. **Accept New Placement?** — Metropolis test on the BDIO's average cost
+   decides whether the new placement seeds the next perturbation.
+
+The loop stops when the coverage of the width/height space reaches the
+user's target (or the iteration budget runs out); the uncovered remainder
+is served by the structure's template fallback.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.annealing.acceptance import metropolis_accept
+from repro.circuit.netlist import Circuit
+from repro.core.bdio import BDIOResult, BlockDimensionsIntervalOptimizer
+from repro.core.expansion import expand_placement, placement_is_legal_at_min_dims
+from repro.core.overlap_resolution import POLICY_SHRINK_WORSE, ResolutionReport, resolve_overlaps
+from repro.core.structure import MultiPlacementStructure
+from repro.geometry.floorplan import FloorplanBounds
+from repro.geometry.packing import shelf_pack
+from repro.utils.logging_utils import get_logger
+from repro.utils.rng import RandomLike, make_rng, spawn_rng
+
+LOGGER = get_logger("core.explorer")
+
+Anchor = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ExplorerConfig:
+    """Tuning knobs of the outer simulated annealing loop."""
+
+    #: Maximum number of placements proposed (each triggers one BDIO run).
+    max_iterations: int = 60
+    #: Stop once this coverage value is reached ("an acceptable value set by the user").
+    coverage_target: float = 0.9
+    #: Coverage metric: ``"marginal"`` (default) or ``"volume"``.
+    coverage_metric: str = "marginal"
+    #: Samples for the volume coverage estimate (only used with ``"volume"``).
+    coverage_samples: int = 500
+    #: Initial temperature as a fraction of the first placement's average cost.
+    initial_temperature_fraction: float = 0.3
+    #: Geometric cooling factor applied once per iteration.
+    alpha: float = 0.92
+    #: Fraction of blocks whose coordinates are varied per perturbation.
+    perturb_fraction: float = 0.35
+    #: Maximum move distance as a fraction of the floorplan side.
+    perturb_step_fraction: float = 0.5
+    #: Attempts at drawing a legal random / perturbed placement before giving up.
+    max_legalization_attempts: int = 50
+    #: Expansion step size in grid units.
+    expansion_step: int = 1
+    #: Overlap resolution policy (see :mod:`repro.core.overlap_resolution`).
+    overlap_policy: str = POLICY_SHRINK_WORSE
+    #: How the first placement is selected: ``"random"`` reproduces the paper's
+    #: random initial placement, ``"packed"`` seeds the search from a shelf
+    #: packing spaced for mid-range block dimensions (better initial quality).
+    initial_placement: str = "random"
+
+    def __post_init__(self) -> None:
+        if self.max_iterations <= 0:
+            raise ValueError("max_iterations must be positive")
+        if not (0.0 < self.coverage_target <= 1.0):
+            raise ValueError("coverage_target must lie in (0, 1]")
+        if not (0.0 < self.perturb_fraction <= 1.0):
+            raise ValueError("perturb_fraction must lie in (0, 1]")
+        if self.coverage_metric not in ("marginal", "volume"):
+            raise ValueError("coverage_metric must be 'marginal' or 'volume'")
+        if self.initial_placement not in ("random", "packed"):
+            raise ValueError("initial_placement must be 'random' or 'packed'")
+
+    def scaled(self, factor: float) -> "ExplorerConfig":
+        """Copy with the iteration budget scaled by ``factor``."""
+        return replace(self, max_iterations=max(1, int(self.max_iterations * factor)))
+
+
+@dataclass
+class ExplorerStats:
+    """Bookkeeping of one explorer run."""
+
+    iterations: int = 0
+    proposed_placements: int = 0
+    rejected_illegal: int = 0
+    accepted_moves: int = 0
+    stored_pieces: int = 0
+    final_coverage: float = 0.0
+    coverage_history: List[float] = field(default_factory=list)
+    average_costs: List[float] = field(default_factory=list)
+    best_cost_seen: float = float("inf")
+    resolution: ResolutionReport = field(default_factory=ResolutionReport)
+
+
+class PlacementExplorer:
+    """Generate the contents of a multi-placement structure for one circuit."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        bounds: FloorplanBounds,
+        bdio: BlockDimensionsIntervalOptimizer,
+        structure: Optional[MultiPlacementStructure] = None,
+        config: ExplorerConfig = ExplorerConfig(),
+        seed: RandomLike = None,
+    ) -> None:
+        self._circuit = circuit
+        self._bounds = bounds
+        self._bdio = bdio
+        if structure is None:
+            structure = MultiPlacementStructure(circuit, bounds)
+        self._structure = structure
+        self._config = config
+        self._rng = make_rng(seed)
+
+    @property
+    def structure(self) -> MultiPlacementStructure:
+        """The structure being filled."""
+        return self._structure
+
+    @property
+    def config(self) -> ExplorerConfig:
+        """The configuration in use."""
+        return self._config
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> ExplorerStats:
+        """Fill the structure until the coverage target or iteration budget is hit."""
+        stats = ExplorerStats()
+        config = self._config
+        current_anchors = self._initial_placement()
+        current_cost: Optional[float] = None
+        temperature: Optional[float] = None
+
+        for iteration in range(config.max_iterations):
+            stats.iterations = iteration + 1
+            if iteration == 0:
+                anchors = current_anchors
+            else:
+                anchors = self._perturb(current_anchors)
+            stats.proposed_placements += 1
+
+            ranges = expand_placement(
+                self._circuit, anchors, self._bounds, step=config.expansion_step
+            )
+            if ranges is None:
+                stats.rejected_illegal += 1
+                continue
+
+            bdio_result = self._bdio.optimize(anchors, ranges)
+            stats.average_costs.append(bdio_result.average_cost)
+            stats.best_cost_seen = min(stats.best_cost_seen, bdio_result.best_cost)
+
+            stored = resolve_overlaps(
+                self._structure,
+                anchors=anchors,
+                ranges=bdio_result.reduced_ranges,
+                average_cost=bdio_result.average_cost,
+                best_cost=bdio_result.best_cost,
+                best_dims=bdio_result.best_dims,
+                policy=config.overlap_policy,
+                report=stats.resolution,
+            )
+            stats.stored_pieces += len(stored)
+
+            if current_cost is None:
+                current_anchors = anchors
+                current_cost = bdio_result.average_cost
+                temperature = max(current_cost, 1e-9) * config.initial_temperature_fraction
+                stats.accepted_moves += 1
+            else:
+                assert temperature is not None
+                if metropolis_accept(
+                    current_cost, bdio_result.average_cost, temperature, self._rng
+                ):
+                    current_anchors = anchors
+                    current_cost = bdio_result.average_cost
+                    stats.accepted_moves += 1
+                temperature *= config.alpha
+
+            coverage = self._coverage()
+            stats.coverage_history.append(coverage)
+            if coverage >= config.coverage_target:
+                LOGGER.debug(
+                    "coverage target %.2f reached after %d iterations",
+                    config.coverage_target,
+                    iteration + 1,
+                )
+                break
+
+        stats.final_coverage = self._coverage()
+        return stats
+
+    def _coverage(self) -> float:
+        if self._config.coverage_metric == "volume":
+            return self._structure.volume_coverage(
+                spawn_rng(self._rng, salt=7), self._config.coverage_samples
+            )
+        return self._structure.marginal_coverage()
+
+    # ------------------------------------------------------------------ #
+    # Placement Selector (Section 3.1.1)
+    # ------------------------------------------------------------------ #
+    def _initial_placement(self) -> Tuple[Anchor, ...]:
+        """The Placement Selector's first placement.
+
+        ``"random"`` rejection-samples random anchor sets (the paper's
+        initial random placement), falling back to a shelf packing when the
+        canvas is too congested; ``"packed"`` starts from a shelf packing
+        spaced for mid-range dimensions, which gives the annealing a
+        compact, legal starting point.
+        """
+        min_dims = self._circuit.min_dims()
+        if self._config.initial_placement == "packed":
+            return self._packed_placement()
+        for _ in range(self._config.max_legalization_attempts):
+            anchors = tuple(
+                (
+                    self._rng.randint(0, max(0, self._bounds.width - w)),
+                    self._rng.randint(0, max(0, self._bounds.height - h)),
+                )
+                for (w, h) in min_dims
+            )
+            if placement_is_legal_at_min_dims(self._circuit, anchors, self._bounds):
+                return anchors
+        order = list(range(len(min_dims)))
+        self._rng.shuffle(order)
+        packed = shelf_pack(min_dims, max_width=self._bounds.width, order=order)
+        return tuple(packed)
+
+    def _packed_placement(self) -> Tuple[Anchor, ...]:
+        """A shelf packing spaced for mid-range block dimensions.
+
+        Blocks are anchored where a packing of their mid-size footprints
+        would put them, which leaves each block room to expand while keeping
+        the overall arrangement compact.
+        """
+        mid_dims = [
+            ((block.min_w + block.max_w) // 2, (block.min_h + block.max_h) // 2)
+            for block in self._circuit.blocks
+        ]
+        order = list(range(len(mid_dims)))
+        self._rng.shuffle(order)
+        anchors = shelf_pack(mid_dims, max_width=self._bounds.width, order=order)
+        clamped = tuple(
+            self._bounds.clamp_anchor(x, y, w, h)
+            for (x, y), (w, h) in zip(anchors, self._circuit.min_dims())
+        )
+        if placement_is_legal_at_min_dims(self._circuit, clamped, self._bounds):
+            return clamped
+        order = list(range(len(mid_dims)))
+        self._rng.shuffle(order)
+        packed = shelf_pack(self._circuit.min_dims(), max_width=self._bounds.width, order=order)
+        return tuple(packed)
+
+    # ------------------------------------------------------------------ #
+    # Perturb Placement (Section 3.1.4)
+    # ------------------------------------------------------------------ #
+    def _perturb(self, anchors: Sequence[Anchor]) -> Tuple[Anchor, ...]:
+        """Move a fraction of the blocks; out-of-bounds moves wrap around.
+
+        The perturbed placement is re-drawn until it is legal at minimum
+        dimensions (or the attempt budget runs out, in which case the last
+        draw is returned and the expansion step will reject it).
+        """
+        config = self._config
+        min_dims = self._circuit.min_dims()
+        candidate = tuple(anchors)
+        for _ in range(config.max_legalization_attempts):
+            candidate = self._perturb_once(anchors, min_dims)
+            if placement_is_legal_at_min_dims(self._circuit, candidate, self._bounds):
+                return candidate
+        return candidate
+
+    def _perturb_once(
+        self, anchors: Sequence[Anchor], min_dims: Sequence[Tuple[int, int]]
+    ) -> Tuple[Anchor, ...]:
+        config = self._config
+        count = max(1, int(round(len(anchors) * config.perturb_fraction)))
+        chosen = self._rng.sample(range(len(anchors)), min(count, len(anchors)))
+        max_dx = max(1, int(self._bounds.width * config.perturb_step_fraction))
+        max_dy = max(1, int(self._bounds.height * config.perturb_step_fraction))
+        new_anchors = list(anchors)
+        for block_index in chosen:
+            x, y = new_anchors[block_index]
+            w, h = min_dims[block_index]
+            dx = self._rng.randint(-max_dx, max_dx)
+            dy = self._rng.randint(-max_dy, max_dy)
+            new_anchors[block_index] = self._bounds.wrap_anchor(x + dx, y + dy, w, h)
+        return tuple(new_anchors)

@@ -1,0 +1,166 @@
+"""One-shot generation of a multi-placement structure (Figure 1.a).
+
+:class:`MultiPlacementGenerator` wires together the floorplan sizing, the
+cost function, the BDIO, the placement explorer and the template fallback,
+and returns a ready-to-query :class:`MultiPlacementStructure`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.validation import validate_circuit
+from repro.core.bdio import BDIOConfig, BlockDimensionsIntervalOptimizer
+from repro.core.explorer import ExplorerConfig, ExplorerStats, PlacementExplorer
+from repro.core.structure import MultiPlacementStructure
+from repro.cost.cost_function import CostWeights, PlacementCostFunction
+from repro.geometry.floorplan import FloorplanBounds
+from repro.geometry.packing import shelf_pack
+from repro.utils.rng import RandomLike, make_rng, spawn_rng
+from repro.utils.timer import Timer
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Configuration of the whole generation pipeline."""
+
+    explorer: ExplorerConfig = field(default_factory=ExplorerConfig)
+    bdio: BDIOConfig = field(default_factory=BDIOConfig)
+    cost_weights: CostWeights = field(default_factory=CostWeights)
+    wirelength_model: str = "hpwl"
+    #: Canvas area relative to the total maximum block area.
+    whitespace_factor: float = 1.6
+    #: Canvas aspect ratio (width / height).
+    aspect_ratio: float = 1.0
+    seed: Optional[int] = None
+
+    @classmethod
+    def smoke(cls, seed: Optional[int] = 0) -> "GeneratorConfig":
+        """A tiny budget for unit tests and continuous integration."""
+        return cls(
+            explorer=ExplorerConfig(max_iterations=8, coverage_target=0.8),
+            bdio=BDIOConfig(max_iterations=60, moves_per_temperature=6),
+            seed=seed,
+        )
+
+    @classmethod
+    def default(cls, seed: Optional[int] = 0) -> "GeneratorConfig":
+        """A moderate budget suitable for the example scripts."""
+        return cls(
+            explorer=ExplorerConfig(max_iterations=40, coverage_target=0.9),
+            bdio=BDIOConfig(max_iterations=250),
+            seed=seed,
+        )
+
+    @classmethod
+    def paper(cls, seed: Optional[int] = 0) -> "GeneratorConfig":
+        """A large budget approximating the paper's hours-long generation runs."""
+        return cls(
+            explorer=ExplorerConfig(max_iterations=200, coverage_target=0.95),
+            bdio=BDIOConfig(max_iterations=1500),
+            seed=seed,
+        )
+
+    def scaled(self, factor: float) -> "GeneratorConfig":
+        """Copy with both SA budgets scaled by ``factor``."""
+        return replace(self, explorer=self.explorer.scaled(factor), bdio=self.bdio.scaled(factor))
+
+
+@dataclass
+class GenerationResult:
+    """A generated structure plus the statistics of its generation run."""
+
+    structure: MultiPlacementStructure
+    stats: ExplorerStats
+    elapsed_seconds: float
+
+    @property
+    def num_placements(self) -> int:
+        """Number of placements stored in the generated structure."""
+        return self.structure.num_placements
+
+
+class MultiPlacementGenerator:
+    """Generate a multi-placement structure for one circuit topology."""
+
+    def __init__(self, circuit: Circuit, config: GeneratorConfig = GeneratorConfig(),
+                 seed: RandomLike = None) -> None:
+        validate_circuit(circuit)
+        self._circuit = circuit
+        self._config = config
+        self._rng = make_rng(seed if seed is not None else config.seed)
+        self._bounds = FloorplanBounds.for_blocks(
+            circuit.max_dims(),
+            whitespace_factor=config.whitespace_factor,
+            aspect_ratio=config.aspect_ratio,
+        )
+        self._cost_function = PlacementCostFunction(
+            circuit,
+            self._bounds,
+            weights=config.cost_weights,
+            wirelength_model=config.wirelength_model,
+        )
+
+    @property
+    def circuit(self) -> Circuit:
+        """The circuit a structure is generated for."""
+        return self._circuit
+
+    @property
+    def bounds(self) -> FloorplanBounds:
+        """The floorplan canvas used for generation."""
+        return self._bounds
+
+    @property
+    def cost_function(self) -> PlacementCostFunction:
+        """The cost function used by the BDIO."""
+        return self._cost_function
+
+    def generate(self) -> MultiPlacementStructure:
+        """Generate and return the structure (discarding run statistics)."""
+        return self.generate_with_stats().structure
+
+    def generate_with_stats(self) -> GenerationResult:
+        """Generate the structure and report the explorer statistics and wall time."""
+        structure = MultiPlacementStructure(self._circuit, self._bounds)
+        structure.set_fallback(self._template_fallback())
+        bdio = BlockDimensionsIntervalOptimizer(
+            self._cost_function,
+            config=self._config.bdio,
+            seed=spawn_rng(self._rng, salt=1),
+        )
+        explorer = PlacementExplorer(
+            self._circuit,
+            self._bounds,
+            bdio,
+            structure=structure,
+            config=self._config.explorer,
+            seed=spawn_rng(self._rng, salt=2),
+        )
+        with Timer() as timer:
+            stats = explorer.run()
+        return GenerationResult(structure=structure, stats=stats, elapsed_seconds=timer.elapsed)
+
+    def _template_fallback(self):
+        """Template anchors valid for every admissible dimension vector.
+
+        Blocks are shelf-packed at their maximum dimensions in connectivity
+        order (most-connected first) so the fallback is a reasonable, if
+        fixed, placement — the "template-like placement for backup purposes"
+        of Section 3.1.4.
+        """
+        graph = self._circuit.connectivity_graph()
+        degree = {name: 0.0 for name in self._circuit.block_names()}
+        for u, v, data in graph.edges(data=True):
+            weight = data.get("weight", 1.0)
+            degree[u] += weight
+            degree[v] += weight
+        order = sorted(
+            range(self._circuit.num_blocks),
+            key=lambda idx: -degree[self._circuit.blocks[idx].name],
+        )
+        return shelf_pack(
+            self._circuit.max_dims(), max_width=self._bounds.width, order=order
+        )

@@ -1,0 +1,214 @@
+"""Placement instantiation — the fast, online half of Figure 1.b.
+
+During synthesis the sizing tool proposes device sizes, the module
+generators turn them into block dimensions, and the instantiator asks the
+multi-placement structure for the placement to use.
+
+Three tiers are tried in order:
+
+1. **structure** — the stored placement whose dimension box contains the
+   query (the strict Equation 4/5 lookup).
+2. **nearest** — when the query falls outside every stored box, the
+   lowest-cost stored placement whose anchors still give a legal (in-bounds,
+   overlap-free) layout for the queried dimensions.  This realises the
+   paper's Figure 6 behaviour ("the lowest cost placement was selected,
+   depending on the location of the proposed solution in the search
+   space") for the uncovered part of the space.
+3. **fallback** — the template placement registered on the structure
+   (Section 3.1.4's "template-like placement for backup purposes").
+
+Tier 2 can be disabled (``fallback_mode="template"``) to reproduce the
+strictest reading of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.placement_entry import Dims, StoredPlacement
+from repro.core.structure import MultiPlacementStructure
+from repro.cost.cost_function import CostBreakdown, PlacementCostFunction
+from repro.geometry.rect import Rect
+
+#: Source tags of an instantiated placement.
+SOURCE_STRUCTURE = "structure"
+SOURCE_NEAREST = "nearest"
+SOURCE_FALLBACK = "fallback"
+
+#: Fallback behaviour when the query lies outside every stored box.
+FALLBACK_BEST_STORED = "best_stored"
+FALLBACK_TEMPLATE = "template"
+
+
+@dataclass(frozen=True)
+class InstantiatedPlacement:
+    """A concrete floorplan produced for one dimension vector."""
+
+    rects: Mapping[str, Rect]
+    dims: Tuple[Dims, ...]
+    source: str
+    placement_index: Optional[int]
+    cost: CostBreakdown
+
+    @property
+    def from_structure(self) -> bool:
+        """True when a stored placement (strict containment hit) was used."""
+        return self.source == SOURCE_STRUCTURE
+
+    @property
+    def used_stored_placement(self) -> bool:
+        """True when any stored placement (strict or nearest) was used."""
+        return self.source in (SOURCE_STRUCTURE, SOURCE_NEAREST)
+
+    @property
+    def total_cost(self) -> float:
+        """Weighted total cost of the instantiated floorplan."""
+        return self.cost.total
+
+    def anchors(self) -> Tuple[Tuple[int, int], ...]:
+        """Lower-left anchors in the order of ``rects`` iteration."""
+        return tuple((rect.x, rect.y) for rect in self.rects.values())
+
+
+class PlacementInstantiator:
+    """Turn dimension vectors into concrete floorplans using a generated structure."""
+
+    def __init__(
+        self,
+        structure: MultiPlacementStructure,
+        cost_function: Optional[PlacementCostFunction] = None,
+        fallback_mode: str = FALLBACK_BEST_STORED,
+    ) -> None:
+        if fallback_mode not in (FALLBACK_BEST_STORED, FALLBACK_TEMPLATE):
+            raise ValueError(
+                f"fallback_mode must be '{FALLBACK_BEST_STORED}' or '{FALLBACK_TEMPLATE}'"
+            )
+        self._structure = structure
+        self._cost_function = cost_function or PlacementCostFunction(
+            structure.circuit, structure.bounds
+        )
+        self._fallback_mode = fallback_mode
+
+    @property
+    def structure(self) -> MultiPlacementStructure:
+        """The structure being queried."""
+        return self._structure
+
+    @property
+    def fallback_mode(self) -> str:
+        """The configured fallback behaviour."""
+        return self._fallback_mode
+
+    def instantiate(self, dims: Sequence[Dims]) -> InstantiatedPlacement:
+        """Instantiate the best placement for ``dims`` (clamped into block bounds)."""
+        circuit = self._structure.circuit
+        clamped = tuple(
+            block.clamp_dims(int(w), int(h))
+            for block, (w, h) in zip(circuit.blocks, dims)
+        )
+        placement = self._structure.query(clamped)
+        if placement is not None:
+            rects = self._rects(placement.anchors, clamped)
+            return InstantiatedPlacement(
+                rects=rects,
+                dims=clamped,
+                source=SOURCE_STRUCTURE,
+                placement_index=placement.index,
+                cost=self._cost_function.evaluate(rects),
+            )
+
+        if self._fallback_mode == FALLBACK_BEST_STORED:
+            nearest = self._best_feasible_stored(clamped)
+            if nearest is not None:
+                stored, rects, cost = nearest
+                return InstantiatedPlacement(
+                    rects=rects,
+                    dims=clamped,
+                    source=SOURCE_NEAREST,
+                    placement_index=stored.index,
+                    cost=cost,
+                )
+
+        anchors = self._fallback_anchors()
+        rects = self._rects(anchors, clamped)
+        return InstantiatedPlacement(
+            rects=rects,
+            dims=clamped,
+            source=SOURCE_FALLBACK,
+            placement_index=None,
+            cost=self._cost_function.evaluate(rects),
+        )
+
+    def instantiate_from_params(
+        self,
+        params_per_block: Mapping[str, Mapping[str, float]],
+        generators: Mapping[str, "object"],
+    ) -> InstantiatedPlacement:
+        """Instantiate from device sizing parameters via module generators.
+
+        ``generators`` maps block names to :class:`~repro.modgen.base.ModuleGenerator`
+        instances; ``params_per_block`` maps block names to their parameter
+        values.  Blocks without an entry use their generator's defaults, and
+        blocks without a generator keep their minimum dimensions.
+        """
+        circuit = self._structure.circuit
+        dims = []
+        for block in circuit.blocks:
+            generator = generators.get(block.name)
+            if generator is None:
+                dims.append(block.min_dims)
+                continue
+            params = dict(params_per_block.get(block.name, {}))
+            footprint = generator.footprint(**generator.resolve_params(params))
+            dims.append(footprint.dims)
+        return self.instantiate(dims)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _best_feasible_stored(
+        self, dims: Tuple[Dims, ...]
+    ) -> Optional[Tuple[StoredPlacement, Dict[str, Rect], CostBreakdown]]:
+        """The legal stored placement with the lowest cost at ``dims``, if any."""
+        best: Optional[Tuple[StoredPlacement, Dict[str, Rect], CostBreakdown]] = None
+        for stored in self._structure:
+            rects = self._rects(stored.anchors, dims)
+            if not self._is_legal(rects):
+                continue
+            cost = self._cost_function.evaluate(rects)
+            if best is None or cost.total < best[2].total:
+                best = (stored, rects, cost)
+        return best
+
+    def _is_legal(self, rects: Dict[str, Rect]) -> bool:
+        bounds = self._structure.bounds
+        rect_list = list(rects.values())
+        if any(not bounds.contains(rect) for rect in rect_list):
+            return False
+        for i in range(len(rect_list)):
+            for j in range(i + 1, len(rect_list)):
+                if rect_list[i].intersects(rect_list[j]):
+                    return False
+        return True
+
+    def _fallback_anchors(self) -> Tuple[Tuple[int, int], ...]:
+        anchors = self._structure.fallback_anchors
+        if anchors is not None:
+            return anchors
+        # Last resort: pack the blocks at their maximum dimensions; valid for
+        # any smaller dimensions because blocks grow from their anchor.
+        from repro.geometry.packing import shelf_pack
+
+        circuit = self._structure.circuit
+        packed = shelf_pack(circuit.max_dims(), max_width=self._structure.bounds.width)
+        return tuple(packed)
+
+    def _rects(
+        self, anchors: Sequence[Tuple[int, int]], dims: Sequence[Dims]
+    ) -> Dict[str, Rect]:
+        circuit = self._structure.circuit
+        return {
+            block.name: Rect(x, y, w, h)
+            for block, (x, y), (w, h) in zip(circuit.blocks, anchors, dims)
+        }

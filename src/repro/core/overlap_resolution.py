@@ -1,0 +1,207 @@
+"""The Resolve Overlaps routine (Section 3.1.3).
+
+Before a new placement is stored, its dimension box must be made disjoint
+from every already-stored placement's box so that Equation 5 (at most one
+placement per query) keeps holding.  For each conflicting pair the routine
+
+1. finds the row (block + dimension) with the *smallest* overlap,
+2. shrinks the placement with the *higher average cost* away from the other
+   placement's interval in that row,
+3. forks the shrunk placement into two pieces when the other placement's
+   interval sits strictly inside it, and
+4. discards the shrunk placement entirely when nothing remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.intervals import Interval
+from repro.core.placement_entry import DimensionRange, StoredPlacement
+from repro.core.structure import MultiPlacementStructure
+from repro.utils.logging_utils import get_logger
+
+LOGGER = get_logger("core.overlap_resolution")
+
+#: Resolution policies (the paper's rule plus two ablation variants).
+POLICY_SHRINK_WORSE = "shrink_worse"
+POLICY_SHRINK_NEWER = "shrink_newer"
+POLICY_DISCARD_NEWER = "discard_newer"
+
+POLICIES = (POLICY_SHRINK_WORSE, POLICY_SHRINK_NEWER, POLICY_DISCARD_NEWER)
+
+
+@dataclass
+class ResolutionReport:
+    """Bookkeeping of one resolve-overlaps run (used by tests and ablations)."""
+
+    conflicts: int = 0
+    shrunk_existing: int = 0
+    shrunk_new: int = 0
+    forked: int = 0
+    discarded_existing: int = 0
+    discarded_new: int = 0
+    stored_pieces: List[StoredPlacement] = field(default_factory=list)
+
+
+def smallest_overlap_dimension(
+    a: Sequence[DimensionRange], b: Sequence[DimensionRange]
+) -> Optional[Tuple[int, str, Interval]]:
+    """The (block, axis) row where the two boxes overlap the least.
+
+    Returns ``None`` when the boxes do not overlap (some row is disjoint).
+    """
+    best: Optional[Tuple[int, str, Interval]] = None
+    best_length = None
+    for block_index, (ra, rb) in enumerate(zip(a, b)):
+        width_overlap = ra.width.intersection(rb.width)
+        height_overlap = ra.height.intersection(rb.height)
+        if width_overlap is None or height_overlap is None:
+            return None
+        for axis, overlap in (("w", width_overlap), ("h", height_overlap)):
+            if best_length is None or overlap.length < best_length:
+                best_length = overlap.length
+                best = (block_index, axis, overlap)
+    return best
+
+
+def shrink_interval_away(loser: Interval, winner: Interval) -> List[Interval]:
+    """Remove ``winner`` from ``loser`` along one axis.
+
+    Returns zero, one or two remaining intervals: two when ``winner`` sits
+    strictly inside ``loser`` (the fork case), one when the overlap touches
+    an end of ``loser``, and zero when ``winner`` covers ``loser`` entirely.
+    """
+    if not loser.overlaps(winner):
+        return [loser]
+    pieces: List[Interval] = []
+    if loser.start < winner.start:
+        pieces.append(Interval(loser.start, winner.start - 1))
+    if winner.end < loser.end:
+        pieces.append(Interval(winner.end + 1, loser.end))
+    return pieces
+
+
+def shrink_ranges_away(
+    loser: Sequence[DimensionRange],
+    winner: Sequence[DimensionRange],
+    block_index: int,
+    axis: str,
+) -> List[List[DimensionRange]]:
+    """Shrink the loser's box away from the winner's in one row.
+
+    Returns the list of resulting boxes (0, 1 or 2 — the 2-element case is
+    the paper's fork).
+    """
+    loser_interval = loser[block_index].width if axis == "w" else loser[block_index].height
+    winner_interval = winner[block_index].width if axis == "w" else winner[block_index].height
+    pieces = shrink_interval_away(loser_interval, winner_interval)
+    results: List[List[DimensionRange]] = []
+    for piece in pieces:
+        new_ranges = list(loser)
+        if axis == "w":
+            new_ranges[block_index] = loser[block_index].replace(width=piece)
+        else:
+            new_ranges[block_index] = loser[block_index].replace(height=piece)
+        results.append(new_ranges)
+    return results
+
+
+def resolve_overlaps(
+    structure: MultiPlacementStructure,
+    anchors: Sequence[Tuple[int, int]],
+    ranges: Sequence[DimensionRange],
+    average_cost: float,
+    best_cost: float,
+    best_dims: Sequence[Tuple[int, int]] = (),
+    policy: str = POLICY_SHRINK_WORSE,
+    report: Optional[ResolutionReport] = None,
+) -> List[StoredPlacement]:
+    """Resolve conflicts of a candidate placement and store the surviving pieces.
+
+    The candidate starts as a single piece; conflicts may shrink or fork it
+    (or shrink/fork/remove already-stored placements, depending on the
+    policy and the cost comparison).  Every surviving piece is stored in the
+    structure and returned.
+    """
+    if policy not in POLICIES:
+        raise ValueError(f"unknown overlap resolution policy {policy!r}; choose from {POLICIES}")
+    report = report if report is not None else ResolutionReport()
+
+    pending: List[List[DimensionRange]] = [list(ranges)]
+    stored: List[StoredPlacement] = []
+
+    while pending:
+        piece = pending.pop()
+        conflict = _first_conflict(structure, piece)
+        if conflict is None:
+            placement = structure.add_placement(
+                anchors=anchors,
+                ranges=piece,
+                average_cost=average_cost,
+                best_cost=best_cost,
+                best_dims=best_dims,
+            )
+            stored.append(placement)
+            report.stored_pieces.append(placement)
+            continue
+
+        existing = conflict
+        report.conflicts += 1
+        overlap = smallest_overlap_dimension(piece, existing.ranges)
+        if overlap is None:  # pragma: no cover - _first_conflict guarantees overlap
+            pending.append(piece)
+            continue
+        block_index, axis, _interval = overlap
+
+        new_is_worse = _new_placement_loses(policy, average_cost, existing.average_cost)
+        if policy == POLICY_DISCARD_NEWER:
+            report.discarded_new += 1
+            continue
+
+        if new_is_worse:
+            pieces = shrink_ranges_away(piece, existing.ranges, block_index, axis)
+            if not pieces:
+                report.discarded_new += 1
+                continue
+            if len(pieces) > 1:
+                report.forked += 1
+            report.shrunk_new += 1
+            pending.extend(pieces)
+        else:
+            pieces = shrink_ranges_away(existing.ranges, piece, block_index, axis)
+            if not pieces:
+                structure.remove_placement(existing.index)
+                report.discarded_existing += 1
+            else:
+                structure.update_ranges(existing.index, pieces[0])
+                report.shrunk_existing += 1
+                if len(pieces) > 1:
+                    report.forked += 1
+                    fork = existing.with_ranges(pieces[1], index=structure.allocate_index())
+                    structure.store(fork)
+            # The candidate piece is unchanged; re-examine it against the
+            # remaining placements.
+            pending.append(piece)
+    return stored
+
+
+def _first_conflict(
+    structure: MultiPlacementStructure, ranges: Sequence[DimensionRange]
+) -> Optional[StoredPlacement]:
+    conflicts = structure.overlapping_placements(ranges)
+    if not conflicts:
+        return None
+    return conflicts[0]
+
+
+def _new_placement_loses(policy: str, new_cost: float, existing_cost: float) -> bool:
+    """True when the *new* placement is the one to shrink under ``policy``."""
+    if policy == POLICY_SHRINK_NEWER:
+        return True
+    if policy == POLICY_DISCARD_NEWER:
+        return True
+    # POLICY_SHRINK_WORSE: the placement with the higher average cost loses;
+    # ties favour the already-stored placement.
+    return new_cost >= existing_cost

@@ -1,0 +1,151 @@
+"""Stored placements: anchors plus per-block dimension intervals.
+
+Equation 2 of the paper: a stored placement ``p_j`` attaches to every block
+``B_i`` the 4-tuple ``(w_start, w_end, h_start, h_end)`` delimiting the
+dimension values for which ``p_j`` is the placement to use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.intervals import Interval
+
+Dims = Tuple[int, int]
+Anchor = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class DimensionRange:
+    """The width and height intervals of one block inside one stored placement."""
+
+    width: Interval
+    height: Interval
+
+    def contains(self, w: int, h: int) -> bool:
+        """True when ``(w, h)`` lies inside both intervals."""
+        return self.width.contains(w) and self.height.contains(h)
+
+    def overlaps(self, other: "DimensionRange") -> bool:
+        """True when both the width and height intervals intersect ``other``'s."""
+        return self.width.overlaps(other.width) and self.height.overlaps(other.height)
+
+    @property
+    def volume(self) -> int:
+        """Number of admissible ``(w, h)`` pairs."""
+        return self.width.length * self.height.length
+
+    def as_tuple(self) -> Tuple[int, int, int, int]:
+        """The paper's 4-tuple ``(w_start, w_end, h_start, h_end)``."""
+        return (self.width.start, self.width.end, self.height.start, self.height.end)
+
+    @classmethod
+    def from_tuple(cls, values: Sequence[int]) -> "DimensionRange":
+        """Build from ``(w_start, w_end, h_start, h_end)``."""
+        w_start, w_end, h_start, h_end = values
+        return cls(Interval(w_start, w_end), Interval(h_start, h_end))
+
+    def replace(self, width: Optional[Interval] = None,
+                height: Optional[Interval] = None) -> "DimensionRange":
+        """Copy with one or both intervals replaced."""
+        return DimensionRange(width or self.width, height or self.height)
+
+
+@dataclass
+class StoredPlacement:
+    """One placement ``p_j`` held by a multi-placement structure.
+
+    Attributes
+    ----------
+    index:
+        The placement's identity inside its structure (the number stored in
+        the rows' placement arrays).
+    anchors:
+        Lower-left block anchors ``(x_i, y_i)`` in circuit block order.
+    ranges:
+        Per-block :class:`DimensionRange` — the validity box in dimension space.
+    average_cost:
+        Average cost over the BDIO's dimension search (the explorer's SA cost).
+    best_cost:
+        Best cost attained by the BDIO.
+    best_dims:
+        The dimension vector achieving ``best_cost``.
+    """
+
+    index: int
+    anchors: Tuple[Anchor, ...]
+    ranges: List[DimensionRange]
+    average_cost: float
+    best_cost: float
+    best_dims: Tuple[Dims, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if len(self.anchors) != len(self.ranges):
+            raise ValueError("anchors and ranges must have the same length")
+        if self.best_cost > self.average_cost + 1e-9:
+            raise ValueError("best cost cannot exceed average cost")
+        self.anchors = tuple((int(x), int(y)) for x, y in self.anchors)
+        if self.best_dims:
+            self.best_dims = tuple((int(w), int(h)) for w, h in self.best_dims)
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks the placement covers."""
+        return len(self.anchors)
+
+    def contains(self, dims: Sequence[Dims]) -> bool:
+        """True when the dimension vector lies inside every block's range."""
+        if len(dims) != len(self.ranges):
+            return False
+        return all(rng.contains(w, h) for rng, (w, h) in zip(self.ranges, dims))
+
+    def box_overlaps(self, other: "StoredPlacement") -> bool:
+        """True when the two placements' dimension boxes intersect.
+
+        Overlap in the 2N-dimensional dimension space requires the intervals
+        to intersect in *every* row; this is the condition the Resolve
+        Overlaps routine must eliminate so that Equation 5 holds.
+        """
+        return all(mine.overlaps(theirs) for mine, theirs in zip(self.ranges, other.ranges))
+
+    def overlap_dimensions(
+        self, other: "StoredPlacement"
+    ) -> List[Tuple[int, str, Interval]]:
+        """Per-row overlap intervals with ``other`` (empty when boxes are disjoint)."""
+        if not self.box_overlaps(other):
+            return []
+        overlaps: List[Tuple[int, str, Interval]] = []
+        for block_index, (mine, theirs) in enumerate(zip(self.ranges, other.ranges)):
+            width_overlap = mine.width.intersection(theirs.width)
+            height_overlap = mine.height.intersection(theirs.height)
+            if width_overlap is not None:
+                overlaps.append((block_index, "w", width_overlap))
+            if height_overlap is not None:
+                overlaps.append((block_index, "h", height_overlap))
+        return overlaps
+
+    @property
+    def volume(self) -> int:
+        """Number of dimension vectors covered by the placement."""
+        volume = 1
+        for rng in self.ranges:
+            volume *= rng.volume
+        return volume
+
+    def rects(self, dims: Sequence[Dims]):
+        """Block rectangles for the given dimension vector (circuit block order)."""
+        from repro.geometry.rect import Rect
+
+        return [Rect(x, y, w, h) for (x, y), (w, h) in zip(self.anchors, dims)]
+
+    def with_ranges(self, ranges: Sequence[DimensionRange], index: Optional[int] = None) -> "StoredPlacement":
+        """Copy of the placement with different ranges (and optionally a new index)."""
+        return StoredPlacement(
+            index=self.index if index is None else index,
+            anchors=self.anchors,
+            ranges=list(ranges),
+            average_cost=self.average_cost,
+            best_cost=self.best_cost,
+            best_dims=self.best_dims,
+        )

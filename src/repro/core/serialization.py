@@ -1,0 +1,177 @@
+"""Persist generated multi-placement structures.
+
+The whole point of a multi-placement structure is that it is generated once
+per topology and reused across synthesis runs; JSON (de)serialization makes
+that reuse possible across processes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.circuit.block import Block
+from repro.circuit.devices import DeviceType
+from repro.circuit.net import Net, Terminal
+from repro.circuit.netlist import Circuit
+from repro.circuit.pin import Pin
+from repro.circuit.symmetry import SymmetryGroup
+from repro.core.placement_entry import DimensionRange
+from repro.core.structure import MultiPlacementStructure
+from repro.geometry.floorplan import FloorplanBounds
+
+FORMAT_VERSION = 1
+
+
+# --------------------------------------------------------------------------- #
+# Circuit <-> dict
+# --------------------------------------------------------------------------- #
+def circuit_to_dict(circuit: Circuit) -> Dict[str, Any]:
+    """Plain-data form of a circuit."""
+    return {
+        "name": circuit.name,
+        "blocks": [
+            {
+                "name": block.name,
+                "min_w": block.min_w,
+                "max_w": block.max_w,
+                "min_h": block.min_h,
+                "max_h": block.max_h,
+                "device_type": block.device_type.value,
+                "generator": block.generator,
+                "symmetry_group": block.symmetry_group,
+                "pins": {pin.name: [pin.fx, pin.fy] for pin in block.pins.values()},
+            }
+            for block in circuit.blocks
+        ],
+        "nets": [
+            {
+                "name": net.name,
+                "terminals": [[t.block, t.pin] for t in net.terminals],
+                "weight": net.weight,
+                "external": net.external,
+                "io_position": list(net.io_position),
+            }
+            for net in circuit.nets
+        ],
+        "symmetry_groups": [
+            {
+                "name": group.name,
+                "pairs": [list(pair) for pair in group.pairs],
+                "self_symmetric": list(group.self_symmetric),
+            }
+            for group in circuit.symmetry_groups
+        ],
+    }
+
+
+def circuit_from_dict(data: Dict[str, Any]) -> Circuit:
+    """Rebuild a circuit from :func:`circuit_to_dict` output."""
+    circuit = Circuit(data["name"])
+    for block_data in data["blocks"]:
+        pins = {
+            name: Pin(name, fx, fy)
+            for name, (fx, fy) in block_data.get("pins", {}).items()
+        }
+        circuit.add_block(
+            Block(
+                name=block_data["name"],
+                min_w=block_data["min_w"],
+                max_w=block_data["max_w"],
+                min_h=block_data["min_h"],
+                max_h=block_data["max_h"],
+                device_type=DeviceType(block_data.get("device_type", "generic")),
+                generator=block_data.get("generator"),
+                symmetry_group=block_data.get("symmetry_group"),
+                pins=pins,
+            )
+        )
+    for net_data in data["nets"]:
+        circuit.add_net(
+            Net(
+                name=net_data["name"],
+                terminals=tuple(Terminal(block, pin) for block, pin in net_data["terminals"]),
+                weight=net_data.get("weight", 1.0),
+                external=net_data.get("external", False),
+                io_position=tuple(net_data.get("io_position", (0.0, 0.5))),
+            )
+        )
+    for group_data in data.get("symmetry_groups", []):
+        circuit.add_symmetry_group(
+            SymmetryGroup(
+                group_data["name"],
+                tuple(tuple(pair) for pair in group_data.get("pairs", [])),
+                tuple(group_data.get("self_symmetric", [])),
+            )
+        )
+    return circuit
+
+
+# --------------------------------------------------------------------------- #
+# Structure <-> dict
+# --------------------------------------------------------------------------- #
+def structure_to_dict(structure: MultiPlacementStructure) -> Dict[str, Any]:
+    """Plain-data form of a structure (circuit, bounds, placements, fallback)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "circuit": circuit_to_dict(structure.circuit),
+        "bounds": {"width": structure.bounds.width, "height": structure.bounds.height},
+        "fallback_anchors": (
+            [list(anchor) for anchor in structure.fallback_anchors]
+            if structure.fallback_anchors is not None
+            else None
+        ),
+        "placements": [
+            {
+                "index": placement.index,
+                "anchors": [list(anchor) for anchor in placement.anchors],
+                "ranges": [list(r.as_tuple()) for r in placement.ranges],
+                "average_cost": placement.average_cost,
+                "best_cost": placement.best_cost,
+                "best_dims": [list(d) for d in placement.best_dims],
+            }
+            for placement in structure
+        ],
+    }
+
+
+def structure_from_dict(data: Dict[str, Any]) -> MultiPlacementStructure:
+    """Rebuild a structure from :func:`structure_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported structure format version {version!r}")
+    circuit = circuit_from_dict(data["circuit"])
+    bounds = FloorplanBounds(data["bounds"]["width"], data["bounds"]["height"])
+    structure = MultiPlacementStructure(circuit, bounds)
+    if data.get("fallback_anchors") is not None:
+        structure.set_fallback([tuple(anchor) for anchor in data["fallback_anchors"]])
+    for placement_data in data["placements"]:
+        structure.add_placement(
+            anchors=[tuple(anchor) for anchor in placement_data["anchors"]],
+            ranges=[DimensionRange.from_tuple(r) for r in placement_data["ranges"]],
+            average_cost=placement_data["average_cost"],
+            best_cost=placement_data["best_cost"],
+            best_dims=[tuple(d) for d in placement_data.get("best_dims", [])],
+            index=placement_data["index"],
+        )
+    return structure
+
+
+# --------------------------------------------------------------------------- #
+# File I/O
+# --------------------------------------------------------------------------- #
+def save_structure(structure: MultiPlacementStructure, path: Union[str, Path]) -> Path:
+    """Write a structure to ``path`` as JSON and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(structure_to_dict(structure), handle, indent=2)
+    return path
+
+
+def load_structure(path: Union[str, Path]) -> MultiPlacementStructure:
+    """Load a structure previously written by :func:`save_structure`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    return structure_from_dict(data)

@@ -1,0 +1,28 @@
+"""Placement cost models: wirelength, area and constraint penalties."""
+
+from repro.cost.area import area_cost, aspect_ratio_penalty
+from repro.cost.cost_function import CostBreakdown, CostWeights, PlacementCostFunction
+from repro.cost.penalties import out_of_bounds_penalty, overlap_penalty, symmetry_penalty
+from repro.cost.wirelength import (
+    hpwl,
+    mst_wirelength,
+    net_terminal_positions,
+    star_wirelength,
+    total_wirelength,
+)
+
+__all__ = [
+    "area_cost",
+    "aspect_ratio_penalty",
+    "CostBreakdown",
+    "CostWeights",
+    "PlacementCostFunction",
+    "out_of_bounds_penalty",
+    "overlap_penalty",
+    "symmetry_penalty",
+    "hpwl",
+    "mst_wirelength",
+    "net_terminal_positions",
+    "star_wirelength",
+    "total_wirelength",
+]

@@ -1,0 +1,41 @@
+"""Area components of the placement cost."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.geometry.floorplan import bounding_box
+from repro.geometry.rect import Rect
+
+
+def area_cost(rects: Dict[str, Rect]) -> float:
+    """Bounding-box area of the layout (grid units squared)."""
+    if not rects:
+        return 0.0
+    return float(bounding_box(rects.values()).area)
+
+
+def aspect_ratio_penalty(rects: Dict[str, Rect], target: float = 1.0) -> float:
+    """Deviation of the bounding-box aspect ratio from ``target``.
+
+    Analog blocks are typically embedded into larger floorplans, so strongly
+    elongated placements are undesirable even when their raw area is small.
+    """
+    if not rects:
+        return 0.0
+    bbox = bounding_box(rects.values())
+    if bbox.w == 0 or bbox.h == 0:
+        return 0.0
+    aspect = bbox.w / bbox.h
+    if aspect < 1.0:
+        aspect = 1.0 / aspect
+    return max(0.0, aspect - target)
+
+
+def dead_space(rects: Dict[str, Rect]) -> float:
+    """Bounding-box area not covered by blocks (assumes no overlaps)."""
+    if not rects:
+        return 0.0
+    bbox_area = area_cost(rects)
+    used = float(sum(r.area for r in rects.values()))
+    return max(0.0, bbox_area - used)

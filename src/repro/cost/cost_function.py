@@ -1,0 +1,178 @@
+"""The customizable placement cost function of Section 3.2.2.
+
+The cost calculator "calculates a cost for the proposed circuit based on
+the wire-lengths and area of that proposed design.  This cost function is
+customizable."  :class:`PlacementCostFunction` therefore exposes weights for
+every component; the defaults reproduce the paper's wirelength + area
+objective, while baseline placers additionally enable overlap and
+out-of-bounds penalties because their intermediate states may be illegal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.cost.area import area_cost, aspect_ratio_penalty
+from repro.cost.penalties import out_of_bounds_penalty, overlap_penalty, symmetry_penalty
+from repro.cost.wirelength import total_wirelength
+from repro.geometry.floorplan import FloorplanBounds
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True)
+class CostWeights:
+    """Relative weights of the placement cost components."""
+
+    wirelength: float = 1.0
+    area: float = 0.05
+    overlap: float = 0.0
+    out_of_bounds: float = 0.0
+    symmetry: float = 0.0
+    aspect_ratio: float = 0.0
+
+    def with_legalization(self, overlap: float = 50.0, out_of_bounds: float = 50.0) -> "CostWeights":
+        """Weights with legalization penalties enabled (for iterative placers)."""
+        return CostWeights(
+            wirelength=self.wirelength,
+            area=self.area,
+            overlap=overlap,
+            out_of_bounds=out_of_bounds,
+            symmetry=self.symmetry,
+            aspect_ratio=self.aspect_ratio,
+        )
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Weighted total cost along with the unweighted components."""
+
+    total: float
+    wirelength: float
+    area: float
+    overlap: float = 0.0
+    out_of_bounds: float = 0.0
+    symmetry: float = 0.0
+    aspect_ratio: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Component values as a plain dictionary."""
+        return {
+            "total": self.total,
+            "wirelength": self.wirelength,
+            "area": self.area,
+            "overlap": self.overlap,
+            "out_of_bounds": self.out_of_bounds,
+            "symmetry": self.symmetry,
+            "aspect_ratio": self.aspect_ratio,
+        }
+
+    @property
+    def is_legal(self) -> bool:
+        """True when the layout has no overlap or out-of-bounds violation."""
+        return self.overlap == 0.0 and self.out_of_bounds == 0.0
+
+
+class PlacementCostFunction:
+    """Evaluate the weighted cost of a placed layout.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit whose nets and symmetry groups define the objective.
+    bounds:
+        Floorplan canvas; needed for external-net I/O positions and the
+        out-of-bounds penalty.
+    weights:
+        Component weights (defaults reproduce the paper's wirelength+area).
+    wirelength_model:
+        ``"hpwl"`` (default), ``"star"`` or ``"mst"``.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        bounds: Optional[FloorplanBounds] = None,
+        weights: CostWeights = CostWeights(),
+        wirelength_model: str = "hpwl",
+    ) -> None:
+        self._circuit = circuit
+        self._bounds = bounds
+        self._weights = weights
+        self._model = wirelength_model
+
+    @property
+    def circuit(self) -> Circuit:
+        """The circuit being scored."""
+        return self._circuit
+
+    @property
+    def bounds(self) -> Optional[FloorplanBounds]:
+        """The floorplan canvas, if any."""
+        return self._bounds
+
+    @property
+    def weights(self) -> CostWeights:
+        """The component weights in use."""
+        return self._weights
+
+    def evaluate(self, rects: Dict[str, Rect]) -> CostBreakdown:
+        """Score a layout given as a mapping of block name to placed rectangle."""
+        weights = self._weights
+        wirelength = total_wirelength(self._circuit, rects, self._bounds, self._model)
+        area = area_cost(rects)
+        overlap = overlap_penalty(rects) if weights.overlap else 0.0
+        oob = 0.0
+        if weights.out_of_bounds and self._bounds is not None:
+            oob = out_of_bounds_penalty(rects, self._bounds)
+        symmetry = 0.0
+        if weights.symmetry and self._circuit.symmetry_groups:
+            symmetry = symmetry_penalty(rects, self._circuit.symmetry_groups)
+        aspect = aspect_ratio_penalty(rects) if weights.aspect_ratio else 0.0
+        total = (
+            weights.wirelength * wirelength
+            + weights.area * area
+            + weights.overlap * overlap
+            + weights.out_of_bounds * oob
+            + weights.symmetry * symmetry
+            + weights.aspect_ratio * aspect
+        )
+        return CostBreakdown(
+            total=total,
+            wirelength=wirelength,
+            area=area,
+            overlap=overlap,
+            out_of_bounds=oob,
+            symmetry=symmetry,
+            aspect_ratio=aspect,
+        )
+
+    def evaluate_layout(
+        self,
+        anchors: Sequence[Tuple[int, int]],
+        dims: Sequence[Tuple[int, int]],
+    ) -> CostBreakdown:
+        """Score a layout given as parallel anchor and dimension sequences.
+
+        The ordering follows the circuit's block index order, which is how
+        the placement explorer and BDIO represent layouts internally.
+        """
+        rects = self.rects_from(anchors, dims)
+        return self.evaluate(rects)
+
+    def rects_from(
+        self,
+        anchors: Sequence[Tuple[int, int]],
+        dims: Sequence[Tuple[int, int]],
+    ) -> Dict[str, Rect]:
+        """Build the name->Rect mapping from index-ordered anchors and dims."""
+        if len(anchors) != self._circuit.num_blocks or len(dims) != self._circuit.num_blocks:
+            raise ValueError(
+                "anchors and dims must have one entry per circuit block "
+                f"({self._circuit.num_blocks}), got {len(anchors)} and {len(dims)}"
+            )
+        rects: Dict[str, Rect] = {}
+        for block, (x, y), (w, h) in zip(self._circuit.blocks, anchors, dims):
+            rects[block.name] = Rect(x, y, w, h)
+        return rects

@@ -1,0 +1,42 @@
+"""Constraint penalties: overlap, floorplan bounds and symmetry mismatch."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.symmetry import SymmetryGroup
+from repro.geometry.floorplan import FloorplanBounds
+from repro.geometry.overlap import total_overlap_area
+from repro.geometry.rect import Rect
+
+
+def overlap_penalty(rects: Dict[str, Rect]) -> float:
+    """Total pairwise overlap area of the layout (0 for legal placements)."""
+    return float(total_overlap_area(list(rects.values())))
+
+
+def out_of_bounds_penalty(rects: Dict[str, Rect], bounds: FloorplanBounds) -> float:
+    """Total block area lying outside the floorplan canvas."""
+    canvas = bounds.as_rect()
+    outside = 0.0
+    for rect in rects.values():
+        inside = rect.intersection(canvas)
+        inside_area = inside.area if inside is not None else 0
+        outside += rect.area - inside_area
+    return outside
+
+
+def symmetry_penalty(
+    rects: Dict[str, Rect],
+    groups: Optional[Sequence[SymmetryGroup]] = None,
+    circuit: Optional[Circuit] = None,
+) -> float:
+    """Total symmetry-axis mismatch over all symmetry groups.
+
+    Either an explicit list of groups or a circuit (whose groups are used)
+    must be supplied.
+    """
+    if groups is None:
+        groups = circuit.symmetry_groups if circuit is not None else ()
+    return sum(group.mismatch(rects) for group in groups)

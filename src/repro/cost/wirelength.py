@@ -1,0 +1,129 @@
+"""Wirelength estimators.
+
+The BDIO's cost calculator scores a candidate layout "based on the
+wire-lengths and area of that proposed design" (Section 3.2.2).  Three
+standard estimators are provided — half-perimeter (HPWL, the default), star
+and rectilinear minimum spanning tree — so the "customizable cost function"
+can swap models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.net import Net
+from repro.circuit.netlist import Circuit
+from repro.geometry.floorplan import FloorplanBounds
+from repro.geometry.rect import Rect
+
+Position = Tuple[float, float]
+
+
+def net_terminal_positions(
+    net: Net,
+    circuit: Circuit,
+    rects: Dict[str, Rect],
+    bounds: Optional[FloorplanBounds] = None,
+) -> List[Position]:
+    """Absolute positions of every connection point of ``net``.
+
+    Block terminals resolve through the block's pin offsets; external nets
+    additionally contribute their boundary I/O position when ``bounds`` is
+    given.
+    """
+    positions: List[Position] = []
+    for terminal in net.terminals:
+        block = circuit.block(terminal.block)
+        rect = rects[terminal.block]
+        pin = block.pin(terminal.pin)
+        positions.append(pin.position(rect))
+    if net.external and bounds is not None:
+        fx, fy = net.io_position
+        positions.append((fx * bounds.width, fy * bounds.height))
+    return positions
+
+
+def hpwl(positions: Sequence[Position]) -> float:
+    """Half-perimeter wirelength of a set of terminal positions."""
+    if len(positions) < 2:
+        return 0.0
+    xs = [p[0] for p in positions]
+    ys = [p[1] for p in positions]
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def star_wirelength(positions: Sequence[Position]) -> float:
+    """Star-model wirelength: Manhattan distance of every terminal to the centroid."""
+    if len(positions) < 2:
+        return 0.0
+    cx = sum(p[0] for p in positions) / len(positions)
+    cy = sum(p[1] for p in positions) / len(positions)
+    return sum(abs(p[0] - cx) + abs(p[1] - cy) for p in positions)
+
+
+def mst_wirelength(positions: Sequence[Position]) -> float:
+    """Rectilinear minimum-spanning-tree wirelength (Prim's algorithm)."""
+    n = len(positions)
+    if n < 2:
+        return 0.0
+    in_tree = [False] * n
+    distance = [float("inf")] * n
+    distance[0] = 0.0
+    total = 0.0
+    for _ in range(n):
+        best = -1
+        best_dist = float("inf")
+        for i in range(n):
+            if not in_tree[i] and distance[i] < best_dist:
+                best = i
+                best_dist = distance[i]
+        in_tree[best] = True
+        total += best_dist
+        bx, by = positions[best]
+        for i in range(n):
+            if in_tree[i]:
+                continue
+            dist = abs(positions[i][0] - bx) + abs(positions[i][1] - by)
+            if dist < distance[i]:
+                distance[i] = dist
+    return total
+
+
+_MODELS = {
+    "hpwl": hpwl,
+    "star": star_wirelength,
+    "mst": mst_wirelength,
+}
+
+
+def total_wirelength(
+    circuit: Circuit,
+    rects: Dict[str, Rect],
+    bounds: Optional[FloorplanBounds] = None,
+    model: str = "hpwl",
+) -> float:
+    """Weighted total wirelength of a layout under the chosen net model."""
+    try:
+        estimator = _MODELS[model]
+    except KeyError as exc:
+        raise ValueError(f"unknown wirelength model {model!r}; choose from {sorted(_MODELS)}") from exc
+    total = 0.0
+    for net in circuit.nets:
+        positions = net_terminal_positions(net, circuit, rects, bounds)
+        total += net.weight * estimator(positions)
+    return total
+
+
+def per_net_wirelength(
+    circuit: Circuit,
+    rects: Dict[str, Rect],
+    bounds: Optional[FloorplanBounds] = None,
+    model: str = "hpwl",
+) -> Dict[str, float]:
+    """Unweighted wirelength of each net (used by the parasitic estimator)."""
+    estimator = _MODELS[model]
+    lengths: Dict[str, float] = {}
+    for net in circuit.nets:
+        positions = net_terminal_positions(net, circuit, rects, bounds)
+        lengths[net.name] = estimator(positions)
+    return lengths

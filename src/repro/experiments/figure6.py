@@ -1,0 +1,130 @@
+"""Figure 6 — lowest-cost selection across the size space.
+
+One block dimension is swept across its admissible range while the other
+dimensions stay fixed.  The top plot of the paper's figure shows the cost
+of *each* stored placement along that sweep; the bottom plot shows the cost
+the multi-placement structure actually delivers, which tracks the lower
+envelope because the structure returns the placement best suited to the
+query point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.benchcircuits.library import get_benchmark
+from repro.core.generator import MultiPlacementGenerator
+from repro.core.instantiator import PlacementInstantiator
+from repro.cost.cost_function import PlacementCostFunction
+from repro.experiments.config import SMOKE, ExperimentScale
+from repro.geometry.rect import Rect
+
+Dims = Tuple[int, int]
+
+
+@dataclass
+class Figure6Result:
+    """Per-placement cost curves and the structure-selected cost curve."""
+
+    circuit: str
+    sweep_block: str
+    sweep_values: List[int]
+    #: Cost of each stored placement along the sweep (None where infeasible).
+    placement_curves: Dict[int, List[float]]
+    #: Cost delivered by the structure along the sweep.
+    selected_costs: List[float]
+    #: Index of the placement the structure used at each sweep point (None = fallback).
+    selected_indices: List[object]
+
+    @property
+    def envelope_gap(self) -> float:
+        """Mean gap between the structure's cost and the per-point minimum stored cost.
+
+        A small gap is the figure's qualitative claim: the structure picks
+        (close to) the lowest-cost placement available at every point.
+        """
+        gaps = []
+        for i, selected in enumerate(self.selected_costs):
+            feasible = [
+                curve[i]
+                for curve in self.placement_curves.values()
+                if curve[i] is not None
+            ]
+            if not feasible:
+                continue
+            gaps.append(selected - min(feasible))
+        if not gaps:
+            return 0.0
+        return sum(gaps) / len(gaps)
+
+    @property
+    def tracks_lower_envelope(self) -> bool:
+        """True when the mean envelope gap is within 5 % of the mean selected cost."""
+        if not self.selected_costs:
+            return False
+        mean_cost = sum(self.selected_costs) / len(self.selected_costs)
+        return self.envelope_gap <= 0.05 * mean_cost + 1e-9
+
+
+def run_figure6(
+    circuit_name: str = "two_stage_opamp",
+    scale: ExperimentScale = SMOKE,
+    seed: int = 0,
+    sweep_block_index: int = 0,
+    sweep_points: int = 15,
+) -> Figure6Result:
+    """Regenerate the Figure 6 sweep for ``circuit_name``."""
+    circuit = get_benchmark(circuit_name)
+    config = scale.generator_config(circuit, seed=seed)
+    generator = MultiPlacementGenerator(circuit, config)
+    structure = generator.generate()
+    instantiator = PlacementInstantiator(structure)
+    cost_function = generator.cost_function
+
+    sweep_block = circuit.blocks[sweep_block_index]
+    base_dims = [
+        ((block.min_w + block.max_w) // 2, (block.min_h + block.max_h) // 2)
+        for block in circuit.blocks
+    ]
+    span = sweep_block.max_w - sweep_block.min_w
+    step = max(1, span // max(1, sweep_points - 1))
+    sweep_values = list(range(sweep_block.min_w, sweep_block.max_w + 1, step))
+
+    placement_curves: Dict[int, List[float]] = {p.index: [] for p in structure}
+    selected_costs: List[float] = []
+    selected_indices: List[object] = []
+
+    for value in sweep_values:
+        dims = list(base_dims)
+        dims[sweep_block_index] = (value, base_dims[sweep_block_index][1])
+        for placement in structure:
+            placement_curves[placement.index].append(
+                _placement_cost(cost_function, placement.anchors, dims, structure.bounds)
+            )
+        instantiated = instantiator.instantiate(dims)
+        selected_costs.append(instantiated.total_cost)
+        selected_indices.append(instantiated.placement_index)
+
+    return Figure6Result(
+        circuit=circuit.name,
+        sweep_block=sweep_block.name,
+        sweep_values=sweep_values,
+        placement_curves=placement_curves,
+        selected_costs=selected_costs,
+        selected_indices=selected_indices,
+    )
+
+
+def _placement_cost(cost_function: PlacementCostFunction, anchors, dims, bounds):
+    """Cost of using one fixed placement for ``dims`` (None when illegal)."""
+    rects = cost_function.rects_from(anchors, dims)
+    rect_list = list(rects.values())
+    for rect in rect_list:
+        if not bounds.contains(rect):
+            return None
+    for i in range(len(rect_list)):
+        for j in range(i + 1, len(rect_list)):
+            if rect_list[i].intersects(rect_list[j]):
+                return None
+    return cost_function.evaluate(rects).total

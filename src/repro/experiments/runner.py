@@ -1,0 +1,120 @@
+"""Run every experiment and produce a plain-text report.
+
+``python -m repro.experiments.runner --scale smoke`` regenerates every
+table and figure at the chosen scale and prints the report used to fill in
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List
+
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.synthesis_compare import run_synthesis_comparison
+from repro.experiments.table1 import table1_rows
+from repro.experiments.table2 import run_table2
+from repro.viz.series import format_table
+
+
+def build_report(scale: ExperimentScale, seed: int = 0, include_synthesis: bool = True) -> str:
+    """Run all experiments at ``scale`` and return the formatted report."""
+    sections: List[str] = [f"# Experiment report (scale: {scale.name})", ""]
+
+    sections.append("## Table 1 - benchmark circuits")
+    sections.append(format_table(table1_rows()))
+    sections.append("")
+
+    sections.append("## Table 2 - structure generation and instantiation")
+    table2 = run_table2(scale=scale, seed=seed)
+    sections.append(format_table([row.as_dict() for row in table2]))
+    sections.append("")
+
+    sections.append("## Figure 5 - size-dependent floorplans vs a template")
+    figure5 = run_figure5(scale=scale, seed=seed)
+    sections.append(
+        format_table(
+            [
+                {
+                    "instantiation": "sizes A",
+                    "source": figure5.instantiation_a.source,
+                    "cost": round(figure5.instantiation_a.total_cost, 2),
+                    "template_cost": round(figure5.template_cost_a, 2),
+                },
+                {
+                    "instantiation": "sizes B",
+                    "source": figure5.instantiation_b.source,
+                    "cost": round(figure5.instantiation_b.total_cost, 2),
+                    "template_cost": round(figure5.template_cost_b, 2),
+                },
+            ]
+        )
+    )
+    sections.append(f"arrangements differ: {figure5.arrangements_differ}")
+    sections.append(
+        "structure <= template cost: "
+        f"{figure5.structure_beats_or_matches_template}"
+    )
+    sections.append("")
+
+    sections.append("## Figure 6 - lowest-cost selection along a 1-D sweep")
+    figure6 = run_figure6(scale=scale, seed=seed)
+    sections.append(
+        f"sweep of block {figure6.sweep_block!r} over {len(figure6.sweep_values)} points; "
+        f"mean envelope gap {figure6.envelope_gap:.3f}; "
+        f"tracks lower envelope: {figure6.tracks_lower_envelope}"
+    )
+    sections.append("")
+
+    sections.append("## Figure 7 - tso-cascode instantiation")
+    figure7 = run_figure7(scale=scale, seed=seed)
+    sections.append(
+        format_table(
+            [
+                {
+                    "circuit": figure7.circuit,
+                    "blocks": figure7.num_blocks,
+                    "placements": figure7.placements,
+                    "generation_s": round(figure7.generation_seconds, 2),
+                    "instantiation_ms": round(figure7.instantiation_seconds * 1000, 3),
+                    "legal": figure7.is_legal,
+                }
+            ]
+        )
+    )
+    sections.append("")
+
+    if include_synthesis:
+        sections.append("## Synthesis-loop backend comparison")
+        comparison = run_synthesis_comparison(scale=scale, seed=seed)
+        sections.append(format_table(comparison.rows()))
+        sections.append(
+            f"MPS placement faster than per-instance annealing: "
+            f"{comparison.mps_faster_than_annealing}"
+        )
+        sections.append("")
+
+    return "\n".join(sections)
+
+
+def main(argv=None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="smoke", help="smoke, medium or full")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--skip-synthesis", action="store_true", help="skip the synthesis-loop comparison"
+    )
+    args = parser.parse_args(argv)
+    report = build_report(
+        get_scale(args.scale), seed=args.seed, include_synthesis=not args.skip_synthesis
+    )
+    print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

@@ -1,0 +1,103 @@
+"""Synthesis-loop comparison (the motivation behind Figure 1.b).
+
+The paper argues that a multi-placement structure gives layout-inclusive
+synthesis (a) the speed of templates and (b) placement diversity close to
+optimization-based placement.  This experiment runs the same sizing loop on
+the two-stage opamp with each placement backend and reports wall time,
+per-evaluation placement time and the achieved objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.annealing_placer import AnnealingPlacer, AnnealingPlacerConfig
+from repro.baselines.template import TemplatePlacer
+from repro.core.generator import MultiPlacementGenerator
+from repro.experiments.config import SMOKE, ExperimentScale
+from repro.synthesis.backends import AnnealingBackend, MPSBackend, TemplateBackend
+from repro.synthesis.loop import LayoutInclusiveSynthesis, SynthesisConfig, SynthesisResult
+from repro.synthesis.opamp_design import two_stage_opamp_design
+from repro.synthesis.optimizer import SizingOptimizerConfig
+
+
+@dataclass
+class SynthesisComparison:
+    """Results of the same sizing loop under different placement backends."""
+
+    results: Dict[str, SynthesisResult]
+
+    def row(self, backend: str) -> Dict[str, object]:
+        """Summary row for one backend."""
+        result = self.results[backend]
+        return {
+            "backend": backend,
+            "wall_seconds": round(result.elapsed_seconds, 3),
+            "placement_seconds": round(result.placement_seconds, 3),
+            "placement_ms_per_eval": round(
+                1000.0 * result.placement_seconds / max(1, result.evaluations), 3
+            ),
+            "evaluations": result.evaluations,
+            "best_objective": round(result.best.objective, 3),
+            "spec_penalty": round(result.best.spec_penalty, 4),
+        }
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Summary rows for every backend, fastest placement first."""
+        return [self.row(name) for name in sorted(self.results)]
+
+    @property
+    def mps_faster_than_annealing(self) -> bool:
+        """True when the MPS-backed loop spends less time in placement than the annealing one."""
+        if "mps" not in self.results or "annealing" not in self.results:
+            return True
+        return (
+            self.results["mps"].placement_seconds
+            < self.results["annealing"].placement_seconds
+        )
+
+
+def run_synthesis_comparison(
+    scale: ExperimentScale = SMOKE,
+    backends: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> SynthesisComparison:
+    """Run the two-stage opamp sizing loop with each requested backend."""
+    backends = list(backends) if backends else ["mps", "template", "annealing"]
+    design = two_stage_opamp_design()
+    circuit = design.circuit
+
+    generator = MultiPlacementGenerator(circuit, scale.generator_config(circuit, seed=seed))
+    structure = generator.generate()
+    bounds = generator.bounds
+
+    backend_objects = {}
+    if "mps" in backends:
+        backend_objects["mps"] = MPSBackend(structure, generator.cost_function)
+    if "template" in backends:
+        backend_objects["template"] = TemplateBackend(TemplatePlacer(circuit, bounds, seed=seed))
+    if "annealing" in backends:
+        placer = AnnealingPlacer(
+            circuit,
+            bounds,
+            config=AnnealingPlacerConfig(max_iterations=scale.annealing_iterations),
+            seed=seed,
+        )
+        backend_objects["annealing"] = AnnealingBackend(placer)
+
+    config = SynthesisConfig(
+        optimizer=SizingOptimizerConfig(max_iterations=scale.synthesis_iterations)
+    )
+    results: Dict[str, SynthesisResult] = {}
+    for name, backend in backend_objects.items():
+        loop = LayoutInclusiveSynthesis(
+            design.sizing_model,
+            design.performance_model,
+            design.spec,
+            backend,
+            config=config,
+            seed=seed,
+        )
+        results[name] = loop.run()
+    return SynthesisComparison(results=results)

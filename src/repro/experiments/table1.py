@@ -1,0 +1,28 @@
+"""Table 1 — the benchmark circuit statistics."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.benchcircuits.library import TABLE1, all_benchmarks
+
+
+def table1_rows() -> List[Dict[str, object]]:
+    """Rebuild every benchmark and compare its statistics with the published table."""
+    rows: List[Dict[str, object]] = []
+    circuits = all_benchmarks()
+    for name, expected in TABLE1.items():
+        summary = circuits[name].summary()
+        rows.append(
+            {
+                "circuit": name,
+                "blocks": summary["blocks"],
+                "nets": summary["nets"],
+                "terminals": summary["terminals"],
+                "paper_blocks": expected["blocks"],
+                "paper_nets": expected["nets"],
+                "paper_terminals": expected["terminals"],
+                "matches_paper": summary == expected,
+            }
+        )
+    return rows

@@ -1,0 +1,98 @@
+"""Table 2 — generation effort and instantiation speed of the structures.
+
+For every benchmark circuit the experiment generates a multi-placement
+structure (with the selected scale's SA budget), counts the stored
+placements and measures the mean time to instantiate a placement for a
+random dimension vector — the three columns of the paper's Table 2.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.benchcircuits.library import all_benchmarks, get_benchmark
+from repro.core.generator import MultiPlacementGenerator
+from repro.core.instantiator import PlacementInstantiator
+from repro.experiments.config import SMOKE, ExperimentScale
+from repro.utils.rng import make_rng
+from repro.utils.timer import format_duration
+
+
+@dataclass
+class Table2Row:
+    """One circuit's row of Table 2."""
+
+    circuit: str
+    blocks: int
+    generation_seconds: float
+    placements: int
+    instantiation_seconds: float
+    coverage: float
+    structure_hit_fraction: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """Row formatted the way the paper prints it."""
+        return {
+            "circuit": self.circuit,
+            "blocks": self.blocks,
+            "generation_time": format_duration(self.generation_seconds),
+            "placements": self.placements,
+            "instantiation": f"{self.instantiation_seconds * 1000:.2f}ms",
+            "coverage": round(self.coverage, 3),
+            "stored_hit_fraction": round(self.structure_hit_fraction, 3),
+        }
+
+
+def run_table2(
+    circuits: Optional[Sequence[str]] = None,
+    scale: ExperimentScale = SMOKE,
+    seed: int = 0,
+) -> List[Table2Row]:
+    """Regenerate Table 2 for the selected circuits (default: all of Table 1)."""
+    names = list(circuits) if circuits else list(all_benchmarks().keys())
+    rows: List[Table2Row] = []
+    for index, name in enumerate(names):
+        circuit = get_benchmark(name)
+        config = scale.generator_config(circuit, seed=seed + index)
+        generator = MultiPlacementGenerator(circuit, config)
+        result = generator.generate_with_stats()
+        structure = result.structure
+        instantiation_seconds, hit_fraction = _time_instantiation(
+            structure, scale.instantiation_samples, seed=seed + index
+        )
+        rows.append(
+            Table2Row(
+                circuit=name,
+                blocks=circuit.num_blocks,
+                generation_seconds=result.elapsed_seconds,
+                placements=structure.num_placements,
+                instantiation_seconds=instantiation_seconds,
+                coverage=structure.marginal_coverage(),
+                structure_hit_fraction=hit_fraction,
+            )
+        )
+    return rows
+
+
+def _time_instantiation(structure, samples: int, seed: int = 0):
+    """Mean per-query instantiation time and stored-placement hit fraction."""
+    rng = make_rng(seed)
+    instantiator = PlacementInstantiator(structure)
+    circuit = structure.circuit
+    dims_list = [
+        [
+            (rng.randint(block.min_w, block.max_w), rng.randint(block.min_h, block.max_h))
+            for block in circuit.blocks
+        ]
+        for _ in range(samples)
+    ]
+    hits = 0
+    start = time.perf_counter()
+    for dims in dims_list:
+        placement = instantiator.instantiate(dims)
+        if placement.used_stored_placement:
+            hits += 1
+    elapsed = time.perf_counter() - start
+    return (elapsed / max(1, samples), hits / max(1, samples))

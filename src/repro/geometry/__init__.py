@@ -1,0 +1,25 @@
+"""Geometry substrate: integer-grid rectangles, floorplan bounds, overlap checks."""
+
+from repro.geometry.rect import Point, Rect
+from repro.geometry.floorplan import FloorplanBounds, bounding_box, occupied_area
+from repro.geometry.overlap import (
+    SpatialGrid,
+    any_overlap,
+    overlap_pairs,
+    total_overlap_area,
+)
+from repro.geometry.transform import Orientation, oriented_dims
+
+__all__ = [
+    "Point",
+    "Rect",
+    "FloorplanBounds",
+    "bounding_box",
+    "occupied_area",
+    "SpatialGrid",
+    "any_overlap",
+    "overlap_pairs",
+    "total_overlap_area",
+    "Orientation",
+    "oriented_dims",
+]

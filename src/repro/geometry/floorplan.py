@@ -1,0 +1,107 @@
+"""Floorplan bounds and whole-floorplan area measures."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence
+
+from repro.geometry.rect import Rect, bounding_box_of
+
+
+@dataclass(frozen=True)
+class FloorplanBounds:
+    """The rectangular layout region blocks must stay inside.
+
+    The paper's placement explorer treats the floorplan as a fixed canvas:
+    expansion stops at the boundary and out-of-bound perturbations wrap to
+    the opposite side (Section 3.1.4).
+    """
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("floorplan bounds must be positive")
+
+    @property
+    def area(self) -> int:
+        """Canvas area in grid units squared."""
+        return self.width * self.height
+
+    def as_rect(self) -> Rect:
+        """The canvas as a rectangle anchored at the origin."""
+        return Rect(0, 0, self.width, self.height)
+
+    def contains(self, rect: Rect) -> bool:
+        """True when ``rect`` lies fully inside the canvas."""
+        return rect.x >= 0 and rect.y >= 0 and rect.x2 <= self.width and rect.y2 <= self.height
+
+    def clamp_anchor(self, x: int, y: int, w: int, h: int) -> tuple:
+        """Clamp an anchor so a ``w x h`` block fits inside the canvas."""
+        cx = min(max(x, 0), max(self.width - w, 0))
+        cy = min(max(y, 0), max(self.height - h, 0))
+        return (cx, cy)
+
+    def wrap_anchor(self, x: int, y: int, w: int, h: int) -> tuple:
+        """Wrap an out-of-bounds anchor to the opposite side of the canvas.
+
+        This mirrors the paper's perturbation rule: "an out-of-bound
+        coordinate variation is not discarded but used to shift the block
+        back to the opposite side of the floor-plan".
+        """
+        span_x = max(self.width - w, 1)
+        span_y = max(self.height - h, 1)
+        return (x % span_x, y % span_y)
+
+    @staticmethod
+    def for_blocks(
+        max_dims: Sequence[tuple],
+        whitespace_factor: float = 1.6,
+        aspect_ratio: float = 1.0,
+    ) -> "FloorplanBounds":
+        """Size a square-ish canvas able to hold all blocks at maximum size.
+
+        ``max_dims`` is a list of ``(max_w, max_h)`` per block.  The canvas
+        area is the total maximum block area multiplied by
+        ``whitespace_factor``; its side is at least the largest single block
+        dimension so every block fits individually.
+        """
+        if not max_dims:
+            raise ValueError("at least one block is required")
+        if whitespace_factor < 1.0:
+            raise ValueError("whitespace_factor must be >= 1.0")
+        total_area = sum(w * h for w, h in max_dims)
+        side = math.sqrt(total_area * whitespace_factor)
+        width = int(math.ceil(side * math.sqrt(aspect_ratio)))
+        height = int(math.ceil(side / math.sqrt(aspect_ratio)))
+        width = max(width, max(w for w, _ in max_dims))
+        height = max(height, max(h for _, h in max_dims))
+        return FloorplanBounds(width, height)
+
+
+def bounding_box(rects: Iterable[Rect]) -> Rect:
+    """Bounding box of a collection of placed blocks."""
+    return bounding_box_of(rects)
+
+
+def occupied_area(rects: Iterable[Rect]) -> int:
+    """Sum of block areas (overlaps counted twice; use cost.penalties for overlap)."""
+    return sum(r.area for r in rects)
+
+
+def dead_space_ratio(rects: Dict[str, Rect]) -> float:
+    """Fraction of the bounding box not covered by block area.
+
+    Assumes blocks do not overlap, which holds for every placement the
+    library instantiates.
+    """
+    rect_list = list(rects.values())
+    if not rect_list:
+        return 0.0
+    bbox = bounding_box_of(rect_list)
+    if bbox.area == 0:
+        return 0.0
+    used = occupied_area(rect_list)
+    return max(0.0, 1.0 - used / bbox.area)

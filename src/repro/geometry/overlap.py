@@ -1,0 +1,116 @@
+"""Block overlap detection.
+
+The placement expansion step (Section 3.1.2) grows block dimensions until
+"no further expansion is possible due to overlapping or out-of-bounds
+constraints", so overlap queries are on the hot path of structure
+generation.  A uniform spatial grid keeps pairwise checks local for the
+25-module circuits the paper targets.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.geometry.rect import Rect
+
+
+def overlap_pairs(rects: Sequence[Rect]) -> List[Tuple[int, int]]:
+    """Indices of every pair of rectangles that overlap."""
+    pairs = []
+    for i in range(len(rects)):
+        for j in range(i + 1, len(rects)):
+            if rects[i].intersects(rects[j]):
+                pairs.append((i, j))
+    return pairs
+
+
+def any_overlap(rects: Sequence[Rect]) -> bool:
+    """True when any two rectangles overlap."""
+    for i in range(len(rects)):
+        for j in range(i + 1, len(rects)):
+            if rects[i].intersects(rects[j]):
+                return True
+    return False
+
+
+def total_overlap_area(rects: Sequence[Rect]) -> int:
+    """Total pairwise overlap area (used as a soft penalty by baseline placers)."""
+    total = 0
+    for i in range(len(rects)):
+        for j in range(i + 1, len(rects)):
+            inter = rects[i].intersection(rects[j])
+            if inter is not None:
+                total += inter.area
+    return total
+
+
+def rect_overlaps_any(rect: Rect, others: Iterable[Rect]) -> bool:
+    """True when ``rect`` overlaps any rectangle in ``others``."""
+    return any(rect.intersects(other) for other in others)
+
+
+class SpatialGrid:
+    """A uniform bucket grid accelerating overlap queries against a set of rects.
+
+    Cells are ``cell_size`` wide; each rectangle is registered in every cell
+    it touches.  Queries only test rectangles sharing a cell with the probe.
+    """
+
+    def __init__(self, cell_size: int = 16) -> None:
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self._cell_size = cell_size
+        self._cells: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        self._rects: Dict[int, Rect] = {}
+
+    def _cells_for(self, rect: Rect) -> Iterable[Tuple[int, int]]:
+        cs = self._cell_size
+        x0 = rect.x // cs
+        x1 = max(x0, (rect.x2 - 1) // cs)
+        y0 = rect.y // cs
+        y1 = max(y0, (rect.y2 - 1) // cs)
+        for cx in range(x0, x1 + 1):
+            for cy in range(y0, y1 + 1):
+                yield (cx, cy)
+
+    def insert(self, key: int, rect: Rect) -> None:
+        """Register ``rect`` under integer ``key`` (replacing any previous rect)."""
+        if key in self._rects:
+            self.remove(key)
+        self._rects[key] = rect
+        if rect.is_empty():
+            return
+        for cell in self._cells_for(rect):
+            self._cells[cell].append(key)
+
+    def remove(self, key: int) -> None:
+        """Remove the rectangle registered under ``key`` (no-op if absent)."""
+        rect = self._rects.pop(key, None)
+        if rect is None or rect.is_empty():
+            return
+        for cell in self._cells_for(rect):
+            bucket = self._cells.get(cell)
+            if bucket and key in bucket:
+                bucket.remove(key)
+
+    def query(self, rect: Rect, exclude: int = -1) -> List[int]:
+        """Keys of registered rectangles overlapping ``rect`` (excluding ``exclude``)."""
+        if rect.is_empty():
+            return []
+        seen = set()
+        hits = []
+        for cell in self._cells_for(rect):
+            for key in self._cells.get(cell, ()):
+                if key == exclude or key in seen:
+                    continue
+                seen.add(key)
+                if self._rects[key].intersects(rect):
+                    hits.append(key)
+        return hits
+
+    def __len__(self) -> int:
+        return len(self._rects)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._rects

@@ -1,0 +1,72 @@
+"""Simple shelf packing.
+
+Used to build legal starting placements (explorer initialisation), the
+template fallback covering the uncovered dimension space, and the
+template-based baseline placer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+Dims = Tuple[int, int]
+Anchor = Tuple[int, int]
+
+
+def shelf_pack(
+    dims: Sequence[Dims],
+    max_width: Optional[int] = None,
+    gap: int = 0,
+    order: Optional[Sequence[int]] = None,
+) -> List[Anchor]:
+    """Pack blocks left-to-right into shelves (rows) of bounded width.
+
+    Parameters
+    ----------
+    dims:
+        ``(w, h)`` of each block, in index order.
+    max_width:
+        Shelf width; defaults to a value giving a roughly square packing.
+    gap:
+        Spacing inserted between neighbouring blocks and shelves.
+    order:
+        Optional packing order (indices into ``dims``); defaults to the
+        given order.  Anchors are always returned in the original index
+        order regardless of packing order.
+
+    Returns
+    -------
+    list of ``(x, y)`` lower-left anchors, one per block, guaranteed
+    non-overlapping.
+    """
+    if not dims:
+        return []
+    if max_width is None:
+        total_area = sum(w * h for w, h in dims)
+        widest = max(w for w, _ in dims)
+        max_width = max(widest, int(total_area ** 0.5 * 1.2) + 1)
+    if order is None:
+        order = range(len(dims))
+    anchors: List[Optional[Anchor]] = [None] * len(dims)
+    shelf_x = 0
+    shelf_y = 0
+    shelf_height = 0
+    for index in order:
+        w, h = dims[index]
+        if shelf_x > 0 and shelf_x + w > max_width:
+            shelf_y += shelf_height + gap
+            shelf_x = 0
+            shelf_height = 0
+        anchors[index] = (shelf_x, shelf_y)
+        shelf_x += w + gap
+        shelf_height = max(shelf_height, h)
+    return [anchor for anchor in anchors if anchor is not None]
+
+
+def packing_extent(dims: Sequence[Dims], anchors: Sequence[Anchor]) -> Dims:
+    """Width and height of the bounding box of a packed arrangement."""
+    if not dims:
+        return (0, 0)
+    width = max(x + w for (x, y), (w, h) in zip(anchors, dims))
+    height = max(y + h for (x, y), (w, h) in zip(anchors, dims))
+    return (width, height)

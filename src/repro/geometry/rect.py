@@ -1,0 +1,139 @@
+"""Axis-aligned rectangles on the integer layout grid.
+
+All placement geometry in the library uses half-open rectangles
+``[x, x + w) x [y, y + h)`` anchored at their lower-left corner.  The paper's
+interval objects are defined over integer dimensions, so widths, heights and
+anchors are integers throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Point:
+    """An integer point on the layout grid."""
+
+    x: int
+    y: int
+
+    def translated(self, dx: int, dy: int) -> "Point":
+        """Return the point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> Tuple[int, int]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A half-open axis-aligned rectangle anchored at its lower-left corner."""
+
+    x: int
+    y: int
+    w: int
+    h: int
+
+    def __post_init__(self) -> None:
+        if self.w < 0 or self.h < 0:
+            raise ValueError(f"rectangle dimensions must be non-negative, got {self.w}x{self.h}")
+
+    @property
+    def x2(self) -> int:
+        """Exclusive right edge."""
+        return self.x + self.w
+
+    @property
+    def y2(self) -> int:
+        """Exclusive top edge."""
+        return self.y + self.h
+
+    @property
+    def area(self) -> int:
+        """Rectangle area in grid units squared."""
+        return self.w * self.h
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        """Geometric center of the rectangle."""
+        return (self.x + self.w / 2.0, self.y + self.h / 2.0)
+
+    @property
+    def anchor(self) -> Point:
+        """Lower-left anchor of the rectangle."""
+        return Point(self.x, self.y)
+
+    def is_empty(self) -> bool:
+        """True when the rectangle has zero area."""
+        return self.w == 0 or self.h == 0
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """True when ``(x, y)`` lies inside the half-open rectangle."""
+        return self.x <= x < self.x2 and self.y <= y < self.y2
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True when ``other`` lies fully inside this rectangle."""
+        return (
+            self.x <= other.x
+            and self.y <= other.y
+            and other.x2 <= self.x2
+            and other.y2 <= self.y2
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the two rectangles share a region of positive area."""
+        return (
+            self.x < other.x2
+            and other.x < self.x2
+            and self.y < other.y2
+            and other.y < self.y2
+        )
+
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        """The overlapping region, or ``None`` when the rectangles are disjoint."""
+        if not self.intersects(other):
+            return None
+        x = max(self.x, other.x)
+        y = max(self.y, other.y)
+        x2 = min(self.x2, other.x2)
+        y2 = min(self.y2, other.y2)
+        return Rect(x, y, x2 - x, y2 - y)
+
+    def union_bbox(self, other: "Rect") -> "Rect":
+        """The smallest rectangle containing both rectangles."""
+        x = min(self.x, other.x)
+        y = min(self.y, other.y)
+        x2 = max(self.x2, other.x2)
+        y2 = max(self.y2, other.y2)
+        return Rect(x, y, x2 - x, y2 - y)
+
+    def translated(self, dx: int, dy: int) -> "Rect":
+        """Return the rectangle shifted by ``(dx, dy)``."""
+        return Rect(self.x + dx, self.y + dy, self.w, self.h)
+
+    def resized(self, w: int, h: int) -> "Rect":
+        """Return a rectangle with the same anchor and new dimensions."""
+        return Rect(self.x, self.y, w, h)
+
+    def inflated(self, margin: int) -> "Rect":
+        """Return the rectangle grown by ``margin`` on every side."""
+        return Rect(self.x - margin, self.y - margin, self.w + 2 * margin, self.h + 2 * margin)
+
+    def terminal_position(self, fx: float, fy: float) -> Tuple[float, float]:
+        """Absolute position of a pin at fractional offset ``(fx, fy)``."""
+        return (self.x + fx * self.w, self.y + fy * self.h)
+
+
+def bounding_box_of(rects: Iterable[Rect]) -> Rect:
+    """The smallest rectangle enclosing all ``rects`` (which must be non-empty)."""
+    rects = list(rects)
+    if not rects:
+        raise ValueError("bounding_box_of requires at least one rectangle")
+    x = min(r.x for r in rects)
+    y = min(r.y for r in rects)
+    x2 = max(r.x2 for r in rects)
+    y2 = max(r.y2 for r in rects)
+    return Rect(x, y, x2 - x, y2 - y)

@@ -1,0 +1,61 @@
+"""Block orientations.
+
+The DATE'05 paper works with unrotated blocks, but analog module generators
+commonly emit layouts that may be mirrored or rotated; the explorer can
+optionally toggle orientations during perturbation.  Orientation only
+affects the footprint (width/height swap for 90-degree rotations) and pin
+offset mirroring.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Tuple
+
+
+class Orientation(Enum):
+    """The eight layout orientations (rotations and mirrors)."""
+
+    R0 = "R0"
+    R90 = "R90"
+    R180 = "R180"
+    R270 = "R270"
+    MX = "MX"
+    MY = "MY"
+    MX90 = "MX90"
+    MY90 = "MY90"
+
+    @property
+    def swaps_dimensions(self) -> bool:
+        """True for orientations that exchange width and height."""
+        return self in (Orientation.R90, Orientation.R270, Orientation.MX90, Orientation.MY90)
+
+
+def oriented_dims(w: int, h: int, orientation: Orientation = Orientation.R0) -> Tuple[int, int]:
+    """Footprint of a ``w x h`` block under ``orientation``."""
+    if orientation.swaps_dimensions:
+        return (h, w)
+    return (w, h)
+
+
+def oriented_pin_offset(
+    fx: float, fy: float, orientation: Orientation = Orientation.R0
+) -> Tuple[float, float]:
+    """Fractional pin offset after applying ``orientation`` to the block."""
+    if orientation == Orientation.R0:
+        return (fx, fy)
+    if orientation == Orientation.R180:
+        return (1.0 - fx, 1.0 - fy)
+    if orientation == Orientation.MX:
+        return (fx, 1.0 - fy)
+    if orientation == Orientation.MY:
+        return (1.0 - fx, fy)
+    if orientation == Orientation.R90:
+        return (1.0 - fy, fx)
+    if orientation == Orientation.R270:
+        return (fy, 1.0 - fx)
+    if orientation == Orientation.MX90:
+        return (fy, fx)
+    if orientation == Orientation.MY90:
+        return (1.0 - fy, 1.0 - fx)
+    raise ValueError(f"unknown orientation {orientation!r}")

@@ -1,0 +1,30 @@
+"""Analog module generators: device sizes -> block footprints and pins.
+
+The synthesis loop of Figure 1.b "translate[s] the proposed device sizes
+into widths and heights of the modules using module generator functions";
+these generators play the role of the BALLISTIC/MSL-style procedural
+generators referenced by the paper.
+"""
+
+from repro.modgen.base import GRID_UM, Footprint, ModuleGenerator, SizingParameter
+from repro.modgen.capacitor import MimCapacitorGenerator
+from repro.modgen.current_mirror import CurrentMirrorGenerator
+from repro.modgen.diffpair import DifferentialPairGenerator
+from repro.modgen.mosfet import FoldedMosfetGenerator
+from repro.modgen.resistor import PolyResistorGenerator
+from repro.modgen.registry import available_generators, create_generator, register_generator
+
+__all__ = [
+    "GRID_UM",
+    "Footprint",
+    "ModuleGenerator",
+    "SizingParameter",
+    "MimCapacitorGenerator",
+    "CurrentMirrorGenerator",
+    "DifferentialPairGenerator",
+    "FoldedMosfetGenerator",
+    "PolyResistorGenerator",
+    "available_generators",
+    "create_generator",
+    "register_generator",
+]

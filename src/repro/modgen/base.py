@@ -1,0 +1,136 @@
+"""Module generator interface.
+
+A module generator maps continuous device sizing parameters (transistor
+width/length, capacitance, resistance, folding factor ...) to a discrete
+layout footprint in grid units plus pin offsets.  The multi-placement
+structure only ever consumes the footprints; the synthesis loop owns the
+parameters.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+# Physical size of one layout grid unit in micrometres.  All generators round
+# their footprints up to whole grid units.
+GRID_UM = 0.5
+
+
+@dataclass(frozen=True)
+class SizingParameter:
+    """A continuous sizing parameter with bounds and a default value."""
+
+    name: str
+    minimum: float
+    maximum: float
+    default: float
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if self.minimum > self.maximum:
+            raise ValueError(f"parameter {self.name}: minimum exceeds maximum")
+        if not (self.minimum <= self.default <= self.maximum):
+            raise ValueError(f"parameter {self.name}: default outside bounds")
+
+    def clamp(self, value: float) -> float:
+        """Clamp ``value`` into the parameter's range."""
+        return min(max(value, self.minimum), self.maximum)
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """The layout footprint a generator produces for one parameter set."""
+
+    width: int
+    height: int
+    pin_offsets: Mapping[str, Tuple[float, float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("footprint dimensions must be positive")
+
+    @property
+    def dims(self) -> Tuple[int, int]:
+        """``(width, height)`` in grid units."""
+        return (self.width, self.height)
+
+    @property
+    def area(self) -> int:
+        """Footprint area in grid units squared."""
+        return self.width * self.height
+
+
+def to_grid(length_um: float) -> int:
+    """Round a physical length in micrometres up to whole grid units (>= 1)."""
+    if length_um < 0:
+        raise ValueError("length must be non-negative")
+    return max(1, int(math.ceil(length_um / GRID_UM)))
+
+
+class ModuleGenerator(abc.ABC):
+    """Base class for parameterized analog module generators."""
+
+    #: Generator name used by the registry and by :attr:`Block.generator`.
+    name: str = "module"
+
+    @abc.abstractmethod
+    def parameters(self) -> Tuple[SizingParameter, ...]:
+        """The sizing parameters the generator accepts."""
+
+    @abc.abstractmethod
+    def footprint(self, **params: float) -> Footprint:
+        """Footprint for the given parameter values (missing ones use defaults)."""
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    def parameter(self, name: str) -> SizingParameter:
+        """Look up a parameter description by name."""
+        for param in self.parameters():
+            if param.name == name:
+                return param
+        raise KeyError(f"generator {self.name} has no parameter {name!r}")
+
+    def default_params(self) -> Dict[str, float]:
+        """Default value of every parameter."""
+        return {param.name: param.default for param in self.parameters()}
+
+    def resolve_params(self, params: Mapping[str, float]) -> Dict[str, float]:
+        """Merge ``params`` over the defaults, clamping into bounds.
+
+        Unknown parameter names raise ``KeyError`` so synthesis binding
+        mistakes surface early.
+        """
+        resolved = self.default_params()
+        for key, value in params.items():
+            if key not in resolved:
+                raise KeyError(f"generator {self.name} has no parameter {key!r}")
+            resolved[key] = self.parameter(key).clamp(float(value))
+        return resolved
+
+    def dimension_bounds(self) -> Tuple[int, int, int, int]:
+        """``(min_w, max_w, min_h, max_h)`` over the corner points of the parameter box.
+
+        The footprint of every generator in this package is monotone in each
+        parameter, so evaluating the corners of the parameter hyper-box
+        brackets the reachable footprints; blocks use these as their
+        designer bounds.
+        """
+        params = self.parameters()
+        corners = [{}]
+        for param in params:
+            corners = [
+                {**corner, param.name: bound}
+                for corner in corners
+                for bound in (param.minimum, param.maximum)
+            ]
+        widths = []
+        heights = []
+        for corner in corners:
+            fp = self.footprint(**corner)
+            widths.append(fp.width)
+            heights.append(fp.height)
+        return (min(widths), max(widths), min(heights), max(heights))

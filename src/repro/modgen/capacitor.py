@@ -1,0 +1,38 @@
+"""MIM capacitor module generator."""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.modgen.base import Footprint, ModuleGenerator, SizingParameter, to_grid
+
+
+class MimCapacitorGenerator(ModuleGenerator):
+    """A metal-insulator-metal capacitor plate.
+
+    The plate area follows from the capacitance and the process capacitance
+    density; the ``aspect`` parameter shapes the plate into a rectangle.
+    """
+
+    name = "mim_capacitor"
+
+    def __init__(self, density_ff_per_um2: float = 2.0, margin_um: float = 1.5) -> None:
+        if density_ff_per_um2 <= 0:
+            raise ValueError("capacitance density must be positive")
+        self._density = density_ff_per_um2
+        self._margin = margin_um
+
+    def parameters(self) -> Tuple[SizingParameter, ...]:
+        return (
+            SizingParameter("capacitance", 10.0, 5000.0, 500.0, "fF"),
+            SizingParameter("aspect", 0.25, 4.0, 1.0, ""),
+        )
+
+    def footprint(self, **params: float) -> Footprint:
+        values = self.resolve_params(params)
+        area_um2 = values["capacitance"] / self._density
+        width_um = math.sqrt(area_um2 * values["aspect"]) + 2 * self._margin
+        height_um = math.sqrt(area_um2 / values["aspect"]) + 2 * self._margin
+        pins = {"top": (0.5, 0.9), "bottom": (0.5, 0.1)}
+        return Footprint(to_grid(width_um), to_grid(height_um), pins)

@@ -1,0 +1,51 @@
+"""Current mirror module generator."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.modgen.base import Footprint, ModuleGenerator, SizingParameter, to_grid
+
+
+class CurrentMirrorGenerator(ModuleGenerator):
+    """An interdigitated current mirror with an integer mirror ratio.
+
+    The reference device and the ``ratio`` output devices are folded into a
+    single row of stripes; width grows with the ratio, height with the
+    per-stripe device width.
+    """
+
+    name = "current_mirror"
+
+    def __init__(
+        self,
+        contact_pitch_um: float = 1.2,
+        edge_um: float = 1.2,
+        overhead_um: float = 2.5,
+    ) -> None:
+        self._contact_pitch = contact_pitch_um
+        self._edge = edge_um
+        self._overhead = overhead_um
+
+    def parameters(self) -> Tuple[SizingParameter, ...]:
+        return (
+            SizingParameter("width", 1.0, 200.0, 15.0, "um"),
+            SizingParameter("length", 0.18, 10.0, 1.0, "um"),
+            SizingParameter("ratio", 1.0, 8.0, 1.0, ""),
+            SizingParameter("fingers", 1.0, 8.0, 2.0, ""),
+        )
+
+    def footprint(self, **params: float) -> Footprint:
+        values = self.resolve_params(params)
+        fingers = max(1, int(round(values["fingers"])))
+        ratio = max(1, int(round(values["ratio"])))
+        stripes = fingers * (1 + ratio)
+        finger_width = values["width"] / fingers
+        module_width = stripes * (values["length"] + self._contact_pitch) + 2 * self._edge
+        module_height = finger_width + self._overhead
+        pins = {
+            "ref": (0.1, 0.5),
+            "out": (0.9, 0.5),
+            "common": (0.5, 0.05),
+        }
+        return Footprint(to_grid(module_width), to_grid(module_height), pins)

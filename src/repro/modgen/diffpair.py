@@ -1,0 +1,53 @@
+"""Differential pair module generator (common-centroid layout)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.modgen.base import Footprint, ModuleGenerator, SizingParameter, to_grid
+
+
+class DifferentialPairGenerator(ModuleGenerator):
+    """A matched transistor pair laid out as a 2 x 2k common-centroid array.
+
+    Both devices are split into ``fingers`` stripes and interdigitated, so
+    the module is roughly twice as wide as a single folded device of the
+    same size and two rows tall.
+    """
+
+    name = "diff_pair"
+
+    def __init__(
+        self,
+        contact_pitch_um: float = 1.2,
+        edge_um: float = 1.5,
+        row_gap_um: float = 1.0,
+        overhead_um: float = 2.0,
+    ) -> None:
+        self._contact_pitch = contact_pitch_um
+        self._edge = edge_um
+        self._row_gap = row_gap_um
+        self._overhead = overhead_um
+
+    def parameters(self) -> Tuple[SizingParameter, ...]:
+        return (
+            SizingParameter("width", 2.0, 400.0, 40.0, "um"),
+            SizingParameter("length", 0.18, 5.0, 0.5, "um"),
+            SizingParameter("fingers", 1.0, 12.0, 4.0, ""),
+        )
+
+    def footprint(self, **params: float) -> Footprint:
+        values = self.resolve_params(params)
+        fingers = max(1, int(round(values["fingers"])))
+        finger_width = values["width"] / fingers
+        # Two interdigitated devices share each row: 2 * fingers stripes total.
+        module_width = 2 * fingers * (values["length"] + self._contact_pitch) + 2 * self._edge
+        module_height = 2 * (finger_width / 2.0) + self._row_gap + self._overhead
+        pins = {
+            "inp": (0.1, 0.9),
+            "inn": (0.9, 0.9),
+            "outp": (0.25, 0.1),
+            "outn": (0.75, 0.1),
+            "tail": (0.5, 0.05),
+        }
+        return Footprint(to_grid(module_width), to_grid(module_height), pins)

@@ -1,0 +1,66 @@
+"""Folded MOSFET module generator."""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.modgen.base import Footprint, ModuleGenerator, SizingParameter, to_grid
+
+
+class FoldedMosfetGenerator(ModuleGenerator):
+    """A single MOS transistor folded into ``fingers`` parallel gate stripes.
+
+    Geometry model (dimensions in micrometres before gridding):
+
+    * each finger contributes ``length + contact_pitch`` to the module width,
+      plus edge diffusion on both sides;
+    * the module height is the per-finger device width ``width / fingers``
+      plus well/guard-ring overhead.
+    """
+
+    name = "folded_mosfet"
+
+    def __init__(
+        self,
+        contact_pitch_um: float = 1.2,
+        edge_um: float = 1.0,
+        overhead_um: float = 2.0,
+    ) -> None:
+        self._contact_pitch = contact_pitch_um
+        self._edge = edge_um
+        self._overhead = overhead_um
+
+    def parameters(self) -> Tuple[SizingParameter, ...]:
+        return (
+            SizingParameter("width", 1.0, 200.0, 20.0, "um"),
+            SizingParameter("length", 0.18, 5.0, 0.5, "um"),
+            SizingParameter("fingers", 1.0, 16.0, 4.0, ""),
+        )
+
+    def footprint(self, **params: float) -> Footprint:
+        values = self.resolve_params(params)
+        fingers = max(1, int(round(values["fingers"])))
+        finger_width = values["width"] / fingers
+        module_width = fingers * (values["length"] + self._contact_pitch) + 2 * self._edge
+        module_height = finger_width + self._overhead
+        pins = {
+            "d": (0.15, 0.5),
+            "g": (0.5, 0.95),
+            "s": (0.85, 0.5),
+            "b": (0.5, 0.05),
+        }
+        return Footprint(to_grid(module_width), to_grid(module_height), pins)
+
+    def fingers_for_aspect(self, width_um: float, length_um: float, target_aspect: float = 1.0) -> int:
+        """Finger count bringing the footprint aspect ratio close to ``target_aspect``."""
+        best_fingers = 1
+        best_error = math.inf
+        for fingers in range(1, 17):
+            fp = self.footprint(width=width_um, length=length_um, fingers=fingers)
+            aspect = fp.width / fp.height
+            error = abs(aspect - target_aspect)
+            if error < best_error:
+                best_error = error
+                best_fingers = fingers
+        return best_fingers

@@ -1,0 +1,51 @@
+"""Registry mapping generator names to generator classes."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Type
+
+from repro.modgen.base import ModuleGenerator
+from repro.modgen.capacitor import MimCapacitorGenerator
+from repro.modgen.current_mirror import CurrentMirrorGenerator
+from repro.modgen.diffpair import DifferentialPairGenerator
+from repro.modgen.mosfet import FoldedMosfetGenerator
+from repro.modgen.resistor import PolyResistorGenerator
+
+_REGISTRY: Dict[str, Type[ModuleGenerator]] = {}
+
+
+def register_generator(cls: Type[ModuleGenerator]) -> Type[ModuleGenerator]:
+    """Register a generator class under its ``name`` attribute.
+
+    Can be used as a decorator by user code defining custom generators.
+    """
+    if not getattr(cls, "name", None):
+        raise ValueError("module generator classes must define a non-empty name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def create_generator(name: str, **kwargs: float) -> ModuleGenerator:
+    """Instantiate the generator registered under ``name``."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"no module generator named {name!r}; available: {sorted(_REGISTRY)}"
+        ) from exc
+    return cls(**kwargs)
+
+
+def available_generators() -> List[str]:
+    """Names of all registered generators."""
+    return sorted(_REGISTRY)
+
+
+for _cls in (
+    FoldedMosfetGenerator,
+    DifferentialPairGenerator,
+    CurrentMirrorGenerator,
+    MimCapacitorGenerator,
+    PolyResistorGenerator,
+):
+    register_generator(_cls)

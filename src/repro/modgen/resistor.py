@@ -1,0 +1,44 @@
+"""Serpentine poly resistor module generator."""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.modgen.base import Footprint, ModuleGenerator, SizingParameter, to_grid
+
+
+class PolyResistorGenerator(ModuleGenerator):
+    """A poly resistor folded into a serpentine of ``segments`` strips.
+
+    The total strip length follows from the resistance, the sheet resistance
+    and the strip width; folding trades module width against height.
+    """
+
+    name = "poly_resistor"
+
+    def __init__(self, sheet_ohms: float = 300.0, spacing_um: float = 0.8,
+                 margin_um: float = 1.0) -> None:
+        if sheet_ohms <= 0:
+            raise ValueError("sheet resistance must be positive")
+        self._sheet = sheet_ohms
+        self._spacing = spacing_um
+        self._margin = margin_um
+
+    def parameters(self) -> Tuple[SizingParameter, ...]:
+        return (
+            SizingParameter("resistance", 100.0, 500000.0, 10000.0, "ohm"),
+            SizingParameter("strip_width", 0.4, 4.0, 1.0, "um"),
+            SizingParameter("segments", 1.0, 24.0, 6.0, ""),
+        )
+
+    def footprint(self, **params: float) -> Footprint:
+        values = self.resolve_params(params)
+        segments = max(1, int(round(values["segments"])))
+        squares = values["resistance"] / self._sheet
+        total_length_um = squares * values["strip_width"]
+        segment_length_um = total_length_um / segments
+        width_um = segments * (values["strip_width"] + self._spacing) + 2 * self._margin
+        height_um = segment_length_um + 2 * self._margin
+        pins = {"a": (0.05, 0.1), "b": (0.95, 0.1)}
+        return Footprint(to_grid(width_um), to_grid(height_um), pins)

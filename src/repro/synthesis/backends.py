@@ -1,0 +1,124 @@
+"""Placement backends used inside the synthesis loop.
+
+Every backend answers the same question — "place these block dimensions" —
+but with the different speed/quality trade-offs the paper compares:
+
+* :class:`MPSBackend` — query a pre-generated multi-placement structure
+  (milliseconds, placement adapted to the sizes).
+* :class:`TemplateBackend` — instantiate a fixed template (milliseconds,
+  single floorplan).
+* :class:`AnnealingBackend` — re-anneal from scratch (seconds, high
+  quality; the approach the paper says is too slow for the loop).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.baselines.annealing_placer import AnnealingPlacer, AnnealingPlacerConfig
+from repro.baselines.template import TemplatePlacer
+from repro.core.instantiator import PlacementInstantiator
+from repro.core.structure import MultiPlacementStructure
+from repro.cost.cost_function import CostBreakdown, PlacementCostFunction
+from repro.geometry.rect import Rect
+from repro.utils.timer import Timer
+
+Dims = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class BackendPlacement:
+    """The floorplan a backend produced for one dimension vector."""
+
+    rects: Dict[str, Rect]
+    cost: CostBreakdown
+    elapsed_seconds: float
+    source: str
+
+
+class PlacementBackend(abc.ABC):
+    """Common interface of the synthesis-loop placement backends."""
+
+    name: str = "backend"
+
+    @abc.abstractmethod
+    def place(self, dims: Sequence[Dims]) -> BackendPlacement:
+        """Produce a floorplan for the given block dimensions."""
+
+
+class MPSBackend(PlacementBackend):
+    """Placement by querying a pre-generated multi-placement structure."""
+
+    name = "mps"
+
+    def __init__(
+        self,
+        structure: MultiPlacementStructure,
+        cost_function: Optional[PlacementCostFunction] = None,
+    ) -> None:
+        self._instantiator = PlacementInstantiator(structure, cost_function)
+
+    @property
+    def structure(self) -> MultiPlacementStructure:
+        """The structure backing this backend."""
+        return self._instantiator.structure
+
+    def place(self, dims: Sequence[Dims]) -> BackendPlacement:
+        with Timer() as timer:
+            placement = self._instantiator.instantiate(dims)
+        return BackendPlacement(
+            rects=dict(placement.rects),
+            cost=placement.cost,
+            elapsed_seconds=timer.elapsed,
+            source=placement.source,
+        )
+
+
+class TemplateBackend(PlacementBackend):
+    """Placement by instantiating a fixed slicing-tree template."""
+
+    name = "template"
+
+    def __init__(self, placer: TemplatePlacer) -> None:
+        self._placer = placer
+
+    def place(self, dims: Sequence[Dims]) -> BackendPlacement:
+        result = self._placer.place(dims)
+        return BackendPlacement(
+            rects=result.rects,
+            cost=result.cost,
+            elapsed_seconds=result.elapsed_seconds,
+            source="template",
+        )
+
+
+class AnnealingBackend(PlacementBackend):
+    """Placement by per-instance simulated annealing (slow, high quality)."""
+
+    name = "annealing"
+
+    def __init__(self, placer: AnnealingPlacer) -> None:
+        self._placer = placer
+
+    @classmethod
+    def with_budget(
+        cls, placer: AnnealingPlacer, max_iterations: int
+    ) -> "AnnealingBackend":
+        """Convenience constructor overriding the placer's iteration budget."""
+        placer = AnnealingPlacer(
+            placer.circuit,
+            placer.bounds,
+            config=AnnealingPlacerConfig(max_iterations=max_iterations),
+        )
+        return cls(placer)
+
+    def place(self, dims: Sequence[Dims]) -> BackendPlacement:
+        result = self._placer.place(dims)
+        return BackendPlacement(
+            rects=result.rects,
+            cost=result.cost,
+            elapsed_seconds=result.elapsed_seconds,
+            source="annealing",
+        )

@@ -1,0 +1,97 @@
+"""Bind sizing variables to module generators.
+
+This is the "translate the proposed device sizes into widths and heights of
+the modules using module generator functions" step of Section 2.1: a
+:class:`CircuitSizingModel` maps a sizing point to the dimension vector the
+placement backend consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+from repro.circuit.netlist import Circuit
+from repro.modgen.base import ModuleGenerator
+from repro.synthesis.sizing import DesignSpace, SizingPoint
+
+Dims = Tuple[int, int]
+ParamSource = Union[str, float]
+
+
+@dataclass
+class BlockBinding:
+    """How one block's footprint is derived from the sizing point.
+
+    ``params`` maps generator parameter names to either a sizing variable
+    name (string) or a fixed constant (number).
+    """
+
+    block: str
+    generator: ModuleGenerator
+    params: Dict[str, ParamSource] = field(default_factory=dict)
+
+    def dims_for(self, point: Mapping[str, float]) -> Dims:
+        """Footprint of the block for one sizing point."""
+        resolved: Dict[str, float] = {}
+        for param_name, source in self.params.items():
+            if isinstance(source, str):
+                resolved[param_name] = float(point[source])
+            else:
+                resolved[param_name] = float(source)
+        footprint = self.generator.footprint(**self.generator.resolve_params(resolved))
+        return footprint.dims
+
+
+class CircuitSizingModel:
+    """Map sizing points to per-block dimensions for one circuit."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        design_space: DesignSpace,
+        bindings: Sequence[BlockBinding],
+    ) -> None:
+        self._circuit = circuit
+        self._design_space = design_space
+        self._bindings: Dict[str, BlockBinding] = {}
+        for binding in bindings:
+            if not circuit.has_block(binding.block):
+                raise ValueError(f"binding references unknown block {binding.block!r}")
+            self._bindings[binding.block] = binding
+        for binding in bindings:
+            for source in binding.params.values():
+                if isinstance(source, str):
+                    design_space.variable(source)  # raises KeyError when unknown
+
+    @property
+    def circuit(self) -> Circuit:
+        """The circuit being sized."""
+        return self._circuit
+
+    @property
+    def design_space(self) -> DesignSpace:
+        """The sizing design space."""
+        return self._design_space
+
+    def bindings(self) -> List[BlockBinding]:
+        """All block bindings."""
+        return list(self._bindings.values())
+
+    def dims_for(self, point: SizingPoint) -> List[Dims]:
+        """Per-block dimensions (circuit block order) for one sizing point.
+
+        Blocks without a binding keep their minimum dimensions; every
+        footprint is clamped into the block's designer bounds so placement
+        backends always receive admissible dimensions.
+        """
+        clamped_point = self._design_space.clamp(point)
+        dims: List[Dims] = []
+        for block in self._circuit.blocks:
+            binding = self._bindings.get(block.name)
+            if binding is None:
+                dims.append(block.min_dims)
+                continue
+            w, h = binding.dims_for(clamped_point)
+            dims.append(block.clamp_dims(w, h))
+        return dims

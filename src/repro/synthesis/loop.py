@@ -1,0 +1,153 @@
+"""The layout-inclusive synthesis loop (Figure 1.b).
+
+Each sizing evaluation runs the full chain
+
+    sizes -> module generators -> block dimensions -> placement backend ->
+    wiring parasitics -> performance model -> spec penalty + layout cost
+
+so the choice of placement backend directly changes both the evaluation
+quality (parasitics reflect the actual floorplan) and the loop's wall-clock
+time (the paper's core motivation for multi-placement structures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.synthesis.backends import BackendPlacement, PlacementBackend
+from repro.synthesis.binding import CircuitSizingModel
+from repro.synthesis.optimizer import SizingOptimizer, SizingOptimizerConfig
+from repro.synthesis.parasitics import estimate_parasitics
+from repro.synthesis.performance import PerformanceReport, PerformanceSpec
+from repro.synthesis.sizing import SizingPoint
+from repro.utils.rng import RandomLike
+from repro.utils.timer import Timer
+
+
+@dataclass(frozen=True)
+class SynthesisConfig:
+    """Weights and budgets of the synthesis loop."""
+
+    optimizer: SizingOptimizerConfig = field(default_factory=SizingOptimizerConfig)
+    #: Weight of the spec-violation penalty in the sizing objective.
+    spec_weight: float = 100.0
+    #: Weight of the placement cost (wirelength + area) in the sizing objective.
+    layout_weight: float = 0.01
+    #: Weight of the power term (drives the optimizer once specs are met).
+    power_weight: float = 1.0
+
+
+@dataclass
+class SynthesisEvaluation:
+    """Everything produced by one sizing-point evaluation."""
+
+    point: SizingPoint
+    performance: PerformanceReport
+    placement: BackendPlacement
+    spec_penalty: float
+    objective: float
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of one synthesis run."""
+
+    best: SynthesisEvaluation
+    evaluations: int
+    elapsed_seconds: float
+    placement_seconds: float
+    backend: str
+    history: List[float] = field(default_factory=list)
+
+    @property
+    def placement_fraction(self) -> float:
+        """Fraction of the wall-clock time spent inside the placement backend."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.placement_seconds / self.elapsed_seconds
+
+
+class LayoutInclusiveSynthesis:
+    """Size a circuit with layout-in-the-loop performance estimation."""
+
+    def __init__(
+        self,
+        sizing_model: CircuitSizingModel,
+        performance_model,
+        spec: PerformanceSpec,
+        backend: PlacementBackend,
+        config: SynthesisConfig = SynthesisConfig(),
+        seed: RandomLike = None,
+    ) -> None:
+        self._sizing_model = sizing_model
+        self._performance_model = performance_model
+        self._spec = spec
+        self._backend = backend
+        self._config = config
+        self._seed = seed
+        self._placement_seconds = 0.0
+        self._evaluations = 0
+        self._best: Optional[SynthesisEvaluation] = None
+
+    @property
+    def backend(self) -> PlacementBackend:
+        """The placement backend in use."""
+        return self._backend
+
+    # ------------------------------------------------------------------ #
+    # Single-point evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, point: SizingPoint) -> SynthesisEvaluation:
+        """Run the full sizes -> layout -> performance chain for one point."""
+        circuit = self._sizing_model.circuit
+        dims = self._sizing_model.dims_for(point)
+        with Timer() as placement_timer:
+            placement = self._backend.place(dims)
+        self._placement_seconds += placement_timer.elapsed
+        parasitics = estimate_parasitics(circuit, placement.rects)
+        performance = self._performance_model.evaluate(point, parasitics)
+        spec_penalty = self._spec.penalty(performance)
+        config = self._config
+        objective = (
+            config.spec_weight * spec_penalty
+            + config.layout_weight * placement.cost.total
+            + config.power_weight * performance.power_mw
+        )
+        evaluation = SynthesisEvaluation(
+            point=dict(point),
+            performance=performance,
+            placement=placement,
+            spec_penalty=spec_penalty,
+            objective=objective,
+        )
+        self._evaluations += 1
+        if self._best is None or evaluation.objective < self._best.objective:
+            self._best = evaluation
+        return evaluation
+
+    # ------------------------------------------------------------------ #
+    # Full synthesis run
+    # ------------------------------------------------------------------ #
+    def run(self, initial: Optional[SizingPoint] = None) -> SynthesisResult:
+        """Anneal the sizing point against the layout-inclusive objective."""
+        self._placement_seconds = 0.0
+        self._evaluations = 0
+        self._best = None
+        optimizer = SizingOptimizer(
+            self._sizing_model.design_space,
+            objective=lambda point: self.evaluate(point).objective,
+            config=self._config.optimizer,
+            seed=self._seed,
+        )
+        with Timer() as timer:
+            anneal_result = optimizer.run(initial)
+        assert self._best is not None
+        return SynthesisResult(
+            best=self._best,
+            evaluations=self._evaluations,
+            elapsed_seconds=timer.elapsed,
+            placement_seconds=self._placement_seconds,
+            backend=self._backend.name,
+            history=list(anneal_result.cost_history),
+        )

@@ -1,0 +1,86 @@
+"""Ready-made sizing setup for the two-stage opamp benchmark.
+
+Bundles the circuit, the sizing design space, the block bindings and the
+performance model so examples and benchmarks can run the layout-inclusive
+synthesis loop without re-declaring the plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchcircuits.opamps import two_stage_opamp
+from repro.circuit.netlist import Circuit
+from repro.modgen.capacitor import MimCapacitorGenerator
+from repro.modgen.current_mirror import CurrentMirrorGenerator
+from repro.modgen.diffpair import DifferentialPairGenerator
+from repro.modgen.mosfet import FoldedMosfetGenerator
+from repro.synthesis.binding import BlockBinding, CircuitSizingModel
+from repro.synthesis.performance import PerformanceSpec, TwoStageOpampModel
+from repro.synthesis.sizing import DesignSpace, SizingVariable
+
+
+@dataclass
+class OpampDesign:
+    """Everything needed to synthesize the two-stage opamp."""
+
+    circuit: Circuit
+    sizing_model: CircuitSizingModel
+    performance_model: TwoStageOpampModel
+    spec: PerformanceSpec
+
+
+def two_stage_opamp_design(spec: PerformanceSpec = PerformanceSpec()) -> OpampDesign:
+    """Build the standard two-stage opamp sizing problem.
+
+    The parameter ranges are chosen so the module generators' footprints
+    stay inside the benchmark blocks' designer bounds.
+    """
+    circuit = two_stage_opamp()
+    design_space = DesignSpace(
+        [
+            SizingVariable("w_dp", 10.0, 80.0, 40.0, "um"),
+            SizingVariable("l_dp", 0.35, 1.0, 0.5, "um"),
+            SizingVariable("w_load", 5.0, 40.0, 20.0, "um"),
+            SizingVariable("l_load", 0.5, 2.0, 1.0, "um"),
+            SizingVariable("w_cs", 10.0, 100.0, 60.0, "um"),
+            SizingVariable("l_cs", 0.35, 1.0, 0.5, "um"),
+            SizingVariable("w_tail", 5.0, 40.0, 20.0, "um"),
+            SizingVariable("i_bias", 10.0, 200.0, 50.0, "uA", log_scale=True),
+            SizingVariable("c_c", 200.0, 2500.0, 1000.0, "fF", log_scale=True),
+        ]
+    )
+    bindings = [
+        BlockBinding(
+            "dp",
+            DifferentialPairGenerator(),
+            {"width": "w_dp", "length": "l_dp", "fingers": 4.0},
+        ),
+        BlockBinding(
+            "load",
+            CurrentMirrorGenerator(),
+            {"width": "w_load", "length": "l_load", "ratio": 1.0, "fingers": 2.0},
+        ),
+        BlockBinding(
+            "tail",
+            FoldedMosfetGenerator(),
+            {"width": "w_tail", "length": 1.0, "fingers": 4.0},
+        ),
+        BlockBinding(
+            "cs",
+            FoldedMosfetGenerator(),
+            {"width": "w_cs", "length": "l_cs", "fingers": 6.0},
+        ),
+        BlockBinding(
+            "cc",
+            MimCapacitorGenerator(),
+            {"capacitance": "c_c", "aspect": 1.0},
+        ),
+    ]
+    sizing_model = CircuitSizingModel(circuit, design_space, bindings)
+    return OpampDesign(
+        circuit=circuit,
+        sizing_model=sizing_model,
+        performance_model=TwoStageOpampModel(),
+        spec=spec,
+    )

@@ -1,0 +1,73 @@
+"""Simulated-annealing sizing optimizer."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.annealing.annealer import AnnealResult, SimulatedAnnealer
+from repro.annealing.schedule import AdaptiveSchedule
+from repro.synthesis.sizing import DesignSpace, SizingPoint
+from repro.utils.rng import RandomLike, make_rng
+
+
+@dataclass(frozen=True)
+class SizingOptimizerConfig:
+    """Tuning knobs of the sizing simulated annealing."""
+
+    max_iterations: int = 150
+    moves_per_temperature: int = 8
+    initial_temperature_fraction: float = 0.4
+    alpha: float = 0.9
+    perturb_fraction: float = 0.4
+    perturb_step_fraction: float = 0.2
+
+
+class SizingOptimizer:
+    """Anneal over a :class:`DesignSpace` against an arbitrary objective."""
+
+    def __init__(
+        self,
+        design_space: DesignSpace,
+        objective: Callable[[SizingPoint], float],
+        config: SizingOptimizerConfig = SizingOptimizerConfig(),
+        seed: RandomLike = None,
+    ) -> None:
+        self._space = design_space
+        self._objective = objective
+        self._config = config
+        self._rng = make_rng(seed)
+
+    def run(self, initial: Optional[SizingPoint] = None) -> AnnealResult:
+        """Anneal from ``initial`` (default: the design-space defaults)."""
+        config = self._config
+        start = self._space.clamp(initial) if initial is not None else self._space.default_point()
+
+        def evaluate(point: SizingPoint) -> float:
+            return self._objective(point)
+
+        def propose(point: SizingPoint, rng: random.Random) -> SizingPoint:
+            return self._space.perturb(
+                point,
+                rng,
+                fraction=config.perturb_fraction,
+                step_fraction=config.perturb_step_fraction,
+            )
+
+        initial_cost = evaluate(start)
+        schedule = AdaptiveSchedule(
+            reference_cost=max(abs(initial_cost), 1e-9),
+            fraction=config.initial_temperature_fraction,
+            alpha=config.alpha,
+        )
+        annealer = SimulatedAnnealer(
+            evaluate=evaluate,
+            propose=propose,
+            schedule=schedule,
+            moves_per_temperature=config.moves_per_temperature,
+            max_iterations=config.max_iterations,
+            record_history=True,
+            seed=self._rng,
+        )
+        return annealer.run(start)

@@ -1,0 +1,74 @@
+"""Wiring parasitic estimation from a placed floorplan.
+
+The paper's synthesis loop (Figure 1.b) routes and extracts the layout to
+obtain accurate performance estimates.  This module provides the simulated
+equivalent: per-net wirelength from the placement, converted to lumped
+wiring capacitance and resistance with per-unit constants typical of a
+0.35 um-era analog process (the paper's vintage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.circuit.netlist import Circuit
+from repro.cost.wirelength import per_net_wirelength
+from repro.geometry.floorplan import FloorplanBounds
+from repro.geometry.rect import Rect
+from repro.modgen.base import GRID_UM
+
+#: Metal-1 wiring capacitance per micrometre of wire, in femtofarads.
+DEFAULT_CAP_PER_UM_FF = 0.12
+#: Metal-1 wiring resistance per micrometre of wire, in ohms.
+DEFAULT_RES_PER_UM_OHM = 0.08
+
+
+@dataclass(frozen=True)
+class ParasiticEstimate:
+    """Lumped wiring parasitics of one placed circuit."""
+
+    #: Per-net wiring capacitance in femtofarads.
+    net_capacitance_ff: Mapping[str, float]
+    #: Per-net wiring resistance in ohms.
+    net_resistance_ohm: Mapping[str, float]
+    #: Per-net wirelength in micrometres.
+    net_wirelength_um: Mapping[str, float]
+
+    @property
+    def total_capacitance_ff(self) -> float:
+        """Total wiring capacitance over all nets."""
+        return sum(self.net_capacitance_ff.values())
+
+    @property
+    def total_wirelength_um(self) -> float:
+        """Total wirelength over all nets."""
+        return sum(self.net_wirelength_um.values())
+
+    def capacitance(self, net_name: str) -> float:
+        """Wiring capacitance of one net (0 when the net is unknown)."""
+        return self.net_capacitance_ff.get(net_name, 0.0)
+
+    def resistance(self, net_name: str) -> float:
+        """Wiring resistance of one net (0 when the net is unknown)."""
+        return self.net_resistance_ohm.get(net_name, 0.0)
+
+
+def estimate_parasitics(
+    circuit: Circuit,
+    rects: Dict[str, Rect],
+    bounds: Optional[FloorplanBounds] = None,
+    cap_per_um_ff: float = DEFAULT_CAP_PER_UM_FF,
+    res_per_um_ohm: float = DEFAULT_RES_PER_UM_OHM,
+    wirelength_model: str = "hpwl",
+) -> ParasiticEstimate:
+    """Estimate lumped wiring parasitics for a placed layout."""
+    lengths_grid = per_net_wirelength(circuit, rects, bounds, model=wirelength_model)
+    lengths_um = {name: length * GRID_UM for name, length in lengths_grid.items()}
+    caps = {name: length * cap_per_um_ff for name, length in lengths_um.items()}
+    res = {name: length * res_per_um_ohm for name, length in lengths_um.items()}
+    return ParasiticEstimate(
+        net_capacitance_ff=caps,
+        net_resistance_ohm=res,
+        net_wirelength_um=lengths_um,
+    )

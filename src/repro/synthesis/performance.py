@@ -1,0 +1,166 @@
+"""Analytical performance models with layout parasitics.
+
+These replace the circuit simulator of the paper's synthesis loop.  The
+two-stage opamp model uses the standard square-law hand formulas; the
+layout enters through the wiring capacitance added to the compensation and
+output nodes, so different placements genuinely change the evaluated
+performance — the coupling the layout-inclusive loop exists to capture.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.synthesis.parasitics import ParasiticEstimate
+from repro.synthesis.sizing import SizingPoint
+
+# Representative 0.35 um process constants.
+KP_N = 170e-6  # NMOS transconductance parameter (A/V^2)
+KP_P = 58e-6   # PMOS transconductance parameter (A/V^2)
+EARLY_VOLTAGE_PER_UM = 8.0  # V of Early voltage per um of channel length
+VDD = 3.3
+
+
+@dataclass(frozen=True)
+class PerformanceReport:
+    """Evaluated performance of one sizing point under one placement."""
+
+    gain_db: float
+    unity_gain_bandwidth_hz: float
+    phase_margin_deg: float
+    slew_rate_v_per_us: float
+    power_mw: float
+    wiring_capacitance_ff: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dictionary view of the metrics."""
+        return {
+            "gain_db": self.gain_db,
+            "ugbw_hz": self.unity_gain_bandwidth_hz,
+            "phase_margin_deg": self.phase_margin_deg,
+            "slew_rate_v_per_us": self.slew_rate_v_per_us,
+            "power_mw": self.power_mw,
+            "wiring_capacitance_ff": self.wiring_capacitance_ff,
+        }
+
+
+@dataclass(frozen=True)
+class PerformanceSpec:
+    """Target specification; violations are turned into a scalar penalty."""
+
+    min_gain_db: float = 60.0
+    min_ugbw_hz: float = 5e6
+    min_phase_margin_deg: float = 55.0
+    min_slew_rate_v_per_us: float = 5.0
+    max_power_mw: float = 5.0
+
+    def penalty(self, report: PerformanceReport) -> float:
+        """Sum of normalised constraint violations (0 when every spec is met)."""
+        terms = [
+            max(0.0, (self.min_gain_db - report.gain_db) / self.min_gain_db),
+            max(0.0, (self.min_ugbw_hz - report.unity_gain_bandwidth_hz) / self.min_ugbw_hz),
+            max(
+                0.0,
+                (self.min_phase_margin_deg - report.phase_margin_deg)
+                / self.min_phase_margin_deg,
+            ),
+            max(
+                0.0,
+                (self.min_slew_rate_v_per_us - report.slew_rate_v_per_us)
+                / self.min_slew_rate_v_per_us,
+            ),
+            max(0.0, (report.power_mw - self.max_power_mw) / self.max_power_mw),
+        ]
+        return sum(terms)
+
+    def is_met(self, report: PerformanceReport) -> bool:
+        """True when every specification target is satisfied."""
+        return self.penalty(report) == 0.0
+
+
+class TwoStageOpampModel:
+    """Hand-analysis model of a Miller-compensated two-stage opamp.
+
+    Expected sizing variables (all widths/lengths in micrometres, currents
+    in microamperes, capacitances in femtofarads):
+
+    ``w_dp, l_dp`` — input pair device size, ``w_load, l_load`` — mirror
+    load, ``w_cs, l_cs`` — second-stage device, ``i_bias`` — tail current,
+    ``c_c`` — compensation capacitor, ``c_load`` — external load (constant
+    by default).
+
+    Net names used for parasitic coupling: ``n2`` (first-stage output /
+    compensation node) and ``out`` (second-stage output); they match the
+    :mod:`repro.benchcircuits.opamps` netlists.
+    """
+
+    def __init__(
+        self,
+        compensation_net: str = "n2",
+        output_net: str = "out",
+        load_capacitance_ff: float = 2000.0,
+    ) -> None:
+        self._compensation_net = compensation_net
+        self._output_net = output_net
+        self._load_ff = load_capacitance_ff
+
+    def evaluate(
+        self,
+        point: SizingPoint,
+        parasitics: Optional[ParasiticEstimate] = None,
+    ) -> PerformanceReport:
+        """Evaluate the opamp metrics for one sizing point and optional parasitics."""
+        w_dp = float(point.get("w_dp", 40.0))
+        l_dp = float(point.get("l_dp", 0.5))
+        w_cs = float(point.get("w_cs", 60.0))
+        l_cs = float(point.get("l_cs", 0.5))
+        l_load = float(point.get("l_load", 1.0))
+        i_bias_ua = float(point.get("i_bias", 50.0))
+        c_c_ff = float(point.get("c_c", 1000.0))
+        c_load_ff = float(point.get("c_load", self._load_ff))
+
+        wiring_comp_ff = 0.0
+        wiring_out_ff = 0.0
+        total_wiring_ff = 0.0
+        if parasitics is not None:
+            wiring_comp_ff = parasitics.capacitance(self._compensation_net)
+            wiring_out_ff = parasitics.capacitance(self._output_net)
+            total_wiring_ff = parasitics.total_capacitance_ff
+
+        i_bias = i_bias_ua * 1e-6
+        i_stage2 = 2.0 * i_bias
+        c_c = (c_c_ff + wiring_comp_ff) * 1e-15
+        c_out = (c_load_ff + wiring_out_ff) * 1e-15
+
+        gm1 = math.sqrt(2.0 * KP_N * (w_dp / l_dp) * (i_bias / 2.0))
+        gm6 = math.sqrt(2.0 * KP_P * (w_cs / l_cs) * i_stage2)
+        ro2 = EARLY_VOLTAGE_PER_UM * l_dp / (i_bias / 2.0)
+        ro4 = EARLY_VOLTAGE_PER_UM * l_load / (i_bias / 2.0)
+        ro6 = EARLY_VOLTAGE_PER_UM * l_cs / i_stage2
+        ro7 = EARLY_VOLTAGE_PER_UM * l_load / i_stage2
+
+        gain = gm1 * _parallel(ro2, ro4) * gm6 * _parallel(ro6, ro7)
+        gain_db = 20.0 * math.log10(max(gain, 1e-9))
+        ugbw = gm1 / (2.0 * math.pi * max(c_c, 1e-18))
+        second_pole = gm6 / (2.0 * math.pi * max(c_out, 1e-18))
+        phase_margin = 90.0 - math.degrees(math.atan(ugbw / max(second_pole, 1.0)))
+        slew = i_bias / max(c_c, 1e-18) / 1e6  # V/us
+        power_mw = (i_bias + i_stage2) * VDD * 1e3
+
+        return PerformanceReport(
+            gain_db=gain_db,
+            unity_gain_bandwidth_hz=ugbw,
+            phase_margin_deg=phase_margin,
+            slew_rate_v_per_us=slew,
+            power_mw=power_mw,
+            wiring_capacitance_ff=total_wiring_ff,
+        )
+
+
+def _parallel(a: float, b: float) -> float:
+    """Parallel combination of two resistances."""
+    if a <= 0 or b <= 0:
+        return 0.0
+    return a * b / (a + b)

@@ -1,0 +1,108 @@
+"""Sizing variables and the sizing search space."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional
+
+SizingPoint = Dict[str, float]
+
+
+@dataclass(frozen=True)
+class SizingVariable:
+    """A continuous sizing variable with bounds and a default value."""
+
+    name: str
+    minimum: float
+    maximum: float
+    default: Optional[float] = None
+    unit: str = ""
+    log_scale: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("sizing variable name must be non-empty")
+        if self.minimum >= self.maximum:
+            raise ValueError(f"variable {self.name}: minimum must be below maximum")
+        if self.default is None:
+            object.__setattr__(self, "default", (self.minimum + self.maximum) / 2.0)
+        if not (self.minimum <= self.default <= self.maximum):
+            raise ValueError(f"variable {self.name}: default outside bounds")
+
+    def clamp(self, value: float) -> float:
+        """Clamp ``value`` into the variable's range."""
+        return min(max(value, self.minimum), self.maximum)
+
+    def sample(self, rng: random.Random) -> float:
+        """Draw a uniform (or log-uniform) random value."""
+        if self.log_scale and self.minimum > 0:
+            import math
+
+            log_min = math.log(self.minimum)
+            log_max = math.log(self.maximum)
+            return math.exp(rng.uniform(log_min, log_max))
+        return rng.uniform(self.minimum, self.maximum)
+
+
+class DesignSpace:
+    """An ordered collection of sizing variables."""
+
+    def __init__(self, variables: Iterable[SizingVariable]) -> None:
+        self._variables: List[SizingVariable] = list(variables)
+        names = [v.name for v in self._variables]
+        if len(set(names)) != len(names):
+            raise ValueError("sizing variable names must be unique")
+        if not self._variables:
+            raise ValueError("design space must contain at least one variable")
+
+    @property
+    def variables(self) -> List[SizingVariable]:
+        """The sizing variables in declaration order."""
+        return list(self._variables)
+
+    def names(self) -> List[str]:
+        """Variable names in declaration order."""
+        return [v.name for v in self._variables]
+
+    def variable(self, name: str) -> SizingVariable:
+        """Look up a variable by name."""
+        for variable in self._variables:
+            if variable.name == name:
+                return variable
+        raise KeyError(f"no sizing variable named {name!r}")
+
+    def default_point(self) -> SizingPoint:
+        """The point made of every variable's default value."""
+        return {v.name: float(v.default) for v in self._variables}
+
+    def random_point(self, rng: random.Random) -> SizingPoint:
+        """A uniformly random point inside the space."""
+        return {v.name: v.sample(rng) for v in self._variables}
+
+    def clamp(self, point: Mapping[str, float]) -> SizingPoint:
+        """Clamp a point into the space (missing variables use defaults)."""
+        clamped = self.default_point()
+        for name, value in point.items():
+            clamped[name] = self.variable(name).clamp(float(value))
+        return clamped
+
+    def perturb(
+        self,
+        point: Mapping[str, float],
+        rng: random.Random,
+        fraction: float = 0.4,
+        step_fraction: float = 0.2,
+    ) -> SizingPoint:
+        """Perturb a random subset of the variables by a bounded relative step."""
+        names = self.names()
+        count = max(1, int(round(len(names) * fraction)))
+        chosen = set(rng.sample(names, min(count, len(names))))
+        new_point = dict(point)
+        for variable in self._variables:
+            if variable.name not in chosen:
+                continue
+            span = variable.maximum - variable.minimum
+            step = rng.uniform(-step_fraction, step_fraction) * span
+            new_point[variable.name] = variable.clamp(point[variable.name] + step)
+        return new_point

@@ -1,0 +1,14 @@
+"""Small shared utilities: RNG handling, timers, running statistics."""
+
+from repro.utils.rng import make_rng, spawn_rng
+from repro.utils.stats import RunningStats, summarize
+from repro.utils.timer import Timer, format_duration
+
+__all__ = [
+    "make_rng",
+    "spawn_rng",
+    "RunningStats",
+    "summarize",
+    "Timer",
+    "format_duration",
+]

@@ -1,0 +1,28 @@
+"""Logging helpers: one namespaced logger per subsystem, silent by default."""
+
+from __future__ import annotations
+
+import logging
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    The library never configures handlers itself; applications opt in with
+    :func:`enable_console_logging`.
+    """
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a console handler to the ``repro`` root logger (idempotent)."""
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)

@@ -1,0 +1,82 @@
+"""Streaming statistics used to track annealing cost histories.
+
+The BDIO needs the *average* and *best* cost over all candidate dimension
+vectors it visits (Section 3.2 of the paper); :class:`RunningStats`
+accumulates those without storing the full history.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+
+@dataclass
+class RunningStats:
+    """Welford-style running mean / variance / extrema accumulator."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = field(default=0.0, repr=False)
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def add(self, value: float) -> None:
+        """Accumulate a single observation."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Accumulate many observations."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the observations seen so far."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Return a new accumulator combining two independent streams."""
+        if other.count == 0:
+            return RunningStats(self.count, self.mean, self._m2, self.minimum, self.maximum)
+        if self.count == 0:
+            return RunningStats(other.count, other.mean, other._m2, other.minimum, other.maximum)
+        count = self.count + other.count
+        delta = other.mean - self.mean
+        mean = self.mean + delta * other.count / count
+        m2 = self._m2 + other._m2 + delta * delta * self.count * other.count / count
+        return RunningStats(
+            count,
+            mean,
+            m2,
+            min(self.minimum, other.minimum),
+            max(self.maximum, other.maximum),
+        )
+
+
+def summarize(values: Iterable[float]) -> Dict[str, float]:
+    """Summarize an iterable of floats as ``{count, mean, std, min, max}``."""
+    stats = RunningStats()
+    stats.extend(values)
+    return {
+        "count": float(stats.count),
+        "mean": stats.mean if stats.count else 0.0,
+        "std": stats.stddev,
+        "min": stats.minimum if stats.count else 0.0,
+        "max": stats.maximum if stats.count else 0.0,
+    }

@@ -1,0 +1,54 @@
+"""Wall-clock timing helpers used by the experiment harnesses."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock time in seconds.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(10))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is not None:
+            self._elapsed = time.perf_counter() - self._start
+            self._start = None
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds (valid after the ``with`` block exits)."""
+        if self._start is not None:
+            return time.perf_counter() - self._start
+        return self._elapsed
+
+
+def format_duration(seconds: float) -> str:
+    """Format a duration the way the paper's Table 2 does (``1h42m13s``)."""
+    if seconds < 0:
+        raise ValueError("duration must be non-negative")
+    if seconds < 1.0:
+        return f"{seconds * 1000:.2f}ms"
+    total = int(round(seconds))
+    hours, rem = divmod(total, 3600)
+    minutes, secs = divmod(rem, 60)
+    parts = []
+    if hours:
+        parts.append(f"{hours}h")
+    if minutes or hours:
+        parts.append(f"{minutes}m")
+    parts.append(f"{secs}s")
+    return "".join(parts)

@@ -1,0 +1,7 @@
+"""Floorplan rendering: ASCII art for terminals, SVG for files."""
+
+from repro.viz.ascii_art import render_ascii
+from repro.viz.series import format_series_table, format_table
+from repro.viz.svg import render_svg, save_svg
+
+__all__ = ["render_ascii", "format_series_table", "format_table", "render_svg", "save_svg"]

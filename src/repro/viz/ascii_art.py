@@ -1,0 +1,64 @@
+"""Render a placed floorplan as ASCII art (Figures 5 and 7 in terminal form)."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.geometry.floorplan import FloorplanBounds, bounding_box
+from repro.geometry.rect import Rect
+
+
+def render_ascii(
+    rects: Mapping[str, Rect],
+    bounds: Optional[FloorplanBounds] = None,
+    max_width: int = 80,
+    max_height: int = 40,
+) -> str:
+    """Draw block outlines (labelled by their first letters) on a character grid.
+
+    The floorplan is scaled down so it fits inside ``max_width`` x
+    ``max_height`` characters.
+    """
+    if not rects:
+        return "(empty floorplan)"
+    if bounds is not None:
+        extent_w, extent_h = bounds.width, bounds.height
+    else:
+        bbox = bounding_box(rects.values())
+        extent_w, extent_h = bbox.x2, bbox.y2
+    extent_w = max(extent_w, 1)
+    extent_h = max(extent_h, 1)
+    scale_x = min(1.0, (max_width - 2) / extent_w)
+    scale_y = min(1.0, (max_height - 2) / extent_h)
+    grid_w = max(4, int(extent_w * scale_x) + 1)
+    grid_h = max(4, int(extent_h * scale_y) + 1)
+    grid = [[" " for _ in range(grid_w)] for _ in range(grid_h)]
+
+    for name, rect in rects.items():
+        x0 = int(rect.x * scale_x)
+        y0 = int(rect.y * scale_y)
+        x1 = max(x0 + 1, int(rect.x2 * scale_x) - 1)
+        y1 = max(y0 + 1, int(rect.y2 * scale_y) - 1)
+        x1 = min(x1, grid_w - 1)
+        y1 = min(y1, grid_h - 1)
+        for x in range(x0, x1 + 1):
+            _put(grid, x, y0, "-")
+            _put(grid, x, y1, "-")
+        for y in range(y0, y1 + 1):
+            _put(grid, x0, y, "|")
+            _put(grid, x1, y, "|")
+        for corner_x, corner_y in ((x0, y0), (x1, y0), (x0, y1), (x1, y1)):
+            _put(grid, corner_x, corner_y, "+")
+        label = name[: max(1, x1 - x0 - 1)]
+        label_y = (y0 + y1) // 2
+        for offset, char in enumerate(label):
+            _put(grid, x0 + 1 + offset, label_y, char)
+
+    # The origin is bottom-left in layout coordinates, top-left on screen.
+    lines = ["".join(row).rstrip() for row in reversed(grid)]
+    return "\n".join(lines)
+
+
+def _put(grid, x: int, y: int, char: str) -> None:
+    if 0 <= y < len(grid) and 0 <= x < len(grid[0]):
+        grid[y][x] = char

@@ -1,0 +1,47 @@
+"""Plain-text tables for experiment reports (no plotting dependency needed)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] = ()) -> str:
+    """Format dictionaries as an aligned text table.
+
+    ``columns`` fixes the column order; by default the keys of the first row
+    are used.
+    """
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    rendered = [[_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(width) for col, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(cell.ljust(width) for cell, width in zip(row, widths)) for row in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def format_series_table(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    x_label: str = "x",
+) -> str:
+    """Format one or more y-series over shared x values (the figure-style output)."""
+    rows: List[Dict[str, object]] = []
+    for i, x in enumerate(x_values):
+        row: Dict[str, object] = {x_label: x}
+        for name, values in series.items():
+            row[name] = values[i] if i < len(values) else ""
+        rows.append(row)
+    return format_table(rows, columns=[x_label, *series.keys()])
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,73 @@
+"""Render a placed floorplan as an SVG drawing."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+from repro.geometry.floorplan import FloorplanBounds, bounding_box
+from repro.geometry.rect import Rect
+
+_PALETTE = (
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+    "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+)
+
+
+def render_svg(
+    rects: Mapping[str, Rect],
+    bounds: Optional[FloorplanBounds] = None,
+    scale: float = 8.0,
+    margin: float = 10.0,
+) -> str:
+    """Return an SVG document drawing the blocks with their names."""
+    if bounds is not None:
+        extent_w, extent_h = bounds.width, bounds.height
+    elif rects:
+        bbox = bounding_box(rects.values())
+        extent_w, extent_h = bbox.x2, bbox.y2
+    else:
+        extent_w, extent_h = 1, 1
+    width = extent_w * scale + 2 * margin
+    height = extent_h * scale + 2 * margin
+
+    def to_y(y_layout: float) -> float:
+        # Flip the y axis: SVG's origin is top-left, layouts grow upwards.
+        return height - margin - y_layout * scale
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" height="{height:.0f}" '
+        f'viewBox="0 0 {width:.0f} {height:.0f}">',
+        f'<rect x="{margin}" y="{margin}" width="{extent_w * scale}" height="{extent_h * scale}" '
+        'fill="#f7f7f7" stroke="#333" stroke-width="1"/>',
+    ]
+    for i, (name, rect) in enumerate(rects.items()):
+        color = _PALETTE[i % len(_PALETTE)]
+        x = margin + rect.x * scale
+        y = to_y(rect.y2)
+        parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{rect.w * scale:.1f}" '
+            f'height="{rect.h * scale:.1f}" fill="{color}" fill-opacity="0.6" '
+            'stroke="#222" stroke-width="1"/>'
+        )
+        cx = margin + (rect.x + rect.w / 2.0) * scale
+        cy = to_y(rect.y + rect.h / 2.0) + 3
+        parts.append(
+            f'<text x="{cx:.1f}" y="{cy:.1f}" font-size="10" text-anchor="middle" '
+            f'font-family="monospace">{name}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(
+    rects: Mapping[str, Rect],
+    path: Union[str, Path],
+    bounds: Optional[FloorplanBounds] = None,
+    scale: float = 8.0,
+) -> Path:
+    """Write :func:`render_svg` output to ``path`` and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_svg(rects, bounds, scale), encoding="utf-8")
+    return path

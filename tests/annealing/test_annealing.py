@@ -1,0 +1,123 @@
+"""Tests for the generic simulated annealing engine and its schedules."""
+
+import random
+
+import pytest
+
+from repro.annealing.acceptance import metropolis_accept
+from repro.annealing.annealer import SimulatedAnnealer
+from repro.annealing.schedule import AdaptiveSchedule, GeometricSchedule, LinearSchedule
+
+
+class TestSchedules:
+    def test_geometric_decreases(self):
+        schedule = GeometricSchedule(initial_temperature=100.0, alpha=0.5, minimum_temperature=1.0)
+        assert schedule.temperature(0) == 100.0
+        assert schedule.temperature(1) == 50.0
+        assert not schedule.finished(0)
+        assert schedule.finished(7)
+
+    def test_geometric_validation(self):
+        with pytest.raises(ValueError):
+            GeometricSchedule(initial_temperature=-1.0)
+        with pytest.raises(ValueError):
+            GeometricSchedule(alpha=1.5)
+
+    def test_linear_reaches_zero(self):
+        schedule = LinearSchedule(initial_temperature=10.0, steps=5)
+        assert schedule.temperature(0) == 10.0
+        assert schedule.temperature(5) == 0.0
+        assert schedule.finished(5)
+
+    def test_adaptive_scales_with_reference(self):
+        low = AdaptiveSchedule(reference_cost=10.0, fraction=0.5)
+        high = AdaptiveSchedule(reference_cost=1000.0, fraction=0.5)
+        assert high.initial_temperature > low.initial_temperature
+        assert high.temperature(1) < high.temperature(0)
+
+
+class TestMetropolis:
+    def test_improvement_always_accepted(self):
+        rng = random.Random(0)
+        assert metropolis_accept(10.0, 5.0, 1.0, rng)
+        assert metropolis_accept(10.0, 10.0, 0.0, rng)
+
+    def test_zero_temperature_rejects_worsening(self):
+        rng = random.Random(0)
+        assert not metropolis_accept(10.0, 11.0, 0.0, rng)
+
+    def test_high_temperature_accepts_most_worsening(self):
+        rng = random.Random(0)
+        accepted = sum(
+            metropolis_accept(10.0, 10.5, 1000.0, rng) for _ in range(200)
+        )
+        assert accepted > 190
+
+    def test_low_temperature_rejects_most_worsening(self):
+        rng = random.Random(0)
+        accepted = sum(metropolis_accept(10.0, 20.0, 0.5, rng) for _ in range(200))
+        assert accepted < 10
+
+
+class TestAnnealer:
+    def test_minimizes_quadratic(self):
+        def evaluate(x):
+            return (x - 3.0) ** 2
+
+        def propose(x, rng):
+            return x + rng.uniform(-1.0, 1.0)
+
+        annealer = SimulatedAnnealer(
+            evaluate,
+            propose,
+            schedule=GeometricSchedule(initial_temperature=5.0, alpha=0.9, minimum_temperature=0.01),
+            moves_per_temperature=20,
+            seed=0,
+        )
+        result = annealer.run(20.0)
+        assert abs(result.best_state - 3.0) < 1.0
+        assert result.best_cost <= result.final_cost + 1e-9
+        assert result.best_cost <= result.average_cost
+
+    def test_iteration_budget_respected(self):
+        annealer = SimulatedAnnealer(
+            evaluate=lambda x: x,
+            propose=lambda x, rng: x + 1,
+            schedule=GeometricSchedule(initial_temperature=100.0, alpha=0.999, minimum_temperature=1e-6),
+            moves_per_temperature=10,
+            max_iterations=37,
+            seed=0,
+        )
+        result = annealer.run(0)
+        assert result.iterations == 37
+
+    def test_history_recorded_when_enabled(self):
+        annealer = SimulatedAnnealer(
+            evaluate=lambda x: abs(x),
+            propose=lambda x, rng: x + rng.choice([-1, 1]),
+            moves_per_temperature=5,
+            max_iterations=50,
+            record_history=True,
+            seed=1,
+        )
+        result = annealer.run(10)
+        assert len(result.cost_history) >= 1
+        assert 0.0 <= result.acceptance_ratio <= 1.0
+
+    def test_same_seed_reproducible(self):
+        def make():
+            return SimulatedAnnealer(
+                evaluate=lambda x: (x - 1.0) ** 2,
+                propose=lambda x, rng: x + rng.uniform(-0.5, 0.5),
+                moves_per_temperature=10,
+                max_iterations=100,
+                seed=42,
+            )
+
+        assert make().run(5.0).best_state == make().run(5.0).best_state
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnealer(lambda x: x, lambda x, rng: x, moves_per_temperature=0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealer(lambda x: x, lambda x, rng: x, max_iterations=0)

@@ -1,0 +1,81 @@
+"""Tests for the Table 1 benchmark circuit library."""
+
+import pytest
+
+from repro.benchcircuits.library import (
+    TABLE1,
+    ALIASES,
+    all_benchmarks,
+    benchmark_names,
+    get_benchmark,
+)
+from repro.circuit.validation import validate_circuit
+
+
+class TestTable1Statistics:
+    @pytest.mark.parametrize("name", list(TABLE1))
+    def test_counts_match_paper(self, name):
+        circuit = get_benchmark(name)
+        assert circuit.summary() == TABLE1[name]
+
+    @pytest.mark.parametrize("name", list(TABLE1))
+    def test_circuits_validate(self, name):
+        validate_circuit(get_benchmark(name))
+
+    @pytest.mark.parametrize("name", list(TABLE1))
+    def test_every_block_has_positive_dimension_range(self, name):
+        circuit = get_benchmark(name)
+        for block in circuit.blocks:
+            assert block.min_w >= 1 and block.min_h >= 1
+            assert block.max_w > block.min_w or block.max_h > block.min_h
+
+    def test_benchmark_names_order(self):
+        assert benchmark_names()[0] == "circ01"
+        assert benchmark_names()[-1] == "benchmark24"
+        assert len(benchmark_names()) == 9
+
+    def test_all_benchmarks_builds_everything(self):
+        circuits = all_benchmarks()
+        assert set(circuits) == set(TABLE1)
+
+    def test_aliases(self):
+        assert get_benchmark("TSO").name == "two_stage_opamp"
+        assert get_benchmark("tso-cascode").name == "tso_cascode"
+        for alias in ALIASES:
+            assert get_benchmark(alias) is not None
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            get_benchmark("circ99")
+
+
+class TestCircuitContent:
+    def test_opamp_has_symmetry_groups(self):
+        circuit = get_benchmark("two_stage_opamp")
+        assert circuit.symmetry_groups
+
+    def test_mixer_symmetry_pairs(self):
+        circuit = get_benchmark("mixer")
+        pairs = [pair for group in circuit.symmetry_groups for pair in group.pairs]
+        assert ("lo_sw1", "lo_sw2") in pairs
+
+    def test_opamp_compensation_net_present(self):
+        # The synthesis performance model couples parasitics through net "n2".
+        circuit = get_benchmark("two_stage_opamp")
+        assert circuit.net("n2").num_terminals >= 3
+
+    def test_largest_circuit_is_within_paper_target(self):
+        # The method targets circuits of up to ~25 modules.
+        assert max(c.num_blocks for c in all_benchmarks().values()) <= 25
+
+    def test_external_nets_have_io_positions(self):
+        circuit = get_benchmark("benchmark24")
+        for net in circuit.nets:
+            assert net.external
+            fx, fy = net.io_position
+            assert 0.0 <= fx <= 1.0 and 0.0 <= fy <= 1.0
+
+    def test_connectivity_graph_of_cascode_is_meaningful(self):
+        circuit = get_benchmark("tso_cascode")
+        graph = circuit.connectivity_graph()
+        assert graph.number_of_edges() >= 10

@@ -1,0 +1,72 @@
+"""Tests for circuit blocks."""
+
+import pytest
+
+from repro.circuit.block import Block
+from repro.circuit.devices import DeviceType
+from repro.circuit.pin import Pin
+
+
+class TestBlockValidation:
+    def test_valid_block(self):
+        block = Block("m1", 4, 12, 5, 15)
+        assert block.min_dims == (4, 5)
+        assert block.max_dims == (12, 15)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Block("", 4, 12, 4, 12)
+
+    def test_non_positive_minimum_rejected(self):
+        with pytest.raises(ValueError):
+            Block("m1", 0, 12, 4, 12)
+
+    def test_max_below_min_rejected(self):
+        with pytest.raises(ValueError):
+            Block("m1", 10, 4, 4, 12)
+
+    def test_center_pin_always_present(self):
+        block = Block("m1", 4, 12, 4, 12)
+        assert "c" in block.pins
+
+    def test_custom_pins_kept(self):
+        block = Block("m1", 4, 12, 4, 12, pins={"d": Pin("d", 0.1, 0.9)})
+        assert set(block.pins) == {"c", "d"}
+
+
+class TestBlockQueries:
+    def test_spans(self):
+        block = Block("m1", 4, 12, 5, 15)
+        assert block.width_span == 9
+        assert block.height_span == 11
+        assert block.max_area == 12 * 15
+
+    def test_clamp_dims(self):
+        block = Block("m1", 4, 12, 4, 12)
+        assert block.clamp_dims(1, 20) == (4, 12)
+        assert block.clamp_dims(7, 8) == (7, 8)
+
+    def test_admits(self):
+        block = Block("m1", 4, 12, 4, 12)
+        assert block.admits(4, 12)
+        assert not block.admits(3, 8)
+        assert not block.admits(8, 13)
+
+    def test_pin_lookup(self):
+        block = Block("m1", 4, 12, 4, 12, pins={"d": Pin("d", 0.1, 0.9)})
+        assert block.pin("d").fx == 0.1
+        with pytest.raises(KeyError):
+            block.pin("missing")
+
+    def test_add_pin(self):
+        block = Block("m1", 4, 12, 4, 12)
+        block.add_pin(Pin("g", 0.5, 1.0))
+        assert "g" in block.pins
+        with pytest.raises(ValueError):
+            block.add_pin(Pin("g", 0.5, 1.0))
+
+    def test_device_type_flags(self):
+        assert DeviceType.NMOS.is_transistor_based
+        assert not DeviceType.CAPACITOR.is_transistor_based
+        assert DeviceType.RESISTOR.is_passive
+        assert not DeviceType.DIFF_PAIR.is_passive

@@ -1,0 +1,132 @@
+"""Tests for the Circuit container and its builder."""
+
+import pytest
+
+from repro.circuit.block import Block
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.net import Net, Terminal
+from repro.circuit.netlist import Circuit
+from repro.circuit.validation import CircuitValidationError, collect_problems, validate_circuit
+
+
+def small_circuit() -> Circuit:
+    builder = CircuitBuilder("small")
+    builder.block("a", 4, 10, 4, 10)
+    builder.block("b", 4, 10, 4, 10)
+    builder.block("c", 4, 10, 4, 10)
+    builder.simple_net("n1", ["a", "b"])
+    builder.simple_net("n2", ["b", "c"])
+    return builder.build()
+
+
+class TestCircuitStructure:
+    def test_counts(self):
+        circuit = small_circuit()
+        assert circuit.num_blocks == 3
+        assert circuit.num_nets == 2
+        assert circuit.num_terminals == 4
+        assert circuit.summary() == {"blocks": 3, "nets": 2, "terminals": 4}
+
+    def test_block_lookup(self):
+        circuit = small_circuit()
+        assert circuit.block_index("b") == 1
+        assert circuit.block("c").name == "c"
+        assert circuit.has_block("a") and not circuit.has_block("z")
+        with pytest.raises(KeyError):
+            circuit.block("z")
+
+    def test_net_lookup(self):
+        circuit = small_circuit()
+        assert circuit.net("n1").num_terminals == 2
+        with pytest.raises(KeyError):
+            circuit.net("missing")
+
+    def test_dims_helpers(self):
+        circuit = small_circuit()
+        assert circuit.min_dims() == [(4, 4)] * 3
+        assert circuit.max_dims() == [(10, 10)] * 3
+        assert circuit.dims_in_bounds([(5, 5), (4, 10), (10, 4)])
+        assert not circuit.dims_in_bounds([(5, 5), (4, 11), (10, 4)])
+        assert not circuit.dims_in_bounds([(5, 5)])
+
+    def test_nets_on_block(self):
+        circuit = small_circuit()
+        assert [net.name for net in circuit.nets_on_block("b")] == ["n1", "n2"]
+        assert [net.name for net in circuit.nets_on_block("a")] == ["n1"]
+
+    def test_duplicate_block_rejected(self):
+        circuit = small_circuit()
+        with pytest.raises(ValueError):
+            circuit.add_block(Block("a", 4, 10, 4, 10))
+
+    def test_duplicate_net_rejected(self):
+        circuit = small_circuit()
+        with pytest.raises(ValueError):
+            circuit.add_net(Net("n1", (Terminal("a"), Terminal("b"))))
+
+    def test_net_referencing_unknown_block_rejected(self):
+        circuit = small_circuit()
+        with pytest.raises(ValueError):
+            circuit.add_net(Net("n3", (Terminal("z"), Terminal("a"))))
+
+    def test_connectivity_graph(self):
+        circuit = small_circuit()
+        graph = circuit.connectivity_graph()
+        assert set(graph.nodes) == {"a", "b", "c"}
+        assert graph.has_edge("a", "b") and graph.has_edge("b", "c")
+        assert not graph.has_edge("a", "c")
+
+    def test_connectivity_graph_accumulates_weights(self):
+        builder = CircuitBuilder("w")
+        builder.block("a", 4, 10, 4, 10)
+        builder.block("b", 4, 10, 4, 10)
+        builder.simple_net("n1", ["a", "b"], weight=1.0)
+        builder.simple_net("n2", ["a", "b"], weight=2.0)
+        graph = builder.build().connectivity_graph()
+        assert graph["a"]["b"]["weight"] == 3.0
+
+
+class TestBuilder:
+    def test_builder_pins_and_symmetry(self):
+        builder = CircuitBuilder("sym")
+        builder.block("a", 4, 10, 4, 10, pins={"d": (0.1, 0.9)})
+        builder.block("b", 4, 10, 4, 10)
+        builder.net("n1", ("a", "d"), ("b", "c"))
+        builder.symmetry("pair", pairs=[("a", "b")])
+        circuit = builder.build()
+        assert circuit.block("a").pin("d").fy == 0.9
+        assert len(circuit.symmetry_groups) == 1
+
+    def test_builder_rejects_unknown_pin(self):
+        builder = CircuitBuilder("bad")
+        builder.block("a", 4, 10, 4, 10)
+        builder.block("b", 4, 10, 4, 10)
+        with pytest.raises(KeyError):
+            builder.net("n1", ("a", "nonexistent"), ("b", "c"))
+
+    def test_symmetry_with_unknown_block_rejected(self):
+        builder = CircuitBuilder("bad")
+        builder.block("a", 4, 10, 4, 10)
+        with pytest.raises(ValueError):
+            builder.symmetry("pair", pairs=[("a", "zz")])
+
+
+class TestValidation:
+    def test_valid_circuit_passes(self):
+        validate_circuit(small_circuit())
+
+    def test_empty_circuit_fails(self):
+        problems = collect_problems(Circuit("empty"))
+        assert any("no blocks" in p for p in problems)
+
+    def test_dangling_single_terminal_net_flagged(self):
+        circuit = small_circuit()
+        circuit.nets.append(Net("dangling", (Terminal("a"),)))
+        with pytest.raises(CircuitValidationError) as excinfo:
+            validate_circuit(circuit)
+        assert "dangling" in str(excinfo.value)
+
+    def test_external_single_terminal_net_allowed(self):
+        circuit = small_circuit()
+        circuit.add_net(Net("pad", (Terminal("a"),), external=True))
+        validate_circuit(circuit)

@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite.
+
+Structure generation is the expensive part of the library, so the fixtures
+that need a generated multi-placement structure are session-scoped and use
+the smoke-scale SA budgets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchcircuits.library import get_benchmark
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.devices import DeviceType
+from repro.core.generator import GeneratorConfig, MultiPlacementGenerator
+from repro.cost.cost_function import PlacementCostFunction
+from repro.geometry.floorplan import FloorplanBounds
+
+
+def build_chain_circuit(num_blocks: int = 4, name: str = "chain") -> "Circuit":
+    """A small chain-connected circuit used throughout the unit tests."""
+    builder = CircuitBuilder(name)
+    for i in range(num_blocks):
+        builder.block(f"m{i}", 4, 12, 4, 12, device_type=DeviceType.GENERIC)
+    for i in range(num_blocks - 1):
+        builder.simple_net(f"n{i}", [f"m{i}", f"m{i + 1}"])
+    return builder.build()
+
+
+@pytest.fixture
+def chain_circuit():
+    """A fresh 4-block chain circuit."""
+    return build_chain_circuit()
+
+
+@pytest.fixture
+def chain_bounds(chain_circuit):
+    """A floorplan canvas sized for the chain circuit."""
+    return FloorplanBounds.for_blocks(chain_circuit.max_dims(), whitespace_factor=2.0)
+
+
+@pytest.fixture
+def chain_cost_function(chain_circuit, chain_bounds):
+    """The default wirelength+area cost function for the chain circuit."""
+    return PlacementCostFunction(chain_circuit, chain_bounds)
+
+
+@pytest.fixture(scope="session")
+def generated_chain_structure():
+    """A generated structure for the chain circuit (smoke budget, fixed seed)."""
+    circuit = build_chain_circuit()
+    generator = MultiPlacementGenerator(circuit, GeneratorConfig.smoke(seed=7))
+    return generator.generate()
+
+
+@pytest.fixture(scope="session")
+def generated_opamp_structure():
+    """A generated structure for the two-stage opamp benchmark (smoke budget)."""
+    circuit = get_benchmark("two_stage_opamp")
+    config = GeneratorConfig.smoke(seed=3)
+    generator = MultiPlacementGenerator(circuit, config)
+    return generator.generate()
+
+
+@pytest.fixture
+def opamp_circuit():
+    """A fresh two-stage opamp benchmark circuit."""
+    return get_benchmark("two_stage_opamp")

@@ -1,0 +1,145 @@
+"""Tests for the Block Dimensions-Interval Optimizer (Section 3.2)."""
+
+import pytest
+
+from repro.core.bdio import (
+    BDIOConfig,
+    BlockDimensionsIntervalOptimizer,
+    EQ6_INTENT,
+    EQ6_LITERAL,
+    optimize_ranges,
+)
+from repro.core.expansion import expand_placement
+from repro.core.intervals import Interval
+from repro.core.placement_entry import DimensionRange
+from repro.cost.cost_function import PlacementCostFunction
+from repro.geometry.floorplan import FloorplanBounds
+from tests.conftest import build_chain_circuit
+
+
+class TestBDIOConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BDIOConfig(max_iterations=0)
+        with pytest.raises(ValueError):
+            BDIOConfig(perturb_fraction=0.0)
+        with pytest.raises(ValueError):
+            BDIOConfig(eq6_mode="bogus")
+        with pytest.raises(ValueError):
+            BDIOConfig(min_interval_length=0)
+
+    def test_scaled(self):
+        config = BDIOConfig(max_iterations=100)
+        assert config.scaled(0.1).max_iterations == 10
+        assert config.scaled(0.0001).max_iterations == 1
+
+
+class TestOptimizeRanges:
+    def _ranges(self):
+        return [DimensionRange(Interval(4, 20), Interval(4, 20))]
+
+    def test_intent_mode_tightens_around_best(self):
+        reduced = optimize_ranges(
+            self._ranges(), [(10, 10)], average_cost=20.0, best_cost=10.0, mode=EQ6_INTENT
+        )
+        assert reduced[0].width.contains(10)
+        assert reduced[0].height.contains(10)
+        assert reduced[0].width.length < 17
+        # Ratio best/avg = 0.5 -> roughly half the original length.
+        assert reduced[0].width.length == pytest.approx(17 * 0.5, abs=1)
+
+    def test_equal_costs_keep_full_interval(self):
+        reduced = optimize_ranges(
+            self._ranges(), [(10, 10)], average_cost=10.0, best_cost=10.0, mode=EQ6_INTENT
+        )
+        assert reduced[0].width.length == 17
+
+    def test_literal_mode_does_not_tighten(self):
+        reduced = optimize_ranges(
+            self._ranges(), [(10, 10)], average_cost=30.0, best_cost=10.0, mode=EQ6_LITERAL
+        )
+        assert reduced[0].width == Interval(4, 20)
+
+    def test_best_dims_near_boundary_stay_inside(self):
+        reduced = optimize_ranges(
+            self._ranges(), [(4, 20)], average_cost=40.0, best_cost=10.0, mode=EQ6_INTENT
+        )
+        assert reduced[0].width.contains(4)
+        assert reduced[0].height.contains(20)
+        assert reduced[0].width.start >= 4
+        assert reduced[0].height.end <= 20
+
+    def test_min_length_respected(self):
+        reduced = optimize_ranges(
+            self._ranges(), [(10, 10)], average_cost=1e9, best_cost=1.0,
+            mode=EQ6_INTENT, min_length=3,
+        )
+        assert reduced[0].width.length >= 3
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            optimize_ranges(self._ranges(), [(10, 10), (5, 5)], 10.0, 5.0)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            optimize_ranges(self._ranges(), [(10, 10)], 10.0, 5.0, mode="nope")
+
+
+class TestOptimizer:
+    def _setup(self, num_blocks=3, seed=0):
+        circuit = build_chain_circuit(num_blocks)
+        bounds = FloorplanBounds(60, 60)
+        cost_fn = PlacementCostFunction(circuit, bounds)
+        anchors = [(i * 18, 0) for i in range(num_blocks)]
+        ranges = expand_placement(circuit, anchors, bounds)
+        bdio = BlockDimensionsIntervalOptimizer(
+            cost_fn, BDIOConfig(max_iterations=80), seed=seed
+        )
+        return circuit, anchors, ranges, bdio, cost_fn
+
+    def test_result_invariants(self):
+        circuit, anchors, ranges, bdio, cost_fn = self._setup()
+        result = bdio.optimize(anchors, ranges)
+        assert result.best_cost <= result.average_cost + 1e-9
+        assert result.evaluations <= 80
+        assert len(result.reduced_ranges) == circuit.num_blocks
+        # Best dims must lie inside the expanded ranges and the reduced ranges.
+        for (w, h), expanded, reduced in zip(
+            result.best_dims, ranges, result.reduced_ranges
+        ):
+            assert expanded.contains(w, h)
+            assert reduced.contains(w, h)
+
+    def test_reduced_ranges_within_expanded(self):
+        _, anchors, ranges, bdio, _ = self._setup()
+        result = bdio.optimize(anchors, ranges)
+        for expanded, reduced in zip(ranges, result.reduced_ranges):
+            assert expanded.width.contains_interval(reduced.width)
+            assert expanded.height.contains_interval(reduced.height)
+
+    def test_best_cost_matches_cost_function(self):
+        circuit, anchors, ranges, bdio, cost_fn = self._setup()
+        result = bdio.optimize(anchors, ranges)
+        recomputed = cost_fn.evaluate_layout(anchors, result.best_dims).total
+        assert recomputed == pytest.approx(result.best_cost)
+
+    def test_deterministic_with_seed(self):
+        _, anchors, ranges, _, cost_fn = self._setup()
+        bdio_a = BlockDimensionsIntervalOptimizer(cost_fn, BDIOConfig(max_iterations=60), seed=11)
+        bdio_b = BlockDimensionsIntervalOptimizer(cost_fn, BDIOConfig(max_iterations=60), seed=11)
+        result_a = bdio_a.optimize(anchors, ranges)
+        result_b = bdio_b.optimize(anchors, ranges)
+        assert result_a.best_dims == result_b.best_dims
+        assert result_a.average_cost == pytest.approx(result_b.average_cost)
+
+    def test_single_value_intervals_handled(self):
+        circuit = build_chain_circuit(2)
+        bounds = FloorplanBounds(60, 60)
+        cost_fn = PlacementCostFunction(circuit, bounds)
+        ranges = [
+            DimensionRange(Interval(4, 4), Interval(4, 4)),
+            DimensionRange(Interval(4, 4), Interval(4, 4)),
+        ]
+        bdio = BlockDimensionsIntervalOptimizer(cost_fn, BDIOConfig(max_iterations=20), seed=0)
+        result = bdio.optimize([(0, 0), (20, 0)], ranges)
+        assert result.best_dims == ((4, 4), (4, 4))

@@ -1,0 +1,49 @@
+"""Tests for the coverage metrics."""
+
+import pytest
+
+from repro.core.coverage import coverage, marginal_coverage, volume_coverage_estimate
+from repro.core.intervals import Interval
+from repro.core.placement_entry import DimensionRange
+from repro.core.structure import MultiPlacementStructure
+from repro.geometry.floorplan import FloorplanBounds
+from tests.conftest import build_chain_circuit
+
+
+@pytest.fixture
+def half_covered_structure():
+    circuit = build_chain_circuit(2)
+    structure = MultiPlacementStructure(circuit, FloorplanBounds(60, 60))
+    # Blocks span 4..12 (9 values); cover 4..8 (5 values) in every row.
+    structure.add_placement(
+        anchors=[(0, 0), (20, 0)],
+        ranges=[
+            DimensionRange(Interval(4, 8), Interval(4, 8)),
+            DimensionRange(Interval(4, 8), Interval(4, 8)),
+        ],
+        average_cost=1.0,
+        best_cost=1.0,
+    )
+    return structure
+
+
+class TestCoverage:
+    def test_marginal_value(self, half_covered_structure):
+        assert marginal_coverage(half_covered_structure) == pytest.approx(5 / 9)
+
+    def test_volume_estimate_between_zero_and_one(self, half_covered_structure):
+        estimate = volume_coverage_estimate(half_covered_structure, samples=400, seed=0)
+        assert 0.0 < estimate < 1.0
+        # Expected volume fraction is (5/9)^4 ~ 0.095.
+        assert estimate == pytest.approx((5 / 9) ** 4, abs=0.08)
+
+    def test_volume_estimate_deterministic_with_seed(self, half_covered_structure):
+        a = volume_coverage_estimate(half_covered_structure, samples=100, seed=3)
+        b = volume_coverage_estimate(half_covered_structure, samples=100, seed=3)
+        assert a == b
+
+    def test_dispatch(self, half_covered_structure):
+        assert coverage(half_covered_structure, "marginal") == pytest.approx(5 / 9)
+        assert 0.0 <= coverage(half_covered_structure, "volume", samples=100) <= 1.0
+        with pytest.raises(ValueError):
+            coverage(half_covered_structure, "nope")

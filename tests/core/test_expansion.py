@@ -1,0 +1,111 @@
+"""Tests for the Placement Expansion step (Section 3.1.2)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.expansion import expand_placement, placement_is_legal_at_min_dims
+from repro.geometry.floorplan import FloorplanBounds
+from repro.geometry.rect import Rect
+from tests.conftest import build_chain_circuit
+
+import pytest
+
+
+class TestLegality:
+    def test_legal_at_min_dims(self):
+        circuit = build_chain_circuit(2)
+        bounds = FloorplanBounds(40, 40)
+        assert placement_is_legal_at_min_dims(circuit, [(0, 0), (20, 20)], bounds)
+
+    def test_overlapping_at_min_dims(self):
+        circuit = build_chain_circuit(2)
+        bounds = FloorplanBounds(40, 40)
+        assert not placement_is_legal_at_min_dims(circuit, [(0, 0), (2, 2)], bounds)
+
+    def test_out_of_bounds_at_min_dims(self):
+        circuit = build_chain_circuit(2)
+        bounds = FloorplanBounds(40, 40)
+        assert not placement_is_legal_at_min_dims(circuit, [(0, 0), (38, 0)], bounds)
+
+
+class TestExpansion:
+    def test_illegal_placement_returns_none(self):
+        circuit = build_chain_circuit(2)
+        bounds = FloorplanBounds(40, 40)
+        assert expand_placement(circuit, [(0, 0), (2, 2)], bounds) is None
+
+    def test_isolated_blocks_expand_to_maximum(self):
+        circuit = build_chain_circuit(2)
+        bounds = FloorplanBounds(100, 100)
+        ranges = expand_placement(circuit, [(0, 0), (50, 50)], bounds)
+        for block, dim_range in zip(circuit.blocks, ranges):
+            assert dim_range.width.end == block.max_w
+            assert dim_range.height.end == block.max_h
+            assert dim_range.width.start == block.min_w
+
+    def test_adjacent_blocks_limit_each_other(self):
+        circuit = build_chain_circuit(2)
+        bounds = FloorplanBounds(100, 100)
+        # Blocks side by side, 8 apart: combined widths cannot exceed the gap.
+        ranges = expand_placement(circuit, [(0, 0), (8, 0)], bounds)
+        assert ranges[0].width.end <= 8
+        assert ranges[1].height.end == circuit.blocks[1].max_h
+
+    def test_floorplan_boundary_limits_expansion(self):
+        circuit = build_chain_circuit(1)
+        bounds = FloorplanBounds(10, 10)
+        ranges = expand_placement(circuit, [(4, 4)], bounds)
+        assert ranges[0].width.end == 6
+        assert ranges[0].height.end == 6
+
+    def test_expanded_maxima_do_not_overlap(self):
+        circuit = build_chain_circuit(4)
+        bounds = FloorplanBounds(40, 40)
+        anchors = [(0, 0), (14, 0), (0, 14), (14, 14)]
+        ranges = expand_placement(circuit, anchors, bounds)
+        rects = [
+            Rect(x, y, rng.width.end, rng.height.end)
+            for (x, y), rng in zip(anchors, ranges)
+        ]
+        for i in range(len(rects)):
+            assert bounds.contains(rects[i])
+            for j in range(i + 1, len(rects)):
+                assert not rects[i].intersects(rects[j])
+
+    def test_step_parameter_validated(self):
+        circuit = build_chain_circuit(1)
+        bounds = FloorplanBounds(30, 30)
+        with pytest.raises(ValueError):
+            expand_placement(circuit, [(0, 0)], bounds, step=0)
+
+    def test_wrong_anchor_count_rejected(self):
+        circuit = build_chain_circuit(2)
+        bounds = FloorplanBounds(30, 30)
+        with pytest.raises(ValueError):
+            expand_placement(circuit, [(0, 0)], bounds)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 1_000_000))
+    def test_random_legal_placements_expand_without_overlap(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        circuit = build_chain_circuit(3)
+        bounds = FloorplanBounds(50, 50)
+        anchors = []
+        for block in circuit.blocks:
+            anchors.append(
+                (
+                    rng.randint(0, bounds.width - block.min_w),
+                    rng.randint(0, bounds.height - block.min_h),
+                )
+            )
+        ranges = expand_placement(circuit, anchors, bounds)
+        if ranges is None:
+            return  # illegal starting placement, nothing to check
+        rects = [
+            Rect(x, y, r.width.end, r.height.end) for (x, y), r in zip(anchors, ranges)
+        ]
+        for i in range(len(rects)):
+            assert bounds.contains(rects[i])
+            for j in range(i + 1, len(rects)):
+                assert not rects[i].intersects(rects[j])

@@ -1,0 +1,155 @@
+"""Tests for the Placement Explorer and the end-to-end generator."""
+
+import pytest
+
+from repro.core.bdio import BDIOConfig, BlockDimensionsIntervalOptimizer
+from repro.core.explorer import ExplorerConfig, PlacementExplorer
+from repro.core.generator import GenerationResult, GeneratorConfig, MultiPlacementGenerator
+from repro.core.structure import MultiPlacementStructure
+from repro.cost.cost_function import PlacementCostFunction
+from repro.geometry.floorplan import FloorplanBounds
+from repro.geometry.rect import Rect
+from tests.conftest import build_chain_circuit
+
+
+class TestExplorerConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExplorerConfig(max_iterations=0)
+        with pytest.raises(ValueError):
+            ExplorerConfig(coverage_target=0.0)
+        with pytest.raises(ValueError):
+            ExplorerConfig(coverage_metric="nope")
+        with pytest.raises(ValueError):
+            ExplorerConfig(initial_placement="nope")
+
+    def test_scaled(self):
+        assert ExplorerConfig(max_iterations=50).scaled(0.2).max_iterations == 10
+
+
+def run_explorer(num_blocks=3, iterations=6, seed=0, **config_kwargs):
+    circuit = build_chain_circuit(num_blocks)
+    bounds = FloorplanBounds.for_blocks(circuit.max_dims(), whitespace_factor=2.0)
+    cost_fn = PlacementCostFunction(circuit, bounds)
+    bdio = BlockDimensionsIntervalOptimizer(cost_fn, BDIOConfig(max_iterations=40), seed=seed)
+    config = ExplorerConfig(max_iterations=iterations, coverage_target=0.99, **config_kwargs)
+    explorer = PlacementExplorer(circuit, bounds, bdio, config=config, seed=seed)
+    stats = explorer.run()
+    return explorer, stats
+
+
+class TestPlacementExplorer:
+    def test_run_stores_placements(self):
+        explorer, stats = run_explorer()
+        assert explorer.structure.num_placements >= 1
+        assert stats.iterations >= 1
+        assert stats.stored_pieces >= explorer.structure.num_placements - stats.resolution.discarded_existing
+        explorer.structure.check_invariants()
+
+    def test_coverage_history_tracked(self):
+        # Coverage is recorded after every successful iteration; it can dip
+        # when a worse stored placement is later discarded, so only the value
+        # range and the final bookkeeping are asserted.
+        explorer, stats = run_explorer(iterations=8)
+        assert stats.coverage_history
+        assert all(0.0 <= value <= 1.0 for value in stats.coverage_history)
+        assert stats.final_coverage == pytest.approx(
+            explorer.structure.marginal_coverage()
+        )
+
+    def test_coverage_target_stops_early(self):
+        circuit = build_chain_circuit(2)
+        bounds = FloorplanBounds.for_blocks(circuit.max_dims(), whitespace_factor=3.0)
+        cost_fn = PlacementCostFunction(circuit, bounds)
+        bdio = BlockDimensionsIntervalOptimizer(cost_fn, BDIOConfig(max_iterations=30), seed=0)
+        config = ExplorerConfig(max_iterations=50, coverage_target=0.05)
+        explorer = PlacementExplorer(circuit, bounds, bdio, config=config, seed=0)
+        stats = explorer.run()
+        assert stats.iterations < 50
+
+    def test_packed_initial_placement(self):
+        explorer, stats = run_explorer(initial_placement="packed")
+        assert explorer.structure.num_placements >= 1
+
+    def test_uses_supplied_structure(self):
+        circuit = build_chain_circuit(2)
+        bounds = FloorplanBounds.for_blocks(circuit.max_dims())
+        structure = MultiPlacementStructure(circuit, bounds)
+        cost_fn = PlacementCostFunction(circuit, bounds)
+        bdio = BlockDimensionsIntervalOptimizer(cost_fn, BDIOConfig(max_iterations=20), seed=0)
+        explorer = PlacementExplorer(
+            circuit, bounds, bdio, structure=structure,
+            config=ExplorerConfig(max_iterations=3, coverage_target=0.99), seed=0,
+        )
+        explorer.run()
+        assert explorer.structure is structure
+        assert structure.num_placements >= 1
+
+    def test_stored_placements_are_legal_layouts(self):
+        explorer, _ = run_explorer(iterations=8)
+        structure = explorer.structure
+        bounds = structure.bounds
+        for placement in structure:
+            dims = [(r.width.end, r.height.end) for r in placement.ranges]
+            rects = [
+                Rect(x, y, w, h) for (x, y), (w, h) in zip(placement.anchors, dims)
+            ]
+            for i in range(len(rects)):
+                assert bounds.contains(rects[i])
+                for j in range(i + 1, len(rects)):
+                    assert not rects[i].intersects(rects[j])
+
+
+class TestGeneratorConfig:
+    def test_presets_ordering(self):
+        smoke = GeneratorConfig.smoke()
+        default = GeneratorConfig.default()
+        paper = GeneratorConfig.paper()
+        assert smoke.explorer.max_iterations < default.explorer.max_iterations
+        assert default.explorer.max_iterations < paper.explorer.max_iterations
+
+    def test_scaled(self):
+        config = GeneratorConfig.default().scaled(0.5)
+        assert config.explorer.max_iterations == GeneratorConfig.default().explorer.max_iterations // 2
+
+
+class TestMultiPlacementGenerator:
+    def test_generate_with_stats(self, chain_circuit):
+        generator = MultiPlacementGenerator(chain_circuit, GeneratorConfig.smoke(seed=1))
+        result = generator.generate_with_stats()
+        assert isinstance(result, GenerationResult)
+        assert result.num_placements >= 1
+        assert result.elapsed_seconds > 0
+        result.structure.check_invariants()
+
+    def test_generated_structure_has_fallback(self, chain_circuit):
+        generator = MultiPlacementGenerator(chain_circuit, GeneratorConfig.smoke(seed=1))
+        structure = generator.generate()
+        assert structure.fallback_anchors is not None
+        # The fallback must be legal at maximum block dimensions.
+        rects = [
+            Rect(x, y, w, h)
+            for (x, y), (w, h) in zip(structure.fallback_anchors, chain_circuit.max_dims())
+        ]
+        for i in range(len(rects)):
+            for j in range(i + 1, len(rects)):
+                assert not rects[i].intersects(rects[j])
+
+    def test_same_seed_reproducible(self, chain_circuit):
+        result_a = MultiPlacementGenerator(chain_circuit, GeneratorConfig.smoke(seed=5)).generate()
+        result_b = MultiPlacementGenerator(chain_circuit, GeneratorConfig.smoke(seed=5)).generate()
+        assert result_a.num_placements == result_b.num_placements
+        assert [p.anchors for p in result_a] == [p.anchors for p in result_b]
+
+    def test_invalid_circuit_rejected(self):
+        from repro.circuit.netlist import Circuit
+
+        with pytest.raises(Exception):
+            MultiPlacementGenerator(Circuit("empty"), GeneratorConfig.smoke())
+
+    def test_bounds_fit_all_blocks(self, chain_circuit):
+        generator = MultiPlacementGenerator(chain_circuit, GeneratorConfig.smoke())
+        max_w = max(w for w, _ in chain_circuit.max_dims())
+        max_h = max(h for _, h in chain_circuit.max_dims())
+        assert generator.bounds.width >= max_w
+        assert generator.bounds.height >= max_h

@@ -1,0 +1,227 @@
+"""Tests for the Resolve Overlaps routine (Section 3.1.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.intervals import Interval
+from repro.core.overlap_resolution import (
+    POLICY_DISCARD_NEWER,
+    POLICY_SHRINK_NEWER,
+    POLICY_SHRINK_WORSE,
+    ResolutionReport,
+    resolve_overlaps,
+    shrink_interval_away,
+    shrink_ranges_away,
+    smallest_overlap_dimension,
+)
+from repro.core.placement_entry import DimensionRange
+from repro.core.structure import MultiPlacementStructure
+from repro.geometry.floorplan import FloorplanBounds
+from tests.conftest import build_chain_circuit
+
+
+def make_structure(num_blocks=2):
+    circuit = build_chain_circuit(num_blocks)
+    return MultiPlacementStructure(circuit, FloorplanBounds(60, 60))
+
+
+def box(w, h, n=2):
+    return [DimensionRange(Interval(*w), Interval(*h)) for _ in range(n)]
+
+
+class TestShrinkInterval:
+    def test_no_overlap_returns_original(self):
+        assert shrink_interval_away(Interval(0, 5), Interval(8, 10)) == [Interval(0, 5)]
+
+    def test_left_overlap(self):
+        assert shrink_interval_away(Interval(5, 10), Interval(0, 7)) == [Interval(8, 10)]
+
+    def test_right_overlap(self):
+        assert shrink_interval_away(Interval(0, 10), Interval(7, 15)) == [Interval(0, 6)]
+
+    def test_full_containment_forks(self):
+        pieces = shrink_interval_away(Interval(0, 10), Interval(4, 6))
+        assert pieces == [Interval(0, 3), Interval(7, 10)]
+
+    def test_winner_covers_loser(self):
+        assert shrink_interval_away(Interval(4, 6), Interval(0, 10)) == []
+
+    @given(
+        st.tuples(st.integers(0, 30), st.integers(0, 30)).map(lambda p: Interval(min(p), max(p))),
+        st.tuples(st.integers(0, 30), st.integers(0, 30)).map(lambda p: Interval(min(p), max(p))),
+    )
+    def test_result_never_overlaps_winner(self, loser, winner):
+        for piece in shrink_interval_away(loser, winner):
+            assert not piece.overlaps(winner)
+            assert loser.contains_interval(piece)
+
+
+class TestSmallestOverlapDimension:
+    def test_disjoint_boxes_return_none(self):
+        assert smallest_overlap_dimension(box((0, 5), (0, 5)), box((8, 10), (0, 5))) is None
+
+    def test_picks_smallest_row(self):
+        a = box((0, 10), (0, 10))
+        b = [
+            DimensionRange(Interval(9, 20), Interval(0, 10)),  # width overlap length 2
+            DimensionRange(Interval(0, 10), Interval(0, 10)),
+        ]
+        block_index, axis, overlap = smallest_overlap_dimension(a, b)
+        assert (block_index, axis) == (0, "w")
+        assert overlap == Interval(9, 10)
+
+
+class TestShrinkRangesAway:
+    def test_shrinks_only_selected_row(self):
+        loser = box((0, 10), (0, 10))
+        winner = box((8, 12), (0, 10))
+        pieces = shrink_ranges_away(loser, winner, 0, "w")
+        assert len(pieces) == 1
+        assert pieces[0][0].width == Interval(0, 7)
+        assert pieces[0][1].width == Interval(0, 10)  # other block untouched
+
+    def test_fork_produces_two_boxes(self):
+        loser = box((0, 20), (0, 10))
+        winner = box((8, 12), (0, 10))
+        pieces = shrink_ranges_away(loser, winner, 0, "w")
+        assert len(pieces) == 2
+        widths = sorted(piece[0].width.as_tuple() for piece in pieces)
+        assert widths == [(0, 7), (13, 20)]
+
+
+class TestResolveOverlaps:
+    def test_non_overlapping_candidate_stored_directly(self):
+        structure = make_structure()
+        stored = resolve_overlaps(
+            structure, [(0, 0), (20, 0)], box((4, 6), (4, 6)), 10.0, 9.0
+        )
+        assert len(stored) == 1
+        assert structure.num_placements == 1
+
+    def test_worse_new_placement_is_shrunk(self):
+        structure = make_structure()
+        resolve_overlaps(structure, [(0, 0), (20, 0)], box((4, 8), (4, 8)), 10.0, 9.0)
+        stored = resolve_overlaps(
+            structure, [(0, 20), (20, 20)], box((6, 12), (4, 8)), 20.0, 15.0
+        )
+        structure.check_invariants()
+        # The new, worse placement must not cover the existing placement's box.
+        assert all(not sp.box_overlaps(structure.placement(0)) for sp in stored)
+
+    def test_better_new_placement_shrinks_existing(self):
+        structure = make_structure()
+        resolve_overlaps(structure, [(0, 0), (20, 0)], box((4, 8), (4, 8)), 20.0, 15.0)
+        stored = resolve_overlaps(
+            structure, [(0, 20), (20, 20)], box((6, 12), (4, 8)), 10.0, 9.0
+        )
+        structure.check_invariants()
+        assert len(stored) == 1
+        # The new placement keeps its full box.
+        assert stored[0].ranges[0].width == Interval(6, 12)
+
+    def test_new_placement_fully_covered_is_discarded(self):
+        structure = make_structure()
+        resolve_overlaps(structure, [(0, 0), (20, 0)], box((4, 12), (4, 12)), 10.0, 9.0)
+        report = ResolutionReport()
+        stored = resolve_overlaps(
+            structure,
+            [(0, 20), (20, 20)],
+            box((6, 8), (6, 8)),
+            average_cost=50.0,
+            best_cost=40.0,
+            report=report,
+        )
+        assert stored == []
+        assert report.discarded_new >= 1
+        assert structure.num_placements == 1
+
+    def test_existing_fully_covered_is_removed(self):
+        structure = make_structure()
+        resolve_overlaps(structure, [(0, 0), (20, 0)], box((6, 8), (6, 8)), 50.0, 40.0)
+        stored = resolve_overlaps(
+            structure, [(0, 20), (20, 20)], box((4, 12), (4, 12)), 10.0, 9.0
+        )
+        structure.check_invariants()
+        assert len(stored) == 1
+        assert structure.num_placements == 1
+        assert structure.placements()[0].average_cost == 10.0
+
+    def test_fork_of_existing_placement(self):
+        structure = make_structure()
+        # Existing placement is wide in block 0's width; the new better one
+        # sits strictly inside it -> the existing placement must fork.
+        resolve_overlaps(structure, [(0, 0), (20, 0)], box((4, 20), (4, 8)), 30.0, 20.0)
+        report = ResolutionReport()
+        resolve_overlaps(
+            structure,
+            [(0, 20), (20, 20)],
+            box((10, 12), (4, 8)),
+            average_cost=10.0,
+            best_cost=9.0,
+            report=report,
+        )
+        structure.check_invariants()
+        assert report.forked >= 1
+        assert structure.num_placements == 3
+
+    def test_policy_discard_newer(self):
+        structure = make_structure()
+        resolve_overlaps(structure, [(0, 0), (20, 0)], box((4, 8), (4, 8)), 30.0, 20.0)
+        stored = resolve_overlaps(
+            structure,
+            [(0, 20), (20, 20)],
+            box((6, 10), (6, 10)),
+            average_cost=10.0,
+            best_cost=9.0,
+            policy=POLICY_DISCARD_NEWER,
+        )
+        assert stored == []
+        assert structure.num_placements == 1
+
+    def test_policy_shrink_newer_keeps_existing_intact(self):
+        structure = make_structure()
+        resolve_overlaps(structure, [(0, 0), (20, 0)], box((4, 8), (4, 8)), 30.0, 20.0)
+        original_ranges = [r.as_tuple() for r in structure.placements()[0].ranges]
+        resolve_overlaps(
+            structure,
+            [(0, 20), (20, 20)],
+            box((6, 10), (6, 10)),
+            average_cost=10.0,
+            best_cost=9.0,
+            policy=POLICY_SHRINK_NEWER,
+        )
+        structure.check_invariants()
+        assert [r.as_tuple() for r in structure.placements()[0].ranges] == original_ranges
+
+    def test_unknown_policy_rejected(self):
+        structure = make_structure()
+        with pytest.raises(ValueError):
+            resolve_overlaps(
+                structure, [(0, 0), (20, 0)], box((4, 8), (4, 8)), 10.0, 9.0, policy="nope"
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.tuples(st.integers(4, 12), st.integers(4, 12)),
+                st.tuples(st.integers(4, 12), st.integers(4, 12)),
+                st.floats(1.0, 100.0),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_equation5_always_holds_after_resolution(self, candidates):
+        structure = make_structure()
+        for i, ((w_lo, w_len), (h_lo, h_len), cost) in enumerate(candidates):
+            ranges = box((w_lo, w_lo + w_len), (h_lo, h_lo + h_len))
+            resolve_overlaps(
+                structure,
+                [(0, i), (20, i)],
+                ranges,
+                average_cost=cost,
+                best_cost=cost * 0.9,
+            )
+        # Pairwise disjoint dimension boxes == at most one query candidate.
+        structure.check_invariants()

@@ -1,0 +1,106 @@
+"""Tests for stored placements and dimension ranges (Equation 2)."""
+
+import pytest
+
+from repro.core.intervals import Interval
+from repro.core.placement_entry import DimensionRange, StoredPlacement
+
+
+def make_placement(index=0, w=(4, 10), h=(4, 10), anchors=((0, 0), (12, 0)), avg=10.0, best=8.0):
+    ranges = [
+        DimensionRange(Interval(*w), Interval(*h)),
+        DimensionRange(Interval(*w), Interval(*h)),
+    ]
+    return StoredPlacement(
+        index=index,
+        anchors=anchors,
+        ranges=ranges,
+        average_cost=avg,
+        best_cost=best,
+        best_dims=((w[0], h[0]), (w[0], h[0])),
+    )
+
+
+class TestDimensionRange:
+    def test_contains_and_volume(self):
+        rng = DimensionRange(Interval(4, 6), Interval(2, 3))
+        assert rng.contains(5, 2)
+        assert not rng.contains(7, 2)
+        assert rng.volume == 6
+        assert rng.as_tuple() == (4, 6, 2, 3)
+
+    def test_overlaps_requires_both_axes(self):
+        a = DimensionRange(Interval(0, 5), Interval(0, 5))
+        b = DimensionRange(Interval(4, 8), Interval(4, 8))
+        c = DimensionRange(Interval(4, 8), Interval(10, 12))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_from_tuple_roundtrip(self):
+        rng = DimensionRange.from_tuple((1, 2, 3, 4))
+        assert rng.width == Interval(1, 2)
+        assert rng.height == Interval(3, 4)
+
+    def test_replace(self):
+        rng = DimensionRange(Interval(0, 5), Interval(0, 5))
+        replaced = rng.replace(width=Interval(1, 2))
+        assert replaced.width == Interval(1, 2)
+        assert replaced.height == Interval(0, 5)
+
+
+class TestStoredPlacement:
+    def test_contains_dimension_vector(self):
+        placement = make_placement()
+        assert placement.contains([(5, 5), (6, 7)])
+        assert not placement.contains([(5, 5), (11, 7)])
+        assert not placement.contains([(5, 5)])
+
+    def test_anchor_range_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            StoredPlacement(
+                index=0,
+                anchors=((0, 0),),
+                ranges=[
+                    DimensionRange(Interval(0, 1), Interval(0, 1)),
+                    DimensionRange(Interval(0, 1), Interval(0, 1)),
+                ],
+                average_cost=1.0,
+                best_cost=1.0,
+            )
+
+    def test_best_cost_cannot_exceed_average(self):
+        with pytest.raises(ValueError):
+            make_placement(avg=5.0, best=6.0)
+
+    def test_box_overlap_and_dimensions(self):
+        a = make_placement(index=0, w=(0, 10), h=(0, 10))
+        b = make_placement(index=1, w=(8, 15), h=(8, 15))
+        c = make_placement(index=2, w=(20, 25), h=(0, 10))
+        assert a.box_overlaps(b)
+        assert not a.box_overlaps(c)
+        overlaps = a.overlap_dimensions(b)
+        assert len(overlaps) == 4  # two blocks x two axes
+        assert a.overlap_dimensions(c) == []
+
+    def test_volume(self):
+        placement = make_placement(w=(4, 5), h=(4, 6))
+        assert placement.volume == (2 * 3) ** 2
+
+    def test_rects_at_dims(self):
+        placement = make_placement(anchors=((0, 0), (12, 3)))
+        rects = placement.rects([(4, 5), (6, 7)])
+        assert rects[0].w == 4 and rects[0].h == 5
+        assert rects[1].x == 12 and rects[1].y == 3
+
+    def test_with_ranges_copies(self):
+        placement = make_placement()
+        new_ranges = [
+            DimensionRange(Interval(4, 5), Interval(4, 5)),
+            DimensionRange(Interval(4, 5), Interval(4, 5)),
+        ]
+        copy = placement.with_ranges(new_ranges, index=9)
+        assert copy.index == 9
+        assert copy.anchors == placement.anchors
+        assert copy.ranges[0].width == Interval(4, 5)
+        # The original is untouched.
+        assert placement.ranges[0].width == Interval(4, 10)

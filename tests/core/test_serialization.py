@@ -1,0 +1,64 @@
+"""Tests for structure serialization."""
+
+import pytest
+
+from repro.core.serialization import (
+    circuit_from_dict,
+    circuit_to_dict,
+    load_structure,
+    save_structure,
+    structure_from_dict,
+    structure_to_dict,
+)
+from repro.benchcircuits.library import get_benchmark
+
+
+class TestCircuitRoundtrip:
+    def test_roundtrip_preserves_statistics(self):
+        circuit = get_benchmark("two_stage_opamp")
+        rebuilt = circuit_from_dict(circuit_to_dict(circuit))
+        assert rebuilt.summary() == circuit.summary()
+        assert rebuilt.block_names() == circuit.block_names()
+        assert [n.name for n in rebuilt.nets] == [n.name for n in circuit.nets]
+        assert len(rebuilt.symmetry_groups) == len(circuit.symmetry_groups)
+
+    def test_roundtrip_preserves_pins_and_bounds(self):
+        circuit = get_benchmark("two_stage_opamp")
+        rebuilt = circuit_from_dict(circuit_to_dict(circuit))
+        original_block = circuit.block("dp")
+        rebuilt_block = rebuilt.block("dp")
+        assert set(rebuilt_block.pins) == set(original_block.pins)
+        assert rebuilt_block.min_dims == original_block.min_dims
+        assert rebuilt_block.max_dims == original_block.max_dims
+        assert rebuilt_block.device_type == original_block.device_type
+
+
+class TestStructureRoundtrip:
+    def test_dict_roundtrip_preserves_queries(self, generated_chain_structure):
+        structure = generated_chain_structure
+        rebuilt = structure_from_dict(structure_to_dict(structure))
+        assert rebuilt.num_placements == structure.num_placements
+        assert rebuilt.fallback_anchors == structure.fallback_anchors
+        circuit = structure.circuit
+        # Every stored placement is found at its best dimensions in both.
+        for placement in structure:
+            if not placement.best_dims:
+                continue
+            dims = list(placement.best_dims)
+            original = structure.query_candidates(dims)
+            restored = rebuilt.query_candidates(dims)
+            assert original == restored
+        rebuilt.check_invariants()
+
+    def test_file_roundtrip(self, generated_chain_structure, tmp_path):
+        path = save_structure(generated_chain_structure, tmp_path / "structure.json")
+        assert path.exists()
+        loaded = load_structure(path)
+        assert loaded.num_placements == generated_chain_structure.num_placements
+        assert loaded.bounds.width == generated_chain_structure.bounds.width
+
+    def test_unsupported_version_rejected(self, generated_chain_structure):
+        data = structure_to_dict(generated_chain_structure)
+        data["format_version"] = 999
+        with pytest.raises(ValueError):
+            structure_from_dict(data)

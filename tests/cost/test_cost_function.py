@@ -1,0 +1,105 @@
+"""Tests for the customizable placement cost function."""
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.cost.area import area_cost, aspect_ratio_penalty, dead_space
+from repro.cost.cost_function import CostBreakdown, CostWeights, PlacementCostFunction
+from repro.cost.penalties import out_of_bounds_penalty, overlap_penalty, symmetry_penalty
+from repro.geometry.floorplan import FloorplanBounds
+from repro.geometry.rect import Rect
+
+
+def symmetric_circuit():
+    builder = CircuitBuilder("sym")
+    builder.block("a", 2, 10, 2, 10)
+    builder.block("b", 2, 10, 2, 10)
+    builder.simple_net("n1", ["a", "b"])
+    builder.symmetry("pair", pairs=[("a", "b")])
+    return builder.build()
+
+
+class TestAreaComponents:
+    def test_area_cost_is_bounding_box(self):
+        rects = {"a": Rect(0, 0, 2, 2), "b": Rect(4, 4, 2, 2)}
+        assert area_cost(rects) == 36.0
+
+    def test_area_cost_empty(self):
+        assert area_cost({}) == 0.0
+
+    def test_aspect_ratio_penalty(self):
+        square = {"a": Rect(0, 0, 4, 4)}
+        elongated = {"a": Rect(0, 0, 16, 2)}
+        assert aspect_ratio_penalty(square) == 0.0
+        assert aspect_ratio_penalty(elongated) == pytest.approx(7.0)
+
+    def test_dead_space(self):
+        rects = {"a": Rect(0, 0, 2, 2), "b": Rect(4, 0, 2, 2)}
+        assert dead_space(rects) == 4.0
+
+
+class TestPenalties:
+    def test_overlap_penalty(self):
+        assert overlap_penalty({"a": Rect(0, 0, 4, 4), "b": Rect(2, 2, 4, 4)}) == 4.0
+        assert overlap_penalty({"a": Rect(0, 0, 4, 4), "b": Rect(6, 6, 4, 4)}) == 0.0
+
+    def test_out_of_bounds_penalty(self):
+        bounds = FloorplanBounds(10, 10)
+        assert out_of_bounds_penalty({"a": Rect(8, 0, 4, 4)}, bounds) == 8.0
+        assert out_of_bounds_penalty({"a": Rect(0, 0, 4, 4)}, bounds) == 0.0
+
+    def test_symmetry_penalty_uses_circuit_groups(self):
+        circuit = symmetric_circuit()
+        mirrored = {"a": Rect(0, 0, 4, 4), "b": Rect(10, 0, 4, 4)}
+        skewed = {"a": Rect(0, 0, 4, 4), "b": Rect(10, 6, 4, 4)}
+        assert symmetry_penalty(mirrored, circuit=circuit) == 0.0
+        assert symmetry_penalty(skewed, circuit=circuit) > 0.0
+
+
+class TestPlacementCostFunction:
+    def test_default_weights_reproduce_wirelength_plus_area(self):
+        circuit = symmetric_circuit()
+        cost_fn = PlacementCostFunction(circuit)
+        rects = {"a": Rect(0, 0, 4, 4), "b": Rect(8, 0, 4, 4)}
+        breakdown = cost_fn.evaluate(rects)
+        assert breakdown.total == pytest.approx(
+            breakdown.wirelength + 0.05 * breakdown.area
+        )
+        assert breakdown.is_legal
+
+    def test_legalization_weights(self):
+        weights = CostWeights().with_legalization()
+        circuit = symmetric_circuit()
+        bounds = FloorplanBounds(30, 30)
+        cost_fn = PlacementCostFunction(circuit, bounds, weights=weights)
+        overlapping = {"a": Rect(0, 0, 4, 4), "b": Rect(2, 2, 4, 4)}
+        breakdown = cost_fn.evaluate(overlapping)
+        assert breakdown.overlap > 0
+        assert not breakdown.is_legal
+        assert breakdown.total > breakdown.wirelength
+
+    def test_symmetry_weight_included(self):
+        circuit = symmetric_circuit()
+        weights = CostWeights(symmetry=10.0)
+        cost_fn = PlacementCostFunction(circuit, weights=weights)
+        skewed = {"a": Rect(0, 0, 4, 4), "b": Rect(10, 6, 4, 4)}
+        assert cost_fn.evaluate(skewed).symmetry > 0
+
+    def test_evaluate_layout_orders_by_block_index(self):
+        circuit = symmetric_circuit()
+        cost_fn = PlacementCostFunction(circuit)
+        by_rects = cost_fn.evaluate({"a": Rect(0, 0, 4, 4), "b": Rect(8, 0, 4, 4)})
+        by_layout = cost_fn.evaluate_layout([(0, 0), (8, 0)], [(4, 4), (4, 4)])
+        assert by_rects.total == pytest.approx(by_layout.total)
+
+    def test_evaluate_layout_length_mismatch(self):
+        circuit = symmetric_circuit()
+        cost_fn = PlacementCostFunction(circuit)
+        with pytest.raises(ValueError):
+            cost_fn.evaluate_layout([(0, 0)], [(4, 4), (4, 4)])
+
+    def test_breakdown_as_dict(self):
+        breakdown = CostBreakdown(total=5.0, wirelength=4.0, area=20.0)
+        as_dict = breakdown.as_dict()
+        assert as_dict["total"] == 5.0
+        assert as_dict["area"] == 20.0

@@ -1,0 +1,104 @@
+"""Tests for the wirelength estimators."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuit.builder import CircuitBuilder
+from repro.cost.wirelength import (
+    hpwl,
+    mst_wirelength,
+    net_terminal_positions,
+    per_net_wirelength,
+    star_wirelength,
+    total_wirelength,
+)
+from repro.geometry.floorplan import FloorplanBounds
+from repro.geometry.rect import Rect
+
+
+def positions_lists():
+    return st.lists(
+        st.tuples(st.floats(0, 100), st.floats(0, 100)), min_size=2, max_size=8
+    )
+
+
+class TestEstimators:
+    def test_hpwl_two_points(self):
+        assert hpwl([(0, 0), (3, 4)]) == 7.0
+
+    def test_hpwl_single_point_is_zero(self):
+        assert hpwl([(5, 5)]) == 0.0
+
+    def test_star_two_points(self):
+        assert star_wirelength([(0, 0), (4, 0)]) == 4.0
+
+    def test_mst_chain(self):
+        points = [(0, 0), (1, 0), (2, 0), (3, 0)]
+        assert mst_wirelength(points) == 3.0
+
+    def test_mst_less_or_equal_star(self):
+        points = [(0, 0), (10, 0), (0, 10), (10, 10)]
+        assert mst_wirelength(points) <= star_wirelength(points) + 1e-9
+
+    @given(positions_lists())
+    def test_hpwl_lower_bounds_mst(self, points):
+        # For any point set the rectilinear MST is at least the half-perimeter.
+        assert mst_wirelength(points) >= hpwl(points) - 1e-6
+
+    @given(positions_lists())
+    def test_estimators_nonnegative(self, points):
+        assert hpwl(points) >= 0
+        assert star_wirelength(points) >= 0
+        assert mst_wirelength(points) >= 0
+
+
+class TestCircuitWirelength:
+    def _circuit(self):
+        builder = CircuitBuilder("wl")
+        builder.block("a", 2, 10, 2, 10, pins={"p": (0.0, 0.0)})
+        builder.block("b", 2, 10, 2, 10, pins={"p": (0.0, 0.0)})
+        builder.net("n1", ("a", "p"), ("b", "p"))
+        return builder.build()
+
+    def test_total_wirelength_matches_manual_hpwl(self):
+        circuit = self._circuit()
+        rects = {"a": Rect(0, 0, 4, 4), "b": Rect(10, 5, 4, 4)}
+        assert total_wirelength(circuit, rects) == pytest.approx(15.0)
+
+    def test_net_weight_scales_contribution(self):
+        circuit = self._circuit()
+        circuit.nets[0] = circuit.nets[0].with_weight(2.0)
+        rects = {"a": Rect(0, 0, 4, 4), "b": Rect(10, 5, 4, 4)}
+        assert total_wirelength(circuit, rects) == pytest.approx(30.0)
+
+    def test_external_net_uses_io_position(self):
+        builder = CircuitBuilder("ext")
+        builder.block("a", 2, 10, 2, 10)
+        builder.net("pad", ("a", "c"), external=True, io_position=(0.0, 0.0))
+        circuit = builder.build()
+        bounds = FloorplanBounds(20, 20)
+        rects = {"a": Rect(10, 10, 2, 2)}
+        positions = net_terminal_positions(circuit.nets[0], circuit, rects, bounds)
+        assert (0.0, 0.0) in positions
+        assert total_wirelength(circuit, rects, bounds) == pytest.approx(22.0)
+
+    def test_external_net_without_bounds_contributes_nothing_extra(self):
+        builder = CircuitBuilder("ext")
+        builder.block("a", 2, 10, 2, 10)
+        builder.net("pad", ("a", "c"), external=True)
+        circuit = builder.build()
+        rects = {"a": Rect(10, 10, 2, 2)}
+        assert total_wirelength(circuit, rects) == 0.0
+
+    def test_unknown_model_rejected(self):
+        circuit = self._circuit()
+        rects = {"a": Rect(0, 0, 4, 4), "b": Rect(10, 5, 4, 4)}
+        with pytest.raises(ValueError):
+            total_wirelength(circuit, rects, model="steiner")
+
+    def test_per_net_wirelength_keys(self):
+        circuit = self._circuit()
+        rects = {"a": Rect(0, 0, 4, 4), "b": Rect(10, 5, 4, 4)}
+        lengths = per_net_wirelength(circuit, rects)
+        assert set(lengths) == {"n1"}
+        assert lengths["n1"] == pytest.approx(15.0)

@@ -1,0 +1,101 @@
+"""Tests for the table/figure experiment harnesses (smoke scale)."""
+
+import pytest
+
+from repro.experiments.config import FULL, MEDIUM, SMOKE, ExperimentScale, get_scale
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.synthesis_compare import run_synthesis_comparison
+from repro.experiments.table1 import table1_rows
+from repro.experiments.table2 import run_table2
+from repro.benchcircuits.library import get_benchmark
+
+
+class TestScales:
+    def test_scale_lookup(self):
+        assert get_scale("smoke") is SMOKE
+        assert get_scale("MEDIUM") is MEDIUM
+        with pytest.raises(KeyError):
+            get_scale("galactic")
+
+    def test_budgets_increase_with_scale(self):
+        assert SMOKE.explorer_iterations < MEDIUM.explorer_iterations < FULL.explorer_iterations
+        assert SMOKE.bdio_iterations < FULL.bdio_iterations
+
+    def test_generator_config_grows_with_circuit_size(self):
+        small = SMOKE.generator_config(get_benchmark("circ01"))
+        large = SMOKE.generator_config(get_benchmark("benchmark24"))
+        assert large.explorer.max_iterations >= small.explorer.max_iterations
+
+
+class TestTable1:
+    def test_every_row_matches_paper(self):
+        rows = table1_rows()
+        assert len(rows) == 9
+        assert all(row["matches_paper"] for row in rows)
+
+
+class TestTable2:
+    def test_rows_for_selected_circuits(self):
+        rows = run_table2(circuits=["circ01", "two_stage_opamp"], scale=SMOKE, seed=0)
+        assert [row.circuit for row in rows] == ["circ01", "two_stage_opamp"]
+        for row in rows:
+            assert row.placements >= 1
+            assert row.generation_seconds > 0
+            # Instantiation stays in the millisecond range (paper's headline claim).
+            assert row.instantiation_seconds < 0.05
+            assert 0.0 <= row.coverage <= 1.0
+            assert set(row.as_dict()) >= {"circuit", "generation_time", "placements", "instantiation"}
+
+
+class TestFigure5:
+    def test_structure_yields_different_floorplans(self):
+        result = run_figure5(scale=SMOKE, seed=0)
+        assert result.instantiation_a.used_stored_placement
+        assert result.instantiation_b.used_stored_placement
+        assert result.arrangements_differ
+        assert result.structure_beats_or_matches_template
+        assert result.ascii_a and result.ascii_template
+
+
+class TestFigure6:
+    def test_selected_cost_tracks_lower_envelope(self):
+        result = run_figure6(scale=SMOKE, seed=0, sweep_points=8)
+        assert len(result.sweep_values) == len(result.selected_costs)
+        assert result.placement_curves
+        assert result.envelope_gap >= 0.0
+        assert result.tracks_lower_envelope
+        # The structure's selected cost never exceeds every placement's cost
+        # at any sweep point (it is at or below the worst feasible curve).
+        for i, selected in enumerate(result.selected_costs):
+            feasible = [
+                curve[i]
+                for curve in result.placement_curves.values()
+                if curve[i] is not None
+            ]
+            if feasible:
+                assert selected <= max(feasible) + 1e-6
+
+
+class TestFigure7:
+    def test_cascode_instantiation_is_legal_and_fast(self):
+        result = run_figure7(scale=SMOKE, seed=0)
+        assert result.num_blocks == 21
+        assert result.placements >= 1
+        assert result.is_legal
+        assert result.instantiation_seconds < 0.1
+        assert result.ascii_floorplan
+
+
+class TestSynthesisComparison:
+    def test_mps_and_template_much_faster_than_annealing(self):
+        comparison = run_synthesis_comparison(scale=SMOKE, seed=0)
+        rows = {row["backend"]: row for row in comparison.rows()}
+        assert set(rows) == {"mps", "template", "annealing"}
+        assert comparison.mps_faster_than_annealing
+        assert rows["mps"]["placement_ms_per_eval"] < rows["annealing"]["placement_ms_per_eval"]
+
+    def test_backend_subset(self):
+        comparison = run_synthesis_comparison(scale=SMOKE, backends=["mps", "template"], seed=0)
+        assert set(comparison.results) == {"mps", "template"}

@@ -1,0 +1,72 @@
+"""Tests for floorplan bounds and area measures."""
+
+import pytest
+
+from repro.geometry.floorplan import FloorplanBounds, bounding_box, dead_space_ratio, occupied_area
+from repro.geometry.rect import Rect
+
+
+class TestFloorplanBounds:
+    def test_positive_dimensions_required(self):
+        with pytest.raises(ValueError):
+            FloorplanBounds(0, 5)
+
+    def test_contains(self):
+        bounds = FloorplanBounds(10, 10)
+        assert bounds.contains(Rect(0, 0, 10, 10))
+        assert not bounds.contains(Rect(5, 5, 6, 2))
+
+    def test_area_and_rect(self):
+        bounds = FloorplanBounds(8, 4)
+        assert bounds.area == 32
+        assert bounds.as_rect() == Rect(0, 0, 8, 4)
+
+    def test_clamp_anchor(self):
+        bounds = FloorplanBounds(10, 10)
+        assert bounds.clamp_anchor(-2, 20, 3, 3) == (0, 7)
+        assert bounds.clamp_anchor(4, 4, 3, 3) == (4, 4)
+
+    def test_wrap_anchor_wraps_to_opposite_side(self):
+        bounds = FloorplanBounds(10, 10)
+        x, y = bounds.wrap_anchor(12, -1, 2, 2)
+        assert 0 <= x <= 8 and 0 <= y <= 8
+        # Wrapping is periodic in the allowed anchor span.
+        assert bounds.wrap_anchor(12, 3, 2, 2) == bounds.wrap_anchor(12 % 8, 3, 2, 2)
+
+    def test_for_blocks_fits_every_block(self):
+        dims = [(10, 5), (8, 8), (3, 12)]
+        bounds = FloorplanBounds.for_blocks(dims, whitespace_factor=1.5)
+        assert bounds.width >= 10
+        assert bounds.height >= 12
+        assert bounds.area >= sum(w * h for w, h in dims)
+
+    def test_for_blocks_rejects_low_whitespace(self):
+        with pytest.raises(ValueError):
+            FloorplanBounds.for_blocks([(4, 4)], whitespace_factor=0.5)
+
+    def test_for_blocks_requires_blocks(self):
+        with pytest.raises(ValueError):
+            FloorplanBounds.for_blocks([])
+
+    def test_aspect_ratio_controls_shape(self):
+        dims = [(10, 10)] * 4
+        wide = FloorplanBounds.for_blocks(dims, aspect_ratio=2.0)
+        assert wide.width > wide.height
+
+
+class TestAreaMeasures:
+    def test_bounding_box(self):
+        bbox = bounding_box([Rect(0, 0, 2, 2), Rect(4, 4, 2, 2)])
+        assert bbox == Rect(0, 0, 6, 6)
+
+    def test_occupied_area(self):
+        assert occupied_area([Rect(0, 0, 2, 3), Rect(5, 5, 1, 1)]) == 7
+
+    def test_dead_space_ratio(self):
+        rects = {"a": Rect(0, 0, 2, 2), "b": Rect(2, 0, 2, 2)}
+        assert dead_space_ratio(rects) == 0.0
+        spread = {"a": Rect(0, 0, 2, 2), "b": Rect(6, 6, 2, 2)}
+        assert dead_space_ratio(spread) > 0.5
+
+    def test_dead_space_empty(self):
+        assert dead_space_ratio({}) == 0.0

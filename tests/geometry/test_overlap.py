@@ -1,0 +1,83 @@
+"""Tests for overlap detection and the spatial grid."""
+
+from hypothesis import given, strategies as st
+
+from repro.geometry.overlap import (
+    SpatialGrid,
+    any_overlap,
+    overlap_pairs,
+    rect_overlaps_any,
+    total_overlap_area,
+)
+from repro.geometry.rect import Rect
+
+
+def rects(max_coord=40, max_dim=15):
+    return st.builds(
+        Rect,
+        x=st.integers(0, max_coord),
+        y=st.integers(0, max_coord),
+        w=st.integers(1, max_dim),
+        h=st.integers(1, max_dim),
+    )
+
+
+class TestOverlapFunctions:
+    def test_no_overlap(self):
+        layout = [Rect(0, 0, 2, 2), Rect(3, 0, 2, 2), Rect(0, 3, 2, 2)]
+        assert not any_overlap(layout)
+        assert overlap_pairs(layout) == []
+        assert total_overlap_area(layout) == 0
+
+    def test_single_overlap(self):
+        layout = [Rect(0, 0, 4, 4), Rect(2, 2, 4, 4)]
+        assert any_overlap(layout)
+        assert overlap_pairs(layout) == [(0, 1)]
+        assert total_overlap_area(layout) == 4
+
+    def test_rect_overlaps_any(self):
+        others = [Rect(0, 0, 2, 2), Rect(10, 10, 2, 2)]
+        assert rect_overlaps_any(Rect(1, 1, 2, 2), others)
+        assert not rect_overlaps_any(Rect(5, 5, 2, 2), others)
+
+    @given(st.lists(rects(), min_size=2, max_size=8))
+    def test_total_overlap_consistent_with_any_overlap(self, layout):
+        assert (total_overlap_area(layout) > 0) == any_overlap(layout)
+
+
+class TestSpatialGrid:
+    def test_insert_and_query(self):
+        grid = SpatialGrid(cell_size=8)
+        grid.insert(0, Rect(0, 0, 4, 4))
+        grid.insert(1, Rect(20, 20, 4, 4))
+        assert grid.query(Rect(2, 2, 4, 4)) == [0]
+        assert grid.query(Rect(50, 50, 2, 2)) == []
+        assert len(grid) == 2
+        assert 0 in grid and 5 not in grid
+
+    def test_exclude_key(self):
+        grid = SpatialGrid()
+        grid.insert(0, Rect(0, 0, 4, 4))
+        assert grid.query(Rect(0, 0, 2, 2), exclude=0) == []
+
+    def test_reinsert_replaces(self):
+        grid = SpatialGrid()
+        grid.insert(0, Rect(0, 0, 4, 4))
+        grid.insert(0, Rect(30, 30, 4, 4))
+        assert grid.query(Rect(0, 0, 4, 4)) == []
+        assert grid.query(Rect(30, 30, 2, 2)) == [0]
+
+    def test_remove(self):
+        grid = SpatialGrid()
+        grid.insert(0, Rect(0, 0, 4, 4))
+        grid.remove(0)
+        assert grid.query(Rect(0, 0, 4, 4)) == []
+        grid.remove(0)  # removing again is a no-op
+
+    @given(st.lists(rects(), min_size=1, max_size=12), rects())
+    def test_grid_matches_bruteforce(self, layout, probe):
+        grid = SpatialGrid(cell_size=7)
+        for key, rect in enumerate(layout):
+            grid.insert(key, rect)
+        expected = {key for key, rect in enumerate(layout) if rect.intersects(probe)}
+        assert set(grid.query(probe)) == expected

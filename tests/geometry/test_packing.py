@@ -1,0 +1,65 @@
+"""Tests for shelf packing."""
+
+from hypothesis import given, strategies as st
+
+from repro.geometry.packing import packing_extent, shelf_pack
+from repro.geometry.rect import Rect
+
+
+def dims_lists():
+    return st.lists(
+        st.tuples(st.integers(1, 15), st.integers(1, 15)), min_size=1, max_size=12
+    )
+
+
+class TestShelfPack:
+    def test_empty(self):
+        assert shelf_pack([]) == []
+
+    def test_single_block_at_origin(self):
+        assert shelf_pack([(5, 5)]) == [(0, 0)]
+
+    def test_respects_max_width(self):
+        dims = [(4, 4)] * 5
+        anchors = shelf_pack(dims, max_width=10)
+        assert all(x + 4 <= 10 for x, _ in anchors)
+
+    def test_order_parameter_keeps_index_alignment(self):
+        dims = [(4, 4), (6, 6), (2, 2)]
+        anchors = shelf_pack(dims, max_width=20, order=[2, 0, 1])
+        # The anchor list is still indexed like dims.
+        assert len(anchors) == 3
+        rects = [Rect(x, y, w, h) for (x, y), (w, h) in zip(anchors, dims)]
+        for i in range(len(rects)):
+            for j in range(i + 1, len(rects)):
+                assert not rects[i].intersects(rects[j])
+
+    def test_gap_adds_spacing(self):
+        anchors = shelf_pack([(4, 4), (4, 4)], max_width=100, gap=2)
+        assert anchors[1][0] - (anchors[0][0] + 4) == 2
+
+    @given(dims_lists())
+    def test_packing_never_overlaps(self, dims):
+        anchors = shelf_pack(dims)
+        rects = [Rect(x, y, w, h) for (x, y), (w, h) in zip(anchors, dims)]
+        for i in range(len(rects)):
+            for j in range(i + 1, len(rects)):
+                assert not rects[i].intersects(rects[j])
+
+    @given(dims_lists())
+    def test_packing_respects_default_width(self, dims):
+        anchors = shelf_pack(dims)
+        width, height = packing_extent(dims, anchors)
+        assert width > 0 and height > 0
+        # Every block fits inside the reported extent.
+        assert all(x + w <= width and y + h <= height for (x, y), (w, h) in zip(anchors, dims))
+
+
+class TestPackingExtent:
+    def test_extent_of_empty(self):
+        assert packing_extent([], []) == (0, 0)
+
+    def test_extent_values(self):
+        dims = [(4, 4), (4, 4)]
+        anchors = [(0, 0), (4, 0)]
+        assert packing_extent(dims, anchors) == (8, 4)

@@ -1,0 +1,113 @@
+"""Tests for integer rectangles."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.rect import Point, Rect, bounding_box_of
+
+
+def rects(max_coord=50, max_dim=20):
+    return st.builds(
+        Rect,
+        x=st.integers(0, max_coord),
+        y=st.integers(0, max_coord),
+        w=st.integers(1, max_dim),
+        h=st.integers(1, max_dim),
+    )
+
+
+class TestPoint:
+    def test_translation(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_as_tuple(self):
+        assert Point(5, 6).as_tuple() == (5, 6)
+
+
+class TestRectBasics:
+    def test_edges_and_area(self):
+        rect = Rect(2, 3, 4, 5)
+        assert (rect.x2, rect.y2) == (6, 8)
+        assert rect.area == 20
+        assert rect.center == (4.0, 5.5)
+
+    def test_negative_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, -1, 5)
+
+    def test_zero_size_is_empty(self):
+        assert Rect(0, 0, 0, 5).is_empty()
+        assert not Rect(0, 0, 1, 5).is_empty()
+
+    def test_contains_point_half_open(self):
+        rect = Rect(0, 0, 4, 4)
+        assert rect.contains_point(0, 0)
+        assert rect.contains_point(3.9, 3.9)
+        assert not rect.contains_point(4, 0)
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(2, 2, 3, 3))
+        assert not outer.contains_rect(Rect(8, 8, 3, 3))
+
+    def test_translated_and_resized(self):
+        rect = Rect(1, 1, 2, 2)
+        assert rect.translated(2, 3) == Rect(3, 4, 2, 2)
+        assert rect.resized(5, 6) == Rect(1, 1, 5, 6)
+
+    def test_inflated(self):
+        assert Rect(5, 5, 2, 2).inflated(1) == Rect(4, 4, 4, 4)
+
+    def test_terminal_position(self):
+        rect = Rect(10, 20, 4, 8)
+        assert rect.terminal_position(0.5, 0.5) == (12.0, 24.0)
+        assert rect.terminal_position(0.0, 1.0) == (10.0, 28.0)
+
+
+class TestIntersection:
+    def test_touching_rects_do_not_intersect(self):
+        assert not Rect(0, 0, 4, 4).intersects(Rect(4, 0, 4, 4))
+
+    def test_overlapping_rects(self):
+        a = Rect(0, 0, 5, 5)
+        b = Rect(3, 3, 5, 5)
+        assert a.intersects(b)
+        assert a.intersection(b) == Rect(3, 3, 2, 2)
+
+    def test_disjoint_intersection_is_none(self):
+        assert Rect(0, 0, 2, 2).intersection(Rect(5, 5, 2, 2)) is None
+
+    def test_union_bbox(self):
+        assert Rect(0, 0, 2, 2).union_bbox(Rect(5, 5, 2, 2)) == Rect(0, 0, 7, 7)
+
+    @given(rects(), rects())
+    def test_intersection_symmetry(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+        inter_ab = a.intersection(b)
+        inter_ba = b.intersection(a)
+        assert inter_ab == inter_ba
+
+    @given(rects(), rects())
+    def test_intersection_contained_in_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None and not inter.is_empty():
+            assert a.contains_rect(inter)
+            assert b.contains_rect(inter)
+
+
+class TestBoundingBox:
+    def test_single_rect(self):
+        assert bounding_box_of([Rect(1, 2, 3, 4)]) == Rect(1, 2, 3, 4)
+
+    def test_multiple_rects(self):
+        bbox = bounding_box_of([Rect(0, 0, 2, 2), Rect(5, 7, 1, 1)])
+        assert bbox == Rect(0, 0, 6, 8)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            bounding_box_of([])
+
+    @given(st.lists(rects(), min_size=1, max_size=10))
+    def test_bbox_contains_all(self, rect_list):
+        bbox = bounding_box_of(rect_list)
+        assert all(bbox.contains_rect(r) for r in rect_list)

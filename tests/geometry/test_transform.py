@@ -1,0 +1,49 @@
+"""Tests for block orientations."""
+
+import pytest
+
+from repro.geometry.transform import Orientation, oriented_dims, oriented_pin_offset
+
+
+class TestOrientedDims:
+    def test_r0_keeps_dims(self):
+        assert oriented_dims(4, 7) == (4, 7)
+        assert oriented_dims(4, 7, Orientation.MX) == (4, 7)
+
+    def test_rotations_swap_dims(self):
+        assert oriented_dims(4, 7, Orientation.R90) == (7, 4)
+        assert oriented_dims(4, 7, Orientation.R270) == (7, 4)
+        assert oriented_dims(4, 7, Orientation.MX90) == (7, 4)
+
+    def test_swaps_dimensions_property(self):
+        swapping = [o for o in Orientation if o.swaps_dimensions]
+        assert set(swapping) == {
+            Orientation.R90,
+            Orientation.R270,
+            Orientation.MX90,
+            Orientation.MY90,
+        }
+
+
+class TestOrientedPinOffset:
+    def test_identity(self):
+        assert oriented_pin_offset(0.2, 0.7) == (0.2, 0.7)
+
+    def test_mirror_x_flips_vertical(self):
+        assert oriented_pin_offset(0.2, 0.7, Orientation.MX) == (0.2, pytest.approx(0.3))
+
+    def test_mirror_y_flips_horizontal(self):
+        assert oriented_pin_offset(0.2, 0.7, Orientation.MY) == (pytest.approx(0.8), 0.7)
+
+    def test_r180_flips_both(self):
+        fx, fy = oriented_pin_offset(0.2, 0.7, Orientation.R180)
+        assert (fx, fy) == (pytest.approx(0.8), pytest.approx(0.3))
+
+    def test_offsets_stay_in_unit_square(self):
+        for orientation in Orientation:
+            fx, fy = oriented_pin_offset(0.25, 0.6, orientation)
+            assert 0.0 <= fx <= 1.0 and 0.0 <= fy <= 1.0
+
+    def test_double_mirror_is_identity(self):
+        fx, fy = oriented_pin_offset(*oriented_pin_offset(0.3, 0.8, Orientation.MX), Orientation.MX)
+        assert (fx, fy) == (pytest.approx(0.3), pytest.approx(0.8))

@@ -1,0 +1,67 @@
+"""End-to-end integration tests: generate once, use many times (Figure 1)."""
+
+import random
+
+import pytest
+
+from repro.benchcircuits.library import get_benchmark
+from repro.core.generator import GeneratorConfig, MultiPlacementGenerator
+from repro.core.instantiator import PlacementInstantiator
+from repro.core.serialization import load_structure, save_structure
+from repro.experiments.runner import build_report
+from repro.experiments.config import SMOKE
+
+
+class TestGenerateOnceUseMany:
+    def test_full_flow_on_opamp(self, tmp_path):
+        # 1. One-time generation (Figure 1.a).
+        circuit = get_benchmark("two_stage_opamp")
+        generator = MultiPlacementGenerator(circuit, GeneratorConfig.smoke(seed=0))
+        result = generator.generate_with_stats()
+        structure = result.structure
+        structure.check_invariants()
+        assert structure.num_placements >= 1
+
+        # 2. Persist and reload (generated once, reused across sessions).
+        path = save_structure(structure, tmp_path / "opamp.json")
+        reloaded = load_structure(path)
+        reloaded.check_invariants()
+
+        # 3. Repeated instantiation inside a sizing loop (Figure 1.b).
+        instantiator = PlacementInstantiator(reloaded)
+        rng = random.Random(1)
+        for _ in range(25):
+            dims = [
+                (rng.randint(b.min_w, b.max_w), rng.randint(b.min_h, b.max_h))
+                for b in circuit.blocks
+            ]
+            placement = instantiator.instantiate(dims)
+            rects = list(placement.rects.values())
+            # Every instantiation is a legal floorplan.
+            for i in range(len(rects)):
+                for j in range(i + 1, len(rects)):
+                    assert not rects[i].intersects(rects[j])
+            assert placement.total_cost > 0
+
+    def test_every_benchmark_generates_a_usable_structure(self):
+        # Keep this cheap: the three circuit sizes bracket the benchmark suite.
+        for name in ("circ01", "mixer", "tso_cascode"):
+            circuit = get_benchmark(name)
+            config = GeneratorConfig.smoke(seed=1)
+            structure = MultiPlacementGenerator(circuit, config).generate()
+            structure.check_invariants()
+            mid_dims = [
+                ((b.min_w + b.max_w) // 2, (b.min_h + b.max_h) // 2) for b in circuit.blocks
+            ]
+            placement = structure.instantiate(mid_dims)
+            assert len(placement.rects) == circuit.num_blocks
+
+
+class TestReportRunner:
+    def test_build_report_contains_all_sections(self):
+        report = build_report(SMOKE, seed=0, include_synthesis=False)
+        assert "Table 1" in report
+        assert "Table 2" in report
+        assert "Figure 5" in report
+        assert "Figure 6" in report
+        assert "Figure 7" in report

@@ -1,0 +1,146 @@
+"""Tests for the analog module generators."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.modgen.base import GRID_UM, Footprint, SizingParameter, to_grid
+from repro.modgen.capacitor import MimCapacitorGenerator
+from repro.modgen.current_mirror import CurrentMirrorGenerator
+from repro.modgen.diffpair import DifferentialPairGenerator
+from repro.modgen.mosfet import FoldedMosfetGenerator
+from repro.modgen.resistor import PolyResistorGenerator
+
+ALL_GENERATORS = [
+    FoldedMosfetGenerator(),
+    DifferentialPairGenerator(),
+    CurrentMirrorGenerator(),
+    MimCapacitorGenerator(),
+    PolyResistorGenerator(),
+]
+
+
+class TestBaseHelpers:
+    def test_to_grid_rounds_up(self):
+        assert to_grid(0.1) == 1
+        assert to_grid(GRID_UM) == 1
+        assert to_grid(GRID_UM * 3.2) == 4
+
+    def test_to_grid_rejects_negative(self):
+        with pytest.raises(ValueError):
+            to_grid(-1.0)
+
+    def test_footprint_requires_positive_dims(self):
+        with pytest.raises(ValueError):
+            Footprint(0, 4)
+
+    def test_sizing_parameter_bounds(self):
+        with pytest.raises(ValueError):
+            SizingParameter("w", 5.0, 1.0, 2.0)
+        with pytest.raises(ValueError):
+            SizingParameter("w", 1.0, 5.0, 9.0)
+        assert SizingParameter("w", 1.0, 5.0, 2.0).clamp(9.0) == 5.0
+
+
+@pytest.mark.parametrize("generator", ALL_GENERATORS, ids=lambda g: g.name)
+class TestGeneratorContract:
+    def test_default_footprint_is_positive(self, generator):
+        footprint = generator.footprint()
+        assert footprint.width > 0 and footprint.height > 0
+
+    def test_pin_offsets_in_unit_square(self, generator):
+        footprint = generator.footprint()
+        for fx, fy in footprint.pin_offsets.values():
+            assert 0.0 <= fx <= 1.0 and 0.0 <= fy <= 1.0
+
+    def test_resolve_params_rejects_unknown(self, generator):
+        with pytest.raises(KeyError):
+            generator.resolve_params({"no_such_parameter": 1.0})
+
+    def test_resolve_params_clamps(self, generator):
+        param = generator.parameters()[0]
+        resolved = generator.resolve_params({param.name: param.maximum * 10})
+        assert resolved[param.name] == param.maximum
+
+    def test_dimension_bounds_bracket_defaults(self, generator):
+        min_w, max_w, min_h, max_h = generator.dimension_bounds()
+        footprint = generator.footprint()
+        assert min_w <= footprint.width <= max_w
+        assert min_h <= footprint.height <= max_h
+
+    def test_parameter_lookup(self, generator):
+        name = generator.parameters()[0].name
+        assert generator.parameter(name).name == name
+        with pytest.raises(KeyError):
+            generator.parameter("missing")
+
+
+class TestMosfetGeometry:
+    def test_width_grows_with_fingers(self):
+        generator = FoldedMosfetGenerator()
+        narrow = generator.footprint(width=40, length=0.5, fingers=2)
+        wide = generator.footprint(width=40, length=0.5, fingers=8)
+        assert wide.width > narrow.width
+        assert wide.height < narrow.height
+
+    def test_height_grows_with_device_width(self):
+        generator = FoldedMosfetGenerator()
+        small = generator.footprint(width=10, length=0.5, fingers=4)
+        large = generator.footprint(width=80, length=0.5, fingers=4)
+        assert large.height > small.height
+
+    def test_fingers_for_aspect_prefers_square(self):
+        generator = FoldedMosfetGenerator()
+        fingers = generator.fingers_for_aspect(80.0, 0.5)
+        footprint = generator.footprint(width=80.0, length=0.5, fingers=fingers)
+        aspect = footprint.width / footprint.height
+        assert 0.3 < aspect < 3.0
+
+    @given(st.floats(1.0, 200.0), st.floats(0.18, 5.0))
+    def test_footprint_monotone_in_length(self, width, length):
+        generator = FoldedMosfetGenerator()
+        short = generator.footprint(width=width, length=length, fingers=4)
+        long = generator.footprint(width=width, length=min(5.0, length * 1.5), fingers=4)
+        assert long.width >= short.width
+
+
+class TestPassiveGeometry:
+    def test_capacitor_area_grows_with_capacitance(self):
+        generator = MimCapacitorGenerator()
+        small = generator.footprint(capacitance=100)
+        large = generator.footprint(capacitance=2000)
+        assert large.area > small.area
+
+    def test_capacitor_aspect_shapes_plate(self):
+        generator = MimCapacitorGenerator()
+        wide = generator.footprint(capacitance=1000, aspect=4.0)
+        tall = generator.footprint(capacitance=1000, aspect=0.25)
+        assert wide.width > wide.height
+        assert tall.height > tall.width
+
+    def test_capacitor_rejects_bad_density(self):
+        with pytest.raises(ValueError):
+            MimCapacitorGenerator(density_ff_per_um2=0.0)
+
+    def test_resistor_height_drops_with_segments(self):
+        generator = PolyResistorGenerator()
+        few = generator.footprint(resistance=50000, segments=2)
+        many = generator.footprint(resistance=50000, segments=12)
+        assert many.height < few.height
+        assert many.width > few.width
+
+    def test_resistor_rejects_bad_sheet(self):
+        with pytest.raises(ValueError):
+            PolyResistorGenerator(sheet_ohms=-1.0)
+
+
+class TestCompositeGenerators:
+    def test_diff_pair_wider_than_single_device(self):
+        single = FoldedMosfetGenerator().footprint(width=40, length=0.5, fingers=4)
+        pair = DifferentialPairGenerator().footprint(width=40, length=0.5, fingers=4)
+        assert pair.width > single.width
+
+    def test_mirror_width_grows_with_ratio(self):
+        generator = CurrentMirrorGenerator()
+        unit = generator.footprint(width=20, length=1.0, ratio=1)
+        big = generator.footprint(width=20, length=1.0, ratio=4)
+        assert big.width > unit.width

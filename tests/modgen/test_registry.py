@@ -1,0 +1,57 @@
+"""Tests for the module generator registry."""
+
+import pytest
+
+from repro.modgen.base import Footprint, ModuleGenerator, SizingParameter
+from repro.modgen.registry import available_generators, create_generator, register_generator
+
+
+class TestRegistry:
+    def test_builtin_generators_registered(self):
+        names = available_generators()
+        for expected in (
+            "folded_mosfet",
+            "diff_pair",
+            "current_mirror",
+            "mim_capacitor",
+            "poly_resistor",
+        ):
+            assert expected in names
+
+    def test_create_generator(self):
+        generator = create_generator("folded_mosfet")
+        assert generator.name == "folded_mosfet"
+        assert generator.footprint().width > 0
+
+    def test_create_unknown_generator(self):
+        with pytest.raises(KeyError):
+            create_generator("warp_drive")
+
+    def test_register_custom_generator(self):
+        class DummyGenerator(ModuleGenerator):
+            name = "dummy_for_test"
+
+            def parameters(self):
+                return (SizingParameter("size", 1.0, 10.0, 2.0),)
+
+            def footprint(self, **params):
+                values = self.resolve_params(params)
+                side = int(values["size"])
+                return Footprint(side, side)
+
+        register_generator(DummyGenerator)
+        assert "dummy_for_test" in available_generators()
+        assert create_generator("dummy_for_test").footprint(size=4).dims == (4, 4)
+
+    def test_register_requires_name(self):
+        class Nameless(ModuleGenerator):
+            name = ""
+
+            def parameters(self):
+                return ()
+
+            def footprint(self, **params):
+                return Footprint(1, 1)
+
+        with pytest.raises(ValueError):
+            register_generator(Nameless)

@@ -1,0 +1,121 @@
+"""Tests for the placement backends and the layout-inclusive synthesis loop."""
+
+import pytest
+
+from repro.baselines.annealing_placer import AnnealingPlacer, AnnealingPlacerConfig
+from repro.baselines.template import TemplatePlacer
+from repro.core.generator import GeneratorConfig, MultiPlacementGenerator
+from repro.synthesis.backends import AnnealingBackend, MPSBackend, TemplateBackend
+from repro.synthesis.loop import LayoutInclusiveSynthesis, SynthesisConfig
+from repro.synthesis.opamp_design import two_stage_opamp_design
+from repro.synthesis.optimizer import SizingOptimizer, SizingOptimizerConfig
+from repro.synthesis.sizing import DesignSpace, SizingVariable
+
+
+@pytest.fixture(scope="module")
+def opamp_setup():
+    design = two_stage_opamp_design()
+    generator = MultiPlacementGenerator(design.circuit, GeneratorConfig.smoke(seed=2))
+    structure = generator.generate()
+    return design, generator, structure
+
+
+class TestBackends:
+    def test_mps_backend_places_all_blocks(self, opamp_setup):
+        design, generator, structure = opamp_setup
+        backend = MPSBackend(structure, generator.cost_function)
+        dims = design.sizing_model.dims_for(design.sizing_model.design_space.default_point())
+        placement = backend.place(dims)
+        assert set(placement.rects) == set(design.circuit.block_names())
+        assert placement.elapsed_seconds < 0.5
+        assert placement.source in ("structure", "nearest", "fallback")
+
+    def test_template_backend(self, opamp_setup):
+        design, generator, _ = opamp_setup
+        backend = TemplateBackend(TemplatePlacer(design.circuit, generator.bounds, seed=0))
+        dims = design.sizing_model.dims_for(design.sizing_model.design_space.default_point())
+        placement = backend.place(dims)
+        assert placement.source == "template"
+        assert placement.cost.total > 0
+
+    def test_annealing_backend_slower_than_mps(self, opamp_setup):
+        design, generator, structure = opamp_setup
+        dims = design.sizing_model.dims_for(design.sizing_model.design_space.default_point())
+        mps = MPSBackend(structure, generator.cost_function).place(dims)
+        annealing_backend = AnnealingBackend(
+            AnnealingPlacer(
+                design.circuit,
+                generator.bounds,
+                config=AnnealingPlacerConfig(max_iterations=400),
+                seed=0,
+            )
+        )
+        annealed = annealing_backend.place(dims)
+        assert annealed.elapsed_seconds > mps.elapsed_seconds
+
+
+class TestSizingOptimizer:
+    def test_minimizes_simple_objective(self):
+        space = DesignSpace([SizingVariable("x", 0.0, 10.0, default=9.0)])
+        optimizer = SizingOptimizer(
+            space,
+            objective=lambda point: (point["x"] - 2.0) ** 2,
+            config=SizingOptimizerConfig(max_iterations=120),
+            seed=0,
+        )
+        result = optimizer.run()
+        assert abs(result.best_state["x"] - 2.0) < 1.0
+
+
+class TestSynthesisLoop:
+    def test_evaluate_produces_consistent_objective(self, opamp_setup):
+        design, generator, structure = opamp_setup
+        loop = LayoutInclusiveSynthesis(
+            design.sizing_model,
+            design.performance_model,
+            design.spec,
+            MPSBackend(structure, generator.cost_function),
+            seed=0,
+        )
+        point = design.sizing_model.design_space.default_point()
+        evaluation = loop.evaluate(point)
+        config = SynthesisConfig()
+        expected = (
+            config.spec_weight * evaluation.spec_penalty
+            + config.layout_weight * evaluation.placement.cost.total
+            + config.power_weight * evaluation.performance.power_mw
+        )
+        assert evaluation.objective == pytest.approx(expected)
+
+    def test_run_tracks_best_and_placement_time(self, opamp_setup):
+        design, generator, structure = opamp_setup
+        loop = LayoutInclusiveSynthesis(
+            design.sizing_model,
+            design.performance_model,
+            design.spec,
+            MPSBackend(structure, generator.cost_function),
+            config=SynthesisConfig(optimizer=SizingOptimizerConfig(max_iterations=15)),
+            seed=0,
+        )
+        result = loop.run()
+        assert result.evaluations >= 15
+        assert result.best.objective <= min(result.history) + 1e-9
+        assert 0.0 <= result.placement_fraction <= 1.0
+        assert result.backend == "mps"
+
+    def test_best_improves_over_default_point(self, opamp_setup):
+        design, generator, structure = opamp_setup
+        backend = MPSBackend(structure, generator.cost_function)
+        loop = LayoutInclusiveSynthesis(
+            design.sizing_model,
+            design.performance_model,
+            design.spec,
+            backend,
+            config=SynthesisConfig(optimizer=SizingOptimizerConfig(max_iterations=25)),
+            seed=1,
+        )
+        default_objective = loop.evaluate(
+            design.sizing_model.design_space.default_point()
+        ).objective
+        result = loop.run()
+        assert result.best.objective <= default_objective + 1e-9

@@ -1,0 +1,101 @@
+"""Tests for parasitic estimation and the opamp performance model."""
+
+import pytest
+
+from repro.benchcircuits.library import get_benchmark
+from repro.geometry.floorplan import FloorplanBounds
+from repro.geometry.rect import Rect
+from repro.synthesis.parasitics import estimate_parasitics
+from repro.synthesis.performance import PerformanceSpec, TwoStageOpampModel
+
+
+def opamp_layout(spread: int):
+    """A placed two-stage opamp whose blocks are ``spread`` apart."""
+    circuit = get_benchmark("two_stage_opamp")
+    rects = {}
+    for i, block in enumerate(circuit.blocks):
+        rects[block.name] = Rect(i * spread, 0, block.min_w, block.min_h)
+    return circuit, rects
+
+
+class TestParasitics:
+    def test_larger_layout_has_more_capacitance(self):
+        circuit, compact = opamp_layout(spread=10)
+        _, spread_out = opamp_layout(spread=40)
+        compact_est = estimate_parasitics(circuit, compact)
+        spread_est = estimate_parasitics(circuit, spread_out)
+        assert spread_est.total_capacitance_ff > compact_est.total_capacitance_ff
+        assert spread_est.total_wirelength_um > compact_est.total_wirelength_um
+
+    def test_per_net_lookup(self):
+        circuit, rects = opamp_layout(spread=20)
+        estimate = estimate_parasitics(circuit, rects)
+        assert estimate.capacitance("n2") > 0
+        assert estimate.resistance("n2") > 0
+        assert estimate.capacitance("does_not_exist") == 0.0
+
+    def test_external_nets_use_bounds(self):
+        circuit, rects = opamp_layout(spread=20)
+        without_bounds = estimate_parasitics(circuit, rects)
+        with_bounds = estimate_parasitics(circuit, rects, FloorplanBounds(200, 200))
+        assert with_bounds.total_wirelength_um > without_bounds.total_wirelength_um
+
+
+class TestTwoStageOpampModel:
+    def test_reasonable_nominal_performance(self):
+        model = TwoStageOpampModel()
+        report = model.evaluate({"w_dp": 40, "l_dp": 0.5, "w_cs": 60, "i_bias": 50, "c_c": 1000})
+        assert 40.0 < report.gain_db < 120.0
+        assert report.unity_gain_bandwidth_hz > 1e6
+        assert 0.0 < report.phase_margin_deg < 90.0
+        assert report.power_mw > 0
+
+    def test_wiring_capacitance_degrades_bandwidth(self):
+        circuit, compact = opamp_layout(spread=10)
+        _, spread_out = opamp_layout(spread=60)
+        model = TwoStageOpampModel()
+        point = {"w_dp": 40, "l_dp": 0.5, "w_cs": 60, "i_bias": 50, "c_c": 600}
+        fast = model.evaluate(point, estimate_parasitics(circuit, compact))
+        slow = model.evaluate(point, estimate_parasitics(circuit, spread_out))
+        assert slow.unity_gain_bandwidth_hz < fast.unity_gain_bandwidth_hz
+        assert slow.wiring_capacitance_ff > fast.wiring_capacitance_ff
+
+    def test_more_bias_current_more_power_and_slew(self):
+        model = TwoStageOpampModel()
+        low = model.evaluate({"i_bias": 20, "c_c": 1000})
+        high = model.evaluate({"i_bias": 100, "c_c": 1000})
+        assert high.power_mw > low.power_mw
+        assert high.slew_rate_v_per_us > low.slew_rate_v_per_us
+
+    def test_report_as_dict(self):
+        report = TwoStageOpampModel().evaluate({})
+        as_dict = report.as_dict()
+        assert "gain_db" in as_dict and "power_mw" in as_dict
+
+
+class TestPerformanceSpec:
+    def test_penalty_zero_when_met(self):
+        report = TwoStageOpampModel().evaluate(
+            {"w_dp": 60, "l_dp": 0.5, "w_cs": 80, "i_bias": 80, "c_c": 800}
+        )
+        spec = PerformanceSpec(
+            min_gain_db=40.0,
+            min_ugbw_hz=1e6,
+            min_phase_margin_deg=20.0,
+            min_slew_rate_v_per_us=1.0,
+            max_power_mw=10.0,
+        )
+        assert spec.penalty(report) == 0.0
+        assert spec.is_met(report)
+
+    def test_penalty_positive_when_violated(self):
+        report = TwoStageOpampModel().evaluate({"i_bias": 10, "c_c": 2500})
+        strict = PerformanceSpec(min_ugbw_hz=1e9)
+        assert strict.penalty(report) > 0.0
+        assert not strict.is_met(report)
+
+    def test_penalty_scales_with_violation(self):
+        report = TwoStageOpampModel().evaluate({"i_bias": 10, "c_c": 2500})
+        mild = PerformanceSpec(min_ugbw_hz=1e8)
+        harsh = PerformanceSpec(min_ugbw_hz=1e9)
+        assert harsh.penalty(report) > mild.penalty(report)

@@ -1,0 +1,118 @@
+"""Tests for sizing variables, design spaces and generator bindings."""
+
+import random
+
+import pytest
+
+from repro.modgen.mosfet import FoldedMosfetGenerator
+from repro.synthesis.binding import BlockBinding, CircuitSizingModel
+from repro.synthesis.sizing import DesignSpace, SizingVariable
+from tests.conftest import build_chain_circuit
+
+
+class TestSizingVariable:
+    def test_defaults_to_midpoint(self):
+        variable = SizingVariable("w", 10.0, 20.0)
+        assert variable.default == 15.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SizingVariable("w", 10.0, 5.0)
+        with pytest.raises(ValueError):
+            SizingVariable("w", 10.0, 20.0, default=50.0)
+        with pytest.raises(ValueError):
+            SizingVariable("", 0.0, 1.0)
+
+    def test_clamp_and_sample(self):
+        variable = SizingVariable("w", 10.0, 20.0)
+        assert variable.clamp(5.0) == 10.0
+        assert variable.clamp(25.0) == 20.0
+        rng = random.Random(0)
+        for _ in range(20):
+            assert 10.0 <= variable.sample(rng) <= 20.0
+
+    def test_log_scale_sampling_in_bounds(self):
+        variable = SizingVariable("c", 1.0, 1000.0, log_scale=True)
+        rng = random.Random(0)
+        samples = [variable.sample(rng) for _ in range(50)]
+        assert all(1.0 <= s <= 1000.0 for s in samples)
+
+
+class TestDesignSpace:
+    def _space(self):
+        return DesignSpace(
+            [SizingVariable("w", 10.0, 20.0), SizingVariable("l", 0.35, 1.0)]
+        )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpace([SizingVariable("w", 0, 1), SizingVariable("w", 0, 1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpace([])
+
+    def test_default_and_random_points(self):
+        space = self._space()
+        defaults = space.default_point()
+        assert defaults == {"w": 15.0, "l": 0.675}
+        point = space.random_point(random.Random(0))
+        assert set(point) == {"w", "l"}
+        assert space.clamp(point) == point
+
+    def test_clamp_fills_missing_and_bounds(self):
+        space = self._space()
+        clamped = space.clamp({"w": 100.0})
+        assert clamped["w"] == 20.0
+        assert clamped["l"] == 0.675
+
+    def test_clamp_unknown_variable_rejected(self):
+        with pytest.raises(KeyError):
+            self._space().clamp({"zz": 1.0})
+
+    def test_perturb_stays_in_bounds(self):
+        space = self._space()
+        rng = random.Random(0)
+        point = space.default_point()
+        for _ in range(30):
+            point = space.perturb(point, rng)
+            assert 10.0 <= point["w"] <= 20.0
+            assert 0.35 <= point["l"] <= 1.0
+
+
+class TestCircuitSizingModel:
+    def test_dims_follow_generator(self):
+        circuit = build_chain_circuit(2)
+        space = DesignSpace([SizingVariable("w0", 5.0, 60.0, default=20.0)])
+        generator = FoldedMosfetGenerator()
+        model = CircuitSizingModel(
+            circuit,
+            space,
+            [BlockBinding("m0", generator, {"width": "w0", "length": 0.5, "fingers": 4.0})],
+        )
+        small = model.dims_for({"w0": 8.0})
+        large = model.dims_for({"w0": 60.0})
+        # Bound block m0 follows the generator (clamped to block bounds);
+        # unbound block m1 stays at its minimum dimensions.
+        assert small[1] == circuit.blocks[1].min_dims
+        assert large[0][1] >= small[0][1]
+        for (w, h), block in zip(large, circuit.blocks):
+            assert block.admits(w, h)
+
+    def test_unknown_block_rejected(self):
+        circuit = build_chain_circuit(2)
+        space = DesignSpace([SizingVariable("w0", 5.0, 60.0)])
+        with pytest.raises(ValueError):
+            CircuitSizingModel(
+                circuit, space, [BlockBinding("zz", FoldedMosfetGenerator(), {})]
+            )
+
+    def test_unknown_sizing_variable_rejected(self):
+        circuit = build_chain_circuit(2)
+        space = DesignSpace([SizingVariable("w0", 5.0, 60.0)])
+        with pytest.raises(KeyError):
+            CircuitSizingModel(
+                circuit,
+                space,
+                [BlockBinding("m0", FoldedMosfetGenerator(), {"width": "missing"})],
+            )

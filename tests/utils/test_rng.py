@@ -1,0 +1,43 @@
+"""Tests for the RNG helpers."""
+
+import random
+
+from repro.utils.rng import make_rng, spawn_rng
+
+
+class TestMakeRng:
+    def test_from_int_seed_is_deterministic(self):
+        assert make_rng(42).random() == make_rng(42).random()
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_passthrough_of_existing_rng(self):
+        rng = random.Random(0)
+        assert make_rng(rng) is rng
+
+    def test_none_seed_returns_rng(self):
+        assert isinstance(make_rng(None), random.Random)
+
+
+class TestSpawnRng:
+    def test_child_is_independent_instance(self):
+        parent = make_rng(0)
+        child = spawn_rng(parent)
+        assert child is not parent
+
+    def test_same_parent_state_gives_same_child(self):
+        child_a = spawn_rng(make_rng(5))
+        child_b = spawn_rng(make_rng(5))
+        assert child_a.random() == child_b.random()
+
+    def test_salt_changes_child_stream(self):
+        child_a = spawn_rng(make_rng(5), salt=1)
+        child_b = spawn_rng(make_rng(5), salt=2)
+        assert child_a.random() != child_b.random()
+
+    def test_spawning_does_not_alias_parent_stream(self):
+        parent = make_rng(9)
+        spawn_rng(parent)
+        # The parent keeps producing values after spawning.
+        assert 0.0 <= parent.random() < 1.0

@@ -1,0 +1,67 @@
+"""Tests for the running statistics accumulator."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.utils.stats import RunningStats, summarize
+
+
+class TestRunningStats:
+    def test_empty_stats(self):
+        stats = RunningStats()
+        assert stats.count == 0
+        assert stats.variance == 0.0
+
+    def test_mean_and_extrema(self):
+        stats = RunningStats()
+        stats.extend([1.0, 2.0, 3.0, 4.0])
+        assert stats.mean == 2.5
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+
+    def test_variance_matches_direct_formula(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        stats = RunningStats()
+        stats.extend(values)
+        assert math.isclose(stats.variance, 4.0)
+        assert math.isclose(stats.stddev, 2.0)
+
+    def test_merge_equals_single_stream(self):
+        left = RunningStats()
+        right = RunningStats()
+        left.extend([1.0, 2.0, 3.0])
+        right.extend([10.0, 20.0])
+        merged = left.merge(right)
+        combined = RunningStats()
+        combined.extend([1.0, 2.0, 3.0, 10.0, 20.0])
+        assert merged.count == combined.count
+        assert math.isclose(merged.mean, combined.mean)
+        assert math.isclose(merged.variance, combined.variance)
+        assert merged.minimum == combined.minimum
+        assert merged.maximum == combined.maximum
+
+    def test_merge_with_empty(self):
+        stats = RunningStats()
+        stats.extend([1.0, 5.0])
+        merged = stats.merge(RunningStats())
+        assert merged.count == 2
+        assert merged.mean == 3.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_mean_matches_python_mean(self, values):
+        stats = RunningStats()
+        stats.extend(values)
+        assert math.isclose(stats.mean, sum(values) / len(values), rel_tol=1e-9, abs_tol=1e-6)
+
+
+class TestSummarize:
+    def test_summary_keys(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert set(summary) == {"count", "mean", "std", "min", "max"}
+        assert summary["count"] == 3.0
+
+    def test_empty_iterable(self):
+        summary = summarize([])
+        assert summary["count"] == 0.0
+        assert summary["mean"] == 0.0

@@ -1,0 +1,46 @@
+"""Tests for the wall-clock timer and duration formatting."""
+
+import time
+
+import pytest
+
+from repro.utils.timer import Timer, format_duration
+
+
+class TestTimer:
+    def test_measures_elapsed_time(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_elapsed_available_inside_block(self):
+        with Timer() as timer:
+            assert timer.elapsed >= 0.0
+
+    def test_elapsed_frozen_after_exit(self):
+        with Timer() as timer:
+            pass
+        first = timer.elapsed
+        time.sleep(0.005)
+        assert timer.elapsed == first
+
+
+class TestFormatDuration:
+    def test_sub_second_uses_milliseconds(self):
+        assert format_duration(0.0123) == "12.30ms"
+
+    def test_seconds_only(self):
+        assert format_duration(42) == "42s"
+
+    def test_minutes_and_seconds(self):
+        assert format_duration(21 * 60 + 12) == "21m12s"
+
+    def test_hours_minutes_seconds_matches_paper_style(self):
+        assert format_duration(1 * 3600 + 42 * 60 + 13) == "1h42m13s"
+
+    def test_zero_minutes_shown_when_hours_present(self):
+        assert format_duration(3600 + 5) == "1h0m5s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1.0)

@@ -1,0 +1,76 @@
+"""Tests for ASCII / SVG rendering and the text tables."""
+
+from repro.geometry.floorplan import FloorplanBounds
+from repro.geometry.rect import Rect
+from repro.viz.ascii_art import render_ascii
+from repro.viz.series import format_series_table, format_table
+from repro.viz.svg import render_svg, save_svg
+
+
+LAYOUT = {
+    "dp": Rect(0, 0, 10, 8),
+    "load": Rect(12, 0, 8, 8),
+    "cc": Rect(0, 10, 14, 10),
+}
+
+
+class TestAscii:
+    def test_empty_layout(self):
+        assert render_ascii({}) == "(empty floorplan)"
+
+    def test_labels_and_outline_present(self):
+        art = render_ascii(LAYOUT, FloorplanBounds(30, 25))
+        assert "dp" in art
+        assert "cc" in art
+        assert "+" in art and "|" in art and "-" in art
+
+    def test_respects_max_width(self):
+        art = render_ascii(LAYOUT, FloorplanBounds(300, 250), max_width=40, max_height=20)
+        assert all(len(line) <= 40 for line in art.splitlines())
+
+    def test_without_bounds_uses_bounding_box(self):
+        art = render_ascii(LAYOUT)
+        assert "dp" in art
+
+
+class TestSvg:
+    def test_svg_structure(self):
+        svg = render_svg(LAYOUT, FloorplanBounds(30, 25))
+        assert svg.startswith("<svg")
+        assert svg.count("<rect") == len(LAYOUT) + 1  # blocks + canvas
+        assert "dp" in svg and "</svg>" in svg
+
+    def test_save_svg(self, tmp_path):
+        path = save_svg(LAYOUT, tmp_path / "floorplan.svg")
+        assert path.exists()
+        assert path.read_text().startswith("<svg")
+
+    def test_empty_layout_svg(self):
+        svg = render_svg({})
+        assert svg.startswith("<svg")
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        rows = [{"circuit": "circ01", "placements": 57}, {"circuit": "benchmark24", "placements": 133}]
+        table = format_table(rows)
+        lines = table.splitlines()
+        assert lines[0].startswith("circuit")
+        assert "57" in table and "133" in table
+        assert len(lines) == 4
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_column_order(self):
+        rows = [{"a": 1, "b": 2}]
+        table = format_table(rows, columns=["b", "a"])
+        assert table.splitlines()[0].startswith("b")
+
+    def test_format_series_table(self):
+        table = format_series_table(
+            [1, 2, 3], {"placement0": [5.0, 6.0, 7.0], "mps": [5.0, 5.5, 6.0]}, x_label="width"
+        )
+        assert "width" in table
+        assert "placement0" in table
+        assert len(table.splitlines()) == 5
