@@ -1,24 +1,36 @@
 """Layout-inclusive sizing of the two-stage opamp (the paper's Figure 1.b loop).
 
-Compares the same sizing run with three placement backends:
+Compares the same sizing run with four placement backends:
 
 * the multi-placement structure (fast, size-adapted placements),
+* the placement service (same structure, served from an on-disk registry
+  with query memoization and per-tier statistics),
 * a fixed template (fast, one arrangement for every size),
 * per-instance simulated annealing (slow, the quality reference).
 
 Run with::
 
     python examples/synthesis_loop.py
+
+Pass a directory as the first argument to persist the service's structure
+registry between runs (the second run skips generation entirely)::
+
+    python examples/synthesis_loop.py /tmp/structure-registry
 """
+
+import sys
+import tempfile
 
 from repro.baselines.annealing_placer import AnnealingPlacer, AnnealingPlacerConfig
 from repro.baselines.template import TemplatePlacer
 from repro.core import MultiPlacementGenerator
 from repro.experiments.config import SMOKE
+from repro.service import PlacementService, StructureRegistry
 from repro.synthesis import (
     AnnealingBackend,
     LayoutInclusiveSynthesis,
     MPSBackend,
+    ServiceBackend,
     SynthesisConfig,
     TemplateBackend,
 )
@@ -31,14 +43,23 @@ def main() -> None:
     design = two_stage_opamp_design()
     circuit = design.circuit
     scale = SMOKE  # switch to MEDIUM / FULL for a closer look
+    generator_config = scale.generator_config(circuit, seed=0)
 
-    print("Generating the multi-placement structure (one-time cost)...")
-    generator = MultiPlacementGenerator(circuit, scale.generator_config(circuit, seed=0))
-    structure = generator.generate()
+    registry_dir = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(prefix="repro-registry-")
+    registry = StructureRegistry(registry_dir)
+    generator = MultiPlacementGenerator(circuit, generator_config)
+    if registry.contains(circuit, generator_config):
+        print(f"Loading the multi-placement structure from {registry.root}...")
+    else:
+        print("Generating the multi-placement structure (one-time cost)...")
+    structure = registry.get_or_generate(circuit, generator_config)
     print(f"  {structure.num_placements} placements stored\n")
+
+    service = PlacementService(registry, default_config=generator_config)
 
     backends = {
         "mps": MPSBackend(structure, generator.cost_function),
+        "service": ServiceBackend(service, circuit),
         "template": TemplateBackend(TemplatePlacer(circuit, generator.bounds, seed=0)),
         "annealing": AnnealingBackend(
             AnnealingPlacer(
@@ -54,6 +75,7 @@ def main() -> None:
         optimizer=SizingOptimizerConfig(max_iterations=scale.synthesis_iterations)
     )
     rows = []
+    service_stats = None
     for name, backend in backends.items():
         loop = LayoutInclusiveSynthesis(
             design.sizing_model,
@@ -65,6 +87,8 @@ def main() -> None:
         )
         result = loop.run()
         best = result.best
+        if result.service_stats is not None:
+            service_stats = result.service_stats
         rows.append(
             {
                 "backend": name,
@@ -82,9 +106,20 @@ def main() -> None:
         )
 
     print(format_table(rows))
+    if service_stats is not None:
+        print(
+            "\nService tiers: "
+            f"structure={service_stats['structure_hits']:.0f} "
+            f"nearest={service_stats['nearest_hits']:.0f} "
+            f"fallback={service_stats['fallback_hits']:.0f} | "
+            f"memo hits={service_stats['memo_hits']:.0f} of "
+            f"{service_stats['queries']:.0f} queries, "
+            f"mean latency={1000 * service_stats['mean_latency_seconds']:.3f}ms"
+        )
     print(
         "\nThe multi-placement structure keeps per-evaluation placement time at the\n"
-        "template's level while re-annealing from scratch is orders of magnitude slower."
+        "template's level while re-annealing from scratch is orders of magnitude slower;\n"
+        "the service adds registry persistence and memoization on top."
     )
 
 

@@ -4,8 +4,30 @@ in Analog Circuit Synthesis" (Badaoui & Vemuri, DATE 2005).
 The package is organised as a set of substrates (geometry, circuit, module
 generators, cost models, annealing) underneath the paper's primary
 contribution: the multi-placement structure (:mod:`repro.core`) and its
-generation algorithm, plus the baselines and the layout-inclusive synthesis
-loop the paper motivates.
+generation algorithm, plus the baselines, the layout-inclusive synthesis
+loop the paper motivates, and a service layer that turns the offline/online
+split into long-lived infrastructure.
+
+Module map
+----------
+
+* :mod:`repro.geometry` — rectangles, floorplan bounds, packing, overlap.
+* :mod:`repro.circuit` — blocks, nets, pins, symmetry groups, netlists.
+* :mod:`repro.modgen` — module generators (sizes -> block footprints).
+* :mod:`repro.cost` — wirelength/area cost functions and penalties.
+* :mod:`repro.annealing` — generic simulated-annealing machinery.
+* :mod:`repro.core` — the multi-placement structure: generation (Figure
+  1.a), instantiation (Figure 1.b) and JSON serialization.
+* :mod:`repro.baselines` — template, random, genetic and annealing placers.
+* :mod:`repro.synthesis` — the layout-inclusive sizing loop and its
+  placement backends.
+* :mod:`repro.service` — placement-as-a-service: topology fingerprints,
+  the on-disk structure registry, LRU/memo caching, batched instantiation
+  and the :class:`~repro.service.engine.PlacementService` facade with
+  per-tier statistics.
+* :mod:`repro.benchcircuits` / :mod:`repro.experiments` — the paper's
+  benchmark circuits and table/figure reproductions.
+* :mod:`repro.viz` / :mod:`repro.utils` — rendering and shared utilities.
 
 Typical usage::
 
@@ -17,8 +39,17 @@ Typical usage::
     structure = generator.generate()
     result = structure.instantiate([(10, 12), (8, 8), (14, 10), (9, 9), (11, 7)])
     print(result.source, result.cost)
+
+Or, served through the placement service::
+
+    from repro.service import PlacementService, StructureRegistry
+
+    service = PlacementService(StructureRegistry("structures/"))
+    batch = service.instantiate_batch(circuit, dim_vectors)
+    print(service.stats.tier_counts)
 """
 
+from repro.service import PlacementService, StructureRegistry
 from repro.version import __version__
 
-__all__ = ["__version__"]
+__all__ = ["__version__", "PlacementService", "StructureRegistry"]

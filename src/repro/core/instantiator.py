@@ -29,6 +29,7 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 from repro.core.placement_entry import Dims, StoredPlacement
 from repro.core.structure import MultiPlacementStructure
 from repro.cost.cost_function import CostBreakdown, PlacementCostFunction
+from repro.geometry.overlap import any_overlap
 from repro.geometry.rect import Rect
 
 #: Source tags of an instantiated placement.
@@ -89,6 +90,8 @@ class PlacementInstantiator:
             structure.circuit, structure.bounds
         )
         self._fallback_mode = fallback_mode
+        #: (structure mutation count, placements in ascending best-cost order).
+        self._sorted_stored: Optional[Tuple[int, Tuple[StoredPlacement, ...]]] = None
 
     @property
     def structure(self) -> MultiPlacementStructure:
@@ -170,27 +173,35 @@ class PlacementInstantiator:
     def _best_feasible_stored(
         self, dims: Tuple[Dims, ...]
     ) -> Optional[Tuple[StoredPlacement, Dict[str, Rect], CostBreakdown]]:
-        """The legal stored placement with the lowest cost at ``dims``, if any."""
-        best: Optional[Tuple[StoredPlacement, Dict[str, Rect], CostBreakdown]] = None
-        for stored in self._structure:
+        """The lowest-cost stored placement that is legal at ``dims``, if any.
+
+        Stored placements are tried in ascending ``best_cost`` order so the
+        first legal hit is the answer; the cost function then runs exactly
+        once, on the winner, instead of on every legal candidate.
+        """
+        for stored in self._stored_by_best_cost():
             rects = self._rects(stored.anchors, dims)
             if not self._is_legal(rects):
                 continue
-            cost = self._cost_function.evaluate(rects)
-            if best is None or cost.total < best[2].total:
-                best = (stored, rects, cost)
-        return best
+            return stored, rects, self._cost_function.evaluate(rects)
+        return None
+
+    def _stored_by_best_cost(self) -> Tuple[StoredPlacement, ...]:
+        """Stored placements sorted ascending by best cost, cached per structure state."""
+        version = self._structure.mutation_count
+        if self._sorted_stored is None or self._sorted_stored[0] != version:
+            ordered = tuple(
+                sorted(self._structure, key=lambda sp: (sp.best_cost, sp.index))
+            )
+            self._sorted_stored = (version, ordered)
+        return self._sorted_stored[1]
 
     def _is_legal(self, rects: Dict[str, Rect]) -> bool:
         bounds = self._structure.bounds
         rect_list = list(rects.values())
         if any(not bounds.contains(rect) for rect in rect_list):
             return False
-        for i in range(len(rect_list)):
-            for j in range(i + 1, len(rect_list)):
-                if rect_list[i].intersects(rect_list[j]):
-                    return False
-        return True
+        return not any_overlap(rect_list)
 
     def _fallback_anchors(self) -> Tuple[Tuple[int, int], ...]:
         anchors = self._structure.fallback_anchors

@@ -8,6 +8,8 @@ that reuse possible across processes.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any, Dict, Union
 
@@ -162,11 +164,29 @@ def structure_from_dict(data: Dict[str, Any]) -> MultiPlacementStructure:
 # File I/O
 # --------------------------------------------------------------------------- #
 def save_structure(structure: MultiPlacementStructure, path: Union[str, Path]) -> Path:
-    """Write a structure to ``path`` as JSON and return the path."""
+    """Write a structure to ``path`` as JSON and return the path.
+
+    The write is atomic: the JSON goes to a temporary file in the same
+    directory which is then moved over ``path`` with :func:`os.replace`, so
+    a crashed or concurrent writer can never leave a truncated structure
+    behind — readers see either the old file or the new one.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8") as handle:
-        json.dump(structure_to_dict(structure), handle, indent=2)
+    payload = json.dumps(structure_to_dict(structure), indent=2)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return path
 
 

@@ -39,6 +39,7 @@ class MultiPlacementStructure:
         self._placements: Dict[int, StoredPlacement] = {}
         self._next_index = 0
         self._fallback_anchors: Optional[Tuple[Anchor, ...]] = None
+        self._mutations = 0
 
     # ------------------------------------------------------------------ #
     # Basic accessors
@@ -78,6 +79,11 @@ class MultiPlacementStructure:
     def has_placement(self, index: int) -> bool:
         """True when a placement with ``index`` is stored."""
         return index in self._placements
+
+    @property
+    def mutation_count(self) -> int:
+        """Bumped whenever the stored placement set changes (a cheap staleness check)."""
+        return self._mutations
 
     @property
     def fallback_anchors(self) -> Optional[Tuple[Anchor, ...]]:
@@ -138,6 +144,7 @@ class MultiPlacementStructure:
         )
         self._placements[index] = placement
         self._insert_rows(placement)
+        self._mutations += 1
         return placement
 
     def store(self, placement: StoredPlacement) -> StoredPlacement:
@@ -147,6 +154,7 @@ class MultiPlacementStructure:
         self._next_index = max(self._next_index, placement.index + 1)
         self._placements[placement.index] = placement
         self._insert_rows(placement)
+        self._mutations += 1
         return placement
 
     def remove_placement(self, index: int) -> None:
@@ -154,6 +162,7 @@ class MultiPlacementStructure:
         placement = self.placement(index)
         self._remove_rows(placement)
         del self._placements[index]
+        self._mutations += 1
 
     def update_ranges(self, index: int, ranges: Sequence[DimensionRange]) -> StoredPlacement:
         """Replace a stored placement's dimension ranges (used by overlap resolution)."""

@@ -1,0 +1,313 @@
+"""The placement service facade.
+
+:class:`PlacementService` is the front door of the subsystem: callers hand
+it a circuit and dimension vectors and get placements back, while the
+service transparently
+
+* keys the circuit by topology fingerprint,
+* serves the structure from its in-memory LRU, the on-disk registry, or a
+  fresh generation run (in that order),
+* memoizes repeated queries and deduplicates batches, and
+* tracks per-tier hit counters (``structure`` / ``nearest`` / ``fallback``)
+  plus cache and latency statistics, so the offline/online split of the
+  paper becomes observable in production.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.core.generator import GeneratorConfig, MultiPlacementGenerator
+from repro.core.instantiator import (
+    FALLBACK_BEST_STORED,
+    InstantiatedPlacement,
+    PlacementInstantiator,
+    SOURCE_FALLBACK,
+    SOURCE_NEAREST,
+    SOURCE_STRUCTURE,
+)
+from repro.core.placement_entry import Dims
+from repro.core.structure import MultiPlacementStructure
+from repro.service.batch import BatchResult, instantiate_batch
+from repro.service.cache import LRUCache, MemoizingInstantiator
+from repro.service.fingerprint import structure_key
+from repro.service.registry import StructureRegistry
+from repro.utils.timer import Timer
+
+
+@dataclass
+class ServiceStats:
+    """Counters describing everything a :class:`PlacementService` served.
+
+    Tier counters follow the instantiator's three-tier lookup: a
+    ``structure`` hit is the strict Equation 4/5 containment lookup, a
+    ``nearest`` hit reuses the best legal stored placement outside every
+    box, and ``fallback`` is the template placement of last resort.
+    """
+
+    queries: int = 0
+    batches: int = 0
+    structure_hits: int = 0
+    nearest_hits: int = 0
+    fallback_hits: int = 0
+    #: Queries answered from a per-structure memo table.
+    memo_hits: int = 0
+    #: Batch queries answered by deduplication against the same batch.
+    dedup_hits: int = 0
+    #: Structures served from the on-disk registry.
+    structures_loaded: int = 0
+    #: Structures generated because no tier had them.
+    structures_generated: int = 0
+    #: Instantiators served from the in-memory LRU.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Wall-clock seconds spent answering queries (includes structure setup).
+    total_seconds: float = 0.0
+
+    @property
+    def tier_counts(self) -> Dict[str, int]:
+        """Per-tier hit counters keyed by the instantiator's source tags."""
+        return {
+            SOURCE_STRUCTURE: self.structure_hits,
+            SOURCE_NEAREST: self.nearest_hits,
+            SOURCE_FALLBACK: self.fallback_hits,
+        }
+
+    @property
+    def structure_hit_rate(self) -> float:
+        """Fraction of queries answered by strict containment."""
+        if self.queries == 0:
+            return 0.0
+        return self.structure_hits / self.queries
+
+    @property
+    def mean_latency_seconds(self) -> float:
+        """Average wall-clock seconds per query."""
+        if self.queries == 0:
+            return 0.0
+        return self.total_seconds / self.queries
+
+    def record_source(self, source: str, count: int = 1) -> None:
+        """Add ``count`` hits to the tier identified by ``source``."""
+        if source == SOURCE_STRUCTURE:
+            self.structure_hits += count
+        elif source == SOURCE_NEAREST:
+            self.nearest_hits += count
+        elif source == SOURCE_FALLBACK:
+            self.fallback_hits += count
+        else:
+            raise ValueError(f"unknown placement source {source!r}")
+
+    def snapshot(self) -> "ServiceStats":
+        """An independent copy of the current counters."""
+        return replace(self)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-data form for reports and benchmark output."""
+        return {
+            "queries": self.queries,
+            "batches": self.batches,
+            "structure_hits": self.structure_hits,
+            "nearest_hits": self.nearest_hits,
+            "fallback_hits": self.fallback_hits,
+            "memo_hits": self.memo_hits,
+            "dedup_hits": self.dedup_hits,
+            "structures_loaded": self.structures_loaded,
+            "structures_generated": self.structures_generated,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "total_seconds": self.total_seconds,
+            "structure_hit_rate": self.structure_hit_rate,
+            "mean_latency_seconds": self.mean_latency_seconds,
+        }
+
+
+class PlacementService:
+    """Serve placements for any circuit from one long-lived object.
+
+    Parameters
+    ----------
+    registry:
+        Optional on-disk structure library.  Without one the service still
+        works, generating structures in memory (and losing them when the
+        instantiator cache evicts them).
+    default_config:
+        Generation configuration used when a call does not pass its own.
+    cache_capacity:
+        Number of (structure, instantiator) pairs kept loaded.
+    memo_capacity:
+        Per-structure bound on memoized dimension-vector queries.
+    fallback_mode:
+        Passed through to every :class:`PlacementInstantiator`.
+    max_workers:
+        Default worker count for :meth:`instantiate_batch`.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[StructureRegistry] = None,
+        default_config: Optional[GeneratorConfig] = None,
+        cache_capacity: int = 8,
+        memo_capacity: int = 4096,
+        fallback_mode: str = FALLBACK_BEST_STORED,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self._registry = registry
+        self._default_config = default_config
+        self._memo_capacity = memo_capacity
+        self._fallback_mode = fallback_mode
+        self._max_workers = max_workers
+        self._instantiators: LRUCache[str, MemoizingInstantiator] = LRUCache(cache_capacity)
+        self._stats = ServiceStats()
+        self._lock = threading.RLock()
+
+    @property
+    def registry(self) -> Optional[StructureRegistry]:
+        """The backing structure library, if any."""
+        return self._registry
+
+    @property
+    def stats(self) -> ServiceStats:
+        """Live counters (use :meth:`ServiceStats.snapshot` to freeze them)."""
+        return self._stats
+
+    def reset_stats(self) -> ServiceStats:
+        """Replace the counters with zeros and return the old ones."""
+        with self._lock:
+            old = self._stats
+            self._stats = ServiceStats()
+            return old
+
+    # ------------------------------------------------------------------ #
+    # Structure provisioning
+    # ------------------------------------------------------------------ #
+    def warm(
+        self, circuit: Circuit, config: Optional[GeneratorConfig] = None
+    ) -> MultiPlacementStructure:
+        """Ensure the structure for (``circuit``, ``config``) is loaded and return it."""
+        return self.instantiator_for(circuit, config).structure
+
+    def instantiator_for(
+        self, circuit: Circuit, config: Optional[GeneratorConfig] = None
+    ) -> MemoizingInstantiator:
+        """The memoizing instantiator serving (``circuit``, ``config``).
+
+        Resolution order: in-memory LRU, then the registry (which itself
+        generates on a miss), then a direct in-memory generation run when
+        the service has no registry.
+        """
+        config = config if config is not None else self._default_config
+        key = structure_key(circuit, config)
+        with self._lock:
+            cached = self._instantiators.get(key)
+            if cached is not None:
+                self._stats.cache_hits += 1
+                return cached
+            self._stats.cache_misses += 1
+            if self._registry is not None:
+                structure, generated = self._registry.fetch(circuit, config)
+                if generated:
+                    self._stats.structures_generated += 1
+                else:
+                    self._stats.structures_loaded += 1
+            else:
+                generator = MultiPlacementGenerator(circuit, config or GeneratorConfig())
+                structure = generator.generate()
+                self._stats.structures_generated += 1
+            memoizing = MemoizingInstantiator(
+                PlacementInstantiator(structure, fallback_mode=self._fallback_mode),
+                capacity=self._memo_capacity,
+            )
+            self._instantiators.put(key, memoizing)
+            return memoizing
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def instantiate(
+        self,
+        circuit: Circuit,
+        dims: Sequence[Dims],
+        config: Optional[GeneratorConfig] = None,
+    ) -> InstantiatedPlacement:
+        """Serve one placement for ``dims`` (given in ``circuit`` block order)."""
+        with Timer() as timer:
+            instantiator = self.instantiator_for(circuit, config)
+            mapped = _map_dims(circuit, instantiator.structure.circuit, dims)
+            result, from_memo = instantiator.instantiate_with_info(mapped)
+        with self._lock:
+            stats = self._stats
+            stats.queries += 1
+            stats.record_source(result.source)
+            if from_memo:
+                stats.memo_hits += 1
+            stats.total_seconds += timer.elapsed
+        return result
+
+    def instantiate_batch(
+        self,
+        circuit: Circuit,
+        dims_batch: Sequence[Sequence[Dims]],
+        config: Optional[GeneratorConfig] = None,
+        max_workers: Optional[int] = None,
+    ) -> BatchResult:
+        """Serve a whole batch of queries with deduplication and fan-out."""
+        with Timer() as timer:
+            instantiator = self.instantiator_for(circuit, config)
+            structure_circuit = instantiator.structure.circuit
+            if circuit.block_names() == structure_circuit.block_names():
+                mapped_batch = dims_batch
+            else:
+                mapped_batch = [
+                    _map_dims(circuit, structure_circuit, dims) for dims in dims_batch
+                ]
+            memo_hits_before = instantiator.memo_stats.hits
+            batch = instantiate_batch(
+                instantiator,
+                mapped_batch,
+                max_workers=max_workers if max_workers is not None else self._max_workers,
+            )
+            memo_delta = instantiator.memo_stats.hits - memo_hits_before
+        with self._lock:
+            stats = self._stats
+            stats.batches += 1
+            stats.queries += batch.total_queries
+            stats.dedup_hits += batch.duplicate_queries
+            stats.memo_hits += memo_delta
+            for source, count in batch.source_counts.items():
+                stats.record_source(source, count)
+            stats.total_seconds += timer.elapsed
+        return batch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        registry = "none" if self._registry is None else str(self._registry.root)
+        return (
+            f"PlacementService(registry={registry!r}, "
+            f"cached={len(self._instantiators)}, queries={self._stats.queries})"
+        )
+
+
+def _map_dims(
+    caller: Circuit, served: Circuit, dims: Sequence[Dims]
+) -> Tuple[Dims, ...]:
+    """Reorder ``dims`` from the caller's block order to the served circuit's.
+
+    Fingerprints are order-insensitive, so a registry structure may have
+    been generated from a permutation of the caller's block list; block
+    names identify the mapping.
+    """
+    if len(dims) != caller.num_blocks:
+        raise ValueError(
+            f"dimension vector must have {caller.num_blocks} entries, got {len(dims)}"
+        )
+    caller_names = caller.block_names()
+    served_names = served.block_names()
+    if caller_names == served_names:
+        return tuple((int(w), int(h)) for w, h in dims)
+    return tuple(
+        (int(dims[caller.block_index(name)][0]), int(dims[caller.block_index(name)][1]))
+        for name in served_names
+    )

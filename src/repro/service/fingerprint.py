@@ -1,0 +1,120 @@
+"""Canonical topology fingerprints for keying placement structures.
+
+A multi-placement structure is generated once per topology (Figure 1.a) and
+then queried thousands of times (Figure 1.b); to *serve* structures, the
+registry must be able to answer "do I already have one for this circuit?"
+The fingerprint is a canonical, order-insensitive hash of everything a
+structure depends on — blocks (with dimension bounds, device types and
+pins), nets (with terminals, weights and I/O positions) and symmetry
+groups — so two declarations of the same topology hash identically no
+matter the order their blocks or nets were added in.
+
+Generation configuration is hashed separately (:func:`config_fingerprint`):
+the same circuit generated under different SA budgets or canvas factors
+yields different structures and must occupy different registry slots.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, is_dataclass
+from typing import Any, Dict, Optional
+
+from repro.circuit.netlist import Circuit
+
+#: Number of hex digits kept when composing registry keys from fingerprints.
+KEY_DIGEST_CHARS = 16
+
+
+def canonical_circuit_dict(circuit: Circuit, include_name: bool = False) -> Dict[str, Any]:
+    """A canonical plain-data form of ``circuit``, insensitive to declaration order.
+
+    Blocks, nets, symmetry groups, pins, terminals and symmetry pairs are
+    all sorted, so circuits that differ only in the order their parts were
+    added produce identical dictionaries.  The circuit *name* is excluded
+    by default because it is a label, not topology: a structure generated
+    for the topology serves every identically-shaped circuit.
+    """
+    data: Dict[str, Any] = {
+        "blocks": sorted(
+            (
+                {
+                    "name": block.name,
+                    "bounds": [block.min_w, block.max_w, block.min_h, block.max_h],
+                    "device_type": block.device_type.value,
+                    "generator": block.generator,
+                    "symmetry_group": block.symmetry_group,
+                    "pins": sorted(
+                        [pin.name, pin.fx, pin.fy] for pin in block.pins.values()
+                    ),
+                }
+                for block in circuit.blocks
+            ),
+            key=lambda entry: entry["name"],
+        ),
+        "nets": sorted(
+            (
+                {
+                    "name": net.name,
+                    "terminals": sorted([t.block, t.pin] for t in net.terminals),
+                    "weight": net.weight,
+                    "external": net.external,
+                    "io_position": list(net.io_position),
+                }
+                for net in circuit.nets
+            ),
+            key=lambda entry: entry["name"],
+        ),
+        "symmetry_groups": sorted(
+            (
+                {
+                    "name": group.name,
+                    "pairs": sorted(list(pair) for pair in group.pairs),
+                    "self_symmetric": sorted(group.self_symmetric),
+                }
+                for group in circuit.symmetry_groups
+            ),
+            key=lambda entry: entry["name"],
+        ),
+    }
+    if include_name:
+        data["name"] = circuit.name
+    return data
+
+
+def _digest(data: Any) -> str:
+    payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def circuit_fingerprint(circuit: Circuit, include_name: bool = False) -> str:
+    """Hex SHA-256 of the canonical form of ``circuit``."""
+    return _digest(canonical_circuit_dict(circuit, include_name=include_name))
+
+
+def config_fingerprint(config: Optional[object]) -> str:
+    """Hex SHA-256 of a generation configuration (``None`` hashes the empty config).
+
+    Accepts any dataclass (e.g. :class:`repro.core.generator.GeneratorConfig`,
+    whose nested explorer/BDIO/cost-weight dataclasses flatten via
+    :func:`dataclasses.asdict`) or any JSON-serializable mapping.
+    """
+    if config is None:
+        return _digest({})
+    if is_dataclass(config) and not isinstance(config, type):
+        return _digest(asdict(config))
+    return _digest(config)
+
+
+def structure_key(circuit: Circuit, config: Optional[object] = None) -> str:
+    """The registry key for ``circuit`` generated under ``config``.
+
+    ``<circuit-digest>-<config-digest>`` with both digests truncated to
+    :data:`KEY_DIGEST_CHARS` hex characters — short enough for file names,
+    long enough that collisions are never a practical concern.
+    """
+    return (
+        f"{circuit_fingerprint(circuit)[:KEY_DIGEST_CHARS]}"
+        f"-{config_fingerprint(config)[:KEY_DIGEST_CHARS]}"
+    )

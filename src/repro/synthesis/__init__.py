@@ -11,6 +11,7 @@ from repro.synthesis.backends import (
     AnnealingBackend,
     MPSBackend,
     PlacementBackend,
+    ServiceBackend,
     TemplateBackend,
 )
 from repro.synthesis.binding import BlockBinding, CircuitSizingModel
@@ -28,6 +29,7 @@ __all__ = [
     "AnnealingBackend",
     "MPSBackend",
     "PlacementBackend",
+    "ServiceBackend",
     "TemplateBackend",
     "BlockBinding",
     "CircuitSizingModel",

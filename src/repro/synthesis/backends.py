@@ -9,6 +9,9 @@ but with the different speed/quality trade-offs the paper compares:
   single floorplan).
 * :class:`AnnealingBackend` — re-anneal from scratch (seconds, high
   quality; the approach the paper says is too slow for the loop).
+* :class:`ServiceBackend` — route queries through a
+  :class:`~repro.service.engine.PlacementService` (registry-backed,
+  memoized, with per-tier statistics).
 """
 
 from __future__ import annotations
@@ -19,10 +22,13 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.baselines.annealing_placer import AnnealingPlacer, AnnealingPlacerConfig
 from repro.baselines.template import TemplatePlacer
+from repro.circuit.netlist import Circuit
+from repro.core.generator import GeneratorConfig
 from repro.core.instantiator import PlacementInstantiator
 from repro.core.structure import MultiPlacementStructure
 from repro.cost.cost_function import CostBreakdown, PlacementCostFunction
 from repro.geometry.rect import Rect
+from repro.service.engine import PlacementService
 from repro.utils.timer import Timer
 
 Dims = Tuple[int, int]
@@ -91,6 +97,47 @@ class TemplateBackend(PlacementBackend):
             cost=result.cost,
             elapsed_seconds=result.elapsed_seconds,
             source="template",
+        )
+
+
+class ServiceBackend(PlacementBackend):
+    """Placement served by a :class:`~repro.service.engine.PlacementService`.
+
+    The backend pins one circuit (and optionally one generation config) so
+    the synthesis loop keeps hitting the same warm structure; the service's
+    registry, caches and statistics all apply, and several loops can share
+    one service instance.
+    """
+
+    name = "service"
+
+    def __init__(
+        self,
+        service: PlacementService,
+        circuit: Circuit,
+        config: Optional[GeneratorConfig] = None,
+    ) -> None:
+        self._service = service
+        self._circuit = circuit
+        self._config = config
+
+    @property
+    def service(self) -> PlacementService:
+        """The placement service answering this backend's queries."""
+        return self._service
+
+    def stats(self) -> Dict[str, float]:
+        """A frozen snapshot of the service's counters, as plain data."""
+        return self._service.stats.snapshot().as_dict()
+
+    def place(self, dims: Sequence[Dims]) -> BackendPlacement:
+        with Timer() as timer:
+            placement = self._service.instantiate(self._circuit, dims, config=self._config)
+        return BackendPlacement(
+            rects=dict(placement.rects),
+            cost=placement.cost,
+            elapsed_seconds=timer.elapsed,
+            source=placement.source,
         )
 
 

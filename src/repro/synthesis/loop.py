@@ -59,6 +59,9 @@ class SynthesisResult:
     placement_seconds: float
     backend: str
     history: List[float] = field(default_factory=list)
+    #: Placement-service counters (tier hits, caches, latency) when the run
+    #: went through a stats-reporting backend such as ``ServiceBackend``.
+    service_stats: Optional[Dict[str, float]] = None
 
     @property
     def placement_fraction(self) -> float:
@@ -143,6 +146,7 @@ class LayoutInclusiveSynthesis:
         with Timer() as timer:
             anneal_result = optimizer.run(initial)
         assert self._best is not None
+        stats_fn = getattr(self._backend, "stats", None)
         return SynthesisResult(
             best=self._best,
             evaluations=self._evaluations,
@@ -150,4 +154,5 @@ class LayoutInclusiveSynthesis:
             placement_seconds=self._placement_seconds,
             backend=self._backend.name,
             history=list(anneal_result.cost_history),
+            service_stats=stats_fn() if callable(stats_fn) else None,
         )

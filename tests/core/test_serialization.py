@@ -2,6 +2,11 @@
 
 import pytest
 
+from repro.circuit.block import Block
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+from repro.core.intervals import Interval
+from repro.core.placement_entry import DimensionRange
 from repro.core.serialization import (
     circuit_from_dict,
     circuit_to_dict,
@@ -10,6 +15,8 @@ from repro.core.serialization import (
     structure_from_dict,
     structure_to_dict,
 )
+from repro.core.structure import MultiPlacementStructure
+from repro.geometry.floorplan import FloorplanBounds
 from repro.benchcircuits.library import get_benchmark
 
 
@@ -62,3 +69,92 @@ class TestStructureRoundtrip:
         data["format_version"] = 999
         with pytest.raises(ValueError):
             structure_from_dict(data)
+
+    def test_missing_version_rejected(self, generated_chain_structure):
+        data = structure_to_dict(generated_chain_structure)
+        del data["format_version"]
+        with pytest.raises(ValueError):
+            structure_from_dict(data)
+
+
+class TestEdgeCaseRoundtrips:
+    def build_minimal_structure(self):
+        """A hand-built structure with no fallback anchors."""
+        circuit = Circuit("edge")
+        circuit.add_block(Block("m0", 4, 8, 4, 8, pins={}))
+        circuit.add_block(Block("m1", 4, 8, 4, 8, pins={}))
+        structure = MultiPlacementStructure(circuit, FloorplanBounds(40, 40))
+        structure.add_placement(
+            anchors=[(0, 0), (10, 0)],
+            ranges=[
+                DimensionRange(Interval(4, 8), Interval(4, 8)),
+                DimensionRange(Interval(4, 8), Interval(4, 8)),
+            ],
+            average_cost=5.0,
+            best_cost=5.0,
+        )
+        return structure
+
+    def test_structure_without_fallback_anchors(self):
+        structure = self.build_minimal_structure()
+        assert structure.fallback_anchors is None
+        rebuilt = structure_from_dict(structure_to_dict(structure))
+        assert rebuilt.fallback_anchors is None
+        assert rebuilt.num_placements == 1
+
+    def test_blocks_with_empty_pin_dicts(self):
+        structure = self.build_minimal_structure()
+        rebuilt = structure_from_dict(structure_to_dict(structure))
+        for name in ("m0", "m1"):
+            # Only the auto-added center pin exists, before and after.
+            assert set(rebuilt.circuit.block(name).pins) == {"c"}
+            assert set(structure.circuit.block(name).pins) == {"c"}
+
+    def test_net_with_non_default_io_position(self):
+        circuit = (
+            CircuitBuilder("io_edge")
+            .block("m0", 4, 8, 4, 8)
+            .net("out", ("m0", "c"), external=True, io_position=(1.0, 0.25))
+            .build()
+        )
+        rebuilt = circuit_from_dict(circuit_to_dict(circuit))
+        net = rebuilt.net("out")
+        assert net.external
+        assert net.io_position == (1.0, 0.25)
+
+    def test_empty_placement_list_roundtrip(self):
+        circuit = Circuit("empty")
+        circuit.add_block(Block("m0", 4, 8, 4, 8))
+        structure = MultiPlacementStructure(circuit, FloorplanBounds(20, 20))
+        rebuilt = structure_from_dict(structure_to_dict(structure))
+        assert rebuilt.num_placements == 0
+        assert rebuilt.query([(5, 5)]) is None
+
+
+class TestAtomicSave:
+    def test_save_leaves_no_temp_files(self, generated_chain_structure, tmp_path):
+        save_structure(generated_chain_structure, tmp_path / "structure.json")
+        assert [p.name for p in tmp_path.iterdir()] == ["structure.json"]
+
+    def test_save_replaces_existing_file(self, generated_chain_structure, tmp_path):
+        path = tmp_path / "structure.json"
+        path.write_text("not json")
+        save_structure(generated_chain_structure, path)
+        loaded = load_structure(path)
+        assert loaded.num_placements == generated_chain_structure.num_placements
+
+    def test_failed_save_preserves_the_old_file(self, generated_chain_structure, tmp_path, monkeypatch):
+        path = tmp_path / "structure.json"
+        save_structure(generated_chain_structure, path)
+        before = path.read_text()
+
+        import repro.core.serialization as serialization
+
+        def boom(structure):
+            raise RuntimeError("serialization exploded")
+
+        monkeypatch.setattr(serialization, "structure_to_dict", boom)
+        with pytest.raises(RuntimeError):
+            save_structure(generated_chain_structure, path)
+        assert path.read_text() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["structure.json"]

@@ -1,0 +1,129 @@
+"""Tests for batched instantiation with deduplication and fan-out."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.instantiator import PlacementInstantiator
+from repro.core.intervals import Interval
+from repro.core.placement_entry import DimensionRange
+from repro.core.structure import MultiPlacementStructure
+from repro.geometry.floorplan import FloorplanBounds
+from repro.service.batch import instantiate_batch
+from repro.service.cache import MemoizingInstantiator
+from tests.conftest import build_chain_circuit
+
+
+def build_structure(num_blocks=2):
+    circuit = build_chain_circuit(num_blocks)
+    structure = MultiPlacementStructure(circuit, FloorplanBounds(40 * num_blocks, 60))
+    structure.add_placement(
+        anchors=[(14 * i, 0) for i in range(num_blocks)],
+        ranges=[DimensionRange(Interval(4, 8), Interval(4, 8)) for _ in range(num_blocks)],
+        average_cost=10.0,
+        best_cost=9.0,
+    )
+    structure.set_fallback([(14 * i, 30) for i in range(num_blocks)])
+    return structure
+
+
+def all_dims(num_blocks, w, h):
+    return [(w, h)] * num_blocks
+
+
+class TestDeduplication:
+    def test_duplicates_are_instantiated_once_and_shared(self):
+        instantiator = PlacementInstantiator(build_structure())
+        batch = [all_dims(2, 5, 5), all_dims(2, 6, 6), all_dims(2, 5, 5)]
+        result = instantiate_batch(instantiator, batch)
+        assert result.total_queries == 3
+        assert result.unique_queries == 2
+        assert result.duplicate_queries == 1
+        assert result[0] is result[2]
+        assert result[0] is not result[1]
+
+    def test_clamped_duplicates_collapse(self):
+        instantiator = PlacementInstantiator(build_structure())
+        # (1, 1) clamps to the block minimum (4, 4).
+        result = instantiate_batch(instantiator, [all_dims(2, 1, 1), all_dims(2, 4, 4)])
+        assert result.unique_queries == 1
+
+    def test_source_counts_cover_every_query(self):
+        instantiator = PlacementInstantiator(build_structure())
+        batch = [all_dims(2, 5, 5)] * 3 + [all_dims(2, 10, 10)] * 2
+        result = instantiate_batch(instantiator, batch)
+        assert sum(result.source_counts.values()) == 5
+        assert result.source_counts["structure"] == 3
+
+    def test_empty_batch(self):
+        instantiator = PlacementInstantiator(build_structure())
+        result = instantiate_batch(instantiator, [])
+        assert result.total_queries == 0
+        assert result.unique_queries == 0
+        assert list(result) == []
+
+    def test_wrong_length_vector_rejected(self):
+        instantiator = PlacementInstantiator(build_structure())
+        with pytest.raises(ValueError):
+            instantiate_batch(instantiator, [all_dims(2, 5, 5), [(5, 5)]])
+        with pytest.raises(ValueError):
+            instantiate_batch(instantiator, [all_dims(3, 5, 5)])
+
+
+class TestResultsMatchSequential:
+    def test_results_in_input_order(self):
+        instantiator = PlacementInstantiator(build_structure())
+        batch = [all_dims(2, w, w) for w in (5, 6, 7, 5, 12, 6)]
+        result = instantiate_batch(instantiator, batch)
+        for dims, got in zip(batch, result):
+            expected = instantiator.instantiate(dims)
+            assert got.source == expected.source
+            assert dict(got.rects) == dict(expected.rects)
+
+    def test_memoizing_instantiator_is_supported(self):
+        memo = MemoizingInstantiator(PlacementInstantiator(build_structure()))
+        batch = [all_dims(2, 5, 5), all_dims(2, 5, 5), all_dims(2, 6, 6)]
+        result = instantiate_batch(memo, batch)
+        assert result.unique_queries == 2
+        # A second batch is answered entirely from the memo.
+        hits_before = memo.memo_stats.hits
+        instantiate_batch(memo, batch)
+        assert memo.memo_stats.hits == hits_before + 2
+
+
+class TestParallelism:
+    def test_worker_pool_matches_serial(self):
+        structure = build_structure(4)
+        instantiator = PlacementInstantiator(structure)
+        batch = [all_dims(4, 4 + (i % 9), 4 + ((i * 3) % 9)) for i in range(24)]
+        serial = instantiate_batch(instantiator, batch)
+        parallel = instantiate_batch(instantiator, batch, max_workers=4)
+        assert serial.unique_queries == parallel.unique_queries
+        for a, b in zip(serial, parallel):
+            assert a.source == b.source
+            assert dict(a.rects) == dict(b.rects)
+
+    def test_external_executor_is_used_and_left_running(self):
+        instantiator = PlacementInstantiator(build_structure())
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            result = instantiate_batch(
+                instantiator, [all_dims(2, 5, 5), all_dims(2, 6, 6)], executor=pool
+            )
+            assert result.total_queries == 2
+            # The pool must still accept work after the batch call.
+            assert pool.submit(lambda: 42).result() == 42
+
+    def test_small_batches_stay_serial(self):
+        instantiator = PlacementInstantiator(build_structure())
+        result = instantiate_batch(instantiator, [all_dims(2, 5, 5)], max_workers=8)
+        assert result.total_queries == 1
+
+
+class TestBatchResult:
+    def test_throughput_and_container_protocol(self):
+        instantiator = PlacementInstantiator(build_structure())
+        result = instantiate_batch(instantiator, [all_dims(2, 5, 5), all_dims(2, 6, 6)])
+        assert len(result) == 2
+        assert result.elapsed_seconds >= 0.0
+        assert result.queries_per_second >= 0.0
+        assert [r.source for r in result] == [result[0].source, result[1].source]

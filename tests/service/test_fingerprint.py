@@ -1,0 +1,117 @@
+"""Tests for canonical topology fingerprints."""
+
+from dataclasses import replace
+
+from repro.benchcircuits.library import get_benchmark
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.devices import DeviceType
+from repro.core.generator import GeneratorConfig
+from repro.service.fingerprint import (
+    KEY_DIGEST_CHARS,
+    canonical_circuit_dict,
+    circuit_fingerprint,
+    config_fingerprint,
+    structure_key,
+)
+
+
+def build_pair_circuit(name="pair", block_order=("a", "b"), net_order=("n1", "n2")):
+    """A 2-block circuit whose declaration order is controlled by the caller."""
+    specs = {
+        "a": dict(min_w=4, max_w=8, min_h=4, max_h=8, device_type=DeviceType.NMOS),
+        "b": dict(min_w=5, max_w=9, min_h=5, max_h=9, device_type=DeviceType.PMOS),
+    }
+    nets = {
+        "n1": dict(attachments=[("a", "c"), ("b", "c")]),
+        "n2": dict(attachments=[("a", "c")], external=True, io_position=(0.0, 0.25)),
+    }
+    builder = CircuitBuilder(name)
+    for block_name in block_order:
+        builder.block(block_name, **specs[block_name])
+    for net_name in net_order:
+        spec = nets[net_name]
+        builder.net(
+            net_name,
+            *spec["attachments"],
+            external=spec.get("external", False),
+            io_position=spec.get("io_position", (0.0, 0.5)),
+        )
+    return builder.build()
+
+
+class TestCircuitFingerprint:
+    def test_declaration_order_is_irrelevant(self):
+        forward = build_pair_circuit()
+        backward = build_pair_circuit(block_order=("b", "a"), net_order=("n2", "n1"))
+        assert canonical_circuit_dict(forward) == canonical_circuit_dict(backward)
+        assert circuit_fingerprint(forward) == circuit_fingerprint(backward)
+
+    def test_name_excluded_by_default(self):
+        assert circuit_fingerprint(build_pair_circuit("x")) == circuit_fingerprint(
+            build_pair_circuit("y")
+        )
+        assert circuit_fingerprint(
+            build_pair_circuit("x"), include_name=True
+        ) != circuit_fingerprint(build_pair_circuit("y"), include_name=True)
+
+    def test_topology_changes_change_the_hash(self):
+        base = circuit_fingerprint(build_pair_circuit())
+        bigger = build_pair_circuit()
+        bigger.blocks[0].max_w += 1
+        assert circuit_fingerprint(bigger) != base
+
+    def test_net_weight_changes_change_the_hash(self):
+        light = build_pair_circuit()
+        heavy = build_pair_circuit()
+        heavy.nets[0] = heavy.nets[0].with_weight(3.0)
+        assert circuit_fingerprint(light) != circuit_fingerprint(heavy)
+
+    def test_benchmarks_have_distinct_fingerprints(self):
+        names = ["circ01", "two_stage_opamp", "mixer", "tso_cascode"]
+        prints = {circuit_fingerprint(get_benchmark(name)) for name in names}
+        assert len(prints) == len(names)
+
+    def test_fingerprint_is_stable_across_calls(self):
+        circuit = get_benchmark("two_stage_opamp")
+        assert circuit_fingerprint(circuit) == circuit_fingerprint(circuit)
+
+
+class TestConfigFingerprint:
+    def test_none_and_default_config_differ(self):
+        assert config_fingerprint(None) != config_fingerprint(GeneratorConfig())
+
+    def test_equal_configs_hash_equal(self):
+        assert config_fingerprint(GeneratorConfig.smoke(seed=1)) == config_fingerprint(
+            GeneratorConfig.smoke(seed=1)
+        )
+
+    def test_seed_is_part_of_the_identity(self):
+        assert config_fingerprint(GeneratorConfig.smoke(seed=1)) != config_fingerprint(
+            GeneratorConfig.smoke(seed=2)
+        )
+
+    def test_nested_budget_changes_are_seen(self):
+        config = GeneratorConfig.smoke(seed=0)
+        scaled = replace(config, explorer=replace(config.explorer, max_iterations=99))
+        assert config_fingerprint(config) != config_fingerprint(scaled)
+
+    def test_plain_mappings_are_accepted(self):
+        assert config_fingerprint({"a": 1}) == config_fingerprint({"a": 1})
+        assert config_fingerprint({"a": 1}) != config_fingerprint({"a": 2})
+
+
+class TestStructureKey:
+    def test_key_shape(self):
+        key = structure_key(build_pair_circuit(), GeneratorConfig.smoke(seed=0))
+        circuit_part, config_part = key.split("-")
+        assert len(circuit_part) == KEY_DIGEST_CHARS
+        assert len(config_part) == KEY_DIGEST_CHARS
+
+    def test_key_separates_configs_not_names(self):
+        first = build_pair_circuit("x")
+        second = build_pair_circuit("y")
+        config = GeneratorConfig.smoke(seed=0)
+        assert structure_key(first, config) == structure_key(second, config)
+        assert structure_key(first, config) != structure_key(
+            first, GeneratorConfig.smoke(seed=5)
+        )

@@ -1,0 +1,114 @@
+"""Tests for the on-disk structure registry."""
+
+import json
+
+import pytest
+
+from repro.core.generator import GeneratorConfig
+from repro.service.registry import INDEX_NAME, StructureRegistry
+from tests.conftest import build_chain_circuit
+
+SMOKE = GeneratorConfig.smoke(seed=7)
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return StructureRegistry(tmp_path / "registry")
+
+
+class TestGetOrGenerate:
+    def test_generates_on_first_sight_then_loads(self, registry):
+        circuit = build_chain_circuit()
+        assert not registry.contains(circuit, SMOKE)
+        first = registry.get_or_generate(circuit, SMOKE)
+        assert registry.contains(circuit, SMOKE)
+        assert registry.stats.generations == 1
+        second = registry.get_or_generate(circuit, SMOKE)
+        assert registry.stats.generations == 1
+        assert registry.stats.loads == 1
+        assert second.num_placements == first.num_placements
+        assert second.fallback_anchors == first.fallback_anchors
+
+    def test_fetch_reports_the_outcome(self, registry):
+        circuit = build_chain_circuit()
+        _, generated = registry.fetch(circuit, SMOKE)
+        assert generated
+        _, generated = registry.fetch(circuit, SMOKE)
+        assert not generated
+
+    def test_configs_occupy_separate_slots(self, registry):
+        circuit = build_chain_circuit()
+        registry.get_or_generate(circuit, SMOKE)
+        registry.get_or_generate(circuit, GeneratorConfig.smoke(seed=8))
+        assert len(registry) == 2
+
+    def test_none_and_default_config_share_a_slot(self, registry):
+        circuit = build_chain_circuit()
+        assert registry.key_for(circuit, None) == registry.key_for(circuit, GeneratorConfig())
+
+    def test_persists_across_instances(self, registry):
+        circuit = build_chain_circuit()
+        registry.get_or_generate(circuit, SMOKE)
+        reopened = StructureRegistry(registry.root)
+        assert len(reopened) == 1
+        assert reopened.contains(circuit, SMOKE)
+        loaded = reopened.get_or_generate(circuit, SMOKE)
+        assert reopened.stats.generations == 0
+        assert loaded.num_placements > 0
+
+
+class TestPutGet:
+    def test_get_returns_none_when_absent(self, registry):
+        assert registry.get(build_chain_circuit(), SMOKE) is None
+
+    def test_put_indexes_and_saves(self, registry, generated_chain_structure):
+        entry = registry.put(generated_chain_structure, SMOKE)
+        assert (registry.root / entry.filename).exists()
+        assert entry.num_placements == generated_chain_structure.num_placements
+        assert entry.num_blocks == generated_chain_structure.circuit.num_blocks
+        assert registry.keys() == [entry.key]
+        assert registry.entry(entry.key) == entry
+        loaded = registry.get(generated_chain_structure.circuit, SMOKE)
+        assert loaded.num_placements == generated_chain_structure.num_placements
+
+    def test_put_replaces_existing_slot(self, registry, generated_chain_structure):
+        registry.put(generated_chain_structure, SMOKE)
+        registry.put(generated_chain_structure, SMOKE)
+        assert len(registry) == 1
+
+    def test_clear_removes_files_and_entries(self, registry, generated_chain_structure):
+        entry = registry.put(generated_chain_structure, SMOKE)
+        registry.clear()
+        assert len(registry) == 0
+        assert not (registry.root / entry.filename).exists()
+        assert StructureRegistry(registry.root).keys() == []
+
+
+class TestDurability:
+    def test_no_temp_files_left_behind(self, registry, generated_chain_structure):
+        registry.put(generated_chain_structure, SMOKE)
+        leftovers = [p for p in registry.root.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_index_is_valid_json_after_every_write(self, registry, generated_chain_structure):
+        registry.put(generated_chain_structure, SMOKE)
+        with (registry.root / INDEX_NAME).open() as handle:
+            data = json.load(handle)
+        assert data["format_version"] == 1
+        assert len(data["entries"]) == 1
+
+    def test_concurrent_writers_do_not_lose_entries(self, registry, generated_chain_structure):
+        # Two registry instances share one directory; each indexes its own
+        # structure without having seen the other's write.
+        other = StructureRegistry(registry.root)
+        registry.put(generated_chain_structure, SMOKE)
+        other.put(generated_chain_structure, GeneratorConfig.smoke(seed=99))
+        reopened = StructureRegistry(registry.root)
+        assert len(reopened) == 2
+
+    def test_unsupported_index_version_rejected(self, tmp_path):
+        root = tmp_path / "registry"
+        root.mkdir()
+        (root / INDEX_NAME).write_text(json.dumps({"format_version": 99, "entries": []}))
+        with pytest.raises(ValueError):
+            StructureRegistry(root)

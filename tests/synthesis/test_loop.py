@@ -5,7 +5,14 @@ import pytest
 from repro.baselines.annealing_placer import AnnealingPlacer, AnnealingPlacerConfig
 from repro.baselines.template import TemplatePlacer
 from repro.core.generator import GeneratorConfig, MultiPlacementGenerator
-from repro.synthesis.backends import AnnealingBackend, MPSBackend, TemplateBackend
+from repro.service.engine import PlacementService
+from repro.service.registry import StructureRegistry
+from repro.synthesis.backends import (
+    AnnealingBackend,
+    MPSBackend,
+    ServiceBackend,
+    TemplateBackend,
+)
 from repro.synthesis.loop import LayoutInclusiveSynthesis, SynthesisConfig
 from repro.synthesis.opamp_design import two_stage_opamp_design
 from repro.synthesis.optimizer import SizingOptimizer, SizingOptimizerConfig
@@ -37,6 +44,19 @@ class TestBackends:
         placement = backend.place(dims)
         assert placement.source == "template"
         assert placement.cost.total > 0
+
+    def test_service_backend_places_all_blocks(self, opamp_setup, tmp_path):
+        design, _, structure = opamp_setup
+        registry = StructureRegistry(tmp_path / "registry")
+        registry.put(structure, GeneratorConfig.smoke(seed=2))
+        service = PlacementService(registry, default_config=GeneratorConfig.smoke(seed=2))
+        backend = ServiceBackend(service, design.circuit)
+        dims = design.sizing_model.dims_for(design.sizing_model.design_space.default_point())
+        placement = backend.place(dims)
+        assert set(placement.rects) == set(design.circuit.block_names())
+        assert placement.source in ("structure", "nearest", "fallback")
+        assert service.stats.queries == 1
+        assert backend.stats()["queries"] == 1
 
     def test_annealing_backend_slower_than_mps(self, opamp_setup):
         design, generator, structure = opamp_setup
@@ -102,6 +122,42 @@ class TestSynthesisLoop:
         assert result.best.objective <= min(result.history) + 1e-9
         assert 0.0 <= result.placement_fraction <= 1.0
         assert result.backend == "mps"
+
+    def test_service_backed_run_reports_service_stats(self, opamp_setup, tmp_path):
+        design, _, structure = opamp_setup
+        registry = StructureRegistry(tmp_path / "registry")
+        registry.put(structure, GeneratorConfig.smoke(seed=2))
+        service = PlacementService(registry, default_config=GeneratorConfig.smoke(seed=2))
+        loop = LayoutInclusiveSynthesis(
+            design.sizing_model,
+            design.performance_model,
+            design.spec,
+            ServiceBackend(service, design.circuit),
+            config=SynthesisConfig(optimizer=SizingOptimizerConfig(max_iterations=10)),
+            seed=0,
+        )
+        result = loop.run()
+        assert result.backend == "service"
+        assert result.service_stats is not None
+        assert result.service_stats["queries"] == result.evaluations
+        tier_total = (
+            result.service_stats["structure_hits"]
+            + result.service_stats["nearest_hits"]
+            + result.service_stats["fallback_hits"]
+        )
+        assert tier_total == result.evaluations
+
+    def test_mps_run_has_no_service_stats(self, opamp_setup):
+        design, generator, structure = opamp_setup
+        loop = LayoutInclusiveSynthesis(
+            design.sizing_model,
+            design.performance_model,
+            design.spec,
+            MPSBackend(structure, generator.cost_function),
+            config=SynthesisConfig(optimizer=SizingOptimizerConfig(max_iterations=5)),
+            seed=0,
+        )
+        assert loop.run().service_stats is None
 
     def test_best_improves_over_default_point(self, opamp_setup):
         design, generator, structure = opamp_setup
