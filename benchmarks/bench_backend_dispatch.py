@@ -1,0 +1,109 @@
+"""Unified-API dispatch overhead — the redesign must be (nearly) free.
+
+PR 2 routed every engine through one ``Placer`` protocol returning one
+frozen ``Placement``.  This bench asserts the unified path costs no more
+than a hair over calling ``PlacementInstantiator`` directly:
+
+* ``make_placer({"kind": "mps", ...})`` hands back the instantiator itself
+  (no wrapper object, no extra hop), so ``place()`` *is* ``instantiate()``.
+* The per-call additions that remain (the timing context, the tier-stat
+  update, the immutable ``Placement`` construction) must stay under 5%
+  of the direct instantiation time.
+
+Timing two code paths that each take well under a millisecond is noisy,
+so both sides are measured over several interleaved repetitions and the
+*best* ratio is asserted — a scheduler hiccup in one repetition cannot
+fail the build.
+"""
+
+import random
+import time
+
+from repro.api import Placement, make_placer
+from repro.core.instantiator import PlacementInstantiator
+
+#: Queries per measured repetition.
+QUERIES = 300
+#: Interleaved (direct, unified) repetitions; the best ratio is asserted.
+REPETITIONS = 5
+#: Acceptance bar: unified dispatch adds < 5% over direct instantiation.
+MAX_OVERHEAD = 1.05
+
+
+def _workload(structure, count=QUERIES, seed=11):
+    rng = random.Random(seed)
+    circuit = structure.circuit
+    vectors = [list(p.best_dims) for p in structure if p.best_dims]
+    while len(vectors) < 8:
+        vectors.append(
+            [
+                (rng.randint(b.min_w, b.max_w), rng.randint(b.min_h, b.max_h))
+                for b in circuit.blocks
+            ]
+        )
+    return [vectors[i % len(vectors)] for i in range(count)]
+
+
+def _time_queries(call, workload):
+    start = time.perf_counter()
+    for dims in workload:
+        call(dims)
+    return time.perf_counter() - start
+
+
+def test_unified_dispatch_overhead(opamp_structure):
+    generation, generator = opamp_structure
+    structure = generation.structure
+    workload = _workload(structure)
+
+    direct = PlacementInstantiator(structure, generator.cost_function)
+    unified = make_placer({"kind": "mps", "structure": structure}, structure.circuit)
+    assert isinstance(unified, PlacementInstantiator)  # no wrapper layer at all
+    assert isinstance(unified.place(workload[0]), Placement)
+
+    ratios = []
+    for _ in range(REPETITIONS):
+        direct_seconds = _time_queries(direct.instantiate, workload)
+        unified_seconds = _time_queries(unified.place, workload)
+        ratios.append(unified_seconds / max(direct_seconds, 1e-12))
+
+    best_ratio = min(ratios)
+    print(f"\ndispatch overhead ratios (unified/direct): {[round(r, 4) for r in ratios]}")
+    assert best_ratio < MAX_OVERHEAD, (
+        f"unified dispatch overhead {best_ratio:.3f}x exceeds the {MAX_OVERHEAD}x bar "
+        f"(all repetitions: {[round(r, 3) for r in ratios]})"
+    )
+
+
+def test_service_batch_not_slower_than_unbatched_service(opamp_structure, tmp_path):
+    """Sanity: the service's native batch path beats its own sequential loop."""
+    generation, _ = opamp_structure
+    structure = generation.structure
+    circuit = structure.circuit
+    workload = _workload(structure, count=128)
+
+    from repro.core.generator import GeneratorConfig
+    from repro.service.engine import PlacementService
+
+    def warm_placer():
+        # Adopting the pre-generated structure means neither side pays a
+        # generation run inside the timed region.
+        service = PlacementService(default_config=GeneratorConfig.smoke(seed=0))
+        return make_placer(
+            {"kind": "service", "service": service, "structure": structure}, circuit
+        )
+
+    sequential = warm_placer()
+    batched = warm_placer()
+
+    start = time.perf_counter()
+    for dims in workload:
+        sequential.place(dims)
+    sequential_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    results = batched.place_batch(workload)
+    batch_seconds = time.perf_counter() - start
+
+    assert len(results) == len(workload)
+    assert batch_seconds <= sequential_seconds * 1.5

@@ -8,10 +8,8 @@ which is what makes them usable inside the sizing loop.
 
 import pytest
 
-from repro.baselines.annealing_placer import AnnealingPlacer, AnnealingPlacerConfig
-from repro.baselines.template import TemplatePlacer
+from repro.api import make_placer
 from repro.core.generator import MultiPlacementGenerator
-from repro.synthesis.backends import AnnealingBackend, MPSBackend, TemplateBackend
 from repro.synthesis.loop import LayoutInclusiveSynthesis
 from repro.synthesis.opamp_design import two_stage_opamp_design
 from benchmarks.conftest import bench_scale
@@ -25,18 +23,12 @@ def _loop_for(backend_name):
     )
     structure = generator.generate()
     if backend_name == "mps":
-        backend = MPSBackend(structure, generator.cost_function)
+        spec = {"kind": "mps", "structure": structure}
     elif backend_name == "template":
-        backend = TemplateBackend(TemplatePlacer(design.circuit, generator.bounds, seed=0))
+        spec = {"kind": "template", "seed": 0}
     else:
-        backend = AnnealingBackend(
-            AnnealingPlacer(
-                design.circuit,
-                generator.bounds,
-                config=AnnealingPlacerConfig(max_iterations=scale.annealing_iterations),
-                seed=0,
-            )
-        )
+        spec = {"kind": "annealing", "iterations": scale.annealing_iterations, "seed": 0}
+    backend = make_placer(spec, design.circuit, bounds=generator.bounds)
     return design, LayoutInclusiveSynthesis(
         design.sizing_model, design.performance_model, design.spec, backend, seed=0
     )

@@ -7,7 +7,12 @@ serialization and SVG export of instantiated floorplans.
 Run with::
 
     python examples/custom_circuit.py
+
+Set ``REPRO_SMOKE=1`` (as the CI examples job does) to use the fast smoke
+generation budget instead of the default one.
 """
+
+import os
 
 from repro.circuit import CircuitBuilder, DeviceType
 from repro.core import GeneratorConfig, MultiPlacementGenerator, PlacementInstantiator
@@ -59,7 +64,12 @@ def main() -> None:
     circuit = build_comparator()
     print(f"\nCircuit {circuit.name}: {circuit.summary()}")
 
-    generator = MultiPlacementGenerator(circuit, GeneratorConfig.default(seed=1))
+    config = (
+        GeneratorConfig.smoke(seed=1)
+        if os.environ.get("REPRO_SMOKE")
+        else GeneratorConfig.default(seed=1)
+    )
+    generator = MultiPlacementGenerator(circuit, config)
     structure = generator.generate()
     print(f"Generated {structure.num_placements} placements")
     save_structure(structure, "clocked_comparator.mps.json")

@@ -3,13 +3,25 @@
 Run with::
 
     python examples/quickstart.py
+
+Set ``REPRO_SMOKE=1`` (as the CI examples job does) to use the fast smoke
+generation budget instead of the default one.
 """
+
+import os
 
 from repro.benchcircuits import get_benchmark
 from repro.core import GeneratorConfig, MultiPlacementGenerator, PlacementInstantiator
 from repro.core.serialization import save_structure
 from repro.utils.timer import Timer, format_duration
 from repro.viz import render_ascii
+
+
+def generation_config(seed: int = 0) -> GeneratorConfig:
+    """Smoke budget under ``REPRO_SMOKE=1``, the default budget otherwise."""
+    if os.environ.get("REPRO_SMOKE"):
+        return GeneratorConfig.smoke(seed=seed)
+    return GeneratorConfig.default(seed=seed)
 
 
 def main() -> None:
@@ -19,7 +31,7 @@ def main() -> None:
 
     # 2. One-time generation of the multi-placement structure (Figure 1.a).
     #    GeneratorConfig.default() takes a few seconds; .paper() takes minutes.
-    generator = MultiPlacementGenerator(circuit, GeneratorConfig.default(seed=0))
+    generator = MultiPlacementGenerator(circuit, generation_config(seed=0))
     with Timer() as generation_timer:
         structure = generator.generate()
     print(

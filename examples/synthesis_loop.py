@@ -1,12 +1,18 @@
 """Layout-inclusive sizing of the two-stage opamp (the paper's Figure 1.b loop).
 
-Compares the same sizing run with four placement backends:
+Compares the same sizing run with four placement backends, each named by a
+declarative ``make_placer`` spec dict passed straight to
+``LayoutInclusiveSynthesis``:
 
-* the multi-placement structure (fast, size-adapted placements),
-* the placement service (same structure, served from an on-disk registry
-  with query memoization and per-tier statistics),
-* a fixed template (fast, one arrangement for every size),
-* per-instance simulated annealing (slow, the quality reference).
+* ``{"kind": "mps", ...}`` — the multi-placement structure (fast,
+  size-adapted placements),
+* ``{"kind": "service", ...}`` — the placement service (same structure,
+  served from an on-disk registry with query memoization and per-tier
+  statistics),
+* ``{"kind": "template"}`` — a fixed template (fast, one arrangement for
+  every size),
+* ``{"kind": "annealing", ...}`` — per-instance simulated annealing (slow,
+  the quality reference).
 
 Run with::
 
@@ -21,19 +27,10 @@ registry between runs (the second run skips generation entirely)::
 import sys
 import tempfile
 
-from repro.baselines.annealing_placer import AnnealingPlacer, AnnealingPlacerConfig
-from repro.baselines.template import TemplatePlacer
 from repro.core import MultiPlacementGenerator
 from repro.experiments.config import SMOKE
 from repro.service import PlacementService, StructureRegistry
-from repro.synthesis import (
-    AnnealingBackend,
-    LayoutInclusiveSynthesis,
-    MPSBackend,
-    ServiceBackend,
-    SynthesisConfig,
-    TemplateBackend,
-)
+from repro.synthesis import LayoutInclusiveSynthesis, SynthesisConfig
 from repro.synthesis.opamp_design import two_stage_opamp_design
 from repro.synthesis.optimizer import SizingOptimizerConfig
 from repro.viz import format_table
@@ -57,38 +54,35 @@ def main() -> None:
 
     service = PlacementService(registry, default_config=generator_config)
 
-    backends = {
-        "mps": MPSBackend(structure, generator.cost_function),
-        "service": ServiceBackend(service, circuit),
-        "template": TemplateBackend(TemplatePlacer(circuit, generator.bounds, seed=0)),
-        "annealing": AnnealingBackend(
-            AnnealingPlacer(
-                circuit,
-                generator.bounds,
-                config=AnnealingPlacerConfig(max_iterations=scale.annealing_iterations),
-                seed=0,
-            )
-        ),
+    # The "bounds" entry pins every engine to the structure's canvas, so the
+    # backends are compared on identical floorplans and cost functions.
+    backend_specs = {
+        "mps": {"kind": "mps", "structure": structure, "cost_function": generator.cost_function},
+        "service": {"kind": "service", "service": service},
+        "template": {"kind": "template", "seed": 0, "bounds": generator.bounds},
+        "annealing": {
+            "kind": "annealing",
+            "iterations": scale.annealing_iterations,
+            "seed": 0,
+            "bounds": generator.bounds,
+        },
     }
 
     config = SynthesisConfig(
         optimizer=SizingOptimizerConfig(max_iterations=scale.synthesis_iterations)
     )
     rows = []
-    service_stats = None
-    for name, backend in backends.items():
+    for name, spec in backend_specs.items():
         loop = LayoutInclusiveSynthesis(
             design.sizing_model,
             design.performance_model,
             design.spec,
-            backend,
+            spec,  # a spec dict is as good as a hand-built placer
             config=config,
             seed=0,
         )
         result = loop.run()
         best = result.best
-        if result.service_stats is not None:
-            service_stats = result.service_stats
         rows.append(
             {
                 "backend": name,
@@ -106,16 +100,16 @@ def main() -> None:
         )
 
     print(format_table(rows))
-    if service_stats is not None:
-        print(
-            "\nService tiers: "
-            f"structure={service_stats['structure_hits']:.0f} "
-            f"nearest={service_stats['nearest_hits']:.0f} "
-            f"fallback={service_stats['fallback_hits']:.0f} | "
-            f"memo hits={service_stats['memo_hits']:.0f} of "
-            f"{service_stats['queries']:.0f} queries, "
-            f"mean latency={1000 * service_stats['mean_latency_seconds']:.3f}ms"
-        )
+    service_stats = service.stats.snapshot().as_dict()
+    print(
+        "\nService tiers: "
+        f"structure={service_stats['structure_hits']:.0f} "
+        f"nearest={service_stats['nearest_hits']:.0f} "
+        f"fallback={service_stats['fallback_hits']:.0f} | "
+        f"memo hits={service_stats['memo_hits']:.0f} of "
+        f"{service_stats['queries']:.0f} queries, "
+        f"mean latency={1000 * service_stats['mean_latency_seconds']:.3f}ms"
+    )
     print(
         "\nThe multi-placement structure keeps per-evaluation placement time at the\n"
         "template's level while re-annealing from scratch is orders of magnitude slower;\n"

@@ -11,6 +11,10 @@ split into long-lived infrastructure.
 Module map
 ----------
 
+* :mod:`repro.api` — the single placement API: the unified frozen
+  :class:`~repro.api.Placement` result, the batch-first
+  :class:`~repro.api.Placer` protocol, and the declarative backend
+  registry (:func:`~repro.api.make_placer`, :func:`~repro.api.available_placers`).
 * :mod:`repro.geometry` — rectangles, floorplan bounds, packing, overlap.
 * :mod:`repro.circuit` — blocks, nets, pins, symmetry groups, netlists.
 * :mod:`repro.modgen` — module generators (sizes -> block footprints).
@@ -19,8 +23,8 @@ Module map
 * :mod:`repro.core` — the multi-placement structure: generation (Figure
   1.a), instantiation (Figure 1.b) and JSON serialization.
 * :mod:`repro.baselines` — template, random, genetic and annealing placers.
-* :mod:`repro.synthesis` — the layout-inclusive sizing loop and its
-  placement backends.
+* :mod:`repro.synthesis` — the layout-inclusive sizing loop (takes any
+  placer, or a ``make_placer`` spec dict).
 * :mod:`repro.service` — placement-as-a-service: topology fingerprints,
   the on-disk structure registry, LRU/memo caching, batched instantiation
   and the :class:`~repro.service.engine.PlacementService` facade with
@@ -29,27 +33,34 @@ Module map
   benchmark circuits and table/figure reproductions.
 * :mod:`repro.viz` / :mod:`repro.utils` — rendering and shared utilities.
 
-Typical usage::
+Typical usage — one API, many engines::
 
+    from repro.api import make_placer
     from repro.benchcircuits import get_benchmark
-    from repro.core import MultiPlacementGenerator, GeneratorConfig
 
     circuit = get_benchmark("two_stage_opamp")
-    generator = MultiPlacementGenerator(circuit, GeneratorConfig.smoke())
-    structure = generator.generate()
-    result = structure.instantiate([(10, 12), (8, 8), (14, 10), (9, 9), (11, 7)])
-    print(result.source, result.cost)
+    placer = make_placer({"kind": "mps", "scale": "smoke"}, circuit)
+    placement = placer.place([(10, 12), (8, 8), (14, 10), (9, 9), (11, 7)])
+    print(placement.source, placement.total_cost)
 
-Or, served through the placement service::
+Or, served through the long-lived placement service (same API, plus an
+on-disk registry, caching and per-tier statistics)::
 
-    from repro.service import PlacementService, StructureRegistry
-
-    service = PlacementService(StructureRegistry("structures/"))
-    batch = service.instantiate_batch(circuit, dim_vectors)
-    print(service.stats.tier_counts)
+    placer = make_placer({"kind": "service", "registry": "structures/"}, circuit)
+    placements = placer.place_batch(dim_vectors)   # deduplicated fan-out
+    print(placer.stats())
 """
 
+from repro.api import Placement, Placer, available_placers, make_placer
 from repro.service import PlacementService, StructureRegistry
 from repro.version import __version__
 
-__all__ = ["__version__", "PlacementService", "StructureRegistry"]
+__all__ = [
+    "__version__",
+    "Placement",
+    "Placer",
+    "available_placers",
+    "make_placer",
+    "PlacementService",
+    "StructureRegistry",
+]

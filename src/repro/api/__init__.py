@@ -1,0 +1,56 @@
+"""The single placement API the rest of the package consumes.
+
+Every engine — the multi-placement structure, the template, the
+optimization baselines, the placement service — answers the same question
+through the same three pieces:
+
+* :class:`Placement` — the unified, frozen result (immutable rects, cost
+  breakdown, provenance, timing, per-call metadata).
+* :class:`Placer` — the batch-first protocol: ``place(dims)``,
+  ``place_batch(queries)`` (engines with a native batch path override the
+  default loop) and a uniform ``stats()`` counters hook.
+* :func:`make_placer` — the declarative factory: a dict / JSON spec like
+  ``{"kind": "service", "registry": "structures/", "cache": 64}`` or
+  ``{"kind": "annealing", "iterations": 2000}`` becomes a live engine,
+  via a string-keyed registry (:func:`register_placer`,
+  :func:`available_placers`).
+
+Typical usage::
+
+    from repro.api import make_placer
+
+    placer = make_placer({"kind": "mps", "scale": "smoke"}, circuit)
+    placement = placer.place(dims)
+    batch = placer.place_batch([dims_a, dims_b, dims_a])   # dedup for free
+    print(placement.source, placement.total_cost, placer.stats())
+"""
+
+from repro.api.placement import (
+    Dims,
+    Placement,
+    SOURCE_FALLBACK,
+    SOURCE_NEAREST,
+    SOURCE_STRUCTURE,
+)
+from repro.api.placer import Placer
+from repro.api.registry import (
+    PlacerFactory,
+    available_placers,
+    make_placer,
+    normalize_spec,
+    register_placer,
+)
+
+__all__ = [
+    "Dims",
+    "Placement",
+    "SOURCE_STRUCTURE",
+    "SOURCE_NEAREST",
+    "SOURCE_FALLBACK",
+    "Placer",
+    "PlacerFactory",
+    "available_placers",
+    "make_placer",
+    "normalize_spec",
+    "register_placer",
+]

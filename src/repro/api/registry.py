@@ -1,0 +1,188 @@
+"""A declarative, string-keyed registry of placement engines.
+
+Mirrors :mod:`repro.modgen.registry`: engines register a factory under a
+``kind`` string, and :func:`make_placer` turns a plain spec — a dict, a
+JSON string, or a bare kind name — into a live :class:`~repro.api.Placer`
+for a circuit::
+
+    make_placer({"kind": "annealing", "iterations": 2000}, circuit)
+    make_placer({"kind": "service", "registry": "structures/", "cache": 64}, circuit)
+    make_placer("template", circuit)
+    make_placer('{"kind": "mps", "scale": "smoke"}', circuit)
+
+This is what lets experiment configs, the synthesis loop, examples and
+future CLI/server layers *name* backends without importing them.  The
+built-in kinds (``template``, ``random``, ``genetic``, ``annealing``,
+``mps``, ``service``) are loaded lazily on first use so importing
+:mod:`repro.api` stays cheap; user code adds its own with
+:func:`register_placer`.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import json
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.api.placer import Placer
+
+#: A factory takes ``(circuit, bounds=None, **options)`` and returns a Placer.
+PlacerFactory = Callable[..., Placer]
+
+#: Accepted spec forms: a kind name, a JSON object string, or a mapping.
+Spec = Union[str, Mapping[str, object]]
+
+_REGISTRY: Dict[str, PlacerFactory] = {}
+
+#: Built-in engine kinds, resolved lazily from :mod:`repro.api.engines`.
+_BUILTIN_FACTORIES: Dict[str, str] = {
+    "template": "make_template",
+    "random": "make_random",
+    "genetic": "make_genetic",
+    "annealing": "make_annealing",
+    "mps": "make_mps",
+    "service": "make_service",
+}
+
+
+def register_placer(
+    kind: str, factory: Optional[PlacerFactory] = None, *, replace: bool = False
+):
+    """Register ``factory`` under ``kind`` (usable as a decorator).
+
+    The factory is called as ``factory(circuit, bounds=None, **options)``
+    with the spec's non-``kind`` entries as keyword options.
+    """
+    if not kind or not isinstance(kind, str):
+        raise ValueError("placer kind must be a non-empty string")
+
+    def _register(fn: PlacerFactory) -> PlacerFactory:
+        if not replace and (kind in _REGISTRY or kind in _BUILTIN_FACTORIES):
+            raise ValueError(f"placer kind {kind!r} is already registered")
+        _REGISTRY[kind] = fn
+        return fn
+
+    if factory is None:
+        return _register
+    return _register(factory)
+
+
+def available_placers() -> List[str]:
+    """Names of every registered engine kind."""
+    return sorted(set(_REGISTRY) | set(_BUILTIN_FACTORIES))
+
+
+def normalize_spec(spec: Spec) -> Dict[str, object]:
+    """Canonical ``{"kind": ..., **options}`` dict form of any accepted spec."""
+    if isinstance(spec, str):
+        text = spec.strip()
+        if text.startswith("{"):
+            try:
+                parsed = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"placer spec is not valid JSON: {exc}") from exc
+            if not isinstance(parsed, dict):
+                raise ValueError(f"placer spec JSON must be an object, got {parsed!r}")
+            spec = parsed
+        else:
+            spec = {"kind": text}
+    if not isinstance(spec, Mapping):
+        raise ValueError(
+            f"placer spec must be a mapping, a kind name or a JSON object, got {spec!r}"
+        )
+    normalized = dict(spec)
+    kind = normalized.get("kind")
+    if not kind or not isinstance(kind, str):
+        raise ValueError(
+            f"placer spec must carry a string 'kind' entry; got {dict(spec)!r} "
+            f"(available kinds: {available_placers()})"
+        )
+    return normalized
+
+
+def make_placer(spec: Spec, circuit, bounds=None) -> Placer:
+    """Build the placement engine described by ``spec`` for ``circuit``.
+
+    Parameters
+    ----------
+    spec:
+        ``{"kind": <engine>, **options}`` as a dict or JSON string, or a
+        bare kind name.  Options are engine-specific (see
+        :mod:`repro.api.engines`); a spec with unknown options or an
+        unregistered kind raises with the valid choices spelled out.
+    circuit:
+        The :class:`~repro.circuit.netlist.Circuit` the engine will place.
+    bounds:
+        Optional :class:`~repro.geometry.floorplan.FloorplanBounds` shared
+        across engines (so e.g. a comparison runs every engine on the same
+        canvas).  Engines that generate their own structure derive bounds
+        from it instead.
+
+    The returned placer carries the normalized spec on ``placer.spec``, so
+    ``make_placer(placer.spec, circuit)`` round-trips.
+    """
+    normalized = normalize_spec(spec)
+    kind = normalized["kind"]
+    factory = _resolve_factory(kind)
+    options = {key: value for key, value in normalized.items() if key != "kind"}
+    # "bounds" is reserved across every kind: a spec-carried canvas (from a
+    # programmatic caller) overrides the make_placer argument, so engines
+    # compared side by side can be pinned to one canvas declaratively.
+    spec_bounds = options.pop("bounds", None)
+    if spec_bounds is not None:
+        bounds = spec_bounds
+    _validate_options(kind, factory, options)
+    placer = factory(circuit, bounds=bounds, **options)
+    placer._spec = dict(normalized)
+    return placer
+
+
+# ---------------------------------------------------------------------- #
+# Internals
+# ---------------------------------------------------------------------- #
+def _resolve_factory(kind: str) -> PlacerFactory:
+    factory = _REGISTRY.get(kind)
+    if factory is not None:
+        return factory
+    builtin = _BUILTIN_FACTORIES.get(kind)
+    if builtin is not None:
+        engines = importlib.import_module("repro.api.engines")
+        factory = getattr(engines, builtin)
+        _REGISTRY[kind] = factory
+        return factory
+    raise KeyError(
+        f"no placement engine registered under kind {kind!r}; "
+        f"available: {available_placers()}"
+    )
+
+
+def _allowed_options(factory: PlacerFactory) -> Optional[Sequence[str]]:
+    """Keyword options ``factory`` accepts, or None when it takes ``**kwargs``."""
+    signature = inspect.signature(factory)
+    allowed: List[str] = []
+    for index, parameter in enumerate(signature.parameters.values()):
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return None
+        if parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            if index == 0 or parameter.name in ("circuit", "bounds"):
+                continue
+            allowed.append(parameter.name)
+    return allowed
+
+
+def _validate_options(
+    kind: str, factory: PlacerFactory, options: Mapping[str, object]
+) -> None:
+    allowed = _allowed_options(factory)
+    if allowed is None:
+        return
+    unknown = sorted(set(options) - set(allowed))
+    if unknown:
+        raise ValueError(
+            f"invalid option(s) {unknown} for placer kind {kind!r}; "
+            f"allowed options: {sorted(allowed)}"
+        )

@@ -6,10 +6,17 @@
   annealing placement (KOAN/ANAGRAM style): high quality, slow.
 * :class:`GeneticPlacer` — genetic-algorithm placement (Zhang, ISCAS 2002).
 * :class:`RandomPlacer` — legal random placement, the sanity-check floor.
+
+All of them implement the unified :class:`repro.api.Placer` protocol and
+return the unified :class:`repro.api.Placement`; construct them directly
+or through ``repro.api.make_placer`` specs (kinds ``template`` /
+``annealing`` / ``genetic`` / ``random``).
 """
 
+import warnings
+
 from repro.baselines.annealing_placer import AnnealingPlacer, AnnealingPlacerConfig
-from repro.baselines.base import PlacementResult, Placer
+from repro.baselines.base import CircuitPlacer, Placer
 from repro.baselines.genetic import GeneticPlacer, GeneticPlacerConfig
 from repro.baselines.random_placer import RandomPlacer
 from repro.baselines.template import TemplatePlacer
@@ -17,10 +24,24 @@ from repro.baselines.template import TemplatePlacer
 __all__ = [
     "AnnealingPlacer",
     "AnnealingPlacerConfig",
-    "PlacementResult",
+    "CircuitPlacer",
     "Placer",
     "GeneticPlacer",
     "GeneticPlacerConfig",
     "RandomPlacer",
     "TemplatePlacer",
 ]
+
+
+def __getattr__(name: str):
+    if name == "PlacementResult":
+        warnings.warn(
+            "repro.baselines.PlacementResult is deprecated; every engine now "
+            "returns the unified repro.api.Placement",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.api.placement import Placement
+
+        return Placement
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

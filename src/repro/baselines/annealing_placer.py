@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.annealing.annealer import SimulatedAnnealer
 from repro.annealing.schedule import AdaptiveSchedule
-from repro.baselines.base import Dims, PlacementResult, Placer
+from repro.baselines.base import CircuitPlacer, Dims, Placement
 from repro.baselines.random_placer import RandomPlacer
 from repro.cost.cost_function import CostWeights
 from repro.utils.rng import make_rng
@@ -43,7 +43,7 @@ class AnnealingPlacerConfig:
         return replace(self, max_iterations=max(1, int(self.max_iterations * factor)))
 
 
-class AnnealingPlacer(Placer):
+class AnnealingPlacer(CircuitPlacer):
     """Anneal block anchors from scratch for every dimension vector."""
 
     name = "annealing"
@@ -73,7 +73,7 @@ class AnnealingPlacer(Placer):
         """The configuration in use."""
         return self._config
 
-    def place(self, dims: Sequence[Dims]) -> PlacementResult:
+    def place(self, dims: Sequence[Dims]) -> Placement:
         clamped = self._clamp_dims(dims)
         with Timer() as timer:
             anchors = self._anneal(clamped)

@@ -1,45 +1,34 @@
-"""Common interface of all placement backends.
+"""Circuit-bound base class of the baseline placement engines.
 
-A placer receives a circuit, a concrete dimension vector and a floorplan
-canvas and returns the placed rectangles plus their cost.  The
-multi-placement structure is exposed through the same interface by
-:class:`repro.synthesis.backends.MPSBackend` so the synthesis loop can swap
-backends freely.
+:class:`CircuitPlacer` specialises the unified :class:`repro.api.Placer`
+protocol for engines that are constructed from a circuit, a floorplan
+canvas and a cost function (template, random, genetic, per-instance
+annealing).  The multi-placement structure and the placement service
+implement the same protocol elsewhere, so every layer of the package can
+swap engines freely.
+
+The historical names still import from here: ``Placer`` aliases
+:class:`CircuitPlacer`, and ``PlacementResult`` is a deprecated alias of
+the unified :class:`repro.api.Placement`.
 """
 
 from __future__ import annotations
 
-import abc
-from dataclasses import dataclass
+import threading
+import warnings
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.api.placement import Dims, Placement
+from repro.api.placer import Placer as _PlacerProtocol
 from repro.circuit.netlist import Circuit
-from repro.cost.cost_function import CostBreakdown, CostWeights, PlacementCostFunction
+from repro.cost.cost_function import CostWeights, PlacementCostFunction
 from repro.geometry.floorplan import FloorplanBounds
-from repro.geometry.rect import Rect
-
-Dims = Tuple[int, int]
 
 
-@dataclass(frozen=True)
-class PlacementResult:
-    """A placed layout and its cost."""
+class CircuitPlacer(_PlacerProtocol):
+    """Base class of the placement engines bound to one circuit + canvas."""
 
-    rects: Dict[str, Rect]
-    cost: CostBreakdown
-    placer: str
-    elapsed_seconds: float = 0.0
-
-    @property
-    def total_cost(self) -> float:
-        """Weighted total cost of the layout."""
-        return self.cost.total
-
-
-class Placer(abc.ABC):
-    """Base class of the placement backends."""
-
-    #: Human-readable backend name (used in experiment reports).
+    #: Registry kind / report name (used in experiment reports).
     name: str = "placer"
 
     def __init__(
@@ -54,6 +43,9 @@ class Placer(abc.ABC):
         self._cost_function = PlacementCostFunction(
             circuit, self._bounds, weights=weights, wirelength_model=wirelength_model
         )
+        self._stats_lock = threading.Lock()
+        self._queries = 0
+        self._total_seconds = 0.0
 
     @property
     def circuit(self) -> Circuit:
@@ -70,9 +62,10 @@ class Placer(abc.ABC):
         """The cost function used for evaluation."""
         return self._cost_function
 
-    @abc.abstractmethod
-    def place(self, dims: Sequence[Dims]) -> PlacementResult:
-        """Place the circuit's blocks at the given dimensions."""
+    def stats(self) -> Dict[str, float]:
+        """Uniform query counters (every engine reports through ``stats()``)."""
+        with self._stats_lock:
+            return {"queries": self._queries, "total_seconds": self._total_seconds}
 
     # ------------------------------------------------------------------ #
     # Shared helpers
@@ -88,12 +81,37 @@ class Placer(abc.ABC):
         )
 
     def _result(
-        self, anchors: Sequence[Tuple[int, int]], dims: Sequence[Dims], elapsed: float
-    ) -> PlacementResult:
+        self,
+        anchors: Sequence[Tuple[int, int]],
+        dims: Sequence[Dims],
+        elapsed: float,
+        **metadata: object,
+    ) -> Placement:
         rects = self._cost_function.rects_from(anchors, dims)
-        return PlacementResult(
+        with self._stats_lock:
+            self._queries += 1
+            self._total_seconds += elapsed
+        return Placement(
             rects=rects,
             cost=self._cost_function.evaluate(rects),
             placer=self.name,
+            source=self.name,
             elapsed_seconds=elapsed,
+            metadata={"dims": tuple(dims), **metadata},
         )
+
+
+#: The historical name of the baselines' base class.
+Placer = CircuitPlacer
+
+
+def __getattr__(name: str):
+    if name == "PlacementResult":
+        warnings.warn(
+            "PlacementResult is deprecated; every engine now returns the "
+            "unified repro.api.Placement",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return Placement
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.baselines.base import Dims, PlacementResult, Placer
+from repro.baselines.base import CircuitPlacer, Dims, Placement
 from repro.baselines.random_placer import RandomPlacer
 from repro.cost.cost_function import CostWeights
 from repro.utils.rng import make_rng
@@ -43,7 +43,7 @@ class GeneticPlacerConfig:
             raise ValueError("elite_count must be smaller than population_size")
 
 
-class GeneticPlacer(Placer):
+class GeneticPlacer(CircuitPlacer):
     """Evolve block anchors for a fixed dimension vector."""
 
     name = "genetic"
@@ -70,7 +70,7 @@ class GeneticPlacer(Placer):
         """The configuration in use."""
         return self._config
 
-    def place(self, dims: Sequence[Dims]) -> PlacementResult:
+    def place(self, dims: Sequence[Dims]) -> Placement:
         clamped = self._clamp_dims(dims)
         with Timer() as timer:
             anchors = self._evolve(clamped)

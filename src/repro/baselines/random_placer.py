@@ -5,14 +5,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.baselines.base import Dims, PlacementResult, Placer
+from repro.baselines.base import CircuitPlacer, Dims, Placement
 from repro.geometry.packing import shelf_pack
 from repro.geometry.rect import Rect
 from repro.utils.rng import make_rng
 from repro.utils.timer import Timer
 
 
-class RandomPlacer(Placer):
+class RandomPlacer(CircuitPlacer):
     """Rejection-sample a legal placement; fall back to a shuffled shelf packing."""
 
     name = "random"
@@ -22,7 +22,7 @@ class RandomPlacer(Placer):
         self._rng = make_rng(seed)
         self._attempts = attempts
 
-    def place(self, dims: Sequence[Dims]) -> PlacementResult:
+    def place(self, dims: Sequence[Dims]) -> Placement:
         clamped = self._clamp_dims(dims)
         with Timer() as timer:
             anchors = self._sample_legal(clamped)

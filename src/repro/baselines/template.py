@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import networkx as nx
 
-from repro.baselines.base import Dims, PlacementResult, Placer
+from repro.baselines.base import CircuitPlacer, Dims, Placement
 from repro.utils.timer import Timer
 
 
@@ -48,7 +48,7 @@ MODE_FIXED = "fixed"
 MODE_ADAPTIVE = "adaptive"
 
 
-class TemplatePlacer(Placer):
+class TemplatePlacer(CircuitPlacer):
     """Slicing-tree template placement."""
 
     name = "template"
@@ -131,7 +131,7 @@ class TemplatePlacer(Placer):
     # ------------------------------------------------------------------ #
     # Instantiation (done per dimension vector)
     # ------------------------------------------------------------------ #
-    def place(self, dims: Sequence[Dims]) -> PlacementResult:
+    def place(self, dims: Sequence[Dims]) -> Placement:
         clamped = self._clamp_dims(dims)
         with Timer() as timer:
             anchors = self.anchors_for(clamped)

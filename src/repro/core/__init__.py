@@ -18,7 +18,7 @@ from repro.core.coverage import marginal_coverage, volume_coverage_estimate
 from repro.core.expansion import expand_placement
 from repro.core.explorer import ExplorerConfig, ExplorerStats, PlacementExplorer
 from repro.core.generator import GenerationResult, GeneratorConfig, MultiPlacementGenerator
-from repro.core.instantiator import InstantiatedPlacement, PlacementInstantiator
+from repro.core.instantiator import PlacementInstantiator
 from repro.core.intervals import Interval, IntervalList
 from repro.core.overlap_resolution import resolve_overlaps
 from repro.core.placement_entry import DimensionRange, StoredPlacement
@@ -43,7 +43,6 @@ __all__ = [
     "GenerationResult",
     "GeneratorConfig",
     "MultiPlacementGenerator",
-    "InstantiatedPlacement",
     "PlacementInstantiator",
     "Interval",
     "IntervalList",
@@ -56,3 +55,12 @@ __all__ = [
     "structure_to_dict",
     "MultiPlacementStructure",
 ]
+
+
+def __getattr__(name: str):
+    if name == "InstantiatedPlacement":
+        # Deprecated: resolved lazily so the warning fires at the importer.
+        from repro.core import instantiator
+
+        return instantiator.InstantiatedPlacement
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

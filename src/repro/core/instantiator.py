@@ -19,61 +19,42 @@ Three tiers are tried in order:
 
 Tier 2 can be disabled (``fallback_mode="template"``) to reproduce the
 strictest reading of the paper.
+
+:class:`PlacementInstantiator` is the ``"mps"`` engine of the unified
+placement API: it implements :class:`repro.api.Placer` (``place`` /
+``place_batch`` / ``stats``), returns the unified
+:class:`~repro.api.Placement` and keeps per-tier hit counters.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+import threading
+import warnings
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.api.placement import (
+    Placement,
+    SOURCE_FALLBACK,
+    SOURCE_NEAREST,
+    SOURCE_STRUCTURE,
+)
+from repro.api.placer import Placer
 from repro.core.placement_entry import Dims, StoredPlacement
 from repro.core.structure import MultiPlacementStructure
 from repro.cost.cost_function import CostBreakdown, PlacementCostFunction
 from repro.geometry.overlap import any_overlap
 from repro.geometry.rect import Rect
-
-#: Source tags of an instantiated placement.
-SOURCE_STRUCTURE = "structure"
-SOURCE_NEAREST = "nearest"
-SOURCE_FALLBACK = "fallback"
+from repro.utils.timer import Timer
 
 #: Fallback behaviour when the query lies outside every stored box.
 FALLBACK_BEST_STORED = "best_stored"
 FALLBACK_TEMPLATE = "template"
 
 
-@dataclass(frozen=True)
-class InstantiatedPlacement:
-    """A concrete floorplan produced for one dimension vector."""
-
-    rects: Mapping[str, Rect]
-    dims: Tuple[Dims, ...]
-    source: str
-    placement_index: Optional[int]
-    cost: CostBreakdown
-
-    @property
-    def from_structure(self) -> bool:
-        """True when a stored placement (strict containment hit) was used."""
-        return self.source == SOURCE_STRUCTURE
-
-    @property
-    def used_stored_placement(self) -> bool:
-        """True when any stored placement (strict or nearest) was used."""
-        return self.source in (SOURCE_STRUCTURE, SOURCE_NEAREST)
-
-    @property
-    def total_cost(self) -> float:
-        """Weighted total cost of the instantiated floorplan."""
-        return self.cost.total
-
-    def anchors(self) -> Tuple[Tuple[int, int], ...]:
-        """Lower-left anchors in the order of ``rects`` iteration."""
-        return tuple((rect.x, rect.y) for rect in self.rects.values())
-
-
-class PlacementInstantiator:
+class PlacementInstantiator(Placer):
     """Turn dimension vectors into concrete floorplans using a generated structure."""
+
+    name = "mps"
 
     def __init__(
         self,
@@ -92,6 +73,14 @@ class PlacementInstantiator:
         self._fallback_mode = fallback_mode
         #: (structure mutation count, placements in ascending best-cost order).
         self._sorted_stored: Optional[Tuple[int, Tuple[StoredPlacement, ...]]] = None
+        self._stats_lock = threading.Lock()
+        self._tier_hits: Dict[str, int] = {
+            SOURCE_STRUCTURE: 0,
+            SOURCE_NEAREST: 0,
+            SOURCE_FALLBACK: 0,
+        }
+        self._queries = 0
+        self._total_seconds = 0.0
 
     @property
     def structure(self) -> MultiPlacementStructure:
@@ -103,51 +92,61 @@ class PlacementInstantiator:
         """The configured fallback behaviour."""
         return self._fallback_mode
 
-    def instantiate(self, dims: Sequence[Dims]) -> InstantiatedPlacement:
+    def instantiate(self, dims: Sequence[Dims]) -> Placement:
         """Instantiate the best placement for ``dims`` (clamped into block bounds)."""
-        circuit = self._structure.circuit
-        clamped = tuple(
-            block.clamp_dims(int(w), int(h))
-            for block, (w, h) in zip(circuit.blocks, dims)
-        )
-        placement = self._structure.query(clamped)
-        if placement is not None:
-            rects = self._rects(placement.anchors, clamped)
-            return InstantiatedPlacement(
-                rects=rects,
-                dims=clamped,
-                source=SOURCE_STRUCTURE,
-                placement_index=placement.index,
-                cost=self._cost_function.evaluate(rects),
+        with Timer() as timer:
+            circuit = self._structure.circuit
+            clamped = tuple(
+                block.clamp_dims(int(w), int(h))
+                for block, (w, h) in zip(circuit.blocks, dims)
             )
-
-        if self._fallback_mode == FALLBACK_BEST_STORED:
-            nearest = self._best_feasible_stored(clamped)
-            if nearest is not None:
-                stored, rects, cost = nearest
-                return InstantiatedPlacement(
-                    rects=rects,
-                    dims=clamped,
-                    source=SOURCE_NEAREST,
-                    placement_index=stored.index,
-                    cost=cost,
-                )
-
-        anchors = self._fallback_anchors()
-        rects = self._rects(anchors, clamped)
-        return InstantiatedPlacement(
+            rects, source, index, cost = self._lookup(clamped)
+        with self._stats_lock:
+            self._queries += 1
+            self._tier_hits[source] += 1
+            self._total_seconds += timer.elapsed
+        return Placement(
             rects=rects,
-            dims=clamped,
-            source=SOURCE_FALLBACK,
-            placement_index=None,
-            cost=self._cost_function.evaluate(rects),
+            cost=cost,
+            placer=self.name,
+            source=source,
+            elapsed_seconds=timer.elapsed,
+            metadata={"dims": clamped, "placement_index": index},
         )
+
+    # ------------------------------------------------------------------ #
+    # Unified placement API
+    # ------------------------------------------------------------------ #
+    def place(self, dims: Sequence[Dims]) -> Placement:
+        """Alias of :meth:`instantiate` (the :class:`repro.api.Placer` verb)."""
+        return self.instantiate(dims)
+
+    def place_batch(self, queries: Sequence[Sequence[Dims]]) -> List[Placement]:
+        """Batch instantiation with duplicate elimination.
+
+        Delegates to :func:`repro.service.batch.instantiate_batch`, so any
+        caller going through the unified API gets deduplication for free.
+        """
+        from repro.service.batch import instantiate_batch
+
+        return list(instantiate_batch(self, queries).results)
+
+    def stats(self) -> Dict[str, float]:
+        """Per-tier hit counters and timing of every query served."""
+        with self._stats_lock:
+            return {
+                "queries": self._queries,
+                "structure_hits": self._tier_hits[SOURCE_STRUCTURE],
+                "nearest_hits": self._tier_hits[SOURCE_NEAREST],
+                "fallback_hits": self._tier_hits[SOURCE_FALLBACK],
+                "total_seconds": self._total_seconds,
+            }
 
     def instantiate_from_params(
         self,
         params_per_block: Mapping[str, Mapping[str, float]],
         generators: Mapping[str, "object"],
-    ) -> InstantiatedPlacement:
+    ) -> Placement:
         """Instantiate from device sizing parameters via module generators.
 
         ``generators`` maps block names to :class:`~repro.modgen.base.ModuleGenerator`
@@ -170,6 +169,25 @@ class PlacementInstantiator:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+    def _lookup(
+        self, clamped: Tuple[Dims, ...]
+    ) -> Tuple[Dict[str, Rect], str, Optional[int], CostBreakdown]:
+        """``(rects, source, placement_index, cost)`` for one clamped query."""
+        placement = self._structure.query(clamped)
+        if placement is not None:
+            rects = self._rects(placement.anchors, clamped)
+            return rects, SOURCE_STRUCTURE, placement.index, self._cost_function.evaluate(rects)
+
+        if self._fallback_mode == FALLBACK_BEST_STORED:
+            nearest = self._best_feasible_stored(clamped)
+            if nearest is not None:
+                stored, rects, cost = nearest
+                return rects, SOURCE_NEAREST, stored.index, cost
+
+        anchors = self._fallback_anchors()
+        rects = self._rects(anchors, clamped)
+        return rects, SOURCE_FALLBACK, None, self._cost_function.evaluate(rects)
+
     def _best_feasible_stored(
         self, dims: Tuple[Dims, ...]
     ) -> Optional[Tuple[StoredPlacement, Dict[str, Rect], CostBreakdown]]:
@@ -223,3 +241,15 @@ class PlacementInstantiator:
             block.name: Rect(x, y, w, h)
             for block, (x, y), (w, h) in zip(circuit.blocks, anchors, dims)
         }
+
+
+def __getattr__(name: str):
+    if name == "InstantiatedPlacement":
+        warnings.warn(
+            "InstantiatedPlacement is deprecated; every engine now returns the "
+            "unified repro.api.Placement",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return Placement
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

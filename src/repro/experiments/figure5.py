@@ -19,7 +19,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.baselines.template import TemplatePlacer
 from repro.benchcircuits.library import get_benchmark
 from repro.core.generator import MultiPlacementGenerator
-from repro.core.instantiator import InstantiatedPlacement, PlacementInstantiator
+from repro.api import Placement
+from repro.core.instantiator import PlacementInstantiator
 from repro.experiments.config import SMOKE, ExperimentScale
 from repro.geometry.rect import Rect
 from repro.viz.ascii_art import render_ascii
@@ -35,8 +36,8 @@ class Figure5Result:
     structure: "object"
     dims_a: Tuple[Dims, ...]
     dims_b: Tuple[Dims, ...]
-    instantiation_a: InstantiatedPlacement
-    instantiation_b: InstantiatedPlacement
+    instantiation_a: Placement
+    instantiation_b: Placement
     template_cost_a: float
     template_cost_b: float
     template_rects_a: Dict[str, Rect]

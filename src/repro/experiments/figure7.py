@@ -14,7 +14,8 @@ from typing import Tuple
 
 from repro.benchcircuits.library import get_benchmark
 from repro.core.generator import MultiPlacementGenerator
-from repro.core.instantiator import InstantiatedPlacement, PlacementInstantiator
+from repro.api import Placement
+from repro.core.instantiator import PlacementInstantiator
 from repro.experiments.config import SMOKE, ExperimentScale
 from repro.utils.rng import make_rng
 from repro.viz.ascii_art import render_ascii
@@ -28,7 +29,7 @@ class Figure7Result:
     num_blocks: int
     placements: int
     generation_seconds: float
-    instantiation: InstantiatedPlacement
+    instantiation: Placement
     instantiation_seconds: float
     ascii_floorplan: str
 

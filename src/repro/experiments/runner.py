@@ -2,13 +2,21 @@
 
 ``python -m repro.experiments.runner --scale smoke`` regenerates every
 table and figure at the chosen scale and prints the report used to fill in
-``EXPERIMENTS.md``.
+``EXPERIMENTS.md``.  Sections can be selected individually::
+
+    python -m repro.experiments.runner --list
+    python -m repro.experiments.runner --only table2 --only figure5
+    python -m repro.experiments.runner --only synthesis --backends mps,template --seed 7
+
+The synthesis section's backends are named by their placer-registry kind
+(any kind ``repro.api.make_placer`` accepts), so new engines are runnable
+from the command line without touching this file.
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import List
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.config import ExperimentScale, get_scale
 from repro.experiments.figure5 import run_figure5
@@ -20,22 +28,23 @@ from repro.experiments.table2 import run_table2
 from repro.viz.series import format_table
 
 
-def build_report(scale: ExperimentScale, seed: int = 0, include_synthesis: bool = True) -> str:
-    """Run all experiments at ``scale`` and return the formatted report."""
-    sections: List[str] = [f"# Experiment report (scale: {scale.name})", ""]
+def _section_table1(scale: ExperimentScale, seed: int, backends) -> List[str]:
+    return ["## Table 1 - benchmark circuits", format_table(table1_rows()), ""]
 
-    sections.append("## Table 1 - benchmark circuits")
-    sections.append(format_table(table1_rows()))
-    sections.append("")
 
-    sections.append("## Table 2 - structure generation and instantiation")
+def _section_table2(scale: ExperimentScale, seed: int, backends) -> List[str]:
     table2 = run_table2(scale=scale, seed=seed)
-    sections.append(format_table([row.as_dict() for row in table2]))
-    sections.append("")
+    return [
+        "## Table 2 - structure generation and instantiation",
+        format_table([row.as_dict() for row in table2]),
+        "",
+    ]
 
-    sections.append("## Figure 5 - size-dependent floorplans vs a template")
+
+def _section_figure5(scale: ExperimentScale, seed: int, backends) -> List[str]:
     figure5 = run_figure5(scale=scale, seed=seed)
-    sections.append(
+    return [
+        "## Figure 5 - size-dependent floorplans vs a template",
         format_table(
             [
                 {
@@ -51,27 +60,29 @@ def build_report(scale: ExperimentScale, seed: int = 0, include_synthesis: bool 
                     "template_cost": round(figure5.template_cost_b, 2),
                 },
             ]
-        )
-    )
-    sections.append(f"arrangements differ: {figure5.arrangements_differ}")
-    sections.append(
+        ),
+        f"arrangements differ: {figure5.arrangements_differ}",
         "structure <= template cost: "
-        f"{figure5.structure_beats_or_matches_template}"
-    )
-    sections.append("")
+        f"{figure5.structure_beats_or_matches_template}",
+        "",
+    ]
 
-    sections.append("## Figure 6 - lowest-cost selection along a 1-D sweep")
+
+def _section_figure6(scale: ExperimentScale, seed: int, backends) -> List[str]:
     figure6 = run_figure6(scale=scale, seed=seed)
-    sections.append(
+    return [
+        "## Figure 6 - lowest-cost selection along a 1-D sweep",
         f"sweep of block {figure6.sweep_block!r} over {len(figure6.sweep_values)} points; "
         f"mean envelope gap {figure6.envelope_gap:.3f}; "
-        f"tracks lower envelope: {figure6.tracks_lower_envelope}"
-    )
-    sections.append("")
+        f"tracks lower envelope: {figure6.tracks_lower_envelope}",
+        "",
+    ]
 
-    sections.append("## Figure 7 - tso-cascode instantiation")
+
+def _section_figure7(scale: ExperimentScale, seed: int, backends) -> List[str]:
     figure7 = run_figure7(scale=scale, seed=seed)
-    sections.append(
+    return [
+        "## Figure 7 - tso-cascode instantiation",
         format_table(
             [
                 {
@@ -83,34 +94,107 @@ def build_report(scale: ExperimentScale, seed: int = 0, include_synthesis: bool 
                     "legal": figure7.is_legal,
                 }
             ]
-        )
-    )
-    sections.append("")
+        ),
+        "",
+    ]
 
-    if include_synthesis:
-        sections.append("## Synthesis-loop backend comparison")
-        comparison = run_synthesis_comparison(scale=scale, seed=seed)
-        sections.append(format_table(comparison.rows()))
-        sections.append(
-            f"MPS placement faster than per-instance annealing: "
-            f"{comparison.mps_faster_than_annealing}"
-        )
-        sections.append("")
 
-    return "\n".join(sections)
+def _section_synthesis(scale: ExperimentScale, seed: int, backends) -> List[str]:
+    comparison = run_synthesis_comparison(scale=scale, backends=backends, seed=seed)
+    return [
+        "## Synthesis-loop backend comparison",
+        format_table(comparison.rows()),
+        f"MPS placement faster than per-instance annealing: "
+        f"{comparison.mps_faster_than_annealing}",
+        "",
+    ]
+
+
+#: Report sections in print order; each runs independently under ``--only``.
+SECTIONS: Dict[str, Callable[..., List[str]]] = {
+    "table1": _section_table1,
+    "table2": _section_table2,
+    "figure5": _section_figure5,
+    "figure6": _section_figure6,
+    "figure7": _section_figure7,
+    "synthesis": _section_synthesis,
+}
+
+
+def build_report(
+    scale: ExperimentScale,
+    seed: int = 0,
+    include_synthesis: bool = True,
+    only: Optional[Sequence[str]] = None,
+    backends: Optional[Sequence[str]] = None,
+) -> str:
+    """Run the selected experiments at ``scale`` and return the formatted report.
+
+    ``only`` limits the report to the named sections (see :data:`SECTIONS`);
+    ``backends`` selects the synthesis section's placement engines by
+    registry kind.
+    """
+    selected = _validate_sections(only)
+    if not include_synthesis:
+        selected = [name for name in selected if name != "synthesis"]
+    lines: List[str] = [f"# Experiment report (scale: {scale.name})", ""]
+    for name in selected:
+        lines.extend(SECTIONS[name](scale, seed, backends))
+    return "\n".join(lines)
+
+
+def _validate_sections(only: Optional[Sequence[str]]) -> List[str]:
+    if not only:
+        return list(SECTIONS)
+    unknown = sorted(set(only) - set(SECTIONS))
+    if unknown:
+        raise KeyError(f"unknown section(s) {unknown}; available: {list(SECTIONS)}")
+    # Preserve the canonical report order regardless of flag order.
+    requested = set(only)
+    return [name for name in SECTIONS if name in requested]
 
 
 def main(argv=None) -> int:
     """Command-line entry point."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", default="smoke", help="smoke, medium or full")
-    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=0, help="seed for every section")
+    parser.add_argument(
+        "--only",
+        action="append",
+        metavar="SECTION",
+        help="run only this section (repeatable); see --list",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list the report sections and exit"
+    )
+    parser.add_argument(
+        "--backends",
+        help="comma-separated placer kinds for the synthesis section "
+        "(e.g. mps,template,annealing,service)",
+    )
     parser.add_argument(
         "--skip-synthesis", action="store_true", help="skip the synthesis-loop comparison"
     )
     args = parser.parse_args(argv)
+    if args.list:
+        for name in SECTIONS:
+            print(name)
+        return 0
+    backends = [kind.strip() for kind in args.backends.split(",")] if args.backends else None
+    # Validate the CLI selections up front so a KeyError escaping from an
+    # experiment's internals is never mistaken for a usage error.
+    try:
+        scale = get_scale(args.scale)
+        _validate_sections(args.only)
+    except KeyError as exc:
+        parser.error(str(exc.args[0]) if exc.args else str(exc))
     report = build_report(
-        get_scale(args.scale), seed=args.seed, include_synthesis=not args.skip_synthesis
+        scale,
+        seed=args.seed,
+        include_synthesis=not args.skip_synthesis,
+        only=args.only,
+        backends=backends,
     )
     print(report)
     return 0

@@ -5,21 +5,29 @@ synthesis (a) the speed of templates and (b) placement diversity close to
 optimization-based placement.  This experiment runs the same sizing loop on
 the two-stage opamp with each placement backend and reports wall time,
 per-evaluation placement time and the achieved objective.
+
+Backends are selected declaratively: each entry is a ``make_placer`` spec
+dict (or just a registry kind name), so configs and the CLI runner can name
+engines — ``{"kind": "annealing", "iterations": 2000}`` — without importing
+them.  The structure-backed specs share one pre-generated structure so the
+offline Figure 1.a cost is paid once, not per backend.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
-from repro.baselines.annealing_placer import AnnealingPlacer, AnnealingPlacerConfig
-from repro.baselines.template import TemplatePlacer
+from repro.api import make_placer, normalize_spec
 from repro.core.generator import MultiPlacementGenerator
 from repro.experiments.config import SMOKE, ExperimentScale
-from repro.synthesis.backends import AnnealingBackend, MPSBackend, TemplateBackend
 from repro.synthesis.loop import LayoutInclusiveSynthesis, SynthesisConfig, SynthesisResult
 from repro.synthesis.opamp_design import two_stage_opamp_design
 from repro.synthesis.optimizer import SizingOptimizerConfig
+
+BackendSelection = Union[str, Mapping[str, object]]
+
+DEFAULT_BACKENDS: Sequence[str] = ("mps", "template", "annealing")
 
 
 @dataclass
@@ -58,13 +66,45 @@ class SynthesisComparison:
         )
 
 
+def backend_specs(
+    scale: ExperimentScale, seed: int = 0, structure=None, cost_function=None
+) -> Dict[str, Dict[str, object]]:
+    """Canonical spec dicts of the comparison's stock backends at ``scale``."""
+    mps_spec: Dict[str, object] = {"kind": "mps"}
+    service_spec: Dict[str, object] = {"kind": "service", "scale": scale.name, "seed": seed}
+    if structure is not None:
+        mps_spec["structure"] = structure
+        service_spec["structure"] = structure
+    else:
+        mps_spec.update(scale=scale.name, seed=seed)
+    if cost_function is not None:
+        mps_spec["cost_function"] = cost_function
+    return {
+        "mps": mps_spec,
+        "service": service_spec,
+        "template": {"kind": "template", "seed": seed},
+        "annealing": {
+            "kind": "annealing",
+            "iterations": scale.annealing_iterations,
+            "seed": seed,
+        },
+        "genetic": {"kind": "genetic", "seed": seed},
+        "random": {"kind": "random", "seed": seed},
+    }
+
+
 def run_synthesis_comparison(
     scale: ExperimentScale = SMOKE,
-    backends: Optional[Sequence[str]] = None,
+    backends: Optional[Sequence[BackendSelection]] = None,
     seed: int = 0,
 ) -> SynthesisComparison:
-    """Run the two-stage opamp sizing loop with each requested backend."""
-    backends = list(backends) if backends else ["mps", "template", "annealing"]
+    """Run the two-stage opamp sizing loop with each requested backend.
+
+    ``backends`` entries are registry kind names (``"mps"``, ``"template"``,
+    …) or full ``make_placer`` spec dicts; the default triple reproduces the
+    paper's comparison.
+    """
+    selections = list(backends) if backends else list(DEFAULT_BACKENDS)
     design = two_stage_opamp_design()
     circuit = design.circuit
 
@@ -72,25 +112,19 @@ def run_synthesis_comparison(
     structure = generator.generate()
     bounds = generator.bounds
 
-    backend_objects = {}
-    if "mps" in backends:
-        backend_objects["mps"] = MPSBackend(structure, generator.cost_function)
-    if "template" in backends:
-        backend_objects["template"] = TemplateBackend(TemplatePlacer(circuit, bounds, seed=seed))
-    if "annealing" in backends:
-        placer = AnnealingPlacer(
-            circuit,
-            bounds,
-            config=AnnealingPlacerConfig(max_iterations=scale.annealing_iterations),
-            seed=seed,
-        )
-        backend_objects["annealing"] = AnnealingBackend(placer)
-
+    stock = backend_specs(
+        scale, seed=seed, structure=structure, cost_function=generator.cost_function
+    )
     config = SynthesisConfig(
         optimizer=SizingOptimizerConfig(max_iterations=scale.synthesis_iterations)
     )
     results: Dict[str, SynthesisResult] = {}
-    for name, backend in backend_objects.items():
+    for selection in selections:
+        spec = normalize_spec(selection)
+        if len(spec) == 1 and spec["kind"] in stock:
+            spec = stock[spec["kind"]]
+        label = str(selection) if isinstance(selection, str) else spec["kind"]
+        backend = make_placer(spec, circuit, bounds=bounds)
         loop = LayoutInclusiveSynthesis(
             design.sizing_model,
             design.performance_model,
@@ -99,5 +133,5 @@ def run_synthesis_comparison(
             config=config,
             seed=seed,
         )
-        results[name] = loop.run()
+        results[label] = loop.run()
     return SynthesisComparison(results=results)

@@ -13,11 +13,14 @@ thousands of times per synthesis run) becomes an operable service here:
   elimination and ``concurrent.futures`` fan-out.
 * :mod:`repro.service.engine` — the :class:`PlacementService` facade with
   per-tier hit/miss/latency statistics.
+* :mod:`repro.service.placer` — :class:`ServicePlacer`, the service as a
+  unified :class:`repro.api.Placer` engine (registry kind ``"service"``).
 """
 
 from repro.service.batch import BatchResult, instantiate_batch
 from repro.service.cache import CacheStats, LRUCache, MemoizingInstantiator
 from repro.service.engine import PlacementService, ServiceStats
+from repro.service.placer import ServicePlacer
 from repro.service.fingerprint import (
     canonical_circuit_dict,
     circuit_fingerprint,
@@ -33,6 +36,7 @@ __all__ = [
     "LRUCache",
     "MemoizingInstantiator",
     "PlacementService",
+    "ServicePlacer",
     "ServiceStats",
     "canonical_circuit_dict",
     "circuit_fingerprint",

@@ -16,7 +16,8 @@ from concurrent.futures import Executor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core.instantiator import InstantiatedPlacement, PlacementInstantiator
+from repro.api.placement import Placement
+from repro.core.instantiator import PlacementInstantiator
 from repro.core.placement_entry import Dims
 from repro.service.cache import MemoizingInstantiator
 from repro.utils.timer import Timer
@@ -32,7 +33,7 @@ class BatchResult:
     """Everything produced by one batched instantiation call."""
 
     #: One placement per input query, in input order.
-    results: List[InstantiatedPlacement]
+    results: List[Placement]
     #: Number of unique dimension vectors actually instantiated.
     unique_queries: int
     #: Number of input queries answered by deduplication.
@@ -47,7 +48,7 @@ class BatchResult:
     def __iter__(self):
         return iter(self.results)
 
-    def __getitem__(self, index: int) -> InstantiatedPlacement:
+    def __getitem__(self, index: int) -> Placement:
         return self.results[index]
 
     @property
@@ -122,7 +123,7 @@ def instantiate_batch(
 
         unique_results = _run_unique(instantiator, order, max_workers, executor)
 
-        results: List[Optional[InstantiatedPlacement]] = [None] * len(dims_batch)
+        results: List[Optional[Placement]] = [None] * len(dims_batch)
         source_counts: Dict[str, int] = {}
         for key, result in zip(order, unique_results):
             spots = positions[key]
@@ -143,7 +144,7 @@ def _run_unique(
     unique_keys: List[Tuple[Dims, ...]],
     max_workers: Optional[int],
     executor: Optional[Executor],
-) -> List[InstantiatedPlacement]:
+) -> List[Placement]:
     """Instantiate each unique key, in order, serially or on a pool."""
     if executor is not None:
         return list(executor.map(instantiator.instantiate, unique_keys))

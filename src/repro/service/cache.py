@@ -10,9 +10,9 @@ Two levels of caching sit between a query and the disk:
   :class:`~repro.core.instantiator.PlacementInstantiator` and memoizes the
   dimension-vector -> placement mapping.  Synthesis loops revisit sizing
   points constantly (SA proposals oscillate around accepted states), so
-  repeated queries are the common case, and an
-  :class:`~repro.core.instantiator.InstantiatedPlacement` is frozen and
-  safe to share between callers.
+  repeated queries are the common case, and a
+  :class:`~repro.api.Placement` is frozen and safe to share between
+  callers.
 """
 
 from __future__ import annotations
@@ -22,7 +22,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Generic, Hashable, Optional, Sequence, Tuple, TypeVar
 
-from repro.core.instantiator import InstantiatedPlacement, PlacementInstantiator
+from repro.api.placement import Placement
+from repro.core.instantiator import PlacementInstantiator
 from repro.core.placement_entry import Dims
 
 K = TypeVar("K", bound=Hashable)
@@ -131,7 +132,7 @@ class MemoizingInstantiator:
 
     def __init__(self, instantiator: PlacementInstantiator, capacity: int = 4096) -> None:
         self._instantiator = instantiator
-        self._memo: LRUCache[Tuple[Dims, ...], InstantiatedPlacement] = LRUCache(capacity)
+        self._memo: LRUCache[Tuple[Dims, ...], Placement] = LRUCache(capacity)
 
     @property
     def instantiator(self) -> PlacementInstantiator:
@@ -155,13 +156,13 @@ class MemoizingInstantiator:
             block.clamp_dims(int(w), int(h)) for block, (w, h) in zip(blocks, dims)
         )
 
-    def instantiate(self, dims: Sequence[Dims]) -> InstantiatedPlacement:
+    def instantiate(self, dims: Sequence[Dims]) -> Placement:
         """Memoized :meth:`PlacementInstantiator.instantiate`."""
         return self.instantiate_with_info(dims)[0]
 
     def instantiate_with_info(
         self, dims: Sequence[Dims]
-    ) -> Tuple[InstantiatedPlacement, bool]:
+    ) -> Tuple[Placement, bool]:
         """``(placement, from_memo)`` — the flag is True on a memo hit."""
         key = self.cache_key(dims)
         cached = self._memo.get(key)

@@ -21,14 +21,13 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.circuit.netlist import Circuit
 from repro.core.generator import GeneratorConfig, MultiPlacementGenerator
-from repro.core.instantiator import (
-    FALLBACK_BEST_STORED,
-    InstantiatedPlacement,
-    PlacementInstantiator,
+from repro.api.placement import (
+    Placement,
     SOURCE_FALLBACK,
     SOURCE_NEAREST,
     SOURCE_STRUCTURE,
 )
+from repro.core.instantiator import FALLBACK_BEST_STORED, PlacementInstantiator
 from repro.core.placement_entry import Dims
 from repro.core.structure import MultiPlacementStructure
 from repro.service.batch import BatchResult, instantiate_batch
@@ -190,6 +189,24 @@ class PlacementService:
         """Ensure the structure for (``circuit``, ``config``) is loaded and return it."""
         return self.instantiator_for(circuit, config).structure
 
+    def adopt(
+        self, structure: MultiPlacementStructure, config: Optional[GeneratorConfig] = None
+    ) -> None:
+        """Seed the service with an already-generated ``structure``.
+
+        Queries for the structure's circuit under ``config`` (default: the
+        service's default config) are then served from it directly — the
+        generation cost is never paid again, even without a registry.
+        """
+        config = config if config is not None else self._default_config
+        key = structure_key(structure.circuit, config)
+        with self._lock:
+            memoizing = MemoizingInstantiator(
+                PlacementInstantiator(structure, fallback_mode=self._fallback_mode),
+                capacity=self._memo_capacity,
+            )
+            self._instantiators.put(key, memoizing)
+
     def instantiator_for(
         self, circuit: Circuit, config: Optional[GeneratorConfig] = None
     ) -> MemoizingInstantiator:
@@ -232,7 +249,7 @@ class PlacementService:
         circuit: Circuit,
         dims: Sequence[Dims],
         config: Optional[GeneratorConfig] = None,
-    ) -> InstantiatedPlacement:
+    ) -> Placement:
         """Serve one placement for ``dims`` (given in ``circuit`` block order)."""
         with Timer() as timer:
             instantiator = self.instantiator_for(circuit, config)

@@ -1,19 +1,14 @@
 """Layout-inclusive synthesis substrate (Figure 1.b).
 
 The sizing optimizer proposes device sizes; module generators turn them
-into block dimensions; a placement backend (multi-placement structure,
-template, or per-instance annealing) produces a floorplan; wiring
+into block dimensions; a placement engine (any :class:`repro.api.Placer`,
+or a declarative ``make_placer`` spec dict) produces a floorplan; wiring
 parasitics extracted from the floorplan feed analytical performance models;
 and the optimizer iterates on the resulting cost.
 """
 
-from repro.synthesis.backends import (
-    AnnealingBackend,
-    MPSBackend,
-    PlacementBackend,
-    ServiceBackend,
-    TemplateBackend,
-)
+import warnings
+
 from repro.synthesis.binding import BlockBinding, CircuitSizingModel
 from repro.synthesis.loop import LayoutInclusiveSynthesis, SynthesisConfig, SynthesisResult
 from repro.synthesis.optimizer import SizingOptimizer, SizingOptimizerConfig
@@ -26,11 +21,6 @@ from repro.synthesis.performance import (
 from repro.synthesis.sizing import DesignSpace, SizingVariable
 
 __all__ = [
-    "AnnealingBackend",
-    "MPSBackend",
-    "PlacementBackend",
-    "ServiceBackend",
-    "TemplateBackend",
     "BlockBinding",
     "CircuitSizingModel",
     "LayoutInclusiveSynthesis",
@@ -46,3 +36,22 @@ __all__ = [
     "DesignSpace",
     "SizingVariable",
 ]
+
+#: Deprecated names still resolvable from this package (lazily, so plain
+#: ``import repro.synthesis`` stays warning-free).
+_DEPRECATED_BACKEND_NAMES = (
+    "AnnealingBackend",
+    "BackendPlacement",
+    "MPSBackend",
+    "PlacementBackend",
+    "ServiceBackend",
+    "TemplateBackend",
+)
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_BACKEND_NAMES:
+        from repro.synthesis import backends
+
+        return getattr(backends, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,171 +1,82 @@
-"""Placement backends used inside the synthesis loop.
+"""Synthesis-loop placement backends — now thin entries of the unified API.
 
 Every backend answers the same question — "place these block dimensions" —
-but with the different speed/quality trade-offs the paper compares:
+through the one :class:`repro.api.Placer` protocol, so the synthesis loop
+takes either a placer instance or a declarative spec dict::
 
-* :class:`MPSBackend` — query a pre-generated multi-placement structure
-  (milliseconds, placement adapted to the sizes).
-* :class:`TemplateBackend` — instantiate a fixed template (milliseconds,
-  single floorplan).
-* :class:`AnnealingBackend` — re-anneal from scratch (seconds, high
-  quality; the approach the paper says is too slow for the loop).
-* :class:`ServiceBackend` — route queries through a
-  :class:`~repro.service.engine.PlacementService` (registry-backed,
-  memoized, with per-tier statistics).
+    LayoutInclusiveSynthesis(..., backend={"kind": "mps", "structure": structure})
+    LayoutInclusiveSynthesis(..., backend={"kind": "template"})
+    LayoutInclusiveSynthesis(..., backend={"kind": "annealing", "iterations": 2000})
+    LayoutInclusiveSynthesis(..., backend={"kind": "service", "registry": "structures/"})
+
+The wrapper classes that used to live here (``MPSBackend``,
+``TemplateBackend``, ``AnnealingBackend``, ``ServiceBackend``) are kept as
+deprecated constructors returning the unified engines; ``PlacementBackend``
+and ``BackendPlacement`` alias :class:`repro.api.Placer` and
+:class:`repro.api.Placement`.
 """
 
 from __future__ import annotations
 
-import abc
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+import warnings
+from typing import Optional
 
-from repro.baselines.annealing_placer import AnnealingPlacer, AnnealingPlacerConfig
-from repro.baselines.template import TemplatePlacer
-from repro.circuit.netlist import Circuit
-from repro.core.generator import GeneratorConfig
-from repro.core.instantiator import PlacementInstantiator
-from repro.core.structure import MultiPlacementStructure
-from repro.cost.cost_function import CostBreakdown, PlacementCostFunction
-from repro.geometry.rect import Rect
-from repro.service.engine import PlacementService
-from repro.utils.timer import Timer
-
-Dims = Tuple[int, int]
+from repro.api.placer import Placer
 
 
-@dataclass(frozen=True)
-class BackendPlacement:
-    """The floorplan a backend produced for one dimension vector."""
-
-    rects: Dict[str, Rect]
-    cost: CostBreakdown
-    elapsed_seconds: float
-    source: str
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
-class PlacementBackend(abc.ABC):
-    """Common interface of the synthesis-loop placement backends."""
+def MPSBackend(structure, cost_function=None) -> Placer:
+    """Deprecated constructor: use ``PlacementInstantiator`` or a ``{"kind": "mps"}`` spec."""
+    _deprecated("synthesis.backends.MPSBackend", "repro.core.PlacementInstantiator")
+    from repro.core.instantiator import PlacementInstantiator
 
-    name: str = "backend"
-
-    @abc.abstractmethod
-    def place(self, dims: Sequence[Dims]) -> BackendPlacement:
-        """Produce a floorplan for the given block dimensions."""
+    return PlacementInstantiator(structure, cost_function)
 
 
-class MPSBackend(PlacementBackend):
-    """Placement by querying a pre-generated multi-placement structure."""
+def TemplateBackend(placer: Placer) -> Placer:
+    """Deprecated pass-through: ``TemplatePlacer`` already implements the unified API."""
+    _deprecated("synthesis.backends.TemplateBackend", "the TemplatePlacer itself")
+    return placer
 
-    name = "mps"
 
-    def __init__(
-        self,
-        structure: MultiPlacementStructure,
-        cost_function: Optional[PlacementCostFunction] = None,
-    ) -> None:
-        self._instantiator = PlacementInstantiator(structure, cost_function)
+def AnnealingBackend(placer: Placer) -> Placer:
+    """Deprecated pass-through: ``AnnealingPlacer`` already implements the unified API."""
+    _deprecated("synthesis.backends.AnnealingBackend", "the AnnealingPlacer itself")
+    return placer
 
-    @property
-    def structure(self) -> MultiPlacementStructure:
-        """The structure backing this backend."""
-        return self._instantiator.structure
 
-    def place(self, dims: Sequence[Dims]) -> BackendPlacement:
-        with Timer() as timer:
-            placement = self._instantiator.instantiate(dims)
-        return BackendPlacement(
-            rects=dict(placement.rects),
-            cost=placement.cost,
-            elapsed_seconds=timer.elapsed,
-            source=placement.source,
+def ServiceBackend(service, circuit, config=None) -> Placer:
+    """Deprecated constructor: use ``ServicePlacer`` or a ``{"kind": "service"}`` spec."""
+    _deprecated("synthesis.backends.ServiceBackend", "repro.service.ServicePlacer")
+    from repro.service.placer import ServicePlacer
+
+    return ServicePlacer(service, circuit, config=config)
+
+
+def __getattr__(name: str):
+    if name == "BackendPlacement":
+        warnings.warn(
+            "BackendPlacement is deprecated; every engine now returns the "
+            "unified repro.api.Placement",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        from repro.api.placement import Placement
 
-
-class TemplateBackend(PlacementBackend):
-    """Placement by instantiating a fixed slicing-tree template."""
-
-    name = "template"
-
-    def __init__(self, placer: TemplatePlacer) -> None:
-        self._placer = placer
-
-    def place(self, dims: Sequence[Dims]) -> BackendPlacement:
-        result = self._placer.place(dims)
-        return BackendPlacement(
-            rects=result.rects,
-            cost=result.cost,
-            elapsed_seconds=result.elapsed_seconds,
-            source="template",
+        return Placement
+    if name == "PlacementBackend":
+        warnings.warn(
+            "PlacementBackend is deprecated; implement the unified "
+            "repro.api.Placer protocol instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-
-
-class ServiceBackend(PlacementBackend):
-    """Placement served by a :class:`~repro.service.engine.PlacementService`.
-
-    The backend pins one circuit (and optionally one generation config) so
-    the synthesis loop keeps hitting the same warm structure; the service's
-    registry, caches and statistics all apply, and several loops can share
-    one service instance.
-    """
-
-    name = "service"
-
-    def __init__(
-        self,
-        service: PlacementService,
-        circuit: Circuit,
-        config: Optional[GeneratorConfig] = None,
-    ) -> None:
-        self._service = service
-        self._circuit = circuit
-        self._config = config
-
-    @property
-    def service(self) -> PlacementService:
-        """The placement service answering this backend's queries."""
-        return self._service
-
-    def stats(self) -> Dict[str, float]:
-        """A frozen snapshot of the service's counters, as plain data."""
-        return self._service.stats.snapshot().as_dict()
-
-    def place(self, dims: Sequence[Dims]) -> BackendPlacement:
-        with Timer() as timer:
-            placement = self._service.instantiate(self._circuit, dims, config=self._config)
-        return BackendPlacement(
-            rects=dict(placement.rects),
-            cost=placement.cost,
-            elapsed_seconds=timer.elapsed,
-            source=placement.source,
-        )
-
-
-class AnnealingBackend(PlacementBackend):
-    """Placement by per-instance simulated annealing (slow, high quality)."""
-
-    name = "annealing"
-
-    def __init__(self, placer: AnnealingPlacer) -> None:
-        self._placer = placer
-
-    @classmethod
-    def with_budget(
-        cls, placer: AnnealingPlacer, max_iterations: int
-    ) -> "AnnealingBackend":
-        """Convenience constructor overriding the placer's iteration budget."""
-        placer = AnnealingPlacer(
-            placer.circuit,
-            placer.bounds,
-            config=AnnealingPlacerConfig(max_iterations=max_iterations),
-        )
-        return cls(placer)
-
-    def place(self, dims: Sequence[Dims]) -> BackendPlacement:
-        result = self._placer.place(dims)
-        return BackendPlacement(
-            rects=result.rects,
-            cost=result.cost,
-            elapsed_seconds=result.elapsed_seconds,
-            source="annealing",
-        )
+        return Placer
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -13,9 +13,9 @@ time (the paper's core motivation for multi-placement structures).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional, Union
 
-from repro.synthesis.backends import BackendPlacement, PlacementBackend
+from repro.api import Placement, Placer, make_placer
 from repro.synthesis.binding import CircuitSizingModel
 from repro.synthesis.optimizer import SizingOptimizer, SizingOptimizerConfig
 from repro.synthesis.parasitics import estimate_parasitics
@@ -44,7 +44,7 @@ class SynthesisEvaluation:
 
     point: SizingPoint
     performance: PerformanceReport
-    placement: BackendPlacement
+    placement: Placement
     spec_penalty: float
     objective: float
 
@@ -59,9 +59,10 @@ class SynthesisResult:
     placement_seconds: float
     backend: str
     history: List[float] = field(default_factory=list)
-    #: Placement-service counters (tier hits, caches, latency) when the run
-    #: went through a stats-reporting backend such as ``ServiceBackend``.
-    service_stats: Optional[Dict[str, float]] = None
+    #: The backend's uniform ``stats()`` counters (tier hits for structure
+    #: engines, cache/latency stats for the service, query counts for the
+    #: direct placers); ``None`` when the backend reports nothing.
+    backend_stats: Optional[Dict[str, float]] = None
 
     @property
     def placement_fraction(self) -> float:
@@ -69,6 +70,11 @@ class SynthesisResult:
         if self.elapsed_seconds <= 0:
             return 0.0
         return self.placement_seconds / self.elapsed_seconds
+
+    @property
+    def service_stats(self) -> Optional[Dict[str, float]]:
+        """Deprecated alias of :attr:`backend_stats`."""
+        return self.backend_stats
 
 
 class LayoutInclusiveSynthesis:
@@ -79,13 +85,17 @@ class LayoutInclusiveSynthesis:
         sizing_model: CircuitSizingModel,
         performance_model,
         spec: PerformanceSpec,
-        backend: PlacementBackend,
+        backend: Union[Placer, Mapping[str, object], str],
         config: SynthesisConfig = SynthesisConfig(),
         seed: RandomLike = None,
     ) -> None:
         self._sizing_model = sizing_model
         self._performance_model = performance_model
         self._spec = spec
+        # A declarative spec ({"kind": "mps", ...}, "template", JSON) is as
+        # good as a hand-built placer.
+        if not isinstance(backend, Placer):
+            backend = make_placer(backend, sizing_model.circuit)
         self._backend = backend
         self._config = config
         self._seed = seed
@@ -94,7 +104,7 @@ class LayoutInclusiveSynthesis:
         self._best: Optional[SynthesisEvaluation] = None
 
     @property
-    def backend(self) -> PlacementBackend:
+    def backend(self) -> Placer:
         """The placement backend in use."""
         return self._backend
 
@@ -146,7 +156,7 @@ class LayoutInclusiveSynthesis:
         with Timer() as timer:
             anneal_result = optimizer.run(initial)
         assert self._best is not None
-        stats_fn = getattr(self._backend, "stats", None)
+        stats = self._backend.stats()
         return SynthesisResult(
             best=self._best,
             evaluations=self._evaluations,
@@ -154,5 +164,5 @@ class LayoutInclusiveSynthesis:
             placement_seconds=self._placement_seconds,
             backend=self._backend.name,
             history=list(anneal_result.cost_history),
-            service_stats=stats_fn() if callable(stats_fn) else None,
+            backend_stats=stats or None,
         )

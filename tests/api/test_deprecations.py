@@ -1,0 +1,92 @@
+"""The three legacy result types (and the old backend ABC) keep importing."""
+
+import warnings
+
+import pytest
+
+from repro.api import Placement, Placer
+
+
+def test_placement_result_shim():
+    with pytest.warns(DeprecationWarning, match="PlacementResult"):
+        from repro.baselines.base import PlacementResult
+    assert PlacementResult is Placement
+    with pytest.warns(DeprecationWarning):
+        from repro.baselines import PlacementResult as package_alias
+    assert package_alias is Placement
+
+
+def test_legacy_keyword_construction_still_works():
+    """Old kwarg-style result construction maps onto the unified type."""
+    from repro.cost.cost_function import CostBreakdown
+    from repro.geometry.rect import Rect
+
+    with pytest.warns(DeprecationWarning):
+        from repro.baselines.base import PlacementResult
+
+    result = PlacementResult(
+        rects={"a": Rect(0, 0, 2, 2)},
+        cost=CostBreakdown(total=1.0, wirelength=1.0, area=0.0),
+        placer="template",
+        elapsed_seconds=0.5,
+    )
+    assert result.source == "template"  # defaults to the placer kind
+    assert result.total_cost == 1.0
+    assert result.elapsed_seconds == 0.5
+
+
+def test_backend_placement_shim():
+    with pytest.warns(DeprecationWarning, match="BackendPlacement"):
+        from repro.synthesis.backends import BackendPlacement
+    assert BackendPlacement is Placement
+    with pytest.warns(DeprecationWarning):
+        from repro.synthesis import BackendPlacement as package_alias
+    assert package_alias is Placement
+
+
+def test_instantiated_placement_shim():
+    with pytest.warns(DeprecationWarning, match="InstantiatedPlacement"):
+        from repro.core.instantiator import InstantiatedPlacement
+    assert InstantiatedPlacement is Placement
+    with pytest.warns(DeprecationWarning):
+        from repro.core import InstantiatedPlacement as package_alias
+    assert package_alias is Placement
+
+
+def test_placement_backend_shim():
+    with pytest.warns(DeprecationWarning, match="PlacementBackend"):
+        from repro.synthesis.backends import PlacementBackend
+    assert PlacementBackend is Placer
+
+
+def test_legacy_backend_constructors_return_unified_engines(
+    generated_chain_structure, tmp_path
+):
+    from repro.core.instantiator import PlacementInstantiator
+    from repro.service.engine import PlacementService
+    from repro.service.placer import ServicePlacer
+    from repro.synthesis.backends import MPSBackend, ServiceBackend
+
+    with pytest.warns(DeprecationWarning, match="MPSBackend"):
+        backend = MPSBackend(generated_chain_structure)
+    assert isinstance(backend, PlacementInstantiator)
+
+    service = PlacementService()
+    with pytest.warns(DeprecationWarning, match="ServiceBackend"):
+        backend = ServiceBackend(service, generated_chain_structure.circuit)
+    assert isinstance(backend, ServicePlacer)
+
+
+def test_clean_imports_do_not_warn():
+    """Importing the packages (not the legacy names) stays warning-free."""
+    import importlib
+
+    import repro
+    import repro.baselines
+    import repro.core
+    import repro.synthesis
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        for module in (repro, repro.baselines, repro.core, repro.synthesis):
+            importlib.reload(module)

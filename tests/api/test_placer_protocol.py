@@ -1,0 +1,92 @@
+"""Tests for the batch-first Placer protocol (place_batch defaults, stats)."""
+
+import pytest
+
+from repro.api import Placement, Placer, make_placer
+from repro.core.instantiator import PlacementInstantiator
+from tests.conftest import build_chain_circuit
+
+
+@pytest.fixture
+def circuit():
+    return build_chain_circuit(4)
+
+
+def queries(circuit, count=6):
+    """A duplicate-heavy batch of dimension vectors."""
+    base = [
+        [((b.min_w + b.max_w) // 2, (b.min_h + b.max_h) // 2) for b in circuit.blocks],
+        [(b.min_w, b.min_h) for b in circuit.blocks],
+    ]
+    return [base[i % len(base)] for i in range(count)]
+
+
+class CountingPlacer(Placer):
+    """A minimal protocol implementation relying on every default."""
+
+    name = "counting"
+
+    def __init__(self, circuit):
+        self._inner = make_placer({"kind": "template"}, circuit)
+        self.calls = 0
+
+    def place(self, dims) -> Placement:
+        self.calls += 1
+        return self._inner.place(dims)
+
+
+class TestDefaultBatch:
+    def test_default_place_batch_equals_sequential_place(self, circuit):
+        batch = queries(circuit)
+        looped = CountingPlacer(circuit)
+        sequential = CountingPlacer(circuit)
+        batched = looped.place_batch(batch)
+        one_by_one = [sequential.place(dims) for dims in batch]
+        assert looped.calls == len(batch)
+        for a, b in zip(batched, one_by_one):
+            assert dict(a.rects) == dict(b.rects)
+            assert a.total_cost == pytest.approx(b.total_cost)
+
+    def test_default_stats_and_spec(self, circuit):
+        placer = CountingPlacer(circuit)
+        assert placer.stats() == {}
+        assert placer.spec == {"kind": "counting"}
+
+
+class TestNativeBatchPaths:
+    def test_instantiator_batch_matches_sequential(self, generated_chain_structure):
+        batch = queries(generated_chain_structure.circuit, count=8)
+        batched = PlacementInstantiator(generated_chain_structure).place_batch(batch)
+        sequential = [
+            PlacementInstantiator(generated_chain_structure).place(dims) for dims in batch
+        ]
+        assert len(batched) == len(batch)
+        for a, b in zip(batched, sequential):
+            assert a.source == b.source
+            assert dict(a.rects) == dict(b.rects)
+
+    def test_service_batch_matches_sequential_and_dedups(self, circuit, tmp_path):
+        spec = {"kind": "service", "registry": str(tmp_path / "reg"), "scale": "smoke"}
+        batched_placer = make_placer(spec, circuit)
+        sequential_placer = make_placer(spec, circuit)
+        batch = queries(circuit, count=8)
+        batched = batched_placer.place_batch(batch)
+        sequential = [sequential_placer.place(dims) for dims in batch]
+        for a, b in zip(batched, sequential):
+            assert a.source == b.source
+            assert dict(a.rects) == dict(b.rects)
+        stats = batched_placer.stats()
+        assert stats["queries"] == len(batch)
+        # Only two unique vectors in the batch: the rest answered by dedup.
+        assert stats["dedup_hits"] == len(batch) - 2
+
+    def test_instantiator_tier_stats_accumulate(self, generated_chain_structure):
+        placer = PlacementInstantiator(generated_chain_structure)
+        batch = queries(generated_chain_structure.circuit, count=4)
+        for dims in batch:
+            placer.place(dims)
+        stats = placer.stats()
+        assert stats["queries"] == 4
+        assert (
+            stats["structure_hits"] + stats["nearest_hits"] + stats["fallback_hits"] == 4
+        )

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.experiments.config import FULL, MEDIUM, SMOKE, ExperimentScale, get_scale
+from repro.experiments.runner import SECTIONS, build_report, main
 from repro.experiments.figure5 import run_figure5
 from repro.experiments.figure6 import run_figure6
 from repro.experiments.figure7 import run_figure7
@@ -99,3 +100,37 @@ class TestSynthesisComparison:
     def test_backend_subset(self):
         comparison = run_synthesis_comparison(scale=SMOKE, backends=["mps", "template"], seed=0)
         assert set(comparison.results) == {"mps", "template"}
+
+    def test_backend_spec_dicts(self):
+        """The experiment takes full make_placer spec dicts, not just names."""
+        comparison = run_synthesis_comparison(
+            scale=SMOKE,
+            backends=["template", {"kind": "random", "seed": 1, "attempts": 20}],
+            seed=0,
+        )
+        assert set(comparison.results) == {"template", "random"}
+        assert comparison.results["random"].backend == "random"
+
+
+class TestRunnerCLI:
+    def test_list_flag_prints_sections(self, capsys):
+        assert main(["--list"]) == 0
+        assert capsys.readouterr().out.split() == list(SECTIONS)
+
+    def test_only_flag_limits_report(self, capsys):
+        assert main(["--only", "table1", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 2" not in out
+        assert "Synthesis" not in out
+
+    def test_unknown_section_is_a_cli_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--only", "bogus"])
+        assert "available" in capsys.readouterr().err
+
+    def test_build_report_preserves_section_order(self):
+        report = build_report(SMOKE, only=["table1"], include_synthesis=False)
+        assert "Table 1" in report
+        with pytest.raises(KeyError):
+            build_report(SMOKE, only=["not-a-section"])

@@ -1,18 +1,13 @@
-"""Tests for the placement backends and the layout-inclusive synthesis loop."""
+"""Tests for the unified placement engines and the layout-inclusive synthesis loop."""
 
 import pytest
 
-from repro.baselines.annealing_placer import AnnealingPlacer, AnnealingPlacerConfig
-from repro.baselines.template import TemplatePlacer
+from repro.api import Placement, make_placer
 from repro.core.generator import GeneratorConfig, MultiPlacementGenerator
+from repro.core.instantiator import PlacementInstantiator
 from repro.service.engine import PlacementService
+from repro.service.placer import ServicePlacer
 from repro.service.registry import StructureRegistry
-from repro.synthesis.backends import (
-    AnnealingBackend,
-    MPSBackend,
-    ServiceBackend,
-    TemplateBackend,
-)
 from repro.synthesis.loop import LayoutInclusiveSynthesis, SynthesisConfig
 from repro.synthesis.opamp_design import two_stage_opamp_design
 from repro.synthesis.optimizer import SizingOptimizer, SizingOptimizerConfig
@@ -27,21 +22,26 @@ def opamp_setup():
     return design, generator, structure
 
 
+def default_dims(design):
+    return design.sizing_model.dims_for(design.sizing_model.design_space.default_point())
+
+
 class TestBackends:
     def test_mps_backend_places_all_blocks(self, opamp_setup):
         design, generator, structure = opamp_setup
-        backend = MPSBackend(structure, generator.cost_function)
-        dims = design.sizing_model.dims_for(design.sizing_model.design_space.default_point())
-        placement = backend.place(dims)
+        backend = PlacementInstantiator(structure, generator.cost_function)
+        placement = backend.place(default_dims(design))
+        assert isinstance(placement, Placement)
         assert set(placement.rects) == set(design.circuit.block_names())
         assert placement.elapsed_seconds < 0.5
         assert placement.source in ("structure", "nearest", "fallback")
+        assert placement.placer == "mps"
 
-    def test_template_backend(self, opamp_setup):
+    def test_template_backend_via_spec(self, opamp_setup):
         design, generator, _ = opamp_setup
-        backend = TemplateBackend(TemplatePlacer(design.circuit, generator.bounds, seed=0))
-        dims = design.sizing_model.dims_for(design.sizing_model.design_space.default_point())
-        placement = backend.place(dims)
+        backend = make_placer({"kind": "template"}, design.circuit, bounds=generator.bounds)
+        placement = backend.place(default_dims(design))
+        assert isinstance(placement, Placement)
         assert placement.source == "template"
         assert placement.cost.total > 0
 
@@ -50,27 +50,23 @@ class TestBackends:
         registry = StructureRegistry(tmp_path / "registry")
         registry.put(structure, GeneratorConfig.smoke(seed=2))
         service = PlacementService(registry, default_config=GeneratorConfig.smoke(seed=2))
-        backend = ServiceBackend(service, design.circuit)
-        dims = design.sizing_model.dims_for(design.sizing_model.design_space.default_point())
-        placement = backend.place(dims)
+        backend = ServicePlacer(service, design.circuit)
+        placement = backend.place(default_dims(design))
+        assert isinstance(placement, Placement)
         assert set(placement.rects) == set(design.circuit.block_names())
+        assert placement.placer == "service"
         assert placement.source in ("structure", "nearest", "fallback")
         assert service.stats.queries == 1
         assert backend.stats()["queries"] == 1
 
     def test_annealing_backend_slower_than_mps(self, opamp_setup):
         design, generator, structure = opamp_setup
-        dims = design.sizing_model.dims_for(design.sizing_model.design_space.default_point())
-        mps = MPSBackend(structure, generator.cost_function).place(dims)
-        annealing_backend = AnnealingBackend(
-            AnnealingPlacer(
-                design.circuit,
-                generator.bounds,
-                config=AnnealingPlacerConfig(max_iterations=400),
-                seed=0,
-            )
+        dims = default_dims(design)
+        mps = PlacementInstantiator(structure, generator.cost_function).place(dims)
+        annealing = make_placer(
+            {"kind": "annealing", "iterations": 400}, design.circuit, bounds=generator.bounds
         )
-        annealed = annealing_backend.place(dims)
+        annealed = annealing.place(dims)
         assert annealed.elapsed_seconds > mps.elapsed_seconds
 
 
@@ -94,7 +90,7 @@ class TestSynthesisLoop:
             design.sizing_model,
             design.performance_model,
             design.spec,
-            MPSBackend(structure, generator.cost_function),
+            PlacementInstantiator(structure, generator.cost_function),
             seed=0,
         )
         point = design.sizing_model.design_space.default_point()
@@ -113,7 +109,7 @@ class TestSynthesisLoop:
             design.sizing_model,
             design.performance_model,
             design.spec,
-            MPSBackend(structure, generator.cost_function),
+            PlacementInstantiator(structure, generator.cost_function),
             config=SynthesisConfig(optimizer=SizingOptimizerConfig(max_iterations=15)),
             seed=0,
         )
@@ -122,6 +118,21 @@ class TestSynthesisLoop:
         assert result.best.objective <= min(result.history) + 1e-9
         assert 0.0 <= result.placement_fraction <= 1.0
         assert result.backend == "mps"
+
+    def test_loop_accepts_spec_dict(self, opamp_setup):
+        design, _, structure = opamp_setup
+        loop = LayoutInclusiveSynthesis(
+            design.sizing_model,
+            design.performance_model,
+            design.spec,
+            {"kind": "mps", "structure": structure},
+            config=SynthesisConfig(optimizer=SizingOptimizerConfig(max_iterations=5)),
+            seed=0,
+        )
+        result = loop.run()
+        assert result.backend == "mps"
+        assert loop.backend.spec["kind"] == "mps"
+        assert result.evaluations >= 5
 
     def test_service_backed_run_reports_service_stats(self, opamp_setup, tmp_path):
         design, _, structure = opamp_setup
@@ -132,36 +143,41 @@ class TestSynthesisLoop:
             design.sizing_model,
             design.performance_model,
             design.spec,
-            ServiceBackend(service, design.circuit),
+            ServicePlacer(service, design.circuit),
             config=SynthesisConfig(optimizer=SizingOptimizerConfig(max_iterations=10)),
             seed=0,
         )
         result = loop.run()
         assert result.backend == "service"
-        assert result.service_stats is not None
-        assert result.service_stats["queries"] == result.evaluations
+        assert result.backend_stats is not None
+        assert result.backend_stats["queries"] == result.evaluations
         tier_total = (
-            result.service_stats["structure_hits"]
-            + result.service_stats["nearest_hits"]
-            + result.service_stats["fallback_hits"]
+            result.backend_stats["structure_hits"]
+            + result.backend_stats["nearest_hits"]
+            + result.backend_stats["fallback_hits"]
         )
         assert tier_total == result.evaluations
+        # Deprecated alias still answers.
+        assert result.service_stats == result.backend_stats
 
-    def test_mps_run_has_no_service_stats(self, opamp_setup):
+    def test_mps_run_reports_tier_stats(self, opamp_setup):
         design, generator, structure = opamp_setup
         loop = LayoutInclusiveSynthesis(
             design.sizing_model,
             design.performance_model,
             design.spec,
-            MPSBackend(structure, generator.cost_function),
+            PlacementInstantiator(structure, generator.cost_function),
             config=SynthesisConfig(optimizer=SizingOptimizerConfig(max_iterations=5)),
             seed=0,
         )
-        assert loop.run().service_stats is None
+        result = loop.run()
+        # The uniform stats() hook now reports for *every* engine.
+        assert result.backend_stats is not None
+        assert result.backend_stats["queries"] == result.evaluations
 
     def test_best_improves_over_default_point(self, opamp_setup):
         design, generator, structure = opamp_setup
-        backend = MPSBackend(structure, generator.cost_function)
+        backend = PlacementInstantiator(structure, generator.cost_function)
         loop = LayoutInclusiveSynthesis(
             design.sizing_model,
             design.performance_model,
