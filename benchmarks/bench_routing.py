@@ -1,0 +1,90 @@
+"""Global-routing benchmarks and sanity bars.
+
+Two acceptance gates ride in CI's smoke job:
+
+* **Batched throughput** — routing 64 placements of the two-stage opamp
+  (8 unique floorplans, duplicates answered by deduplication) completes
+  and returns one layout per input.
+* **Honest lower bound** — per-net routed wirelength is never below the
+  net's HPWL (a rectilinear tree spanning the pins cannot beat the
+  half-perimeter), and every circuit of the benchmark library routes
+  with **zero overflow** at the default grid resolution and capacity.
+"""
+
+import random
+import time
+
+from repro.baselines.template import TemplatePlacer
+from repro.benchcircuits.library import all_benchmarks, get_benchmark
+from repro.cost.wirelength import per_net_wirelength
+from repro.route import derive_bounds, route_batch, route_placement
+
+#: Placements in the batched-routing workload.
+BATCH_SIZE = 64
+#: Unique floorplans inside the batch (the rest are duplicates).
+UNIQUE_PLACEMENTS = 8
+
+
+def _placements(circuit, unique=UNIQUE_PLACEMENTS, total=BATCH_SIZE, seed=5):
+    """``total`` template placements over ``unique`` dimension vectors."""
+    rng = random.Random(seed)
+    placer = TemplatePlacer(circuit)
+    vectors = [
+        [(rng.randint(b.min_w, b.max_w), rng.randint(b.min_h, b.max_h)) for b in circuit.blocks]
+        for _ in range(unique)
+    ]
+    return [placer.place(vectors[i % unique]) for i in range(total)]
+
+
+def test_batched_routing_of_64_placements_completes():
+    circuit = get_benchmark("two_stage_opamp")
+    placements = _placements(circuit)
+
+    start = time.perf_counter()
+    batch = route_batch(circuit, placements)
+    elapsed = time.perf_counter() - start
+
+    assert batch.total_layouts == BATCH_SIZE
+    assert batch.unique_layouts <= UNIQUE_PLACEMENTS
+    assert batch.duplicate_layouts >= BATCH_SIZE - UNIQUE_PLACEMENTS
+    print(
+        f"\nrouted {batch.total_layouts} placements ({batch.unique_layouts} unique) "
+        f"in {elapsed * 1000:.0f}ms"
+    )
+
+    # The sanity lower bound, per net, on every returned layout: a routed
+    # tree spans the pins, so its length is at least the half-perimeter.
+    for placement, layout in zip(placements, batch):
+        bounds = derive_bounds(placement.rects)
+        hpwl = per_net_wirelength(circuit, dict(placement.rects), bounds)
+        for name, length in hpwl.items():
+            assert layout.wirelength(name) >= length - 1e-9, (
+                f"net {name}: routed {layout.wirelength(name):.3f} < HPWL {length:.3f}"
+            )
+
+
+def test_every_benchmark_circuit_routes_without_overflow():
+    rows = []
+    for name, circuit in all_benchmarks().items():
+        placement = TemplatePlacer(circuit).place(circuit.min_dims())
+        bounds = derive_bounds(placement.rects)
+        layout = route_placement(circuit, placement, bounds=bounds)
+
+        assert layout.failed_nets == (), f"{name}: unrouted nets {layout.failed_nets}"
+        assert layout.overflow == 0, f"{name}: overflow {layout.overflow}"
+
+        hpwl = per_net_wirelength(circuit, dict(placement.rects), bounds)
+        for net_name, length in hpwl.items():
+            assert layout.wirelength(net_name) >= length - 1e-9, (
+                f"{name}/{net_name}: routed {layout.wirelength(net_name):.3f} "
+                f"< HPWL {length:.3f}"
+            )
+        total_hpwl = sum(hpwl.values())
+        detour = layout.total_wirelength / total_hpwl if total_hpwl else 1.0
+        rows.append(
+            f"{name:>20}: {len(layout.nets):3d} nets, "
+            f"wl {layout.total_wirelength:8.1f} ({detour:4.2f}x HPWL), "
+            f"congestion {layout.max_congestion}, "
+            f"{layout.elapsed_seconds * 1000:5.1f}ms"
+        )
+    print("\n" + "\n".join(rows))

@@ -25,10 +25,15 @@ Module map
 * :mod:`repro.baselines` — template, random, genetic and annealing placers.
 * :mod:`repro.synthesis` — the layout-inclusive sizing loop (takes any
   placer, or a ``make_placer`` spec dict).
+* :mod:`repro.route` — global routing: the uniform
+  :class:`~repro.route.RoutingGrid`, the congestion-negotiated,
+  symmetry-aware :class:`~repro.route.GlobalRouter`, batched
+  :func:`~repro.route.route_batch`, and the frozen
+  :class:`~repro.route.RoutedLayout` feeding parasitics, cost and viz.
 * :mod:`repro.service` — placement-as-a-service: topology fingerprints,
-  the on-disk structure registry, LRU/memo caching, batched instantiation
-  and the :class:`~repro.service.engine.PlacementService` facade with
-  per-tier statistics.
+  the on-disk structure registry, LRU/memo caching, batched instantiation,
+  route caching, and the :class:`~repro.service.engine.PlacementService`
+  facade with per-tier statistics.
 * :mod:`repro.benchcircuits` / :mod:`repro.experiments` — the paper's
   benchmark circuits and table/figure reproductions.
 * :mod:`repro.viz` / :mod:`repro.utils` — rendering and shared utilities.

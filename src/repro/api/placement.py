@@ -95,6 +95,22 @@ class Placement:
         """Index of the stored placement used, if one was."""
         return self.metadata.get("placement_index")  # type: ignore[return-value]
 
+    @property
+    def routing(self) -> Optional[Mapping[str, float]]:
+        """Routing statistics of the floorplan, when it has been routed.
+
+        Populated by :meth:`with_routing` (the placement service's routed
+        path and the synthesis loop's routed-parasitics mode do this):
+        routed wirelength, overflow, max congestion, failed/mirrored net
+        counts, negotiation iterations and grid geometry.
+        """
+        return self.metadata.get("routing")  # type: ignore[return-value]
+
+    @property
+    def is_routed(self) -> bool:
+        """True when routing statistics are attached."""
+        return "routing" in self.metadata
+
     def anchors(self) -> Tuple[Tuple[int, int], ...]:
         """Lower-left anchors in the order of ``rects`` iteration."""
         return tuple((rect.x, rect.y) for rect in self.rects.values())
@@ -104,6 +120,19 @@ class Placement:
         merged = dict(self.metadata)
         merged.update(extra)
         return replace(self, metadata=merged)
+
+    def with_routing(self, routed: object) -> "Placement":
+        """A copy carrying routing statistics in ``metadata["routing"]``.
+
+        Accepts a :class:`repro.route.RoutedLayout` (anything with a
+        ``stats()`` method) or a plain stats mapping.  Duck-typed so this
+        layer stays independent of the routing subsystem, which imports it.
+        The stats are stored as a plain dict, keeping :meth:`as_dict`
+        JSON-serializable.
+        """
+        stats_method = getattr(routed, "stats", None)
+        stats = stats_method() if callable(stats_method) else dict(routed)  # type: ignore[call-overload]
+        return self.with_metadata(routing=dict(stats))
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-data form for reports and JSON output."""

@@ -2,7 +2,12 @@
 
 from repro.cost.area import area_cost, aspect_ratio_penalty
 from repro.cost.cost_function import CostBreakdown, CostWeights, PlacementCostFunction
-from repro.cost.penalties import out_of_bounds_penalty, overlap_penalty, symmetry_penalty
+from repro.cost.penalties import (
+    out_of_bounds_penalty,
+    overlap_penalty,
+    routability_penalty,
+    symmetry_penalty,
+)
 from repro.cost.wirelength import (
     hpwl,
     mst_wirelength,
@@ -19,6 +24,7 @@ __all__ = [
     "PlacementCostFunction",
     "out_of_bounds_penalty",
     "overlap_penalty",
+    "routability_penalty",
     "symmetry_penalty",
     "hpwl",
     "mst_wirelength",

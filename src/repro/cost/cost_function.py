@@ -15,7 +15,12 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.circuit.netlist import Circuit
 from repro.cost.area import area_cost, aspect_ratio_penalty
-from repro.cost.penalties import out_of_bounds_penalty, overlap_penalty, symmetry_penalty
+from repro.cost.penalties import (
+    out_of_bounds_penalty,
+    overlap_penalty,
+    routability_penalty,
+    symmetry_penalty,
+)
 from repro.cost.wirelength import total_wirelength
 from repro.geometry.floorplan import FloorplanBounds
 from repro.geometry.rect import Rect
@@ -31,6 +36,8 @@ class CostWeights:
     out_of_bounds: float = 0.0
     symmetry: float = 0.0
     aspect_ratio: float = 0.0
+    #: Weight of the RUDY congestion estimate (needs floorplan bounds).
+    routability: float = 0.0
 
     def with_legalization(self, overlap: float = 50.0, out_of_bounds: float = 50.0) -> "CostWeights":
         """Weights with legalization penalties enabled (for iterative placers)."""
@@ -41,6 +48,7 @@ class CostWeights:
             out_of_bounds=out_of_bounds,
             symmetry=self.symmetry,
             aspect_ratio=self.aspect_ratio,
+            routability=self.routability,
         )
 
 
@@ -55,6 +63,7 @@ class CostBreakdown:
     out_of_bounds: float = 0.0
     symmetry: float = 0.0
     aspect_ratio: float = 0.0
+    routability: float = 0.0
 
     def as_dict(self) -> Dict[str, float]:
         """Component values as a plain dictionary."""
@@ -66,6 +75,7 @@ class CostBreakdown:
             "out_of_bounds": self.out_of_bounds,
             "symmetry": self.symmetry,
             "aspect_ratio": self.aspect_ratio,
+            "routability": self.routability,
         }
 
     @property
@@ -130,6 +140,9 @@ class PlacementCostFunction:
         if weights.symmetry and self._circuit.symmetry_groups:
             symmetry = symmetry_penalty(rects, self._circuit.symmetry_groups)
         aspect = aspect_ratio_penalty(rects) if weights.aspect_ratio else 0.0
+        routability = 0.0
+        if weights.routability and self._bounds is not None:
+            routability = routability_penalty(rects, self._circuit, self._bounds)
         total = (
             weights.wirelength * wirelength
             + weights.area * area
@@ -137,6 +150,7 @@ class PlacementCostFunction:
             + weights.out_of_bounds * oob
             + weights.symmetry * symmetry
             + weights.aspect_ratio * aspect
+            + weights.routability * routability
         )
         return CostBreakdown(
             total=total,
@@ -146,6 +160,7 @@ class PlacementCostFunction:
             out_of_bounds=oob,
             symmetry=symmetry,
             aspect_ratio=aspect,
+            routability=routability,
         )
 
     def evaluate_layout(

@@ -43,10 +43,18 @@ def net_terminal_positions(
     return positions
 
 
+def _two_pin_length(positions: Sequence[Position]) -> float:
+    """Manhattan distance of a two-terminal net (HPWL == star == MST there)."""
+    (x0, y0), (x1, y1) = positions
+    return abs(x0 - x1) + abs(y0 - y1)
+
+
 def hpwl(positions: Sequence[Position]) -> float:
     """Half-perimeter wirelength of a set of terminal positions."""
     if len(positions) < 2:
         return 0.0
+    if len(positions) == 2:
+        return _two_pin_length(positions)
     xs = [p[0] for p in positions]
     ys = [p[1] for p in positions]
     return (max(xs) - min(xs)) + (max(ys) - min(ys))
@@ -56,36 +64,60 @@ def star_wirelength(positions: Sequence[Position]) -> float:
     """Star-model wirelength: Manhattan distance of every terminal to the centroid."""
     if len(positions) < 2:
         return 0.0
+    if len(positions) == 2:
+        return _two_pin_length(positions)
     cx = sum(p[0] for p in positions) / len(positions)
     cy = sum(p[1] for p in positions) / len(positions)
     return sum(abs(p[0] - cx) + abs(p[1] - cy) for p in positions)
 
 
 def mst_wirelength(positions: Sequence[Position]) -> float:
-    """Rectilinear minimum-spanning-tree wirelength (Prim's algorithm)."""
+    """Rectilinear minimum-spanning-tree wirelength (Prim's algorithm).
+
+    On the parasitics hot path (called for every net of every synthesis
+    iteration), so the dense O(n^2) Prim is fused into a single selection
+    + relaxation pass over flat coordinate lists: the inner loop performs
+    no allocation, no tuple unpacking and no method calls.
+    """
     n = len(positions)
     if n < 2:
         return 0.0
-    in_tree = [False] * n
-    distance = [float("inf")] * n
-    distance[0] = 0.0
+    if n == 2:
+        return _two_pin_length(positions)
+    xs = [p[0] for p in positions]
+    ys = [p[1] for p in positions]
+    inf = float("inf")
+    # distance[i] < 0 marks "already in the tree" — one list doubles as
+    # both the frontier distances and the membership flags.
+    distance = [inf] * n
+    distance[0] = -1.0
     total = 0.0
-    for _ in range(n):
+    last = 0
+    for _ in range(n - 1):
+        lx = xs[last]
+        ly = ys[last]
         best = -1
-        best_dist = float("inf")
+        best_dist = inf
         for i in range(n):
-            if not in_tree[i] and distance[i] < best_dist:
-                best = i
-                best_dist = distance[i]
-        in_tree[best] = True
-        total += best_dist
-        bx, by = positions[best]
-        for i in range(n):
-            if in_tree[i]:
+            d = distance[i]
+            if d < 0.0:
                 continue
-            dist = abs(positions[i][0] - bx) + abs(positions[i][1] - by)
-            if dist < distance[i]:
-                distance[i] = dist
+            dx = xs[i] - lx
+            if dx < 0.0:
+                dx = -dx
+            dy = ys[i] - ly
+            if dy < 0.0:
+                dy = -dy
+            nd = dx + dy
+            if nd < d:
+                d = nd
+                distance[i] = nd
+            if d < best_dist:
+                best_dist = d
+                best = i
+        distance[best] = -1.0
+        total += best_dist
+        last = best
     return total
 
 

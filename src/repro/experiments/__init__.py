@@ -4,6 +4,11 @@ from repro.experiments.config import ExperimentScale, FULL, MEDIUM, SMOKE
 from repro.experiments.figure5 import Figure5Result, run_figure5
 from repro.experiments.figure6 import Figure6Result, run_figure6
 from repro.experiments.figure7 import Figure7Result, run_figure7
+from repro.experiments.routing_compare import (
+    RoutingComparison,
+    RoutingComparisonRow,
+    run_routing_comparison,
+)
 from repro.experiments.synthesis_compare import SynthesisComparison, run_synthesis_comparison
 from repro.experiments.table1 import table1_rows
 from repro.experiments.table2 import Table2Row, run_table2
@@ -19,6 +24,9 @@ __all__ = [
     "run_figure6",
     "Figure7Result",
     "run_figure7",
+    "RoutingComparison",
+    "RoutingComparisonRow",
+    "run_routing_comparison",
     "SynthesisComparison",
     "run_synthesis_comparison",
     "table1_rows",

@@ -1,0 +1,115 @@
+"""Routed vs HPWL wirelength across the benchmark library.
+
+The paper's cost calculator scores candidates "based on the wire-lengths
+and area" — with HPWL standing in for the wires the router would actually
+draw.  This experiment quantifies that gap: every benchmark circuit is
+placed (template placement at minimum dimensions), routed by the global
+router, and compared net by net.  The *detour factor* (routed / HPWL) is
+the honest correction the routed-parasitics synthesis mode applies, and
+the overflow column shows whether the layout was routable at all at the
+default grid resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.template import TemplatePlacer
+from repro.benchcircuits.library import benchmark_names, get_benchmark
+from repro.cost.wirelength import per_net_wirelength
+from repro.experiments.config import SMOKE, ExperimentScale
+from repro.route import RouterConfig, derive_bounds, route_placement
+
+
+@dataclass
+class RoutingComparisonRow:
+    """One circuit's routed-vs-HPWL comparison."""
+
+    circuit: str
+    nets: int
+    hpwl: float
+    routed_wirelength: float
+    overflow: int
+    max_congestion: int
+    mirrored_nets: int
+    routing_ms: float
+
+    @property
+    def detour_factor(self) -> float:
+        """Routed wirelength over HPWL (>= 1 by construction)."""
+        if self.hpwl <= 0:
+            return 1.0
+        return self.routed_wirelength / self.hpwl
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-data row for the report table."""
+        return {
+            "circuit": self.circuit,
+            "nets": self.nets,
+            "hpwl": round(self.hpwl, 1),
+            "routed": round(self.routed_wirelength, 1),
+            "detour": round(self.detour_factor, 3),
+            "overflow": self.overflow,
+            "congestion": self.max_congestion,
+            "mirrored": self.mirrored_nets,
+            "route_ms": round(self.routing_ms, 1),
+        }
+
+
+@dataclass
+class RoutingComparison:
+    """The routed-vs-HPWL comparison over the benchmark library."""
+
+    rows_by_circuit: List[RoutingComparisonRow] = field(default_factory=list)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Report-table rows."""
+        return [row.as_dict() for row in self.rows_by_circuit]
+
+    @property
+    def all_routable(self) -> bool:
+        """True when every circuit routed with zero overflow."""
+        return all(row.overflow == 0 for row in self.rows_by_circuit)
+
+    @property
+    def mean_detour_factor(self) -> float:
+        """Average routed/HPWL ratio over the library."""
+        if not self.rows_by_circuit:
+            return 1.0
+        return sum(row.detour_factor for row in self.rows_by_circuit) / len(
+            self.rows_by_circuit
+        )
+
+
+def run_routing_comparison(
+    scale: ExperimentScale = SMOKE,
+    seed: int = 0,
+    circuits: Optional[Sequence[str]] = None,
+    router: Optional[RouterConfig] = None,
+) -> RoutingComparison:
+    """Place, route and compare every benchmark circuit (or ``circuits``).
+
+    ``scale`` and ``seed`` are accepted for harness uniformity; template
+    placement is deterministic, so only ``seed`` reaches the placer.
+    """
+    comparison = RoutingComparison()
+    for name in circuits if circuits is not None else benchmark_names():
+        circuit = get_benchmark(name)
+        placement = TemplatePlacer(circuit, seed=seed).place(circuit.min_dims())
+        bounds = derive_bounds(placement.rects)
+        layout = route_placement(circuit, placement, bounds=bounds, config=router)
+        hpwl = per_net_wirelength(circuit, dict(placement.rects), bounds)
+        comparison.rows_by_circuit.append(
+            RoutingComparisonRow(
+                circuit=name,
+                nets=len(layout.nets),
+                hpwl=sum(hpwl.values()),
+                routed_wirelength=layout.total_wirelength,
+                overflow=layout.overflow,
+                max_congestion=layout.max_congestion,
+                mirrored_nets=len(layout.mirrored_nets),
+                routing_ms=layout.elapsed_seconds * 1000.0,
+            )
+        )
+    return comparison

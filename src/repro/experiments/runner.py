@@ -22,6 +22,7 @@ from repro.experiments.config import ExperimentScale, get_scale
 from repro.experiments.figure5 import run_figure5
 from repro.experiments.figure6 import run_figure6
 from repro.experiments.figure7 import run_figure7
+from repro.experiments.routing_compare import run_routing_comparison
 from repro.experiments.synthesis_compare import run_synthesis_comparison
 from repro.experiments.table1 import table1_rows
 from repro.experiments.table2 import run_table2
@@ -110,6 +111,17 @@ def _section_synthesis(scale: ExperimentScale, seed: int, backends) -> List[str]
     ]
 
 
+def _section_routing(scale: ExperimentScale, seed: int, backends) -> List[str]:
+    comparison = run_routing_comparison(scale=scale, seed=seed)
+    return [
+        "## Routing - routed vs HPWL wirelength",
+        format_table(comparison.rows()),
+        f"all circuits routable (zero overflow): {comparison.all_routable}",
+        f"mean detour factor (routed / HPWL): {comparison.mean_detour_factor:.3f}",
+        "",
+    ]
+
+
 #: Report sections in print order; each runs independently under ``--only``.
 SECTIONS: Dict[str, Callable[..., List[str]]] = {
     "table1": _section_table1,
@@ -117,6 +129,7 @@ SECTIONS: Dict[str, Callable[..., List[str]]] = {
     "figure5": _section_figure5,
     "figure6": _section_figure6,
     "figure7": _section_figure7,
+    "routing": _section_routing,
     "synthesis": _section_synthesis,
 }
 

@@ -1,0 +1,50 @@
+"""Global routing: from a placed floorplan to routed nets.
+
+The paper's synthesis loop routes and extracts each placed layout before
+scoring it (Figure 1.b); this subsystem supplies that missing layer.  A
+placed :class:`~repro.api.Placement` becomes a routing problem over a
+uniform :class:`RoutingGrid` (blockages from the placed rects, pin access
+points from the block pin offsets), the :class:`GlobalRouter` solves it
+with congestion-negotiated A* search and symmetry-mirrored routes for
+matched nets, and the frozen :class:`RoutedLayout` carries per-net paths,
+routed wirelength and overflow statistics to every consumer — parasitics
+(:func:`repro.synthesis.parasitics.estimate_parasitics_from_routes`), the
+placement service's route cache, the SVG renderer and the experiment
+harnesses.
+
+Typical usage::
+
+    from repro.route import route_placement, route_batch
+
+    routed = route_placement(circuit, placement)
+    print(routed.total_wirelength, routed.overflow, routed.is_fully_routed)
+
+    batch = route_batch(circuit, placements)     # dedup + fan-out
+"""
+
+from repro.route.batch import RouteBatchResult, route_batch
+from repro.route.grid import DEFAULT_EDGE_CAPACITY, RoutingGrid, default_resolution
+from repro.route.result import RoutedLayout, RoutedNet
+from repro.route.router import (
+    GlobalRouter,
+    RouterConfig,
+    derive_bounds,
+    route_placement,
+)
+from repro.route.symmetry import NetPair, symmetric_net_pairs
+
+__all__ = [
+    "DEFAULT_EDGE_CAPACITY",
+    "GlobalRouter",
+    "NetPair",
+    "RouteBatchResult",
+    "RoutedLayout",
+    "RoutedNet",
+    "RouterConfig",
+    "RoutingGrid",
+    "default_resolution",
+    "derive_bounds",
+    "route_batch",
+    "route_placement",
+    "symmetric_net_pairs",
+]

@@ -1,0 +1,275 @@
+"""The uniform routing grid a global router works on.
+
+Global routing abstracts the layout into a lattice of routing nodes with
+capacitated edges between neighbours: blocks become blockages, pins become
+access points on the lattice, and a route is a path over the surviving
+edges.  :class:`RoutingGrid` derives that lattice from a
+:class:`~repro.geometry.floorplan.FloorplanBounds` canvas at a chosen
+resolution (layout grid units between adjacent routing nodes) and tracks
+per-edge usage, capacity and negotiation history for the rip-up-and-reroute
+loop.
+
+Blockage is resolution-limited by design: a routing node is blocked when it
+lies *strictly inside* a placed rectangle, so block boundaries remain
+routable corridors (the classic "route along macro edges" abstraction) and
+finer blockage detail than the node pitch is intentionally not modelled.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Tuple
+
+from repro.geometry.floorplan import FloorplanBounds
+from repro.geometry.rect import Rect
+
+#: Default number of nets one routing edge can carry.
+DEFAULT_EDGE_CAPACITY = 4
+
+#: Target node count per grid side when the resolution is chosen automatically.
+_TARGET_NODES_PER_SIDE = 48
+
+#: A routing node addressed by its (column, row) lattice indices.
+Node = Tuple[int, int]
+
+#: A grid edge: the node pair it connects, in lattice indices.
+Edge = Tuple[Node, Node]
+
+#: Position-space tolerance when classifying nodes against rect boundaries:
+#: a node within this distance of an edge counts as *on* it (routable),
+#: guarding the strictly-interior test against float division error at
+#: fractional resolutions (e.g. 33/1.1 evaluating just below 30).
+_BOUNDARY_EPS = 1e-7
+
+
+def default_resolution(bounds: FloorplanBounds) -> int:
+    """The automatic node pitch for ``bounds``.
+
+    One layout grid unit per node for small canvases, coarsening so that
+    neither side exceeds ``_TARGET_NODES_PER_SIDE`` nodes — keeps the maze
+    search cheap on large floorplans without losing the small-canvas
+    exactness the tests rely on.
+    """
+    return max(1, math.ceil(max(bounds.width, bounds.height) / _TARGET_NODES_PER_SIDE))
+
+
+class RoutingGrid:
+    """A capacitated routing lattice over a floorplan canvas.
+
+    Parameters
+    ----------
+    bounds:
+        The layout canvas the lattice spans.
+    resolution:
+        Distance between adjacent nodes in layout grid units; defaults to
+        :func:`default_resolution`.
+    capacity:
+        Number of nets each edge can carry before it overflows.
+    """
+
+    def __init__(
+        self,
+        bounds: FloorplanBounds,
+        resolution: Optional[float] = None,
+        capacity: int = DEFAULT_EDGE_CAPACITY,
+    ) -> None:
+        if resolution is None:
+            resolution = default_resolution(bounds)
+        if resolution <= 0:
+            raise ValueError(f"grid resolution must be positive, got {resolution}")
+        if capacity < 1:
+            raise ValueError(f"edge capacity must be at least 1, got {capacity}")
+        self.bounds = bounds
+        self.resolution = float(resolution)
+        self.capacity = capacity
+        self.nx = int(math.floor(bounds.width / self.resolution)) + 1
+        self.ny = int(math.floor(bounds.height / self.resolution)) + 1
+        self._blocked = bytearray(self.nx * self.ny)
+        # Horizontal edges: (i, j)-(i+1, j), row-major over (ny, nx-1).
+        self._h_usage = [0] * (self.ny * (self.nx - 1))
+        self._h_history = [0.0] * (self.ny * (self.nx - 1))
+        # Vertical edges: (i, j)-(i, j+1), row-major over (ny-1, nx).
+        self._v_usage = [0] * ((self.ny - 1) * self.nx)
+        self._v_history = [0.0] * ((self.ny - 1) * self.nx)
+
+    # ------------------------------------------------------------------ #
+    # Geometry
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(columns, rows)`` of the node lattice."""
+        return (self.nx, self.ny)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of routing nodes."""
+        return self.nx * self.ny
+
+    def node_position(self, node: Node) -> Tuple[float, float]:
+        """Layout coordinates of a lattice node."""
+        i, j = node
+        return (i * self.resolution, j * self.resolution)
+
+    def snap(self, x: float, y: float) -> Node:
+        """The lattice node nearest to layout position ``(x, y)``, clamped."""
+        i = int(round(x / self.resolution))
+        j = int(round(y / self.resolution))
+        return (min(max(i, 0), self.nx - 1), min(max(j, 0), self.ny - 1))
+
+    def in_grid(self, node: Node) -> bool:
+        """True when ``node`` lies on the lattice."""
+        i, j = node
+        return 0 <= i < self.nx and 0 <= j < self.ny
+
+    # ------------------------------------------------------------------ #
+    # Blockages and pin access
+    # ------------------------------------------------------------------ #
+    def block_rect(self, rect: Rect) -> None:
+        """Block every node strictly inside ``rect``."""
+        res = self.resolution
+        i_lo = int(math.floor((rect.x + _BOUNDARY_EPS) / res)) + 1
+        i_hi = int(math.ceil((rect.x2 - _BOUNDARY_EPS) / res)) - 1
+        j_lo = int(math.floor((rect.y + _BOUNDARY_EPS) / res)) + 1
+        j_hi = int(math.ceil((rect.y2 - _BOUNDARY_EPS) / res)) - 1
+        for j in range(max(j_lo, 0), min(j_hi, self.ny - 1) + 1):
+            base = j * self.nx
+            for i in range(max(i_lo, 0), min(i_hi, self.nx - 1) + 1):
+                self._blocked[base + i] = 1
+
+    def add_blockages(self, rects: Iterable[Rect]) -> None:
+        """Block the interiors of all ``rects``."""
+        for rect in rects:
+            self.block_rect(rect)
+
+    def is_blocked(self, node: Node) -> bool:
+        """True when ``node`` lies strictly inside a blockage."""
+        i, j = node
+        return bool(self._blocked[j * self.nx + i])
+
+    def access_node(self, x: float, y: float) -> Optional[Node]:
+        """The nearest unblocked node to layout position ``(x, y)``.
+
+        Pins sit inside their own block's footprint, so their snapped node
+        is usually blocked; the access node is where the net escapes onto
+        the routing lattice (the pin-to-node stub is accounted separately).
+        Returns ``None`` when every node is blocked.
+        """
+        ci, cj = self.snap(x, y)
+        if not self._blocked[cj * self.nx + ci]:
+            return (ci, cj)
+        best: Optional[Node] = None
+        best_dist = float("inf")
+        found_radius: Optional[int] = None
+        max_radius = max(self.nx, self.ny)
+        for radius in range(1, max_radius + 1):
+            # Once a candidate exists at Chebyshev radius r, a nearer
+            # *Manhattan* candidate can still hide out to radius 2r (+1
+            # for the pin's sub-pitch offset from its snapped node).
+            if found_radius is not None and radius > 2 * found_radius + 1:
+                break
+            for i, j in self._ring(ci, cj, radius):
+                if self._blocked[j * self.nx + i]:
+                    continue
+                dist = abs(i * self.resolution - x) + abs(j * self.resolution - y)
+                if dist < best_dist:
+                    best = (i, j)
+                    best_dist = dist
+            if best is not None and found_radius is None:
+                found_radius = radius
+        return best
+
+    def _ring(self, ci: int, cj: int, radius: int) -> Iterable[Node]:
+        """Lattice nodes at Chebyshev distance ``radius`` from ``(ci, cj)``."""
+        i_lo, i_hi = ci - radius, ci + radius
+        j_lo, j_hi = cj - radius, cj + radius
+        for i in range(max(i_lo, 0), min(i_hi, self.nx - 1) + 1):
+            if 0 <= j_lo < self.ny:
+                yield (i, j_lo)
+            if 0 <= j_hi < self.ny and j_hi != j_lo:
+                yield (i, j_hi)
+        for j in range(max(j_lo + 1, 0), min(j_hi - 1, self.ny - 1) + 1):
+            if 0 <= i_lo < self.nx:
+                yield (i_lo, j)
+            if 0 <= i_hi < self.nx and i_hi != i_lo:
+                yield (i_hi, j)
+
+    # ------------------------------------------------------------------ #
+    # Edge accounting
+    # ------------------------------------------------------------------ #
+    def edge_key(self, a: Node, b: Node) -> Tuple[bool, int]:
+        """``(horizontal, flat index)`` of the edge between neighbours ``a``/``b``."""
+        (ai, aj), (bi, bj) = a, b
+        if aj == bj and abs(ai - bi) == 1:
+            return (True, aj * (self.nx - 1) + min(ai, bi))
+        if ai == bi and abs(aj - bj) == 1:
+            return (False, min(aj, bj) * self.nx + ai)
+        raise ValueError(f"nodes {a} and {b} are not lattice neighbours")
+
+    def usage(self, a: Node, b: Node) -> int:
+        """Current number of nets over the edge ``a``-``b``."""
+        horizontal, index = self.edge_key(a, b)
+        return (self._h_usage if horizontal else self._v_usage)[index]
+
+    def add_usage(self, edges: Iterable[Edge], delta: int) -> None:
+        """Add ``delta`` nets to every edge in ``edges``."""
+        for a, b in edges:
+            horizontal, index = self.edge_key(a, b)
+            (self._h_usage if horizontal else self._v_usage)[index] += delta
+
+    def add_history(self, edges: Iterable[Edge], amount: float) -> None:
+        """Grow the negotiation history cost of every edge in ``edges``."""
+        for a, b in edges:
+            horizontal, index = self.edge_key(a, b)
+            (self._h_history if horizontal else self._v_history)[index] += amount
+
+    def edge_cost(self, a: Node, b: Node, congestion_weight: float) -> float:
+        """Congestion-aware traversal cost of one more net over ``a``-``b``.
+
+        Base cost is the physical edge length; the negotiated history and
+        the would-be overflow (usage after this net, past capacity) are
+        added on top, so the cost never drops below the length and distance
+        heuristics stay admissible.
+        """
+        horizontal, index = self.edge_key(a, b)
+        if horizontal:
+            usage, history = self._h_usage[index], self._h_history[index]
+        else:
+            usage, history = self._v_usage[index], self._v_history[index]
+        over = usage + 1 - self.capacity
+        penalty = history + (congestion_weight * over if over > 0 else 0.0)
+        return self.resolution * (1.0 + penalty)
+
+    def overflowed_edges(self) -> List[Edge]:
+        """All edges currently carrying more nets than their capacity."""
+        edges: List[Edge] = []
+        nx = self.nx
+        for index, usage in enumerate(self._h_usage):
+            if usage > self.capacity:
+                j, i = divmod(index, nx - 1)
+                edges.append(((i, j), (i + 1, j)))
+        for index, usage in enumerate(self._v_usage):
+            if usage > self.capacity:
+                j, i = divmod(index, nx)
+                edges.append(((i, j), (i, j + 1)))
+        return edges
+
+    @property
+    def total_overflow(self) -> int:
+        """Total net-units above capacity over all edges."""
+        cap = self.capacity
+        return sum(u - cap for u in self._h_usage if u > cap) + sum(
+            u - cap for u in self._v_usage if u > cap
+        )
+
+    @property
+    def max_usage(self) -> int:
+        """The most nets any single edge carries."""
+        h = max(self._h_usage) if self._h_usage else 0
+        v = max(self._v_usage) if self._v_usage else 0
+        return max(h, v)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"RoutingGrid({self.nx}x{self.ny} @ {self.resolution}, "
+            f"capacity={self.capacity})"
+        )

@@ -1,0 +1,118 @@
+"""Frozen results of a global-routing run.
+
+A :class:`RoutedLayout` is to routing what :class:`repro.api.Placement` is
+to placement: the one immutable answer every consumer reads — per-net
+paths for drawing, per-net routed wirelength for parasitics, and
+overflow/congestion statistics for cost models and service telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Dict, Mapping, Optional, Tuple
+
+#: One rectilinear wire piece as layout coordinates: ((x1, y1), (x2, y2)).
+Segment = Tuple[Tuple[float, float], Tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class RoutedNet:
+    """One net's route over the grid.
+
+    ``segments`` are the unique lattice edges of the net's routing tree;
+    ``stubs`` connect each exact pin position to its lattice access node.
+    ``wirelength`` is the total physical length of both — counting the
+    stubs keeps the routed length an upper bound of the net's HPWL even
+    when pin positions snap inward onto the lattice.
+    """
+
+    name: str
+    segments: Tuple[Segment, ...] = ()
+    stubs: Tuple[Segment, ...] = ()
+    wirelength: float = 0.0
+    #: Name of the symmetry partner this route was mirrored from, if any.
+    mirrored_from: Optional[str] = None
+    #: True when the router could not connect the net (e.g. blocked pins).
+    failed: bool = False
+
+    @property
+    def num_segments(self) -> int:
+        """Number of lattice edges in the routing tree."""
+        return len(self.segments)
+
+
+@dataclass(frozen=True)
+class RoutedLayout:
+    """The routed form of one placed circuit."""
+
+    #: Per-net routes, keyed by net name (immutable).
+    nets: Mapping[str, RoutedNet]
+    #: Node pitch of the routing grid in layout units.
+    resolution: float
+    #: ``(columns, rows)`` of the routing lattice.
+    grid_shape: Tuple[int, int]
+    #: Total net-units above edge capacity after negotiation (0 = routable).
+    overflow: int = 0
+    #: The most nets any single routing edge carries.
+    max_congestion: int = 0
+    #: Rip-up-and-reroute iterations the negotiation ran.
+    iterations: int = 0
+    elapsed_seconds: float = 0.0
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nets", MappingProxyType(dict(self.nets)))
+        object.__setattr__(self, "metadata", MappingProxyType(dict(self.metadata)))
+
+    # ------------------------------------------------------------------ #
+    # Wirelength
+    # ------------------------------------------------------------------ #
+    def wirelength(self, net_name: str) -> float:
+        """Routed wirelength of one net (0 when the net is unknown)."""
+        net = self.nets.get(net_name)
+        return net.wirelength if net is not None else 0.0
+
+    @property
+    def total_wirelength(self) -> float:
+        """Total routed wirelength over all nets."""
+        return sum(net.wirelength for net in self.nets.values())
+
+    def net_wirelengths(self) -> Dict[str, float]:
+        """Per-net routed wirelength as a plain dictionary."""
+        return {name: net.wirelength for name, net in self.nets.items()}
+
+    # ------------------------------------------------------------------ #
+    # Routability
+    # ------------------------------------------------------------------ #
+    @property
+    def failed_nets(self) -> Tuple[str, ...]:
+        """Names of nets the router could not connect."""
+        return tuple(name for name, net in self.nets.items() if net.failed)
+
+    @property
+    def mirrored_nets(self) -> Tuple[str, ...]:
+        """Names of nets routed by mirroring a symmetry partner."""
+        return tuple(
+            name for name, net in self.nets.items() if net.mirrored_from is not None
+        )
+
+    @property
+    def is_fully_routed(self) -> bool:
+        """True when every net connected and no edge overflowed."""
+        return self.overflow == 0 and not self.failed_nets
+
+    def stats(self) -> Dict[str, float]:
+        """Plain-data summary for reports and ``Placement.metadata``."""
+        return {
+            "routed_wirelength": self.total_wirelength,
+            "overflow": float(self.overflow),
+            "max_congestion": float(self.max_congestion),
+            "failed_nets": float(len(self.failed_nets)),
+            "mirrored_nets": float(len(self.mirrored_nets)),
+            "iterations": float(self.iterations),
+            "grid_columns": float(self.grid_shape[0]),
+            "grid_rows": float(self.grid_shape[1]),
+            "resolution": float(self.resolution),
+            "elapsed_seconds": self.elapsed_seconds,
+        }

@@ -1,0 +1,92 @@
+"""Symmetry-aware net pairing for analog routing.
+
+Analog matching does not stop at placement: the nets of a differential
+pair must see the same wiring parasitics, so matched nets are routed as
+geometric mirror images across the symmetry axis.  This module finds those
+net pairs from the circuit's :class:`~repro.circuit.symmetry.SymmetryGroup`
+constraints: two nets pair when mapping every terminal through the group's
+block pairing (left <-> right, self-symmetric blocks onto themselves)
+turns one net's terminal set into the other's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.circuit.net import Net
+from repro.circuit.netlist import Circuit
+from repro.circuit.symmetry import SymmetryGroup
+
+
+@dataclass(frozen=True)
+class NetPair:
+    """Two nets that must be routed as mirror images."""
+
+    primary: str
+    mirror: str
+    group: str
+
+
+def block_mapping(group: SymmetryGroup) -> Dict[str, str]:
+    """The block substitution induced by ``group``'s pairing."""
+    mapping: Dict[str, str] = {}
+    for left, right in group.pairs:
+        mapping[left] = right
+        mapping[right] = left
+    for name in group.self_symmetric:
+        mapping[name] = name
+    return mapping
+
+
+def _terminal_set(net: Net) -> FrozenSet[Tuple[str, str]]:
+    return frozenset((t.block, t.pin) for t in net.terminals)
+
+
+def _mapped_terminal_set(
+    net: Net, mapping: Dict[str, str]
+) -> Optional[FrozenSet[Tuple[str, str]]]:
+    """``net``'s terminal set pushed through ``mapping``.
+
+    ``None`` when any terminal touches a block outside the symmetry group —
+    such a net has no well-defined mirror image.
+    """
+    mapped = set()
+    for terminal in net.terminals:
+        partner = mapping.get(terminal.block)
+        if partner is None:
+            return None
+        mapped.add((partner, terminal.pin))
+    return frozenset(mapped)
+
+
+def symmetric_net_pairs(circuit: Circuit) -> List[NetPair]:
+    """All net pairs of ``circuit`` that must route as mirror images.
+
+    External nets are excluded (their boundary I/O pin has no mirror), as
+    are self-mapping nets (a net whose mirror image is itself needs no
+    partner route).  Each net joins at most one pair; the lexicographically
+    smaller name becomes the pair's primary.
+    """
+    pairs: List[NetPair] = []
+    paired: set = set()
+    by_terminals: Dict[FrozenSet[Tuple[str, str]], Net] = {}
+    for net in circuit.nets:
+        if not net.external and net.terminals:
+            by_terminals.setdefault(_terminal_set(net), net)
+    for group in circuit.symmetry_groups:
+        mapping = block_mapping(group)
+        for net in circuit.nets:
+            if net.external or not net.terminals or net.name in paired:
+                continue
+            mapped = _mapped_terminal_set(net, mapping)
+            if mapped is None or mapped == _terminal_set(net):
+                continue
+            partner = by_terminals.get(mapped)
+            if partner is None or partner.name in paired or partner.name == net.name:
+                continue
+            primary, mirror = sorted((net.name, partner.name))
+            pairs.append(NetPair(primary=primary, mirror=mirror, group=group.name))
+            paired.add(net.name)
+            paired.add(partner.name)
+    return pairs

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.circuit.netlist import Circuit
 from repro.core.generator import GeneratorConfig, MultiPlacementGenerator
@@ -30,6 +30,10 @@ from repro.api.placement import (
 from repro.core.instantiator import FALLBACK_BEST_STORED, PlacementInstantiator
 from repro.core.placement_entry import Dims
 from repro.core.structure import MultiPlacementStructure
+from repro.geometry.rect import Rect
+from repro.route.batch import RectsKey, rects_key
+from repro.route.result import RoutedLayout
+from repro.route.router import RouterConfig, route_placement
 from repro.service.batch import BatchResult, instantiate_batch
 from repro.service.cache import LRUCache, MemoizingInstantiator
 from repro.service.fingerprint import structure_key
@@ -65,6 +69,12 @@ class ServiceStats:
     cache_misses: int = 0
     #: Wall-clock seconds spent answering queries (includes structure setup).
     total_seconds: float = 0.0
+    #: Routing queries served (placements turned into routed layouts).
+    route_queries: int = 0
+    #: Routing queries answered from the route cache.
+    route_cache_hits: int = 0
+    #: Wall-clock seconds spent routing (cache hits included).
+    route_seconds: float = 0.0
 
     @property
     def tier_counts(self) -> Dict[str, int]:
@@ -121,6 +131,9 @@ class ServiceStats:
             "total_seconds": self.total_seconds,
             "structure_hit_rate": self.structure_hit_rate,
             "mean_latency_seconds": self.mean_latency_seconds,
+            "route_queries": self.route_queries,
+            "route_cache_hits": self.route_cache_hits,
+            "route_seconds": self.route_seconds,
         }
 
 
@@ -143,6 +156,13 @@ class PlacementService:
         Passed through to every :class:`PlacementInstantiator`.
     max_workers:
         Default worker count for :meth:`instantiate_batch`.
+    route_cache_capacity:
+        Number of routed layouts kept alongside the placements; routes
+        are keyed by the structure fingerprint plus the placed rects, so
+        re-routing the same floorplan is a cache hit.
+    default_router:
+        Router configuration used when a routing call does not pass its
+        own.
     """
 
     def __init__(
@@ -153,6 +173,8 @@ class PlacementService:
         memo_capacity: int = 4096,
         fallback_mode: str = FALLBACK_BEST_STORED,
         max_workers: Optional[int] = None,
+        route_cache_capacity: int = 256,
+        default_router: Optional[RouterConfig] = None,
     ) -> None:
         self._registry = registry
         self._default_config = default_config
@@ -160,6 +182,10 @@ class PlacementService:
         self._fallback_mode = fallback_mode
         self._max_workers = max_workers
         self._instantiators: LRUCache[str, MemoizingInstantiator] = LRUCache(cache_capacity)
+        self._routes: LRUCache[Tuple[str, RectsKey, Optional[RouterConfig]], RoutedLayout] = (
+            LRUCache(route_cache_capacity)
+        )
+        self._default_router = default_router
         self._stats = ServiceStats()
         self._lock = threading.RLock()
 
@@ -298,6 +324,56 @@ class PlacementService:
                 stats.record_source(source, count)
             stats.total_seconds += timer.elapsed
         return batch
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def route(
+        self,
+        circuit: Circuit,
+        dims: Sequence[Dims],
+        config: Optional[GeneratorConfig] = None,
+        router: Optional[RouterConfig] = None,
+    ) -> Tuple[Placement, RoutedLayout]:
+        """Serve one placement for ``dims`` *with* its routed layout.
+
+        The returned placement carries the routing statistics in
+        ``metadata["routing"]``; the full :class:`RoutedLayout` rides
+        alongside for consumers that need per-net paths.
+        """
+        placement = self.instantiate(circuit, dims, config)
+        layout = self.route_rects(circuit, placement.rects, config=config, router=router)
+        return placement.with_routing(layout), layout
+
+    def route_rects(
+        self,
+        circuit: Circuit,
+        rects: Mapping[str, Rect],
+        config: Optional[GeneratorConfig] = None,
+        router: Optional[RouterConfig] = None,
+    ) -> RoutedLayout:
+        """Route an already-placed floorplan, through the route cache.
+
+        Routes are cached next to the placements, keyed by the structure
+        fingerprint of (``circuit``, ``config``) plus the placed rects and
+        the router configuration — identical floorplans of the same
+        topology route once.
+        """
+        router = router if router is not None else self._default_router
+        config = config if config is not None else self._default_config
+        with Timer() as timer:
+            key = (structure_key(circuit, config), rects_key(rects), router)
+            layout = self._routes.get(key)
+            cached = layout is not None
+            if layout is None:
+                layout = route_placement(circuit, rects, config=router)
+                self._routes.put(key, layout)
+        with self._lock:
+            self._stats.route_queries += 1
+            if cached:
+                self._stats.route_cache_hits += 1
+            self._stats.route_seconds += timer.elapsed
+        return layout
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         registry = "none" if self._registry is None else str(self._registry.root)

@@ -12,13 +12,21 @@ time (the paper's core motivation for multi-placement structures).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Union
 
 from repro.api import Placement, Placer, make_placer
+from repro.route.batch import rects_key
+from repro.route.result import RoutedLayout
+from repro.route.router import GlobalRouter, RouterConfig, derive_bounds
 from repro.synthesis.binding import CircuitSizingModel
 from repro.synthesis.optimizer import SizingOptimizer, SizingOptimizerConfig
-from repro.synthesis.parasitics import estimate_parasitics
+from repro.synthesis.parasitics import (
+    ParasiticEstimate,
+    estimate_parasitics,
+    estimate_parasitics_from_routes,
+)
 from repro.synthesis.performance import PerformanceReport, PerformanceSpec
 from repro.synthesis.sizing import SizingPoint
 from repro.utils.rng import RandomLike
@@ -36,6 +44,20 @@ class SynthesisConfig:
     layout_weight: float = 0.01
     #: Weight of the power term (drives the optimizer once specs are met).
     power_weight: float = 1.0
+    #: Wirelength estimator feeding the parasitics (``hpwl``/``star``/``mst``)
+    #: when routing is off.
+    wirelength_model: str = "hpwl"
+    #: Route every placement and extract parasitics from the routed
+    #: wirelength (the paper's route-and-extract step).  Slower but
+    #: honest; HPWL stays the default for speed.
+    routed_parasitics: bool = False
+    #: Router knobs used when :attr:`routed_parasitics` is on.
+    router: RouterConfig = field(default_factory=RouterConfig)
+    #: Routed layouts memoized per distinct floorplan.  Sizing proposals
+    #: oscillate around accepted states and collapse onto repeated
+    #: placements, so revisits would otherwise re-run the whole maze
+    #: search for a byte-identical result.
+    route_memo_capacity: int = 256
 
 
 @dataclass
@@ -47,6 +69,9 @@ class SynthesisEvaluation:
     placement: Placement
     spec_penalty: float
     objective: float
+    #: The wiring parasitics the performance model saw (records which
+    #: wirelength estimator — or routed extraction — produced them).
+    parasitics: Optional[ParasiticEstimate] = None
 
 
 @dataclass
@@ -58,6 +83,9 @@ class SynthesisResult:
     elapsed_seconds: float
     placement_seconds: float
     backend: str
+    #: Wall-clock seconds spent inside the global router (0 when routed
+    #: parasitics are off).
+    routing_seconds: float = 0.0
     history: List[float] = field(default_factory=list)
     #: The backend's uniform ``stats()`` counters (tier hits for structure
     #: engines, cache/latency stats for the service, query counts for the
@@ -99,7 +127,12 @@ class LayoutInclusiveSynthesis:
         self._backend = backend
         self._config = config
         self._seed = seed
+        self._router: Optional[GlobalRouter] = None
+        self._route_memo: "OrderedDict[object, RoutedLayout]" = OrderedDict()
+        if config.routed_parasitics:
+            self._router = GlobalRouter(sizing_model.circuit, config=config.router)
         self._placement_seconds = 0.0
+        self._routing_seconds = 0.0
         self._evaluations = 0
         self._best: Optional[SynthesisEvaluation] = None
 
@@ -118,10 +151,26 @@ class LayoutInclusiveSynthesis:
         with Timer() as placement_timer:
             placement = self._backend.place(dims)
         self._placement_seconds += placement_timer.elapsed
-        parasitics = estimate_parasitics(circuit, placement.rects)
+        config = self._config
+        if self._router is not None:
+            routed = self._route_memoized(placement)
+            # Any net the router failed to connect falls back to its
+            # placement estimate — with the same derived bounds the router
+            # used, so external nets keep their boundary I/O terminal and
+            # the loop never sees zero parasitics.
+            parasitics = estimate_parasitics_from_routes(
+                circuit,
+                routed,
+                rects=dict(placement.rects),
+                bounds=derive_bounds(placement.rects),
+            )
+            placement = placement.with_routing(routed)
+        else:
+            parasitics = estimate_parasitics(
+                circuit, placement.rects, wirelength_model=config.wirelength_model
+            )
         performance = self._performance_model.evaluate(point, parasitics)
         spec_penalty = self._spec.penalty(performance)
-        config = self._config
         objective = (
             config.spec_weight * spec_penalty
             + config.layout_weight * placement.cost.total
@@ -133,11 +182,29 @@ class LayoutInclusiveSynthesis:
             placement=placement,
             spec_penalty=spec_penalty,
             objective=objective,
+            parasitics=parasitics,
         )
         self._evaluations += 1
         if self._best is None or evaluation.objective < self._best.objective:
             self._best = evaluation
         return evaluation
+
+    def _route_memoized(self, placement: Placement) -> RoutedLayout:
+        """Route a placement, answering repeated floorplans from the memo."""
+        assert self._router is not None
+        key = rects_key(placement.rects)
+        memo = self._route_memo
+        routed = memo.get(key)
+        if routed is not None:
+            memo.move_to_end(key)
+            return routed
+        with Timer() as routing_timer:
+            routed = self._router.route(placement.rects)
+        self._routing_seconds += routing_timer.elapsed
+        memo[key] = routed
+        if len(memo) > self._config.route_memo_capacity:
+            memo.popitem(last=False)
+        return routed
 
     # ------------------------------------------------------------------ #
     # Full synthesis run
@@ -145,6 +212,7 @@ class LayoutInclusiveSynthesis:
     def run(self, initial: Optional[SizingPoint] = None) -> SynthesisResult:
         """Anneal the sizing point against the layout-inclusive objective."""
         self._placement_seconds = 0.0
+        self._routing_seconds = 0.0
         self._evaluations = 0
         self._best = None
         optimizer = SizingOptimizer(
@@ -163,6 +231,7 @@ class LayoutInclusiveSynthesis:
             elapsed_seconds=timer.elapsed,
             placement_seconds=self._placement_seconds,
             backend=self._backend.name,
+            routing_seconds=self._routing_seconds,
             history=list(anneal_result.cost_history),
             backend_stats=stats or None,
         )

@@ -1,16 +1,28 @@
-"""Wiring parasitic estimation from a placed floorplan.
+"""Wiring parasitic estimation from a placed (and optionally routed) floorplan.
 
 The paper's synthesis loop (Figure 1.b) routes and extracts the layout to
-obtain accurate performance estimates.  This module provides the simulated
-equivalent: per-net wirelength from the placement, converted to lumped
-wiring capacitance and resistance with per-unit constants typical of a
-0.35 um-era analog process (the paper's vintage).
+obtain accurate performance estimates.  This module provides two levels of
+fidelity:
+
+* :func:`estimate_parasitics` — per-net wirelength from the placement
+  under a selectable estimator (``hpwl``/``star``/``mst``), converted to
+  lumped wiring capacitance and resistance with per-unit constants typical
+  of a 0.35 um-era analog process (the paper's vintage).
+* :func:`estimate_parasitics_from_routes` /
+  :meth:`ParasiticEstimate.from_routes` — the same lumped model fed by
+  *routed* wirelength from a :class:`repro.route.RoutedLayout`, matching
+  the paper's route-and-extract step.  Nets the router failed to connect
+  fall back to the placement estimator so the loop never sees a zero.
+
+Every estimate records which wirelength model produced it in
+:attr:`ParasiticEstimate.wirelength_model` (``"routed"`` for routed
+extraction), so downstream reports can tell the fidelity levels apart.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, Mapping, Optional
 
 from repro.circuit.netlist import Circuit
 from repro.cost.wirelength import per_net_wirelength
@@ -18,10 +30,16 @@ from repro.geometry.floorplan import FloorplanBounds
 from repro.geometry.rect import Rect
 from repro.modgen.base import GRID_UM
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (route imports api)
+    from repro.route.result import RoutedLayout
+
 #: Metal-1 wiring capacitance per micrometre of wire, in femtofarads.
 DEFAULT_CAP_PER_UM_FF = 0.12
 #: Metal-1 wiring resistance per micrometre of wire, in ohms.
 DEFAULT_RES_PER_UM_OHM = 0.08
+
+#: The ``wirelength_model`` tag of estimates extracted from routed layouts.
+ROUTED_MODEL = "routed"
 
 
 @dataclass(frozen=True)
@@ -34,6 +52,10 @@ class ParasiticEstimate:
     net_resistance_ohm: Mapping[str, float]
     #: Per-net wirelength in micrometres.
     net_wirelength_um: Mapping[str, float]
+    #: The wirelength estimator that produced the lengths
+    #: (``"hpwl"``/``"star"``/``"mst"``, or ``"routed"`` for extraction
+    #: from a routed layout).
+    wirelength_model: str = "hpwl"
 
     @property
     def total_capacitance_ff(self) -> float:
@@ -45,6 +67,11 @@ class ParasiticEstimate:
         """Total wirelength over all nets."""
         return sum(self.net_wirelength_um.values())
 
+    @property
+    def from_routing(self) -> bool:
+        """True when the lengths came from a routed layout."""
+        return self.wirelength_model == ROUTED_MODEL
+
     def capacitance(self, net_name: str) -> float:
         """Wiring capacitance of one net (0 when the net is unknown)."""
         return self.net_capacitance_ff.get(net_name, 0.0)
@@ -52,6 +79,28 @@ class ParasiticEstimate:
     def resistance(self, net_name: str) -> float:
         """Wiring resistance of one net (0 when the net is unknown)."""
         return self.net_resistance_ohm.get(net_name, 0.0)
+
+    @classmethod
+    def from_routes(
+        cls,
+        routed: "RoutedLayout",
+        cap_per_um_ff: float = DEFAULT_CAP_PER_UM_FF,
+        res_per_um_ohm: float = DEFAULT_RES_PER_UM_OHM,
+        fallback_lengths: Optional[Mapping[str, float]] = None,
+    ) -> "ParasiticEstimate":
+        """Build the lumped model from routed per-net wirelengths.
+
+        ``fallback_lengths`` (per-net lengths in layout grid units, e.g.
+        from :func:`repro.cost.wirelength.per_net_wirelength`) substitutes
+        for any net the router failed to connect.
+        """
+        lengths_grid: Dict[str, float] = {}
+        for name, net in routed.nets.items():
+            if net.failed and fallback_lengths is not None:
+                lengths_grid[name] = fallback_lengths.get(name, 0.0)
+            else:
+                lengths_grid[name] = net.wirelength
+        return _lumped(lengths_grid, cap_per_um_ff, res_per_um_ohm, ROUTED_MODEL)
 
 
 def estimate_parasitics(
@@ -64,6 +113,44 @@ def estimate_parasitics(
 ) -> ParasiticEstimate:
     """Estimate lumped wiring parasitics for a placed layout."""
     lengths_grid = per_net_wirelength(circuit, rects, bounds, model=wirelength_model)
+    return _lumped(lengths_grid, cap_per_um_ff, res_per_um_ohm, wirelength_model)
+
+
+def estimate_parasitics_from_routes(
+    circuit: Circuit,
+    routed: "RoutedLayout",
+    rects: Optional[Dict[str, Rect]] = None,
+    bounds: Optional[FloorplanBounds] = None,
+    cap_per_um_ff: float = DEFAULT_CAP_PER_UM_FF,
+    res_per_um_ohm: float = DEFAULT_RES_PER_UM_OHM,
+) -> ParasiticEstimate:
+    """Extract lumped wiring parasitics from a routed layout.
+
+    When ``rects`` is given, nets the router could not connect fall back
+    to their HPWL estimate over the placement instead of contributing
+    zero parasitics.
+    """
+    # Only pay the placement-wirelength pass when something actually failed.
+    fallback = (
+        per_net_wirelength(circuit, rects, bounds)
+        if rects is not None and routed.failed_nets
+        else None
+    )
+    return ParasiticEstimate.from_routes(
+        routed,
+        cap_per_um_ff=cap_per_um_ff,
+        res_per_um_ohm=res_per_um_ohm,
+        fallback_lengths=fallback,
+    )
+
+
+def _lumped(
+    lengths_grid: Mapping[str, float],
+    cap_per_um_ff: float,
+    res_per_um_ohm: float,
+    model: str,
+) -> ParasiticEstimate:
+    """Convert per-net grid-unit lengths into the lumped RC estimate."""
     lengths_um = {name: length * GRID_UM for name, length in lengths_grid.items()}
     caps = {name: length * cap_per_um_ff for name, length in lengths_um.items()}
     res = {name: length * res_per_um_ohm for name, length in lengths_um.items()}
@@ -71,4 +158,5 @@ def estimate_parasitics(
         net_capacitance_ff=caps,
         net_resistance_ohm=res,
         net_wirelength_um=lengths_um,
+        wirelength_model=model,
     )

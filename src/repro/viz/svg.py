@@ -1,9 +1,9 @@
-"""Render a placed floorplan as an SVG drawing."""
+"""Render a placed (and optionally routed) floorplan as an SVG drawing."""
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Mapping, Optional, Union
+from typing import Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.geometry.floorplan import FloorplanBounds, bounding_box
 from repro.geometry.rect import Rect
@@ -13,14 +13,32 @@ _PALETTE = (
     "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
 )
 
+#: Stroke colors for routed wires, offset from the block palette so wires
+#: remain readable over the blocks they cross.
+_WIRE_PALETTE = (
+    "#1f3a5f", "#a34a00", "#8f1d1f", "#2e6d68", "#2f6627",
+    "#8f7a0d", "#6e3f63", "#b04a56", "#5c4335", "#5f5a55",
+)
+
+#: One wire piece as layout coordinates: ((x1, y1), (x2, y2)).
+Segment = Tuple[Tuple[float, float], Tuple[float, float]]
+
 
 def render_svg(
     rects: Mapping[str, Rect],
     bounds: Optional[FloorplanBounds] = None,
     scale: float = 8.0,
     margin: float = 10.0,
+    routes: Optional[object] = None,
 ) -> str:
-    """Return an SVG document drawing the blocks with their names."""
+    """Return an SVG document drawing the blocks with their names.
+
+    ``routes`` optionally overlays routed wires: accepts a
+    :class:`repro.route.RoutedLayout` or any mapping of net name to an
+    object with ``segments`` and ``stubs`` sequences of layout-coordinate
+    pairs.  Tree segments draw solid, pin-escape stubs draw dashed, one
+    color per net.
+    """
     if bounds is not None:
         extent_w, extent_h = bounds.width, bounds.height
     elif rects:
@@ -30,6 +48,9 @@ def render_svg(
         extent_w, extent_h = 1, 1
     width = extent_w * scale + 2 * margin
     height = extent_h * scale + 2 * margin
+
+    def to_x(x_layout: float) -> float:
+        return margin + x_layout * scale
 
     def to_y(y_layout: float) -> float:
         # Flip the y axis: SVG's origin is top-left, layouts grow upwards.
@@ -43,21 +64,45 @@ def render_svg(
     ]
     for i, (name, rect) in enumerate(rects.items()):
         color = _PALETTE[i % len(_PALETTE)]
-        x = margin + rect.x * scale
+        x = to_x(rect.x)
         y = to_y(rect.y2)
         parts.append(
             f'<rect x="{x:.1f}" y="{y:.1f}" width="{rect.w * scale:.1f}" '
             f'height="{rect.h * scale:.1f}" fill="{color}" fill-opacity="0.6" '
             'stroke="#222" stroke-width="1"/>'
         )
-        cx = margin + (rect.x + rect.w / 2.0) * scale
+        cx = to_x(rect.x + rect.w / 2.0)
         cy = to_y(rect.y + rect.h / 2.0) + 3
         parts.append(
             f'<text x="{cx:.1f}" y="{cy:.1f}" font-size="10" text-anchor="middle" '
             f'font-family="monospace">{name}</text>'
         )
+    if routes is not None:
+        parts.extend(_wire_elements(routes, to_x, to_y))
     parts.append("</svg>")
     return "\n".join(parts)
+
+
+def _wire_elements(routes: object, to_x, to_y) -> List[str]:
+    """SVG line elements for every routed net's segments and stubs."""
+    nets = getattr(routes, "nets", routes)
+    parts: List[str] = []
+    for i, (name, net) in enumerate(nets.items()):  # type: ignore[union-attr]
+        color = _WIRE_PALETTE[i % len(_WIRE_PALETTE)]
+        parts.append(f'<g stroke="{color}" stroke-width="1.5" stroke-linecap="round">')
+        parts.extend(_lines(getattr(net, "segments", ()), to_x, to_y, dashed=False))
+        parts.extend(_lines(getattr(net, "stubs", ()), to_x, to_y, dashed=True))
+        parts.append("</g>")
+    return parts
+
+
+def _lines(segments: Iterable[Segment], to_x, to_y, dashed: bool) -> List[str]:
+    dash = ' stroke-dasharray="3 2"' if dashed else ""
+    return [
+        f'<line x1="{to_x(x1):.1f}" y1="{to_y(y1):.1f}" '
+        f'x2="{to_x(x2):.1f}" y2="{to_y(y2):.1f}"{dash}/>'
+        for (x1, y1), (x2, y2) in segments
+    ]
 
 
 def save_svg(
@@ -65,9 +110,10 @@ def save_svg(
     path: Union[str, Path],
     bounds: Optional[FloorplanBounds] = None,
     scale: float = 8.0,
+    routes: Optional[object] = None,
 ) -> Path:
     """Write :func:`render_svg` output to ``path`` and return the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(render_svg(rects, bounds, scale), encoding="utf-8")
+    path.write_text(render_svg(rects, bounds, scale, routes=routes), encoding="utf-8")
     return path

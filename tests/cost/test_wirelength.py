@@ -51,6 +51,39 @@ class TestEstimators:
         assert star_wirelength(points) >= 0
         assert mst_wirelength(points) >= 0
 
+    @given(st.tuples(st.floats(0, 100), st.floats(0, 100)),
+           st.tuples(st.floats(0, 100), st.floats(0, 100)))
+    def test_two_pin_nets_agree_across_models(self, p, q):
+        # HPWL == star == MST for <= 2 terminals, so the short-circuit fast
+        # path must keep all three models identical there.
+        expected = abs(p[0] - q[0]) + abs(p[1] - q[1])
+        assert hpwl([p, q]) == pytest.approx(expected)
+        assert star_wirelength([p, q]) == pytest.approx(expected)
+        assert mst_wirelength([p, q]) == pytest.approx(expected)
+
+    def test_mst_multi_terminal_matches_reference_prim(self):
+        # The fused allocation-free Prim must agree with a naive rebuild.
+        points = [(0.0, 0.0), (5.0, 1.0), (2.0, 7.0), (9.0, 3.0), (4.0, 4.0)]
+
+        def naive(points):
+            n = len(points)
+            in_tree = {0}
+            total = 0.0
+            while len(in_tree) < n:
+                best = min(
+                    (
+                        (abs(points[i][0] - points[j][0]) + abs(points[i][1] - points[j][1]), j)
+                        for i in in_tree
+                        for j in range(n)
+                        if j not in in_tree
+                    ),
+                )
+                total += best[0]
+                in_tree.add(best[1])
+            return total
+
+        assert mst_wirelength(points) == pytest.approx(naive(points))
+
 
 class TestCircuitWirelength:
     def _circuit(self):

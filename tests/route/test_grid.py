@@ -1,0 +1,110 @@
+"""Tests for the routing grid: lattice geometry, blockages, pin access."""
+
+import pytest
+
+from repro.geometry.floorplan import FloorplanBounds
+from repro.geometry.rect import Rect
+from repro.route.grid import RoutingGrid, default_resolution
+
+
+class TestLattice:
+    def test_shape_covers_canvas(self):
+        grid = RoutingGrid(FloorplanBounds(10, 6), resolution=1)
+        assert grid.shape == (11, 7)
+        assert grid.node_position((10, 6)) == (10.0, 6.0)
+
+    def test_default_resolution_is_unit_for_small_canvases(self):
+        assert default_resolution(FloorplanBounds(30, 30)) == 1
+
+    def test_default_resolution_coarsens_large_canvases(self):
+        bounds = FloorplanBounds(400, 400)
+        resolution = default_resolution(bounds)
+        assert resolution > 1
+        grid = RoutingGrid(bounds)
+        assert max(grid.shape) <= 50
+
+    def test_snap_clamps_to_lattice(self):
+        grid = RoutingGrid(FloorplanBounds(10, 10), resolution=1)
+        assert grid.snap(3.4, 7.6) == (3, 8)
+        assert grid.snap(-5.0, 25.0) == (0, 10)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RoutingGrid(FloorplanBounds(10, 10), resolution=0)
+        with pytest.raises(ValueError):
+            RoutingGrid(FloorplanBounds(10, 10), capacity=0)
+
+
+class TestBlockages:
+    def test_blocks_strict_interior_only(self):
+        grid = RoutingGrid(FloorplanBounds(10, 10), resolution=1)
+        grid.block_rect(Rect(2, 2, 4, 4))
+        assert grid.is_blocked((3, 3))
+        assert grid.is_blocked((5, 5))
+        # Boundary nodes stay routable corridors.
+        assert not grid.is_blocked((2, 3))
+        assert not grid.is_blocked((6, 3))
+        assert not grid.is_blocked((3, 2))
+        assert not grid.is_blocked((3, 6))
+
+    def test_boundary_nodes_stay_free_at_fractional_resolution(self):
+        # 33/1.1 evaluates just below 30 in floats; the index math must not
+        # let that round a boundary node (x exactly 33.0) into the interior.
+        grid = RoutingGrid(FloorplanBounds(110, 110), resolution=1.1)
+        grid.block_rect(Rect(33, 0, 11, 110))
+        assert not grid.is_blocked((30, 50))  # node at x = 33.0, the left edge
+        assert grid.is_blocked((31, 50))      # node at x = 34.1, strictly inside
+
+    def test_unit_wide_block_has_no_interior(self):
+        grid = RoutingGrid(FloorplanBounds(10, 10), resolution=1)
+        grid.block_rect(Rect(4, 0, 1, 10))
+        assert not any(grid.is_blocked((4, j)) for j in range(11))
+
+    def test_access_node_prefers_snapped_node_when_free(self):
+        grid = RoutingGrid(FloorplanBounds(10, 10), resolution=1)
+        assert grid.access_node(3.2, 4.9) == (3, 5)
+
+    def test_access_node_escapes_own_block(self):
+        grid = RoutingGrid(FloorplanBounds(10, 10), resolution=1)
+        grid.block_rect(Rect(2, 2, 4, 4))
+        node = grid.access_node(4.0, 4.0)  # dead center of the block
+        assert node is not None
+        assert not grid.is_blocked(node)
+        # Nearest free node is on the block boundary, two units away.
+        x, y = grid.node_position(node)
+        assert abs(x - 4.0) + abs(y - 4.0) == pytest.approx(2.0)
+
+    def test_access_node_none_when_everything_blocked(self):
+        grid = RoutingGrid(FloorplanBounds(4, 4), resolution=1)
+        grid.block_rect(Rect(-1, -1, 6, 6))  # swallows the boundary too
+        assert grid.access_node(2.0, 2.0) is None
+
+
+class TestEdgeAccounting:
+    def test_usage_and_overflow(self):
+        grid = RoutingGrid(FloorplanBounds(4, 4), resolution=1, capacity=1)
+        edge = ((0, 0), (1, 0))
+        grid.add_usage([edge], +1)
+        assert grid.usage(*edge) == 1
+        assert grid.total_overflow == 0
+        grid.add_usage([edge], +1)
+        assert grid.total_overflow == 1
+        assert grid.overflowed_edges() == [edge]
+        assert grid.max_usage == 2
+        grid.add_usage([edge], -1)
+        assert grid.total_overflow == 0
+
+    def test_edge_cost_grows_with_congestion_and_history(self):
+        grid = RoutingGrid(FloorplanBounds(4, 4), resolution=1, capacity=1)
+        edge = ((1, 1), (2, 1))
+        base = grid.edge_cost(*edge, congestion_weight=2.0)
+        grid.add_usage([edge], +1)
+        congested = grid.edge_cost(*edge, congestion_weight=2.0)
+        grid.add_history([edge], 1.0)
+        historied = grid.edge_cost(*edge, congestion_weight=2.0)
+        assert base < congested < historied
+
+    def test_non_neighbour_edge_rejected(self):
+        grid = RoutingGrid(FloorplanBounds(4, 4), resolution=1)
+        with pytest.raises(ValueError):
+            grid.edge_key((0, 0), (2, 0))

@@ -1,0 +1,200 @@
+"""Cross-layer tests: routing feeding parasitics, cost, api, service, viz, loop."""
+
+import pytest
+
+from repro.benchcircuits import get_benchmark
+from repro.circuit.builder import CircuitBuilder
+from repro.core.generator import GeneratorConfig
+from repro.cost.cost_function import CostWeights, PlacementCostFunction
+from repro.cost.penalties import routability_penalty
+from repro.geometry.floorplan import FloorplanBounds
+from repro.geometry.rect import Rect
+from repro.route import RouterConfig, route_placement
+from repro.service import PlacementService
+from repro.synthesis.loop import LayoutInclusiveSynthesis, SynthesisConfig
+from repro.synthesis.opamp_design import two_stage_opamp_design
+from repro.synthesis.optimizer import SizingOptimizerConfig
+from repro.synthesis.parasitics import (
+    estimate_parasitics,
+    estimate_parasitics_from_routes,
+)
+from repro.viz.svg import render_svg
+
+
+def _placed_opamp():
+    circuit = get_benchmark("two_stage_opamp")
+    rects = {}
+    for i, block in enumerate(circuit.blocks):
+        rects[block.name] = Rect(i * 16, 0, block.min_w, block.min_h)
+    return circuit, rects
+
+
+class TestRoutedParasitics:
+    def test_from_routes_records_model_and_uses_routed_lengths(self):
+        circuit, rects = _placed_opamp()
+        routed = route_placement(circuit, rects)
+        estimate = estimate_parasitics_from_routes(circuit, routed, rects=rects)
+        assert estimate.wirelength_model == "routed"
+        assert estimate.from_routing
+        assert estimate.total_wirelength_um > 0
+        # Routed lengths dominate the HPWL estimate net by net.
+        hpwl_estimate = estimate_parasitics(circuit, rects)
+        for name in hpwl_estimate.net_wirelength_um:
+            assert (
+                estimate.net_wirelength_um[name]
+                >= hpwl_estimate.net_wirelength_um[name] - 1e-9
+            )
+
+    def test_placement_estimator_selection_is_recorded(self):
+        circuit, rects = _placed_opamp()
+        for model in ("hpwl", "star", "mst"):
+            estimate = estimate_parasitics(circuit, rects, wirelength_model=model)
+            assert estimate.wirelength_model == model
+            assert not estimate.from_routing
+
+    def test_failed_nets_fall_back_to_placement_estimate(self):
+        builder = CircuitBuilder("fail")
+        builder.block("a", 2, 4, 2, 4)
+        builder.block("b", 2, 4, 2, 4)
+        builder.simple_net("n", ["a", "b"])
+        circuit = builder.build()
+        rects = {"a": Rect(0, 0, 2, 2), "b": Rect(6, 0, 2, 2)}
+        blocked = dict(rects)
+        blocked["wall"] = Rect(-1, -1, 12, 8)
+        routed = route_placement(
+            circuit,
+            blocked,
+            bounds=FloorplanBounds(8, 4),
+            config=RouterConfig(resolution=1),
+        )
+        assert routed.failed_nets == ("n",)
+        estimate = estimate_parasitics_from_routes(circuit, routed, rects=rects)
+        assert estimate.net_wirelength_um["n"] > 0
+
+
+class TestRoutabilityCost:
+    def test_spread_layout_is_cheaper_than_stacked(self):
+        builder = CircuitBuilder("cong")
+        for i in range(6):
+            builder.block(f"b{i}", 2, 4, 2, 4)
+        for i in range(0, 6, 2):
+            builder.simple_net(f"n{i}", [f"b{i}", f"b{i + 1}"])
+        circuit = builder.build()
+        bounds = FloorplanBounds(40, 40)
+        # All nets crammed into one corner bin vs spread over the canvas.
+        stacked = {f"b{i}": Rect(0, 3 * i, 2, 2) for i in range(6)}
+        spread = {f"b{i}": Rect(12 * (i % 3), 18 * (i // 3), 2, 2) for i in range(6)}
+        assert routability_penalty(stacked, circuit, bounds) >= routability_penalty(
+            spread, circuit, bounds
+        )
+
+    def test_weight_off_keeps_component_zero(self):
+        circuit, rects = _placed_opamp()
+        bounds = FloorplanBounds(100, 30)
+        cost = PlacementCostFunction(circuit, bounds).evaluate(rects)
+        assert cost.routability == 0.0
+
+    def test_weight_on_scores_component(self):
+        circuit, rects = _placed_opamp()
+        bounds = FloorplanBounds(100, 30)
+        weights = CostWeights(routability=1.0)
+        cost = PlacementCostFunction(circuit, bounds, weights=weights).evaluate(rects)
+        assert cost.routability >= 0.0
+        assert "routability" in cost.as_dict()
+
+
+class TestPlacementRoutingMetadata:
+    def test_with_routing_attaches_stats(self):
+        circuit, rects = _placed_opamp()
+        routed = route_placement(circuit, rects)
+        service = PlacementService(default_config=GeneratorConfig.smoke(seed=0))
+        placement = service.instantiate(circuit, circuit.min_dims())
+        assert not placement.is_routed
+        tagged = placement.with_routing(routed)
+        assert tagged.is_routed
+        assert tagged.routing["overflow"] == 0.0
+        assert tagged.routing["routed_wirelength"] == pytest.approx(
+            routed.total_wirelength
+        )
+
+    def test_with_routing_accepts_plain_mapping(self):
+        service = PlacementService(default_config=GeneratorConfig.smoke(seed=0))
+        circuit = get_benchmark("two_stage_opamp")
+        placement = service.instantiate(circuit, circuit.min_dims())
+        tagged = placement.with_routing({"overflow": 0.0})
+        assert tagged.routing == {"overflow": 0.0}
+
+
+class TestServiceRouteCache:
+    def test_repeat_routes_hit_the_cache(self):
+        service = PlacementService(default_config=GeneratorConfig.smoke(seed=0))
+        circuit = get_benchmark("two_stage_opamp")
+        dims = circuit.min_dims()
+        placement_a, layout_a = service.route(circuit, dims)
+        placement_b, layout_b = service.route(circuit, dims)
+        assert layout_a is layout_b
+        assert placement_a.is_routed and placement_b.is_routed
+        assert service.stats.route_queries == 2
+        assert service.stats.route_cache_hits == 1
+        assert "route_queries" in service.stats.as_dict()
+
+    def test_different_router_configs_cache_separately(self):
+        service = PlacementService(default_config=GeneratorConfig.smoke(seed=0))
+        circuit = get_benchmark("two_stage_opamp")
+        dims = circuit.min_dims()
+        _, layout_a = service.route(circuit, dims)
+        _, layout_b = service.route(circuit, dims, router=RouterConfig(capacity=8))
+        assert layout_a is not layout_b
+        assert service.stats.route_cache_hits == 0
+
+
+class TestRoutedSvg:
+    def test_routes_drawn_as_lines(self):
+        circuit, rects = _placed_opamp()
+        routed = route_placement(circuit, rects)
+        plain = render_svg(rects)
+        wired = render_svg(rects, routes=routed)
+        assert "<line" not in plain
+        assert wired.count("<line") >= sum(
+            net.num_segments for net in routed.nets.values()
+        )
+        assert 'stroke-dasharray' in wired  # pin-escape stubs draw dashed
+
+
+class TestRoutedSynthesisLoop:
+    def test_loop_runs_end_to_end_with_routed_parasitics(self):
+        design = two_stage_opamp_design()
+        loop = LayoutInclusiveSynthesis(
+            design.sizing_model,
+            design.performance_model,
+            design.spec,
+            {"kind": "template"},
+            config=SynthesisConfig(
+                optimizer=SizingOptimizerConfig(max_iterations=6),
+                routed_parasitics=True,
+            ),
+            seed=0,
+        )
+        result = loop.run()
+        assert result.evaluations >= 6
+        assert result.routing_seconds > 0.0
+        best = result.best
+        assert best.parasitics is not None
+        assert best.parasitics.wirelength_model == "routed"
+        assert best.placement.is_routed
+        assert best.placement.routing["failed_nets"] == 0.0
+
+    def test_loop_default_stays_hpwl(self):
+        design = two_stage_opamp_design()
+        loop = LayoutInclusiveSynthesis(
+            design.sizing_model,
+            design.performance_model,
+            design.spec,
+            {"kind": "template"},
+            config=SynthesisConfig(optimizer=SizingOptimizerConfig(max_iterations=3)),
+            seed=0,
+        )
+        result = loop.run()
+        assert result.routing_seconds == 0.0
+        assert result.best.parasitics.wirelength_model == "hpwl"
+        assert not result.best.placement.is_routed

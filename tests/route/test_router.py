@@ -1,0 +1,244 @@
+"""Tests for the global router: connectivity, edge cases, symmetry, congestion."""
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.cost.wirelength import per_net_wirelength
+from repro.geometry.floorplan import FloorplanBounds
+from repro.geometry.rect import Rect
+from repro.route import (
+    GlobalRouter,
+    RouterConfig,
+    route_placement,
+    symmetric_net_pairs,
+)
+
+
+def two_block_circuit():
+    builder = CircuitBuilder("pair")
+    builder.block("a", 2, 4, 2, 4)
+    builder.block("b", 2, 4, 2, 4)
+    builder.simple_net("n", ["a", "b"])
+    return builder.build()
+
+
+class TestBasicRouting:
+    def test_single_net_routes_and_bounds_hpwl(self):
+        circuit = two_block_circuit()
+        rects = {"a": Rect(0, 0, 2, 2), "b": Rect(8, 6, 2, 2)}
+        bounds = FloorplanBounds(12, 10)
+        routed = route_placement(circuit, rects, bounds=bounds, config=RouterConfig(resolution=1))
+        assert routed.is_fully_routed
+        net = routed.nets["n"]
+        assert not net.failed
+        assert net.num_segments > 0
+        hpwl = per_net_wirelength(circuit, rects, bounds)["n"]
+        assert net.wirelength >= hpwl - 1e-9
+
+    def test_routed_wirelength_bounds_hpwl_on_benchmark(self):
+        from repro.baselines.template import TemplatePlacer
+        from repro.benchcircuits import get_benchmark
+        from repro.route import derive_bounds
+
+        circuit = get_benchmark("two_stage_opamp")
+        placement = TemplatePlacer(circuit).place(circuit.min_dims())
+        bounds = derive_bounds(placement.rects)
+        routed = route_placement(circuit, placement, bounds=bounds)
+        assert routed.is_fully_routed
+        hpwl = per_net_wirelength(circuit, dict(placement.rects), bounds)
+        for name, length in hpwl.items():
+            assert routed.wirelength(name) >= length - 1e-9
+
+    def test_accepts_placement_and_mapping(self):
+        circuit = two_block_circuit()
+        rects = {"a": Rect(0, 0, 2, 2), "b": Rect(6, 0, 2, 2)}
+        direct = route_placement(circuit, rects, config=RouterConfig(resolution=1))
+        assert direct.is_fully_routed
+
+    def test_stats_are_plain_data(self):
+        circuit = two_block_circuit()
+        rects = {"a": Rect(0, 0, 2, 2), "b": Rect(6, 0, 2, 2)}
+        routed = route_placement(circuit, rects, config=RouterConfig(resolution=1))
+        stats = routed.stats()
+        assert stats["overflow"] == 0.0
+        assert stats["routed_wirelength"] == pytest.approx(routed.total_wirelength)
+
+
+class TestEdgeCases:
+    def test_single_pin_net_is_degenerate_not_failed(self):
+        builder = CircuitBuilder("solo")
+        builder.block("a", 2, 4, 2, 4)
+        builder.block("b", 2, 4, 2, 4)
+        builder.simple_net("lonely", ["a"])
+        builder.simple_net("n", ["a", "b"])
+        # validate=False: a one-terminal internal net is malformed by the
+        # netlist rules but must still not break the router.
+        circuit = builder.build(validate=False)
+        rects = {"a": Rect(0, 0, 2, 2), "b": Rect(6, 0, 2, 2)}
+        routed = route_placement(circuit, rects, config=RouterConfig(resolution=1))
+        lonely = routed.nets["lonely"]
+        assert not lonely.failed
+        assert lonely.segments == ()
+        assert lonely.wirelength == 0.0
+        assert routed.is_fully_routed
+
+    def test_pins_on_floorplan_boundary_route(self):
+        builder = CircuitBuilder("edge")
+        builder.block("a", 2, 4, 2, 4, pins={"west": (0.0, 0.5)})
+        builder.block("b", 2, 4, 2, 4, pins={"east": (1.0, 0.5)})
+        builder.net("n", ("a", "west"), ("b", "east"))
+        builder.net("pad", ("a", "west"), external=True, io_position=(0.0, 0.0))
+        circuit = builder.build()
+        # Both blocks flush against the canvas edges; pins sit exactly on
+        # the floorplan boundary, as does the external I/O corner.
+        bounds = FloorplanBounds(10, 6)
+        rects = {"a": Rect(0, 0, 2, 2), "b": Rect(8, 4, 2, 2)}
+        routed = route_placement(circuit, rects, bounds=bounds, config=RouterConfig(resolution=1))
+        assert routed.is_fully_routed
+        assert routed.nets["n"].wirelength > 0
+        assert routed.nets["pad"].wirelength > 0
+
+    def test_fully_blocked_grid_reports_failure_without_hanging(self):
+        circuit = two_block_circuit()
+        rects = {"a": Rect(0, 0, 2, 2), "b": Rect(6, 0, 2, 2)}
+        bounds = FloorplanBounds(8, 4)
+        router = GlobalRouter(circuit, bounds=bounds, config=RouterConfig(resolution=1))
+        # Pre-block every node (a blockage swallowing the whole canvas and
+        # its boundary), then route: every pin is unreachable.
+        blocked = dict(rects)
+        blocked["wall"] = Rect(-1, -1, 12, 8)
+        routed = router.route(blocked)
+        assert routed.failed_nets == ("n",)
+        assert not routed.is_fully_routed
+        assert routed.nets["n"].wirelength == 0.0
+
+    def test_walled_off_pin_fails_cleanly(self):
+        # An unblocked pin whose every path is cut: A* must exhaust and
+        # mark the net failed instead of spinning.
+        builder = CircuitBuilder("walled")
+        builder.block("a", 2, 4, 2, 4)
+        builder.block("b", 2, 4, 2, 4)
+        builder.simple_net("n", ["a", "b"])
+        circuit = builder.build()
+        bounds = FloorplanBounds(11, 11)
+        rects = {
+            "a": Rect(0, 0, 2, 2),
+            "b": Rect(9, 9, 2, 2),
+            # A wall bisecting the canvas, overhanging both edges so not
+            # even the boundary corridor survives.
+            "wall": Rect(5, -1, 1, 13),
+        }
+        grid_config = RouterConfig(resolution=0.5)  # wall interior is blocked at res 0.5
+        routed = GlobalRouter(circuit, bounds=bounds, config=grid_config).route(rects)
+        assert "n" in routed.failed_nets
+
+
+class TestSymmetry:
+    def _symmetric_setup(self):
+        builder = CircuitBuilder("diff")
+        builder.block("a_l", 4, 4, 4, 4)
+        builder.block("a_r", 4, 4, 4, 4)
+        builder.block("tail", 4, 4, 4, 4)
+        builder.net("n_l", ("a_l", "c"), ("tail", "c"))
+        builder.net("n_r", ("a_r", "c"), ("tail", "c"))
+        builder.symmetry("s", pairs=[("a_l", "a_r")], self_symmetric=["tail"])
+        circuit = builder.build()
+        rects = {
+            "a_l": Rect(2, 10, 4, 4),
+            "a_r": Rect(14, 10, 4, 4),
+            "tail": Rect(8, 2, 4, 4),
+        }
+        return circuit, rects, 10.0  # axis at x = 10
+
+    def test_pairs_found(self):
+        circuit, _, _ = self._symmetric_setup()
+        pairs = symmetric_net_pairs(circuit)
+        assert len(pairs) == 1
+        assert {pairs[0].primary, pairs[0].mirror} == {"n_l", "n_r"}
+
+    def test_mirrored_route_is_exact_reflection(self):
+        circuit, rects, axis = self._symmetric_setup()
+        routed = route_placement(
+            circuit, rects, bounds=FloorplanBounds(20, 20), config=RouterConfig(resolution=1)
+        )
+        assert routed.is_fully_routed
+        assert routed.mirrored_nets == ("n_r",)
+        primary = routed.nets["n_l"]
+        mirror = routed.nets["n_r"]
+        assert mirror.mirrored_from == "n_l"
+        assert mirror.wirelength == pytest.approx(primary.wirelength)
+        reflected = sorted(
+            tuple(sorted(((2 * axis - x1, y1), (2 * axis - x2, y2))))
+            for (x1, y1), (x2, y2) in primary.segments
+        )
+        actual = sorted(tuple(sorted(segment)) for segment in mirror.segments)
+        assert reflected == actual
+
+    def test_mirroring_can_be_disabled(self):
+        circuit, rects, _ = self._symmetric_setup()
+        routed = route_placement(
+            circuit,
+            rects,
+            bounds=FloorplanBounds(20, 20),
+            config=RouterConfig(resolution=1, mirror_symmetric_nets=False),
+        )
+        assert routed.is_fully_routed
+        assert routed.mirrored_nets == ()
+
+    def test_asymmetric_placement_falls_back_to_independent_routing(self):
+        circuit, rects, _ = self._symmetric_setup()
+        rects = dict(rects)
+        rects["a_r"] = Rect(13, 9, 4, 4)  # break the mirror geometry
+        routed = route_placement(
+            circuit, rects, bounds=FloorplanBounds(20, 20), config=RouterConfig(resolution=1)
+        )
+        # Every net still connects even though mirroring was illegal.
+        assert routed.failed_nets == ()
+
+
+class TestCongestion:
+    def test_congestion_aware_costs_spread_contending_nets(self):
+        # Two nets whose shortest paths share the bottom-row corridor, at
+        # capacity 1: the router must shift one of them onto a free track
+        # instead of overloading the shared edges.
+        builder = CircuitBuilder("congested")
+        for name in ("l0", "r0", "l1", "r1"):
+            builder.block(name, 1, 2, 1, 2, pins={"p": (0.5, 0.5)})
+        builder.net("n0", ("l0", "p"), ("r0", "p"))
+        builder.net("n1", ("l1", "p"), ("r1", "p"))
+        circuit = builder.build()
+        rects = {
+            "l0": Rect(0, 0, 1, 1),
+            "r0": Rect(9, 0, 1, 1),
+            "l1": Rect(2, 0, 1, 1),
+            "r1": Rect(7, 0, 1, 1),
+        }
+        routed = route_placement(
+            circuit,
+            rects,
+            bounds=FloorplanBounds(10, 4),
+            config=RouterConfig(resolution=1, capacity=1, max_iterations=12),
+        )
+        assert routed.failed_nets == ()
+        assert routed.overflow == 0
+        assert routed.max_congestion <= 1
+
+    def test_iteration_cap_terminates_with_reported_overflow(self):
+        # Ten nets forced through a single-track bottleneck cannot all fit;
+        # the router must stop at the cap and report honest overflow.
+        builder = CircuitBuilder("jammed")
+        builder.block("a", 1, 2, 1, 2, pins={"p": (0.5, 0.5)})
+        builder.block("b", 1, 2, 1, 2, pins={"p": (0.5, 0.5)})
+        for i in range(10):
+            builder.net(f"n{i}", ("a", "p"), ("b", "p"))
+        circuit = builder.build()
+        rects = {"a": Rect(0, 0, 1, 1), "b": Rect(3, 0, 1, 1)}
+        routed = route_placement(
+            circuit,
+            rects,
+            bounds=FloorplanBounds(4, 1),
+            config=RouterConfig(resolution=1, capacity=1, max_iterations=3),
+        )
+        assert routed.iterations == 3
+        assert routed.overflow > 0
+        assert not routed.is_fully_routed
