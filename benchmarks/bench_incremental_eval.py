@@ -1,0 +1,165 @@
+"""Incremental vs from-scratch annealing — the delta engine must earn its keep.
+
+PR 4 routed every optimizer's inner loop through ``repro.eval``'s
+incremental evaluator.  This bench anneals block anchors on a 64-module
+synthetic circuit twice with the same seed:
+
+* the historical path, re-scoring every proposal with
+  ``PlacementCostFunction.evaluate_layout`` from scratch, and
+* the delta path, pricing each proposal over only the nets and grid
+  neighbourhoods it touches.
+
+Two bars are asserted:
+
+* the delta path is at least :data:`MIN_SPEEDUP` x faster (best of
+  several interleaved repetitions, so one scheduler hiccup cannot fail
+  the build), and
+* the fixed-seed cost trajectories are *identical* — every accepted cost,
+  the best cost and the final anchors match exactly, because the delta
+  arithmetic is bitwise-equal to the from-scratch evaluation.
+"""
+
+import random
+import time
+
+from repro.annealing.annealer import SimulatedAnnealer
+from repro.annealing.schedule import GeometricSchedule
+from repro.baselines.annealing_placer import AnnealingPlacerConfig
+from repro.circuit.builder import CircuitBuilder
+from repro.eval.engines import PerturbDeltaEngine, anchor_update
+from repro.cost.cost_function import CostWeights, PlacementCostFunction
+from repro.geometry.floorplan import FloorplanBounds
+from repro.geometry.packing import shelf_pack
+
+#: Modules in the synthetic circuit (past every small-n fast path).
+NUM_BLOCKS = 64
+#: Proposals per annealing run.
+ITERATIONS = 1200
+#: Interleaved (scratch, incremental) repetitions; the best ratio is asserted.
+REPETITIONS = 3
+#: Acceptance bar: the delta path is at least this many times faster.
+MIN_SPEEDUP = 3.0
+
+
+def build_synthetic_circuit(num_blocks=NUM_BLOCKS):
+    """A 64-module circuit with local, global and clustered connectivity."""
+    builder = CircuitBuilder("synthetic64")
+    for i in range(num_blocks):
+        builder.block(f"m{i}", 4, 10, 4, 10)
+    names = [f"m{i}" for i in range(num_blocks)]
+    for i in range(num_blocks - 1):
+        builder.simple_net(f"chain{i}", [names[i], names[i + 1]])
+    for start in range(0, num_blocks, 8):
+        builder.simple_net(f"bus{start}", names[start : start + 8], weight=0.5)
+    for i in range(0, num_blocks, 4):
+        builder.simple_net(f"cross{i}", [names[i], names[(i + num_blocks // 2) % num_blocks]])
+    return builder.build()
+
+
+class _Harness:
+    """One annealing problem instance shared by both evaluation paths."""
+
+    def __init__(self, seed=17):
+        self.circuit = build_synthetic_circuit()
+        self.bounds = FloorplanBounds.for_blocks(self.circuit.max_dims(), whitespace_factor=1.8)
+        self.cost_fn = PlacementCostFunction(
+            self.circuit, self.bounds, weights=CostWeights().with_legalization()
+        )
+        # Single-module translations plus pair swaps — the classic SA
+        # placement move set delta evaluation is built for (the placer's
+        # default moves a *fraction* of all blocks per proposal, which is
+        # a different, coarser workload).
+        self.config = AnnealingPlacerConfig(perturb_fraction=1.0 / NUM_BLOCKS)
+        rng = random.Random(seed)
+        order = list(range(self.circuit.num_blocks))
+        rng.shuffle(order)
+        self.dims = tuple(
+            (rng.randint(b.min_w, b.max_w), rng.randint(b.min_h, b.max_h))
+            for b in self.circuit.blocks
+        )
+        self.initial = tuple(shelf_pack(self.dims, max_width=self.bounds.width, order=order))
+
+    def _perturb(self, anchors, dims, rng):
+        # The placer's move rule, bound to this harness's canvas/config.
+        config = self.config
+        new_anchors = list(anchors)
+        if rng.random() < config.swap_probability:
+            i, j = rng.sample(range(len(anchors)), 2)
+            new_anchors[i], new_anchors[j] = new_anchors[j], new_anchors[i]
+            return tuple(new_anchors)
+        count = max(1, int(round(len(anchors) * config.perturb_fraction)))
+        max_dx = max(1, int(self.bounds.width * config.perturb_step_fraction))
+        max_dy = max(1, int(self.bounds.height * config.perturb_step_fraction))
+        for index in rng.sample(range(len(anchors)), count):
+            x, y = new_anchors[index]
+            w, h = dims[index]
+            new_anchors[index] = self.bounds.clamp_anchor(
+                x + rng.randint(-max_dx, max_dx), y + rng.randint(-max_dy, max_dy), w, h
+            )
+        return tuple(new_anchors)
+
+    def _annealer(self, seed, evaluate=None, propose=None):
+        return SimulatedAnnealer(
+            evaluate=evaluate,
+            propose=propose,
+            schedule=GeometricSchedule(
+                initial_temperature=200.0, alpha=0.95, minimum_temperature=1e-3
+            ),
+            moves_per_temperature=25,
+            max_iterations=ITERATIONS,
+            record_history=True,
+            seed=seed,
+        )
+
+    def run_scratch(self, seed=23):
+        annealer = self._annealer(
+            seed,
+            evaluate=lambda anchors: self.cost_fn.evaluate_layout(anchors, self.dims).total,
+            propose=lambda anchors, rng: self._perturb(anchors, self.dims, rng),
+        )
+        start = time.perf_counter()
+        result = annealer.run(self.initial)
+        return result, time.perf_counter() - start
+
+    def run_incremental(self, seed=23):
+        annealer = self._annealer(seed)
+        evaluator = self.cost_fn.bind(self.initial, self.dims)
+        engine = PerturbDeltaEngine(
+            evaluator,
+            self.initial,
+            lambda anchors, rng: self._perturb(anchors, self.dims, rng),
+            anchor_update,
+        )
+        start = time.perf_counter()
+        result = annealer.run_incremental(engine)
+        return result, time.perf_counter() - start
+
+
+def test_incremental_annealing_speedup_and_identical_trajectory():
+    harness = _Harness()
+
+    # Correctness first: same seed, bit-identical trajectory.
+    scratch_result, _ = harness.run_scratch()
+    incremental_result, _ = harness.run_incremental()
+    assert incremental_result.cost_history == scratch_result.cost_history
+    assert incremental_result.best_cost == scratch_result.best_cost
+    assert incremental_result.best_state == scratch_result.best_state
+    assert incremental_result.accepted_moves == scratch_result.accepted_moves
+
+    # Then throughput: interleave repetitions and assert the best ratio.
+    ratios = []
+    for _ in range(REPETITIONS):
+        _, scratch_seconds = harness.run_scratch()
+        _, incremental_seconds = harness.run_incremental()
+        ratios.append(scratch_seconds / max(incremental_seconds, 1e-12))
+    best = max(ratios)
+    per_move_us = 1e6 * incremental_seconds / ITERATIONS
+    print(
+        f"\nincremental speedup over from-scratch ({NUM_BLOCKS} blocks, "
+        f"{ITERATIONS} moves): {[round(r, 2) for r in ratios]} "
+        f"(~{per_move_us:.0f}us per incremental move)"
+    )
+    assert best >= MIN_SPEEDUP, (
+        f"incremental evaluation speedup {best:.2f}x is below the {MIN_SPEEDUP}x bar "
+        f"(all repetitions: {[round(r, 2) for r in ratios]})"
+    )

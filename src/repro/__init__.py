@@ -19,7 +19,13 @@ Module map
 * :mod:`repro.circuit` — blocks, nets, pins, symmetry groups, netlists.
 * :mod:`repro.modgen` — module generators (sizes -> block footprints).
 * :mod:`repro.cost` — wirelength/area cost functions and penalties.
-* :mod:`repro.annealing` — generic simulated-annealing machinery.
+* :mod:`repro.eval` — incremental evaluation: the mutable
+  :class:`~repro.eval.LayoutState` and the exact delta-cost
+  :class:`~repro.eval.IncrementalEvaluator`
+  (``cost_function.bind(anchors, dims)``) behind every optimizer's
+  inner loop.
+* :mod:`repro.annealing` — generic simulated-annealing machinery (the
+  pure ``run()`` path and the delta ``run_incremental()`` path).
 * :mod:`repro.core` — the multi-placement structure: generation (Figure
   1.a), instantiation (Figure 1.b) and JSON serialization.
 * :mod:`repro.baselines` — template, random, genetic and annealing placers.

@@ -1,7 +1,7 @@
 """Generic simulated annealing engine shared by the explorer, BDIO and baselines."""
 
 from repro.annealing.acceptance import metropolis_accept
-from repro.annealing.annealer import AnnealResult, SimulatedAnnealer
+from repro.annealing.annealer import AnnealResult, DeltaEngine, SimulatedAnnealer
 from repro.annealing.schedule import (
     AdaptiveSchedule,
     CoolingSchedule,
@@ -12,6 +12,7 @@ from repro.annealing.schedule import (
 __all__ = [
     "metropolis_accept",
     "AnnealResult",
+    "DeltaEngine",
     "SimulatedAnnealer",
     "AdaptiveSchedule",
     "CoolingSchedule",

@@ -5,13 +5,26 @@ optimizer all share this engine; the placement explorer keeps its own loop
 because it interleaves structure bookkeeping (expansion, overlap
 resolution, storage) between SA moves, but reuses the schedules and the
 acceptance rule.
+
+Two evaluation paths share one accept/reject loop:
+
+* :meth:`SimulatedAnnealer.run` — the pure path: ``propose`` returns a
+  fresh immutable state and ``evaluate`` prices it from scratch.
+* :meth:`SimulatedAnnealer.run_incremental` — the delta path: a
+  :class:`DeltaEngine` mutates one shared state in place and prices each
+  move incrementally (propose/commit/revert), which is how the placement
+  optimizers reach O(affected-nets) cost evaluation.
+
+Both paths draw from the RNG identically (one draw per proposal plus the
+Metropolis draw for uphill moves), so a delta engine whose proposals and
+costs match the pure callables reproduces the exact same trajectory.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Generic, List, Optional, TypeVar
+from typing import Callable, Generic, List, Optional, Protocol, TypeVar
 
 from repro.annealing.acceptance import metropolis_accept
 from repro.annealing.schedule import CoolingSchedule, GeometricSchedule
@@ -19,6 +32,30 @@ from repro.utils.rng import RandomLike, make_rng
 from repro.utils.stats import RunningStats
 
 State = TypeVar("State")
+
+
+class DeltaEngine(Protocol[State]):
+    """The mutable-state counterpart of the ``evaluate``/``propose`` pair.
+
+    One move is in flight at a time: :meth:`propose` applies it and
+    returns the candidate's total cost, then exactly one of
+    :meth:`commit` (accept) or :meth:`revert` (reject) resolves it.
+    """
+
+    def current_cost(self) -> float:
+        """Total cost of the current (committed) state."""
+
+    def snapshot(self) -> State:
+        """An immutable snapshot of the current state (for best tracking)."""
+
+    def propose(self, rng: random.Random) -> float:
+        """Apply a random move in place and return the candidate's cost."""
+
+    def commit(self) -> None:
+        """Accept the pending move."""
+
+    def revert(self) -> None:
+        """Reject the pending move, restoring the previous state exactly."""
 
 
 @dataclass
@@ -48,10 +85,12 @@ class SimulatedAnnealer(Generic[State]):
     Parameters
     ----------
     evaluate:
-        Maps a state to its scalar cost (lower is better).
+        Maps a state to its scalar cost (lower is better).  Optional when
+        only :meth:`run_incremental` is used.
     propose:
         Maps ``(state, rng)`` to a neighbouring candidate state.  States are
         treated as immutable values; ``propose`` must return a new state.
+        Optional when only :meth:`run_incremental` is used.
     schedule:
         Cooling schedule; defaults to a geometric schedule.
     moves_per_temperature:
@@ -60,33 +99,46 @@ class SimulatedAnnealer(Generic[State]):
         Hard cap on the total number of proposals (safety net for schedules
         that cool slowly).
     record_history:
-        When true, every accepted cost is appended to the result's history.
+        When true, accepted costs are appended to the result's history.
+    history_stride:
+        Record every ``history_stride``-th accepted cost (default 1, i.e.
+        all of them) so long runs stop accumulating unbounded
+        per-iteration lists.
     """
 
     def __init__(
         self,
-        evaluate: Callable[[State], float],
-        propose: Callable[[State, "random.Random"], State],
+        evaluate: Optional[Callable[[State], float]] = None,
+        propose: Optional[Callable[[State, "random.Random"], State]] = None,
         schedule: Optional[CoolingSchedule] = None,
         moves_per_temperature: int = 20,
         max_iterations: int = 10000,
         record_history: bool = False,
+        history_stride: int = 1,
         seed: RandomLike = None,
     ) -> None:
         if moves_per_temperature <= 0:
             raise ValueError("moves_per_temperature must be positive")
         if max_iterations <= 0:
             raise ValueError("max_iterations must be positive")
+        if history_stride <= 0:
+            raise ValueError("history_stride must be positive")
         self._evaluate = evaluate
         self._propose = propose
         self._schedule = schedule or GeometricSchedule()
         self._moves = moves_per_temperature
         self._max_iterations = max_iterations
         self._record_history = record_history
+        self._history_stride = history_stride
         self._rng = make_rng(seed)
 
     def run(self, initial_state: State) -> AnnealResult[State]:
         """Anneal starting from ``initial_state`` and return the best state found."""
+        if self._evaluate is None or self._propose is None:
+            raise ValueError(
+                "run() needs evaluate and propose callables; "
+                "use run_incremental(engine) for the delta path"
+            )
         current = initial_state
         current_cost = self._evaluate(current)
         best = current
@@ -110,7 +162,7 @@ class SimulatedAnnealer(Generic[State]):
                     current = candidate
                     current_cost = candidate_cost
                     accepted += 1
-                    if self._record_history:
+                    if self._record_history and accepted % self._history_stride == 0:
                         history.append(current_cost)
                     if current_cost < best_cost:
                         best = current
@@ -120,6 +172,54 @@ class SimulatedAnnealer(Generic[State]):
             best_state=best,
             best_cost=best_cost,
             final_state=current,
+            final_cost=current_cost,
+            average_cost=stats.mean,
+            iterations=iterations,
+            accepted_moves=accepted,
+            cost_history=history,
+        )
+
+    def run_incremental(self, engine: DeltaEngine[State]) -> AnnealResult[State]:
+        """Anneal a :class:`DeltaEngine`, pricing every move by delta.
+
+        Mirrors :meth:`run` move for move — same schedule, same RNG draws,
+        same acceptance rule — but instead of building and re-scoring a
+        fresh state per proposal, the engine mutates one shared state and
+        answers with the exact candidate cost, then commits or reverts.
+        """
+        current_cost = engine.current_cost()
+        best = engine.snapshot()
+        best_cost = current_cost
+        stats = RunningStats()
+        stats.add(current_cost)
+        history: List[float] = [current_cost] if self._record_history else []
+        iterations = 0
+        accepted = 0
+        step = 0
+        while not self._schedule.finished(step) and iterations < self._max_iterations:
+            temperature = self._schedule.temperature(step)
+            for _ in range(self._moves):
+                if iterations >= self._max_iterations:
+                    break
+                candidate_cost = engine.propose(self._rng)
+                iterations += 1
+                stats.add(candidate_cost)
+                if metropolis_accept(current_cost, candidate_cost, temperature, self._rng):
+                    engine.commit()
+                    current_cost = candidate_cost
+                    accepted += 1
+                    if self._record_history and accepted % self._history_stride == 0:
+                        history.append(current_cost)
+                    if current_cost < best_cost:
+                        best = engine.snapshot()
+                        best_cost = current_cost
+                else:
+                    engine.revert()
+            step += 1
+        return AnnealResult(
+            best_state=best,
+            best_cost=best_cost,
+            final_state=engine.snapshot(),
             final_cost=current_cost,
             average_cost=stats.mean,
             iterations=iterations,

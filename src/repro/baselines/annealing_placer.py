@@ -4,6 +4,14 @@ This is the optimization-based approach whose "major drawback is
 convergence time which makes it hard to use in a layout-inclusive sizing
 process" — it re-anneals the block coordinates from scratch for every
 dimension vector, producing high-quality placements slowly.
+
+The inner loop runs through the incremental evaluation engine
+(:mod:`repro.eval`) by default: each proposal is priced by delta over the
+nets and neighbourhoods it touches instead of re-scoring the whole
+layout, with a bit-identical cost trajectory for a fixed seed.  Set
+``AnnealingPlacerConfig(incremental=False)`` to force the historical
+from-scratch path (the comparison baseline of
+``benchmarks/bench_incremental_eval.py``).
 """
 
 from __future__ import annotations
@@ -17,6 +25,8 @@ from repro.annealing.schedule import AdaptiveSchedule
 from repro.baselines.base import CircuitPlacer, Dims, Placement
 from repro.baselines.random_placer import RandomPlacer
 from repro.cost.cost_function import CostWeights
+from repro.eval.engines import PerturbDeltaEngine, anchor_update
+from repro.eval.incremental import IncrementalEvaluator
 from repro.utils.rng import make_rng
 from repro.utils.timer import Timer
 
@@ -37,6 +47,9 @@ class AnnealingPlacerConfig:
     perturb_step_fraction: float = 0.35
     #: Probability of swapping two blocks' anchors instead of translating.
     swap_probability: float = 0.25
+    #: Price proposals by delta through :mod:`repro.eval` (same trajectory,
+    #: much faster); ``False`` re-scores every proposal from scratch.
+    incremental: bool = True
 
     def scaled(self, factor: float) -> "AnnealingPlacerConfig":
         """Copy with the iteration budget scaled by ``factor``."""
@@ -84,6 +97,36 @@ class AnnealingPlacer(CircuitPlacer):
     # ------------------------------------------------------------------ #
     def _anneal(self, dims: Tuple[Dims, ...]) -> Tuple[Anchor, ...]:
         config = self._config
+        initial = self._initial_anchors(dims)
+        use_incremental = config.incremental and self._anneal_cost.supports_incremental
+
+        evaluator: Optional[IncrementalEvaluator] = None
+        if use_incremental:
+            evaluator = self._anneal_cost.bind(initial, dims)
+            initial_cost = evaluator.total
+        else:
+            initial_cost = self._anneal_cost.evaluate_layout(initial, dims).total
+        schedule = AdaptiveSchedule(
+            reference_cost=max(initial_cost, 1e-9),
+            fraction=config.initial_temperature_fraction,
+            alpha=config.alpha,
+        )
+        if evaluator is not None:
+            annealer: SimulatedAnnealer = SimulatedAnnealer(
+                schedule=schedule,
+                moves_per_temperature=config.moves_per_temperature,
+                max_iterations=config.max_iterations,
+                seed=self._rng,
+            )
+            engine = PerturbDeltaEngine(
+                evaluator,
+                initial,
+                lambda anchors, rng: self._perturb(anchors, dims, rng),
+                anchor_update,
+            )
+            best = annealer.run_incremental(engine).best_state
+            self._accumulate_eval_stats(evaluator)
+            return best
 
         def evaluate(anchors: Tuple[Anchor, ...]) -> float:
             return self._anneal_cost.evaluate_layout(anchors, dims).total
@@ -91,13 +134,6 @@ class AnnealingPlacer(CircuitPlacer):
         def propose(anchors: Tuple[Anchor, ...], rng: random.Random) -> Tuple[Anchor, ...]:
             return self._perturb(anchors, dims, rng)
 
-        initial = self._initial_anchors(dims)
-        initial_cost = evaluate(initial)
-        schedule = AdaptiveSchedule(
-            reference_cost=max(initial_cost, 1e-9),
-            fraction=config.initial_temperature_fraction,
-            alpha=config.alpha,
-        )
         annealer = SimulatedAnnealer(
             evaluate=evaluate,
             propose=propose,

@@ -46,6 +46,7 @@ class CircuitPlacer(_PlacerProtocol):
         self._stats_lock = threading.Lock()
         self._queries = 0
         self._total_seconds = 0.0
+        self._eval_counters: Dict[str, int] = {}
 
     @property
     def circuit(self) -> Circuit:
@@ -63,13 +64,28 @@ class CircuitPlacer(_PlacerProtocol):
         return self._cost_function
 
     def stats(self) -> Dict[str, float]:
-        """Uniform query counters (every engine reports through ``stats()``)."""
+        """Uniform query counters (every engine reports through ``stats()``).
+
+        Engines that price moves through :mod:`repro.eval` additionally
+        report their accumulated ``delta_*`` counters here.
+        """
         with self._stats_lock:
-            return {"queries": self._queries, "total_seconds": self._total_seconds}
+            return {
+                "queries": self._queries,
+                "total_seconds": self._total_seconds,
+                **self._eval_counters,
+            }
 
     # ------------------------------------------------------------------ #
     # Shared helpers
     # ------------------------------------------------------------------ #
+    def _accumulate_eval_stats(self, evaluator) -> None:
+        """Fold an :class:`~repro.eval.IncrementalEvaluator`'s counters into
+        this placer's ``delta_*`` stats."""
+        with self._stats_lock:
+            for key, value in evaluator.stats().items():
+                key = f"delta_{key}"
+                self._eval_counters[key] = self._eval_counters.get(key, 0) + value
     def _clamp_dims(self, dims: Sequence[Dims]) -> Tuple[Dims, ...]:
         if len(dims) != self._circuit.num_blocks:
             raise ValueError(

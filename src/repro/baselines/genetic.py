@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.baselines.base import CircuitPlacer, Dims, Placement
 from repro.baselines.random_placer import RandomPlacer
 from repro.cost.cost_function import CostWeights
+from repro.eval.incremental import IncrementalEvaluator
 from repro.utils.rng import make_rng
 from repro.utils.timer import Timer
 
@@ -35,6 +36,10 @@ class GeneticPlacerConfig:
     #: Maximum mutation distance as a fraction of the floorplan side.
     mutation_step_fraction: float = 0.3
     elite_count: int = 2
+    #: Score individuals by diffing them against the incremental
+    #: evaluator's current layout (mutated children re-price only their
+    #: jittered anchors); ``False`` re-scores every individual from scratch.
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -82,7 +87,10 @@ class GeneticPlacer(CircuitPlacer):
     def _evolve(self, dims: Tuple[Dims, ...]) -> Chromosome:
         config = self._config
         population = [self._random_chromosome(dims) for _ in range(config.population_size)]
-        scored = [(self._fitness(ind, dims), ind) for ind in population]
+        evaluator: Optional[IncrementalEvaluator] = None
+        if config.incremental and self._fitness_cost.supports_incremental:
+            evaluator = self._fitness_cost.bind(population[0], dims)
+        scored = [(self._fitness(ind, dims, evaluator), ind) for ind in population]
         scored.sort(key=lambda pair: pair[0])
         for _ in range(config.generations):
             next_population: List[Chromosome] = [ind for _, ind in scored[: config.elite_count]]
@@ -96,11 +104,22 @@ class GeneticPlacer(CircuitPlacer):
                 if self._rng.random() < config.mutation_rate:
                     child = self._mutate(child, dims)
                 next_population.append(child)
-            scored = [(self._fitness(ind, dims), ind) for ind in next_population]
+            scored = [(self._fitness(ind, dims, evaluator), ind) for ind in next_population]
             scored.sort(key=lambda pair: pair[0])
+        if evaluator is not None:
+            self._accumulate_eval_stats(evaluator)
         return scored[0][1]
 
-    def _fitness(self, chromosome: Chromosome, dims: Tuple[Dims, ...]) -> float:
+    def _fitness(
+        self,
+        chromosome: Chromosome,
+        dims: Tuple[Dims, ...],
+        evaluator: Optional[IncrementalEvaluator] = None,
+    ) -> float:
+        if evaluator is not None:
+            # Diff against the evaluator's current layout: elites and
+            # near-duplicate children re-price only the anchors that moved.
+            return evaluator.rebase(anchors=chromosome)
         return self._fitness_cost.evaluate_layout(chromosome, dims).total
 
     def _random_chromosome(self, dims: Tuple[Dims, ...]) -> Chromosome:

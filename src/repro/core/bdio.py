@@ -15,13 +15,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.annealing.annealer import SimulatedAnnealer
 from repro.annealing.schedule import AdaptiveSchedule
 from repro.core.intervals import Interval
 from repro.core.placement_entry import Anchor, DimensionRange, Dims
 from repro.cost.cost_function import PlacementCostFunction
+from repro.eval.engines import PerturbDeltaEngine, dims_update
+from repro.eval.incremental import IncrementalEvaluator
 from repro.utils.rng import RandomLike, make_rng
 
 #: Interpret Equation 6 so intervals *tighten* as the average cost drifts away
@@ -51,6 +53,9 @@ class BDIOConfig:
     eq6_mode: str = EQ6_INTENT
     #: Never shrink an interval below this many integer values.
     min_interval_length: int = 1
+    #: Price dimension moves by delta through :mod:`repro.eval` (same
+    #: trajectory, much faster); ``False`` re-scores from scratch.
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.max_iterations <= 0:
@@ -79,6 +84,9 @@ class BDIOResult:
     best_dims: Tuple[Dims, ...]
     evaluations: int = 0
     expanded_ranges: List[DimensionRange] = field(default_factory=list)
+    #: The incremental evaluator's move/commit/revert/resync counters
+    #: (empty when the call ran on the from-scratch path).
+    eval_stats: dict = field(default_factory=dict)
 
 
 def optimize_ranges(
@@ -170,31 +178,53 @@ class BlockDimensionsIntervalOptimizer:
         anchors = tuple(anchors)
         ranges = list(ranges)
         config = self._config
-
-        def evaluate(dims: Tuple[Dims, ...]) -> float:
-            return self._cost_function.evaluate_layout(anchors, dims).total
-
-        def propose(dims: Tuple[Dims, ...], rng: random.Random) -> Tuple[Dims, ...]:
-            return self._perturb_dims(dims, ranges, rng)
+        use_incremental = config.incremental and self._cost_function.supports_incremental
 
         initial_dims = tuple(
             (rng_range.width.midpoint(), rng_range.height.midpoint()) for rng_range in ranges
         )
-        initial_cost = evaluate(initial_dims)
+        evaluator: Optional[IncrementalEvaluator] = None
+        if use_incremental:
+            evaluator = self._cost_function.bind(anchors, initial_dims)
+            initial_cost = evaluator.total
+        else:
+            initial_cost = self._cost_function.evaluate_layout(anchors, initial_dims).total
         schedule = AdaptiveSchedule(
             reference_cost=max(initial_cost, 1e-9),
             fraction=config.initial_temperature_fraction,
             alpha=config.alpha,
         )
-        annealer = SimulatedAnnealer(
-            evaluate=evaluate,
-            propose=propose,
-            schedule=schedule,
-            moves_per_temperature=config.moves_per_temperature,
-            max_iterations=config.max_iterations,
-            seed=self._rng,
-        )
-        result = annealer.run(initial_dims)
+        if evaluator is not None:
+            annealer: SimulatedAnnealer = SimulatedAnnealer(
+                schedule=schedule,
+                moves_per_temperature=config.moves_per_temperature,
+                max_iterations=config.max_iterations,
+                seed=self._rng,
+            )
+            engine = PerturbDeltaEngine(
+                evaluator,
+                initial_dims,
+                lambda dims, rng: self._perturb_dims(dims, ranges, rng),
+                dims_update,
+            )
+            result = annealer.run_incremental(engine)
+        else:
+
+            def evaluate(dims: Tuple[Dims, ...]) -> float:
+                return self._cost_function.evaluate_layout(anchors, dims).total
+
+            def propose(dims: Tuple[Dims, ...], rng: random.Random) -> Tuple[Dims, ...]:
+                return self._perturb_dims(dims, ranges, rng)
+
+            annealer = SimulatedAnnealer(
+                evaluate=evaluate,
+                propose=propose,
+                schedule=schedule,
+                moves_per_temperature=config.moves_per_temperature,
+                max_iterations=config.max_iterations,
+                seed=self._rng,
+            )
+            result = annealer.run(initial_dims)
         reduced = optimize_ranges(
             ranges,
             result.best_state,
@@ -210,6 +240,7 @@ class BlockDimensionsIntervalOptimizer:
             best_dims=tuple(result.best_state),
             evaluations=result.iterations,
             expanded_ranges=ranges,
+            eval_stats=evaluator.stats() if evaluator is not None else {},
         )
 
     # ------------------------------------------------------------------ #

@@ -10,8 +10,8 @@ out-of-bounds penalties because their intermediate states may be illegal.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 from repro.circuit.netlist import Circuit
 from repro.cost.area import area_cost, aspect_ratio_penalty
@@ -24,6 +24,9 @@ from repro.cost.penalties import (
 from repro.cost.wirelength import total_wirelength
 from repro.geometry.floorplan import FloorplanBounds
 from repro.geometry.rect import Rect
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (eval imports cost)
+    from repro.eval.incremental import IncrementalEvaluator
 
 
 @dataclass(frozen=True)
@@ -40,16 +43,12 @@ class CostWeights:
     routability: float = 0.0
 
     def with_legalization(self, overlap: float = 50.0, out_of_bounds: float = 50.0) -> "CostWeights":
-        """Weights with legalization penalties enabled (for iterative placers)."""
-        return CostWeights(
-            wirelength=self.wirelength,
-            area=self.area,
-            overlap=overlap,
-            out_of_bounds=out_of_bounds,
-            symmetry=self.symmetry,
-            aspect_ratio=self.aspect_ratio,
-            routability=self.routability,
-        )
+        """Weights with legalization penalties enabled (for iterative placers).
+
+        Built with :func:`dataclasses.replace` so every other field — present
+        or added later — carries over untouched.
+        """
+        return replace(self, overlap=overlap, out_of_bounds=out_of_bounds)
 
 
 @dataclass(frozen=True)
@@ -127,6 +126,84 @@ class PlacementCostFunction:
         """The component weights in use."""
         return self._weights
 
+    @property
+    def wirelength_model(self) -> str:
+        """The wirelength estimator in use (``hpwl``/``star``/``mst``)."""
+        return self._model
+
+    @property
+    def supports_incremental(self) -> bool:
+        """True when :meth:`bind` yields deltas matching this evaluation.
+
+        Subclasses that override :meth:`evaluate`, :meth:`evaluate_layout`
+        or :meth:`rects_from` change the evaluation in ways the generic
+        :class:`~repro.eval.IncrementalEvaluator` knows nothing about;
+        optimizers check this flag and fall back to the from-scratch path
+        for them (see the README migration note).
+        """
+        cls = type(self)
+        return (
+            cls.evaluate is PlacementCostFunction.evaluate
+            and cls.evaluate_layout is PlacementCostFunction.evaluate_layout
+            and cls.rects_from is PlacementCostFunction.rects_from
+        )
+
+    def bind(
+        self,
+        anchors: Sequence[Tuple[int, int]],
+        dims: Sequence[Tuple[int, int]],
+        resync_interval: Optional[int] = None,
+    ) -> "IncrementalEvaluator":
+        """Bind an :class:`~repro.eval.IncrementalEvaluator` to a layout.
+
+        The evaluator starts at ``(anchors, dims)`` (index order, as in
+        :meth:`evaluate_layout`) and prices single-module moves and
+        dimension changes by delta, using this cost function's weights,
+        bounds and wirelength model throughout — the weights stay the
+        single source of truth.
+        """
+        from repro.eval.incremental import IncrementalEvaluator
+
+        kwargs = {} if resync_interval is None else {"resync_interval": resync_interval}
+        return IncrementalEvaluator(self, anchors, dims, **kwargs)
+
+    @staticmethod
+    def compose(
+        weights: CostWeights,
+        wirelength: float,
+        area: float,
+        overlap: float = 0.0,
+        out_of_bounds: float = 0.0,
+        symmetry: float = 0.0,
+        aspect_ratio: float = 0.0,
+        routability: float = 0.0,
+    ) -> CostBreakdown:
+        """Weigh components into a :class:`CostBreakdown`.
+
+        Shared by :meth:`evaluate` and the incremental evaluator so both
+        paths apply the weights with identical arithmetic (and therefore
+        agree bitwise on the total).
+        """
+        total = (
+            weights.wirelength * wirelength
+            + weights.area * area
+            + weights.overlap * overlap
+            + weights.out_of_bounds * out_of_bounds
+            + weights.symmetry * symmetry
+            + weights.aspect_ratio * aspect_ratio
+            + weights.routability * routability
+        )
+        return CostBreakdown(
+            total=total,
+            wirelength=wirelength,
+            area=area,
+            overlap=overlap,
+            out_of_bounds=out_of_bounds,
+            symmetry=symmetry,
+            aspect_ratio=aspect_ratio,
+            routability=routability,
+        )
+
     def evaluate(self, rects: Dict[str, Rect]) -> CostBreakdown:
         """Score a layout given as a mapping of block name to placed rectangle."""
         weights = self._weights
@@ -143,17 +220,8 @@ class PlacementCostFunction:
         routability = 0.0
         if weights.routability and self._bounds is not None:
             routability = routability_penalty(rects, self._circuit, self._bounds)
-        total = (
-            weights.wirelength * wirelength
-            + weights.area * area
-            + weights.overlap * overlap
-            + weights.out_of_bounds * oob
-            + weights.symmetry * symmetry
-            + weights.aspect_ratio * aspect
-            + weights.routability * routability
-        )
-        return CostBreakdown(
-            total=total,
+        return self.compose(
+            weights,
             wirelength=wirelength,
             area=area,
             overlap=overlap,

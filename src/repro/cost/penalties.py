@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.circuit.netlist import Circuit
 from repro.circuit.symmetry import SymmetryGroup
@@ -47,6 +47,49 @@ def symmetry_penalty(
     return sum(group.mismatch(rects) for group in groups)
 
 
+def rudy_net_entries(
+    positions: Sequence[Tuple[float, float]],
+    weight: float,
+    bins: int,
+    bin_w: float,
+    bin_h: float,
+) -> List[Tuple[int, float]]:
+    """One net's RUDY density contributions as ``(bin_index, amount)`` pairs.
+
+    Each net spreads its expected wire density (``(w + h) / (w * h)``
+    over its terminal bounding box, the RUDY model) onto a ``bins`` x
+    ``bins`` decomposition of the canvas.  Shared by
+    :func:`routability_penalty` and the incremental evaluator's
+    maintained congestion bins, so the two stay in lockstep.
+    """
+    if len(positions) < 2:
+        return []
+    x_lo = min(p[0] for p in positions)
+    x_hi = max(p[0] for p in positions)
+    y_lo = min(p[1] for p in positions)
+    y_hi = max(p[1] for p in positions)
+    # Degenerate (collinear) boxes still occupy one track's width —
+    # widen the box itself so the bin-overlap spread sees it too.
+    x_hi = max(x_hi, x_lo + 1.0)
+    y_hi = max(y_hi, y_lo + 1.0)
+    width = x_hi - x_lo
+    height = y_hi - y_lo
+    rudy = weight * (width + height) / (width * height)
+    i_lo = min(max(int(x_lo / bin_w), 0), bins - 1)
+    i_hi = min(max(int(x_hi / bin_w), 0), bins - 1)
+    j_lo = min(max(int(y_lo / bin_h), 0), bins - 1)
+    j_hi = min(max(int(y_hi / bin_h), 0), bins - 1)
+    entries: List[Tuple[int, float]] = []
+    for j in range(j_lo, j_hi + 1):
+        overlap_h = min(y_hi, (j + 1) * bin_h) - max(y_lo, j * bin_h)
+        for i in range(i_lo, i_hi + 1):
+            overlap_w = min(x_hi, (i + 1) * bin_w) - max(x_lo, i * bin_w)
+            area = max(overlap_w, 0.0) * max(overlap_h, 0.0)
+            if area > 0.0:
+                entries.append((j * bins + i, rudy * area))
+    return entries
+
+
 def routability_penalty(
     rects: Dict[str, Rect],
     circuit: Circuit,
@@ -57,12 +100,10 @@ def routability_penalty(
     """Estimated routing congestion of the layout (RUDY-style).
 
     A cheap stand-in for running the global router inside a placement
-    cost function: each net spreads its expected wire density
-    (``(w + h) / (w * h)`` over its terminal bounding box, the RUDY
-    model) onto a ``bins`` x ``bins`` decomposition of the canvas, and
-    the penalty is the total demand above ``track_capacity``, in units
-    of excess wirelength.  Zero for layouts whose nets are spread out
-    enough to route without contention.
+    cost function: every net's :func:`rudy_net_entries` demand is
+    accumulated per bin, and the penalty is the total demand above
+    ``track_capacity``, in units of excess wirelength.  Zero for layouts
+    whose nets are spread out enough to route without contention.
     """
     if bins <= 0:
         raise ValueError(f"bins must be positive, got {bins}")
@@ -71,30 +112,8 @@ def routability_penalty(
     density = [0.0] * (bins * bins)
     for net in circuit.nets:
         positions = net_terminal_positions(net, circuit, rects, bounds)
-        if len(positions) < 2:
-            continue
-        x_lo = min(p[0] for p in positions)
-        x_hi = max(p[0] for p in positions)
-        y_lo = min(p[1] for p in positions)
-        y_hi = max(p[1] for p in positions)
-        # Degenerate (collinear) boxes still occupy one track's width —
-        # widen the box itself so the bin-overlap spread sees it too.
-        x_hi = max(x_hi, x_lo + 1.0)
-        y_hi = max(y_hi, y_lo + 1.0)
-        width = x_hi - x_lo
-        height = y_hi - y_lo
-        rudy = net.weight * (width + height) / (width * height)
-        i_lo = min(max(int(x_lo / bin_w), 0), bins - 1)
-        i_hi = min(max(int(x_hi / bin_w), 0), bins - 1)
-        j_lo = min(max(int(y_lo / bin_h), 0), bins - 1)
-        j_hi = min(max(int(y_hi / bin_h), 0), bins - 1)
-        for j in range(j_lo, j_hi + 1):
-            overlap_h = min(y_hi, (j + 1) * bin_h) - max(y_lo, j * bin_h)
-            for i in range(i_lo, i_hi + 1):
-                overlap_w = min(x_hi, (i + 1) * bin_w) - max(x_lo, i * bin_w)
-                area = max(overlap_w, 0.0) * max(overlap_h, 0.0)
-                if area > 0.0:
-                    density[j * bins + i] += rudy * area
+        for bin_index, amount in rudy_net_entries(positions, net.weight, bins, bin_w, bin_h):
+            density[bin_index] += amount
     bin_area = bin_w * bin_h
     threshold = track_capacity * bin_area
     return sum(d - threshold for d in density if d > threshold)

@@ -128,6 +128,19 @@ _MODELS = {
 }
 
 
+def wirelength_estimator(model: str):
+    """The per-net estimator callable for ``model`` (``hpwl``/``star``/``mst``).
+
+    The incremental evaluator caches per-net lengths and needs the same
+    callable :func:`total_wirelength` dispatches to, so the two paths
+    agree bitwise.
+    """
+    try:
+        return _MODELS[model]
+    except KeyError as exc:
+        raise ValueError(f"unknown wirelength model {model!r}; choose from {sorted(_MODELS)}") from exc
+
+
 def total_wirelength(
     circuit: Circuit,
     rects: Dict[str, Rect],
@@ -135,10 +148,7 @@ def total_wirelength(
     model: str = "hpwl",
 ) -> float:
     """Weighted total wirelength of a layout under the chosen net model."""
-    try:
-        estimator = _MODELS[model]
-    except KeyError as exc:
-        raise ValueError(f"unknown wirelength model {model!r}; choose from {sorted(_MODELS)}") from exc
+    estimator = wirelength_estimator(model)
     total = 0.0
     for net in circuit.nets:
         positions = net_terminal_positions(net, circuit, rects, bounds)

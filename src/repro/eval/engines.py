@@ -1,0 +1,85 @@
+"""The shared delta engine driving annealers over an IncrementalEvaluator.
+
+The anchor loop (per-instance placer), the dimension loop (BDIO) and the
+benchmarks all anneal the same shape of state — a per-block tuple — with
+the same transaction discipline; :class:`PerturbDeltaEngine` implements
+that discipline once.  What varies is only the perturbation rule and
+which update slot (anchor or dims) a changed tuple entry fills.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional, Sequence, Tuple, TypeVar
+
+from repro.eval.incremental import BlockUpdate, IncrementalEvaluator
+
+Entry = TypeVar("Entry")
+State = Tuple[Entry, ...]
+
+#: Builds one :data:`BlockUpdate` from ``(block_index, new_entry)``.
+MakeUpdate = Callable[[int, Entry], BlockUpdate]
+
+
+def anchor_update(index: int, anchor) -> BlockUpdate:
+    """A move: the tuple entry is the block's new anchor."""
+    return (index, anchor, None)
+
+
+def dims_update(index: int, dims) -> BlockUpdate:
+    """A resize: the tuple entry is the block's new dimensions."""
+    return (index, None, dims)
+
+
+class PerturbDeltaEngine:
+    """A :class:`~repro.annealing.DeltaEngine` over per-block tuple states.
+
+    Proposals call ``perturb(state, rng)`` — the optimizer's existing move
+    rule, so the RNG draws match the pure path exactly — then hand only
+    the changed entries to the evaluator, mapped through ``make_update``
+    (:func:`anchor_update` or :func:`dims_update`).
+    """
+
+    def __init__(
+        self,
+        evaluator: IncrementalEvaluator,
+        state: Sequence[Entry],
+        perturb: Callable[[State, random.Random], State],
+        make_update: MakeUpdate,
+    ) -> None:
+        self._evaluator = evaluator
+        self._state: State = tuple(state)
+        self._perturb = perturb
+        self._make_update = make_update
+        self._candidate: Optional[State] = None
+
+    @property
+    def evaluator(self) -> IncrementalEvaluator:
+        """The evaluator pricing this engine's moves."""
+        return self._evaluator
+
+    def current_cost(self) -> float:
+        return self._evaluator.total
+
+    def snapshot(self) -> State:
+        return self._state
+
+    def propose(self, rng: random.Random) -> float:
+        candidate = self._perturb(self._state, rng)
+        updates = [
+            self._make_update(index, candidate[index])
+            for index in range(len(candidate))
+            if candidate[index] != self._state[index]
+        ]
+        self._candidate = candidate
+        return self._evaluator.propose(updates)
+
+    def commit(self) -> None:
+        self._evaluator.commit()
+        assert self._candidate is not None
+        self._state = self._candidate
+        self._candidate = None
+
+    def revert(self) -> None:
+        self._evaluator.revert()
+        self._candidate = None

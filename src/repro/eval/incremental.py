@@ -1,0 +1,238 @@
+"""Exact delta-cost evaluation over a mutable :class:`LayoutState`.
+
+:class:`IncrementalEvaluator` is what every inner optimization loop talks
+to: it is bound to one :class:`~repro.cost.cost_function.PlacementCostFunction`
+(so cost weights stay the single source of truth), holds the current
+layout, and turns a *proposed* set of block updates into the exact new
+total cost by refreshing only the affected caches.  The accept/reject
+shape of simulated annealing maps onto :meth:`propose` /
+:meth:`commit` / :meth:`revert`; population methods that score whole
+layouts diff them against the current state with :meth:`rebase`.
+
+Every component except routability matches the from-scratch
+:meth:`~repro.cost.cost_function.PlacementCostFunction.evaluate` bitwise
+(see :mod:`repro.eval.state`); a periodic full recompute —
+``resync_interval`` commits — bounds the float drift of the routability
+bins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.eval.state import Anchor, Dims, LayoutState
+from repro.geometry.rect import Rect
+
+#: A proposed change to one block: ``(block_index, new_anchor, new_dims)``
+#: where ``None`` keeps the current anchor or dimensions.
+BlockUpdate = Tuple[int, Optional[Anchor], Optional[Dims]]
+
+#: Commits between full recomputes of every cache (bounds float drift).
+DEFAULT_RESYNC_INTERVAL = 1024
+
+
+class IncrementalEvaluator:
+    """Apply/revert block moves and dimension changes with exact cost deltas.
+
+    Built by :meth:`PlacementCostFunction.bind`; not usually constructed
+    directly.
+
+    Parameters
+    ----------
+    cost_function:
+        The bound cost function (weights, bounds, wirelength model).
+    anchors / dims:
+        The initial layout in circuit block-index order.
+    resync_interval:
+        Full-recompute period in commits; ``0`` disables resyncing.
+    """
+
+    def __init__(
+        self,
+        cost_function,
+        anchors: Sequence[Anchor],
+        dims: Sequence[Dims],
+        resync_interval: int = DEFAULT_RESYNC_INTERVAL,
+    ) -> None:
+        if not cost_function.supports_incremental:
+            raise TypeError(
+                f"{type(cost_function).__name__} overrides evaluate()/evaluate_layout(); "
+                "its custom terms cannot be delta-evaluated. Override bind() to supply "
+                "a matching IncrementalEvaluator, or keep the from-scratch path."
+            )
+        if resync_interval < 0:
+            raise ValueError("resync_interval must be non-negative")
+        self._cost_function = cost_function
+        self._resync_interval = resync_interval
+        circuit = cost_function.circuit
+        bounds = cost_function.bounds
+        weights = cost_function.weights
+        rects_dict = cost_function.rects_from(anchors, dims)
+        rects = [rects_dict[block.name] for block in circuit.blocks]
+        # Track exactly the components the weights enable, mirroring the
+        # gates of PlacementCostFunction.evaluate().
+        self._track_overlap = bool(weights.overlap)
+        self._track_oob = bool(weights.out_of_bounds) and bounds is not None
+        self._track_symmetry = bool(weights.symmetry) and bool(circuit.symmetry_groups)
+        self._track_aspect = bool(weights.aspect_ratio)
+        self._track_routability = bool(weights.routability) and bounds is not None
+        self._state = LayoutState(
+            circuit,
+            bounds,
+            rects,
+            wirelength_model=cost_function.wirelength_model,
+            track_overlap=self._track_overlap,
+            track_out_of_bounds=self._track_oob,
+            track_symmetry=self._track_symmetry,
+            track_routability=self._track_routability,
+        )
+        self._breakdown = self._compose()
+        self._pending_breakdown = None
+        self._moves = 0
+        self._commits = 0
+        self._reverts = 0
+        self._resyncs = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def cost_function(self):
+        """The bound cost function."""
+        return self._cost_function
+
+    @property
+    def state(self) -> LayoutState:
+        """The underlying mutable layout state."""
+        return self._state
+
+    @property
+    def breakdown(self):
+        """The committed :class:`CostBreakdown`."""
+        return self._breakdown
+
+    @property
+    def total(self) -> float:
+        """The committed total cost."""
+        return self._breakdown.total
+
+    def anchors(self) -> Tuple[Anchor, ...]:
+        """Committed (or pending, mid-transaction) anchors in index order."""
+        return self._state.anchors()
+
+    def dims(self) -> Tuple[Dims, ...]:
+        """Committed (or pending, mid-transaction) dimensions in index order."""
+        return self._state.dims()
+
+    def rects(self) -> Dict[str, Rect]:
+        """Copy of the current name -> rectangle mapping."""
+        return self._state.rects()
+
+    def stats(self) -> Dict[str, int]:
+        """Counters: proposed moves, commits, reverts and resyncs."""
+        return {
+            "moves": self._moves,
+            "commits": self._commits,
+            "reverts": self._reverts,
+            "resyncs": self._resyncs,
+        }
+
+    # ------------------------------------------------------------------ #
+    # The propose / commit / revert cycle
+    # ------------------------------------------------------------------ #
+    def propose(self, updates: Sequence[BlockUpdate]) -> float:
+        """Stage block updates and return the layout's exact new total cost.
+
+        Exactly one proposal may be pending; resolve it with
+        :meth:`commit` or :meth:`revert` before proposing again.
+        """
+        if self._pending_breakdown is not None:
+            raise RuntimeError("a proposed move is already pending; commit or revert first")
+        rect_updates = []
+        for index, anchor, dims in updates:
+            current = self._state.rect(index)
+            x, y = anchor if anchor is not None else (current.x, current.y)
+            w, h = dims if dims is not None else (current.w, current.h)
+            rect_updates.append((index, Rect(int(x), int(y), int(w), int(h))))
+        self._state.apply(rect_updates)
+        self._pending_breakdown = self._compose()
+        self._moves += 1
+        return self._pending_breakdown.total
+
+    def commit(self):
+        """Accept the pending proposal; returns the new breakdown."""
+        if self._pending_breakdown is None:
+            raise RuntimeError("no pending move to commit")
+        self._state.commit()
+        self._breakdown = self._pending_breakdown
+        self._pending_breakdown = None
+        self._commits += 1
+        if self._resync_interval and self._commits % self._resync_interval == 0:
+            self.resync()
+        return self._breakdown
+
+    def revert(self) -> None:
+        """Reject the pending proposal, restoring the committed state exactly."""
+        if self._pending_breakdown is None:
+            raise RuntimeError("no pending move to revert")
+        self._state.rollback()
+        self._pending_breakdown = None
+        self._reverts += 1
+
+    def rebase(
+        self,
+        anchors: Optional[Sequence[Anchor]] = None,
+        dims: Optional[Sequence[Dims]] = None,
+    ) -> float:
+        """Score a whole layout by diffing it against the committed state.
+
+        The differing blocks are applied and committed, so consecutive
+        calls on similar layouts (a genetic population, a batch of
+        candidates) each pay only for what changed.  Returns the new total.
+        """
+        num_blocks = self._state.circuit.num_blocks
+        for label, seq in (("anchors", anchors), ("dims", dims)):
+            if seq is not None and len(seq) != num_blocks:
+                raise ValueError(f"{label} must have {num_blocks} entries, got {len(seq)}")
+        current_anchors = self._state.anchors()
+        current_dims = self._state.dims()
+        updates: list = []
+        for index in range(num_blocks):
+            anchor = tuple(anchors[index]) if anchors is not None else None
+            new_dims = tuple(dims[index]) if dims is not None else None
+            if (anchor is not None and anchor != current_anchors[index]) or (
+                new_dims is not None and new_dims != current_dims[index]
+            ):
+                updates.append((index, anchor, new_dims))
+        total = self.propose(updates)
+        self.commit()
+        return total
+
+    def resync(self):
+        """Recompute every cache and the breakdown from scratch.
+
+        Bounds the float drift the routability bins accumulate; all other
+        components are exact and unaffected.  Returns the breakdown.
+        """
+        self._state.refresh()
+        self._breakdown = self._compose()
+        self._resyncs += 1
+        return self._breakdown
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _compose(self):
+        state = self._state
+        weights = self._cost_function.weights
+        area, aspect_ratio = state.bbox_costs()
+        return self._cost_function.compose(
+            weights,
+            wirelength=state.wirelength(),
+            area=area,
+            overlap=state.overlap() if self._track_overlap else 0.0,
+            out_of_bounds=state.out_of_bounds() if self._track_oob else 0.0,
+            symmetry=state.symmetry() if self._track_symmetry else 0.0,
+            aspect_ratio=aspect_ratio if self._track_aspect else 0.0,
+            routability=state.routability() if self._track_routability else 0.0,
+        )

@@ -34,14 +34,51 @@ def any_overlap(rects: Sequence[Rect]) -> bool:
     return False
 
 
+#: Above this many rectangles :func:`total_overlap_area` switches from the
+#: O(n^2) pairwise scan to the spatial grid (identical integer result).
+GRID_PAIRWISE_CUTOFF = 32
+
+
 def total_overlap_area(rects: Sequence[Rect]) -> int:
-    """Total pairwise overlap area (used as a soft penalty by baseline placers)."""
+    """Total pairwise overlap area (used as a soft penalty by baseline placers).
+
+    Small layouts use the direct pairwise scan; past
+    :data:`GRID_PAIRWISE_CUTOFF` rectangles a spatial grid restricts the
+    intersection tests to local neighbourhoods.  Areas are integers, so
+    both paths return exactly the same value.
+    """
+    n = len(rects)
+    if n > GRID_PAIRWISE_CUTOFF:
+        return _total_overlap_area_grid(rects)
     total = 0
-    for i in range(len(rects)):
-        for j in range(i + 1, len(rects)):
+    for i in range(n):
+        for j in range(i + 1, n):
             inter = rects[i].intersection(rects[j])
             if inter is not None:
                 total += inter.area
+    return total
+
+
+def auto_cell_size(rects: Sequence[Rect]) -> int:
+    """A spatial-grid cell comparable to the average block footprint."""
+    if not rects:
+        return 16
+    average_side = sum(max(r.w, r.h, 1) for r in rects) / len(rects)
+    return max(4, int(round(average_side)))
+
+
+def _total_overlap_area_grid(rects: Sequence[Rect]) -> int:
+    """Grid-accelerated total overlap: each pair is counted once (i < j)."""
+    grid = SpatialGrid(cell_size=auto_cell_size(rects))
+    for index, rect in enumerate(rects):
+        grid.insert(index, rect)
+    total = 0
+    for index, rect in enumerate(rects):
+        for other in grid.query(rect, exclude=index):
+            if other > index:
+                inter = rect.intersection(rects[other])
+                if inter is not None:
+                    total += inter.area
     return total
 
 

@@ -89,7 +89,9 @@ class SynthesisResult:
     history: List[float] = field(default_factory=list)
     #: The backend's uniform ``stats()`` counters (tier hits for structure
     #: engines, cache/latency stats for the service, query counts for the
-    #: direct placers); ``None`` when the backend reports nothing.
+    #: direct placers — including the ``delta_*`` incremental-evaluation
+    #: counters of the annealing/genetic engines); ``None`` when the
+    #: backend reports nothing.
     backend_stats: Optional[Dict[str, float]] = None
 
     @property
@@ -98,6 +100,24 @@ class SynthesisResult:
         if self.elapsed_seconds <= 0:
             return 0.0
         return self.placement_seconds / self.elapsed_seconds
+
+    @property
+    def incremental_eval_stats(self) -> Dict[str, float]:
+        """The placement backend's delta-evaluation counters, if any.
+
+        Iterative backends (annealing, genetic) price their inner-loop
+        moves through :mod:`repro.eval`; the ``delta_moves`` /
+        ``delta_commits`` / ``delta_reverts`` / ``delta_resyncs`` counters
+        they report quantify how much of the loop's placement wall-clock
+        ran on the incremental path.
+        """
+        if not self.backend_stats:
+            return {}
+        return {
+            key: value
+            for key, value in self.backend_stats.items()
+            if key.startswith("delta_")
+        }
 
     @property
     def service_stats(self) -> Optional[Dict[str, float]]:

@@ -121,3 +121,97 @@ class TestAnnealer:
             SimulatedAnnealer(lambda x: x, lambda x, rng: x, moves_per_temperature=0)
         with pytest.raises(ValueError):
             SimulatedAnnealer(lambda x: x, lambda x, rng: x, max_iterations=0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealer(lambda x: x, lambda x, rng: x, history_stride=0)
+
+    def test_run_requires_callables(self):
+        annealer = SimulatedAnnealer(schedule=GeometricSchedule())
+        with pytest.raises(ValueError):
+            annealer.run(0.0)
+
+    def test_history_stride_thins_history(self):
+        def make(stride):
+            return SimulatedAnnealer(
+                evaluate=lambda x: abs(x),
+                propose=lambda x, rng: x + rng.choice([-1, 1]),
+                moves_per_temperature=10,
+                max_iterations=300,
+                record_history=True,
+                history_stride=stride,
+                seed=2,
+            )
+
+        dense = make(1).run(50)
+        sparse = make(5).run(50)
+        # Same trajectory (the stride only thins the recording) ...
+        assert sparse.best_cost == dense.best_cost
+        assert sparse.accepted_moves == dense.accepted_moves
+        # ... with every 5th accepted cost kept (plus the initial cost).
+        assert len(sparse.cost_history) == 1 + dense.accepted_moves // 5
+        assert sparse.cost_history[0] == dense.cost_history[0]
+        assert sparse.cost_history[1:] == dense.cost_history[5::5]
+
+
+class _CounterEngine:
+    """Minimal delta engine over an integer state with cost |x - 3|."""
+
+    def __init__(self, start):
+        self._state = start
+        self._pending = None
+        self.commits = 0
+        self.reverts = 0
+
+    def current_cost(self):
+        return abs(self._state - 3)
+
+    def snapshot(self):
+        return self._state
+
+    def propose(self, rng):
+        self._pending = self._state + rng.choice([-1, 1])
+        return abs(self._pending - 3)
+
+    def commit(self):
+        self._state = self._pending
+        self._pending = None
+        self.commits += 1
+
+    def revert(self):
+        self._pending = None
+        self.reverts += 1
+
+
+class TestRunIncremental:
+    def test_matches_pure_path_exactly(self):
+        """Same seed, same moves: the two paths share one trajectory."""
+
+        def make_annealer():
+            return SimulatedAnnealer(
+                evaluate=lambda x: abs(x - 3),
+                propose=lambda x, rng: x + rng.choice([-1, 1]),
+                schedule=GeometricSchedule(initial_temperature=10.0, alpha=0.8,
+                                           minimum_temperature=0.05),
+                moves_per_temperature=15,
+                record_history=True,
+                seed=9,
+            )
+
+        pure = make_annealer().run(20)
+        delta = make_annealer().run_incremental(_CounterEngine(20))
+        assert delta.best_state == pure.best_state
+        assert delta.best_cost == pure.best_cost
+        assert delta.final_state == pure.final_state
+        assert delta.final_cost == pure.final_cost
+        assert delta.average_cost == pure.average_cost
+        assert delta.iterations == pure.iterations
+        assert delta.accepted_moves == pure.accepted_moves
+        assert delta.cost_history == pure.cost_history
+
+    def test_every_move_commits_or_reverts(self):
+        engine = _CounterEngine(10)
+        annealer = SimulatedAnnealer(
+            moves_per_temperature=10, max_iterations=80, seed=0
+        )
+        result = annealer.run_incremental(engine)
+        assert engine.commits + engine.reverts == result.iterations
+        assert engine.commits == result.accepted_moves

@@ -56,6 +56,30 @@ class TestPenalties:
         assert symmetry_penalty(skewed, circuit=circuit) > 0.0
 
 
+class TestCostWeights:
+    def test_with_legalization_sets_penalty_weights(self):
+        weights = CostWeights().with_legalization(overlap=7.0, out_of_bounds=9.0)
+        assert weights.overlap == 7.0
+        assert weights.out_of_bounds == 9.0
+
+    def test_with_legalization_preserves_every_other_field(self):
+        """Built via dataclasses.replace: no field can be silently dropped."""
+        import dataclasses
+
+        base = CostWeights(
+            wirelength=2.0,
+            area=0.3,
+            symmetry=4.0,
+            aspect_ratio=1.5,
+            routability=0.25,
+        )
+        legalized = base.with_legalization()
+        for field in dataclasses.fields(CostWeights):
+            if field.name in ("overlap", "out_of_bounds"):
+                continue
+            assert getattr(legalized, field.name) == getattr(base, field.name), field.name
+
+
 class TestPlacementCostFunction:
     def test_default_weights_reproduce_wirelength_plus_area(self):
         circuit = symmetric_circuit()

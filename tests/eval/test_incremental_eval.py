@@ -1,0 +1,296 @@
+"""Tests for the incremental evaluation engine (LayoutState + IncrementalEvaluator).
+
+The heart of the suite is the property-style randomized check: hundreds of
+moves, dimension changes, anchor swaps, commits and reverts on benchmark
+circuits — with *every* weight component enabled — asserting at every step
+that the incremental totals match ``evaluate_layout`` from scratch.
+"""
+
+import random
+
+import pytest
+
+from repro.benchcircuits.library import get_benchmark
+from repro.cost.cost_function import CostBreakdown, CostWeights, PlacementCostFunction
+from repro.eval import IncrementalEvaluator, LayoutState
+from repro.geometry.floorplan import FloorplanBounds
+from repro.geometry.rect import Rect
+from tests.conftest import build_chain_circuit
+
+#: Every component enabled so no penalty path escapes the comparison.
+ALL_WEIGHTS = CostWeights(
+    wirelength=1.0,
+    area=0.05,
+    overlap=50.0,
+    out_of_bounds=50.0,
+    symmetry=2.0,
+    aspect_ratio=1.5,
+    routability=0.5,
+)
+
+
+def bound_cost_function(circuit, weights=ALL_WEIGHTS, model="hpwl"):
+    bounds = FloorplanBounds.for_blocks(circuit.max_dims(), whitespace_factor=2.0)
+    return PlacementCostFunction(circuit, bounds, weights=weights, wirelength_model=model)
+
+
+def random_layout(circuit, bounds, rng):
+    dims = [
+        (rng.randint(block.min_w, block.max_w), rng.randint(block.min_h, block.max_h))
+        for block in circuit.blocks
+    ]
+    anchors = [
+        (rng.randint(0, max(0, bounds.width - w)), rng.randint(0, max(0, bounds.height - h)))
+        for (w, h) in dims
+    ]
+    return anchors, dims
+
+
+def assert_breakdowns_close(actual: CostBreakdown, expected: CostBreakdown, tol=1e-6):
+    for key, value in actual.as_dict().items():
+        assert value == pytest.approx(expected.as_dict()[key], abs=tol), key
+
+
+class TestRandomizedEquivalence:
+    """Incremental and from-scratch evaluation agree move for move."""
+
+    @pytest.mark.parametrize("name", ["circ08", "two_stage_opamp", "tso_cascode"])
+    @pytest.mark.parametrize("model", ["hpwl", "star"])
+    def test_random_walk_matches_full_evaluation(self, name, model):
+        circuit = get_benchmark(name)
+        cost_fn = bound_cost_function(circuit, model=model)
+        bounds = cost_fn.bounds
+        rng = random.Random(sum(map(ord, name + model)))
+        anchors, dims = random_layout(circuit, bounds, rng)
+        evaluator = cost_fn.bind(anchors, dims, resync_interval=64)
+        assert_breakdowns_close(evaluator.breakdown, cost_fn.evaluate_layout(anchors, dims))
+
+        n = circuit.num_blocks
+        steps = 500 if name == "circ08" else 200
+        for _ in range(steps):
+            new_anchors, new_dims = list(anchors), list(dims)
+            op = rng.random()
+            if op < 0.45:
+                # Translate one block (moves may leave the canvas or overlap).
+                index = rng.randrange(n)
+                new_anchors[index] = (
+                    rng.randint(-4, bounds.width),
+                    rng.randint(-4, bounds.height),
+                )
+                updates = [(index, new_anchors[index], None)]
+            elif op < 0.7:
+                # Resize one block within its bounds.
+                index = rng.randrange(n)
+                block = circuit.blocks[index]
+                new_dims[index] = (
+                    rng.randint(block.min_w, block.max_w),
+                    rng.randint(block.min_h, block.max_h),
+                )
+                updates = [(index, None, new_dims[index])]
+            elif op < 0.85:
+                # Swap two blocks' anchors (one transaction, two updates).
+                i, j = rng.sample(range(n), 2)
+                new_anchors[i], new_anchors[j] = new_anchors[j], new_anchors[i]
+                updates = [(i, new_anchors[i], None), (j, new_anchors[j], None)]
+            else:
+                # Compound move: translate and resize a handful of blocks.
+                updates = []
+                for index in rng.sample(range(n), min(3, n)):
+                    block = circuit.blocks[index]
+                    new_anchors[index] = (rng.randint(0, bounds.width), rng.randint(0, bounds.height))
+                    new_dims[index] = (
+                        rng.randint(block.min_w, block.max_w),
+                        rng.randint(block.min_h, block.max_h),
+                    )
+                    updates.append((index, new_anchors[index], new_dims[index]))
+
+            total = evaluator.propose(updates)
+            expected = cost_fn.evaluate_layout(new_anchors, new_dims)
+            assert total == pytest.approx(expected.total, abs=1e-6)
+            if rng.random() < 0.5:
+                evaluator.commit()
+                anchors, dims = new_anchors, new_dims
+            else:
+                evaluator.revert()
+                reverted = cost_fn.evaluate_layout(anchors, dims)
+                assert evaluator.total == pytest.approx(reverted.total, abs=1e-6)
+        # Final state: every component matches, not just the total.
+        assert_breakdowns_close(evaluator.breakdown, cost_fn.evaluate_layout(anchors, dims))
+        stats = evaluator.stats()
+        assert stats["moves"] == steps
+        assert stats["commits"] + stats["reverts"] == steps
+        assert stats["resyncs"] == stats["commits"] // 64
+
+    def test_default_weight_components_match_exactly(self):
+        """With the paper's default weights, totals agree bitwise."""
+        circuit = get_benchmark("circ06")
+        cost_fn = bound_cost_function(circuit, weights=CostWeights())
+        bounds = cost_fn.bounds
+        rng = random.Random(11)
+        anchors, dims = random_layout(circuit, bounds, rng)
+        evaluator = cost_fn.bind(anchors, dims)
+        for _ in range(100):
+            index = rng.randrange(circuit.num_blocks)
+            anchor = (rng.randint(0, bounds.width), rng.randint(0, bounds.height))
+            total = evaluator.propose([(index, anchor, None)])
+            new_anchors = list(anchors)
+            new_anchors[index] = anchor
+            assert total == cost_fn.evaluate_layout(new_anchors, dims).total
+            evaluator.commit()
+            anchors = new_anchors
+
+
+class TestEvaluatorApi:
+    def test_bind_validates_lengths(self):
+        circuit = build_chain_circuit(4)
+        cost_fn = bound_cost_function(circuit)
+        with pytest.raises(ValueError):
+            cost_fn.bind([(0, 0)], [(4, 4)] * 4)
+
+    def test_double_propose_rejected(self):
+        circuit = build_chain_circuit(3)
+        cost_fn = bound_cost_function(circuit)
+        evaluator = cost_fn.bind([(0, 0), (10, 0), (20, 0)], [(4, 4)] * 3)
+        evaluator.propose([(0, (1, 1), None)])
+        with pytest.raises(RuntimeError):
+            evaluator.propose([(1, (2, 2), None)])
+        evaluator.revert()
+        with pytest.raises(RuntimeError):
+            evaluator.revert()
+        with pytest.raises(RuntimeError):
+            evaluator.commit()
+
+    def test_empty_proposal_keeps_cost(self):
+        circuit = build_chain_circuit(3)
+        cost_fn = bound_cost_function(circuit)
+        evaluator = cost_fn.bind([(0, 0), (10, 0), (20, 0)], [(4, 4)] * 3)
+        before = evaluator.total
+        assert evaluator.propose([]) == before
+        evaluator.commit()
+        assert evaluator.total == before
+
+    def test_rebase_scores_whole_layouts(self):
+        circuit = build_chain_circuit(4)
+        cost_fn = bound_cost_function(circuit)
+        anchors = [(0, 0), (10, 0), (20, 0), (0, 10)]
+        dims = [(4, 4)] * 4
+        evaluator = cost_fn.bind(anchors, dims)
+        other = [(2, 2), (10, 0), (18, 4), (0, 10)]
+        total = evaluator.rebase(anchors=other)
+        assert total == pytest.approx(cost_fn.evaluate_layout(other, dims).total, abs=1e-9)
+        assert evaluator.anchors() == tuple(other)
+        with pytest.raises(ValueError):
+            evaluator.rebase(anchors=[(0, 0)])
+
+    def test_resync_preserves_totals(self):
+        circuit = get_benchmark("two_stage_opamp")
+        cost_fn = bound_cost_function(circuit)
+        rng = random.Random(3)
+        anchors, dims = random_layout(circuit, cost_fn.bounds, rng)
+        evaluator = cost_fn.bind(anchors, dims)
+        before = evaluator.total
+        evaluator.resync()
+        assert evaluator.total == pytest.approx(before, abs=1e-9)
+        assert evaluator.stats()["resyncs"] == 1
+
+    def test_duplicate_indices_in_one_proposal_revert_cleanly(self):
+        """A proposal listing the same block twice must roll back exactly."""
+        circuit = build_chain_circuit(3)
+        cost_fn = bound_cost_function(circuit)
+        anchors = [(0, 0), (10, 0), (20, 0)]
+        dims = [(4, 4)] * 3
+        evaluator = cost_fn.bind(anchors, dims)
+        before = evaluator.total
+        bounds = cost_fn.bounds
+        # Both updates push block 0 out of bounds, journalling two oob entries.
+        evaluator.propose([(0, (bounds.width - 2, bounds.height - 2), None), (0, (-3, -3), None)])
+        evaluator.revert()
+        assert evaluator.total == before
+        # The next move of the same block must price from clean caches.
+        total = evaluator.propose([(0, (1, 1), None)])
+        fresh = cost_fn.evaluate_layout([(1, 1), (10, 0), (20, 0)], dims)
+        assert total == pytest.approx(fresh.total, abs=1e-9)
+
+    def test_bind_rejects_overriding_subclasses(self):
+        class CustomCost(PlacementCostFunction):
+            def evaluate(self, rects):
+                breakdown = super().evaluate(rects)
+                return breakdown
+
+        circuit = build_chain_circuit(3)
+        custom = CustomCost(circuit, FloorplanBounds(40, 40))
+        assert not custom.supports_incremental
+        with pytest.raises(TypeError):
+            custom.bind([(0, 0), (5, 0), (10, 0)], [(4, 4)] * 3)
+
+    def test_bind_rejects_rects_from_override(self):
+        """rects_from shapes the layout the evaluator prices — overriding it
+        must force the from-scratch path too."""
+
+        class SnappingCost(PlacementCostFunction):
+            def rects_from(self, anchors, dims):
+                snapped = [((x // 2) * 2, (y // 2) * 2) for (x, y) in anchors]
+                return super().rects_from(snapped, dims)
+
+        circuit = build_chain_circuit(3)
+        assert not SnappingCost(circuit).supports_incremental
+
+    def test_plain_cost_function_supports_incremental(self):
+        circuit = build_chain_circuit(3)
+        assert PlacementCostFunction(circuit).supports_incremental
+
+
+class TestLayoutState:
+    def test_rollback_restores_everything(self):
+        circuit = get_benchmark("circ08")
+        bounds = FloorplanBounds.for_blocks(circuit.max_dims())
+        rng = random.Random(9)
+        dims = circuit.min_dims()
+        rects = [
+            Rect(rng.randint(0, bounds.width - w), rng.randint(0, bounds.height - h), w, h)
+            for (w, h) in dims
+        ]
+        state = LayoutState(
+            circuit,
+            bounds,
+            rects,
+            track_overlap=True,
+            track_out_of_bounds=True,
+            track_symmetry=True,
+            track_routability=True,
+        )
+        snapshot = (
+            state.rects(),
+            state.wirelength(),
+            state.overlap(),
+            state.out_of_bounds(),
+            state.routability(),
+        )
+        state.apply([(0, Rect(-3, -3, 8, 8)), (1, Rect(5, 5, 10, 10))])
+        assert state.in_transaction
+        state.rollback()
+        assert not state.in_transaction
+        assert (
+            state.rects(),
+            state.wirelength(),
+            state.overlap(),
+            state.out_of_bounds(),
+            state.routability(),
+        ) == snapshot
+
+    def test_double_transaction_rejected(self):
+        circuit = build_chain_circuit(2)
+        state = LayoutState(circuit, FloorplanBounds(30, 30), [Rect(0, 0, 4, 4), Rect(10, 0, 4, 4)])
+        state.apply([(0, Rect(1, 1, 4, 4))])
+        with pytest.raises(RuntimeError):
+            state.apply([(1, Rect(2, 2, 4, 4))])
+        with pytest.raises(RuntimeError):
+            state.refresh()
+        state.commit()
+        with pytest.raises(RuntimeError):
+            state.commit()
+
+    def test_wrong_rect_count_rejected(self):
+        circuit = build_chain_circuit(3)
+        with pytest.raises(ValueError):
+            LayoutState(circuit, FloorplanBounds(30, 30), [Rect(0, 0, 4, 4)])

@@ -1,8 +1,11 @@
 """Tests for overlap detection and the spatial grid."""
 
+import random
+
 from hypothesis import given, strategies as st
 
 from repro.geometry.overlap import (
+    GRID_PAIRWISE_CUTOFF,
     SpatialGrid,
     any_overlap,
     overlap_pairs,
@@ -10,6 +13,17 @@ from repro.geometry.overlap import (
     total_overlap_area,
 )
 from repro.geometry.rect import Rect
+
+
+def _pairwise_overlap_area(layout):
+    """Reference O(n^2) scan (the small-n production path, inlined)."""
+    total = 0
+    for i in range(len(layout)):
+        for j in range(i + 1, len(layout)):
+            inter = layout[i].intersection(layout[j])
+            if inter is not None:
+                total += inter.area
+    return total
 
 
 def rects(max_coord=40, max_dim=15):
@@ -43,6 +57,25 @@ class TestOverlapFunctions:
     @given(st.lists(rects(), min_size=2, max_size=8))
     def test_total_overlap_consistent_with_any_overlap(self, layout):
         assert (total_overlap_area(layout) > 0) == any_overlap(layout)
+
+    @given(st.lists(rects(), min_size=GRID_PAIRWISE_CUTOFF + 1, max_size=GRID_PAIRWISE_CUTOFF + 12))
+    def test_grid_path_equals_pairwise_scan(self, layout):
+        """Above the cutoff the spatial grid must reproduce the exact area."""
+        assert total_overlap_area(layout) == _pairwise_overlap_area(layout)
+
+    def test_grid_path_on_large_dense_layout(self):
+        rng = random.Random(0)
+        layout = [
+            Rect(rng.randint(0, 80), rng.randint(0, 80), rng.randint(1, 20), rng.randint(1, 20))
+            for _ in range(120)
+        ]
+        assert len(layout) > GRID_PAIRWISE_CUTOFF
+        assert total_overlap_area(layout) == _pairwise_overlap_area(layout)
+
+    def test_grid_path_handles_zero_area_rects(self):
+        layout = [Rect(i, i, 0, 5) for i in range(GRID_PAIRWISE_CUTOFF + 2)]
+        layout.append(Rect(0, 0, 10, 10))
+        assert total_overlap_area(layout) == 0
 
 
 class TestSpatialGrid:

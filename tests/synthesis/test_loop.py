@@ -119,6 +119,24 @@ class TestSynthesisLoop:
         assert 0.0 <= result.placement_fraction <= 1.0
         assert result.backend == "mps"
 
+    def test_annealing_backend_reports_incremental_eval_stats(self, opamp_setup):
+        design, _, _ = opamp_setup
+        loop = LayoutInclusiveSynthesis(
+            design.sizing_model,
+            design.performance_model,
+            design.spec,
+            {"kind": "annealing", "iterations": 40, "seed": 0},
+            config=SynthesisConfig(optimizer=SizingOptimizerConfig(max_iterations=4)),
+            seed=0,
+        )
+        result = loop.run()
+        assert result.backend == "annealing"
+        # The inner loop priced its moves by delta; the counters flow from
+        # the placer's stats() into the synthesis result.
+        stats = result.incremental_eval_stats
+        assert stats["delta_moves"] > 0
+        assert stats["delta_commits"] + stats["delta_reverts"] == stats["delta_moves"]
+
     def test_loop_accepts_spec_dict(self, opamp_setup):
         design, _, structure = opamp_setup
         loop = LayoutInclusiveSynthesis(
