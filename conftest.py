@@ -1,0 +1,27 @@
+"""Repository-level pytest configuration.
+
+Lives at the rootdir so its options are registered no matter which test
+subtree is invoked (``pytest_addoption`` only works in initial conftests).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "Regenerate the golden regression fixtures under tests/golden/fixtures "
+            "from the current code instead of comparing against them."
+        ),
+    )
+
+
+@pytest.fixture
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    """True when the run should rewrite golden fixtures instead of asserting."""
+    return bool(request.config.getoption("--update-golden"))

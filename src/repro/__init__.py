@@ -40,6 +40,13 @@ Module map
   the on-disk structure registry, LRU/memo caching, batched instantiation,
   route caching, and the :class:`~repro.service.engine.PlacementService`
   facade with per-tier statistics.
+* :mod:`repro.parallel` — process-pool execution: the
+  :class:`~repro.parallel.pool.WorkerPool` running picklable job specs,
+  the fingerprint-sharded
+  :class:`~repro.parallel.sharding.ShardedStructureRegistry` with
+  advisory-lock exactly-once generation, and the ``"parallel"`` engine
+  (:class:`~repro.parallel.placer.ParallelPlacer`) fanning any inner
+  spec's batches across workers.
 * :mod:`repro.benchcircuits` / :mod:`repro.experiments` — the paper's
   benchmark circuits and table/figure reproductions.
 * :mod:`repro.viz` / :mod:`repro.utils` — rendering and shared utilities.
@@ -63,6 +70,7 @@ on-disk registry, caching and per-tier statistics)::
 """
 
 from repro.api import Placement, Placer, available_placers, make_placer
+from repro.parallel import ParallelPlacer, ShardedStructureRegistry, WorkerPool, open_registry
 from repro.service import PlacementService, StructureRegistry
 from repro.version import __version__
 
@@ -72,6 +80,10 @@ __all__ = [
     "Placer",
     "available_placers",
     "make_placer",
+    "ParallelPlacer",
     "PlacementService",
+    "ShardedStructureRegistry",
     "StructureRegistry",
+    "WorkerPool",
+    "open_registry",
 ]

@@ -13,8 +13,12 @@ kind            options (all optional)
                 ``fallback`` ("best_stored"/"template"), or a pre-built
                 ``structure`` (programmatic specs only)
 ``service``     ``registry`` (directory path), ``cache``, ``memo``,
-                ``scale``, ``seed``, ``workers``, ``fallback``, or a
-                shared ``service`` instance (programmatic specs only)
+                ``scale``, ``seed``, ``workers``, ``fallback``,
+                ``sharded`` (fingerprint-sharded registry layout), a full
+                ``config`` (GeneratorConfig), or a shared ``service``
+                instance (programmatic specs only)
+``parallel``    ``inner`` (any spec), ``workers``, ``reseed``
+                ("none"/"per_query"), ``start_method``, ``min_batch``
 ==============  ==========================================================
 
 ``mps`` and ``service`` specs built from plain JSON generate their
@@ -133,25 +137,37 @@ def make_service(
     seed: int = 0,
     workers: Optional[int] = None,
     fallback: str = "best_stored",
+    sharded: Optional[bool] = None,
+    config=None,
 ) -> Placer:
     """A placement-service-backed placer (``kind: "service"``).
 
     ``registry`` points the service at an on-disk structure library
-    (get-or-generate semantics); ``cache`` / ``memo`` bound the in-memory
-    LRU and per-structure memo table.  Passing a shared ``service``
-    instance lets several placers (and several circuits) ride one warm
-    service; passing a pre-built ``structure`` (programmatic specs only)
-    seeds the service so it never regenerates it.
+    (get-or-generate semantics) — flat or fingerprint-sharded layouts are
+    auto-detected, and ``sharded=True`` creates a fresh root sharded (the
+    layout that scales to many concurrent processes).  ``cache`` /
+    ``memo`` bound the in-memory LRU and per-structure memo table.
+    Passing a shared ``service`` instance lets several placers (and
+    several circuits) ride one warm service; passing a pre-built
+    ``structure`` (programmatic specs only) seeds the service so it never
+    regenerates it; passing a full ``config``
+    (:class:`~repro.core.generator.GeneratorConfig`) overrides the
+    ``scale``/``seed`` shorthand — this is how parallel workers rebuild a
+    service identical to the parent's.
     """
+    from repro.parallel.sharding import open_registry
     from repro.service.engine import PlacementService
     from repro.service.placer import ServicePlacer
-    from repro.service.registry import StructureRegistry
 
     if service is None:
-        structure_registry = StructureRegistry(registry) if registry is not None else None
+        structure_registry = (
+            open_registry(registry, sharded=sharded) if registry is not None else None
+        )
+        if config is None:
+            config = _scaled_config(circuit, scale, seed)
         service = PlacementService(
             structure_registry,
-            default_config=_scaled_config(circuit, scale, seed),
+            default_config=config,
             cache_capacity=cache,
             memo_capacity=memo,
             fallback_mode=fallback,
@@ -161,3 +177,36 @@ def make_service(
         _check_structure_matches(structure, circuit)
         service.adopt(structure)
     return ServicePlacer(service, circuit)
+
+
+def make_parallel(
+    circuit,
+    bounds=None,
+    *,
+    inner="template",
+    workers: int = 2,
+    reseed: str = "none",
+    start_method: Optional[str] = None,
+    min_batch: Optional[int] = None,
+) -> Placer:
+    """A process-pool fan-out around any inner engine (``kind: "parallel"``).
+
+    ``inner`` is itself a placer spec (dict, JSON string or kind name);
+    workers reconstruct it from the spec, so it must be declarative —
+    programmatic-only options (live ``structure`` / ``service`` objects)
+    cannot cross the process boundary.  Prefer a registry-backed
+    ``service`` inner spec so workers share one structure library instead
+    of each generating their own.  ``reseed="per_query"`` makes stochastic
+    inner engines deterministic at any worker count.
+    """
+    from repro.parallel.placer import ParallelPlacer
+
+    return ParallelPlacer(
+        circuit,
+        inner,
+        workers=workers,
+        bounds=bounds,
+        reseed=reseed,
+        start_method=start_method,
+        min_batch=min_batch,
+    )

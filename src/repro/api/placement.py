@@ -65,6 +65,25 @@ class Placement:
             object.__setattr__(self, "source", self.placer)
 
     # ------------------------------------------------------------------ #
+    # Pickling
+    # ------------------------------------------------------------------ #
+    # ``MappingProxyType`` cannot be pickled, which would bar placements
+    # from crossing process boundaries (the parallel worker pool returns
+    # them from placement jobs).  State travels as plain dicts and is
+    # re-frozen on arrival.
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        state["rects"] = dict(self.rects)
+        state["metadata"] = dict(self.metadata)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        for key, value in state.items():
+            if key in ("rects", "metadata"):
+                value = MappingProxyType(dict(value))  # type: ignore[arg-type]
+            object.__setattr__(self, key, value)
+
+    # ------------------------------------------------------------------ #
     # Cost and provenance
     # ------------------------------------------------------------------ #
     @property

@@ -43,6 +43,7 @@ _BUILTIN_FACTORIES: Dict[str, str] = {
     "annealing": "make_annealing",
     "mps": "make_mps",
     "service": "make_service",
+    "parallel": "make_parallel",
 }
 
 

@@ -13,6 +13,7 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, Union
 
+from repro.api.placement import Placement
 from repro.circuit.block import Block
 from repro.circuit.devices import DeviceType
 from repro.circuit.net import Net, Terminal
@@ -21,7 +22,9 @@ from repro.circuit.pin import Pin
 from repro.circuit.symmetry import SymmetryGroup
 from repro.core.placement_entry import DimensionRange
 from repro.core.structure import MultiPlacementStructure
+from repro.cost.cost_function import CostBreakdown
 from repro.geometry.floorplan import FloorplanBounds
+from repro.geometry.rect import Rect
 
 FORMAT_VERSION = 1
 
@@ -158,6 +161,59 @@ def structure_from_dict(data: Dict[str, Any]) -> MultiPlacementStructure:
             index=placement_data["index"],
         )
     return structure
+
+
+# --------------------------------------------------------------------------- #
+# Placement <-> dict
+# --------------------------------------------------------------------------- #
+def placement_to_dict(placement: Placement) -> Dict[str, Any]:
+    """Lossless plain-data form of a :class:`~repro.api.Placement`.
+
+    Unlike :meth:`Placement.as_dict` (a report format that drops the cost
+    breakdown and the dimension vector), this form round-trips through
+    :func:`placement_from_dict` exactly — it is the wire format placements
+    travel in between parallel workers and golden-fixture files.
+    """
+    return {
+        "placer": placement.placer,
+        "source": placement.source,
+        "elapsed_seconds": placement.elapsed_seconds,
+        "rects": {
+            name: [rect.x, rect.y, rect.w, rect.h]
+            for name, rect in placement.rects.items()
+        },
+        "cost": placement.cost.as_dict(),
+        "metadata": {
+            key: ([list(d) for d in value] if key == "dims" else value)  # type: ignore[union-attr]
+            for key, value in placement.metadata.items()
+        },
+    }
+
+
+def placement_from_dict(data: Dict[str, Any]) -> Placement:
+    """Rebuild a placement from :func:`placement_to_dict` output.
+
+    ``metadata["dims"]`` is restored to its tuple-of-tuples form; every
+    other metadata value must be JSON-native (which is all the built-in
+    engines store there).
+    """
+    metadata = {
+        key: (
+            tuple((int(w), int(h)) for w, h in value) if key == "dims" else value
+        )
+        for key, value in data.get("metadata", {}).items()
+    }
+    return Placement(
+        rects={
+            name: Rect(int(x), int(y), int(w), int(h))
+            for name, (x, y, w, h) in data["rects"].items()
+        },
+        cost=CostBreakdown(**{str(k): float(v) for k, v in data["cost"].items()}),
+        placer=data["placer"],
+        source=data.get("source", ""),
+        elapsed_seconds=data.get("elapsed_seconds", 0.0),
+        metadata=metadata,
+    )
 
 
 # --------------------------------------------------------------------------- #

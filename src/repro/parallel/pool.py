@@ -1,0 +1,274 @@
+"""The process-pool execution engine behind every parallel entry point.
+
+:class:`WorkerPool` owns a lazily started ``ProcessPoolExecutor`` and runs
+:mod:`repro.parallel.jobs` job specs on it.  Three design rules keep it
+predictable:
+
+* **Jobs, not objects** — only picklable job specs cross the boundary;
+  workers rebuild placers from declarative registry specs and cache them
+  for the pool's lifetime (see :mod:`repro.parallel.jobs`).
+* **Deterministic reassembly** — results are ordered by ``job_id`` and
+  queries keep their in-job order, so the output is a pure function of
+  the input batch regardless of worker count or completion order.
+* **Graceful degradation** — ``workers <= 1`` (or a tiny batch) runs the
+  same job functions inline in the calling process: identical results,
+  no pool overhead, and a single code path to test.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import multiprocessing
+
+from repro.api.placement import Dims, Placement
+from repro.parallel.jobs import (
+    JobResult,
+    RouteJob,
+    chunk_evenly,
+    make_placement_jobs,
+    run_placement_job,
+    run_route_job,
+)
+from repro.utils.logging_utils import get_logger
+
+LOGGER = get_logger("parallel.pool")
+
+#: Below this many unique queries a pool round-trip costs more than it saves.
+MIN_POOL_QUERIES = 4
+
+
+def _shutdown_executor(executor: ProcessPoolExecutor) -> None:
+    """Finalizer target: tear an abandoned executor down without blocking."""
+    executor.shutdown(wait=False, cancel_futures=True)
+
+
+def default_workers() -> int:
+    """A sensible worker count for this machine (at least 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def resolve_start_method(preferred: Optional[str] = None) -> str:
+    """The multiprocessing start method to use (prefer ``fork`` where legal).
+
+    ``fork`` shares the parent's imported modules copy-on-write, so worker
+    startup is milliseconds instead of a fresh interpreter; platforms
+    without it (Windows, macOS defaults) fall back to ``spawn``.
+    """
+    available = multiprocessing.get_all_start_methods()
+    if preferred is not None:
+        if preferred not in available:
+            raise ValueError(
+                f"start method {preferred!r} unavailable; choose from {available}"
+            )
+        return preferred
+    return "fork" if "fork" in available else "spawn"
+
+
+class WorkerPool:
+    """A reusable process pool that executes placement and routing jobs.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.  ``1`` (or ``0``/``None``) never
+        starts a pool — jobs run inline, bit-identically.
+    start_method:
+        ``"fork"`` / ``"spawn"`` / ``"forkserver"``; default picks
+        ``fork`` when the platform offers it.
+    min_pool_queries:
+        Smallest unique-query count worth a pool round-trip; smaller
+        batches run inline.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        min_pool_queries: int = MIN_POOL_QUERIES,
+    ) -> None:
+        self._workers = max(1, workers if workers is not None else default_workers())
+        self._start_method = resolve_start_method(start_method)
+        self._min_pool_queries = min_pool_queries
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._finalizer: Optional[weakref.finalize] = None
+        #: Cumulative pool counters (inline runs included).
+        self._counters: Dict[str, float] = {
+            "jobs": 0.0,
+            "pool_jobs": 0.0,
+            "inline_jobs": 0.0,
+            "batches": 0.0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def workers(self) -> int:
+        """Configured worker-process count."""
+        return self._workers
+
+    @property
+    def start_method(self) -> str:
+        """The multiprocessing start method the pool uses."""
+        return self._start_method
+
+    @property
+    def counters(self) -> Dict[str, float]:
+        """Cumulative job/batch counters (a live view; copy to freeze)."""
+        return dict(self._counters)
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            context = multiprocessing.get_context(self._start_method)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._workers, mp_context=context
+            )
+            # If the pool is abandoned without close(), reclaim the worker
+            # processes at garbage collection instead of interpreter exit.
+            self._finalizer = weakref.finalize(
+                self, _shutdown_executor, self._executor
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent; the pool restarts on next use)."""
+        if self._executor is not None:
+            self._finalizer.detach()
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Job execution
+    # ------------------------------------------------------------------ #
+    def run_jobs(
+        self,
+        jobs: Sequence[Any],
+        runner: Callable[[Any], JobResult],
+    ) -> List[JobResult]:
+        """Run ``jobs`` through ``runner`` and return results sorted by job id.
+
+        Uses the pool when it can pay for itself (more than one job and
+        more than one worker), otherwise runs inline.
+        """
+        self._counters["jobs"] += len(jobs)
+        if self._workers <= 1 or len(jobs) <= 1:
+            self._counters["inline_jobs"] += len(jobs)
+            results = [runner(job) for job in jobs]
+        else:
+            self._counters["pool_jobs"] += len(jobs)
+            executor = self._ensure_executor()
+            results = list(executor.map(runner, jobs))
+        return sorted(results, key=lambda result: result.job_id)
+
+    def place_batch(
+        self,
+        circuit_data: Dict[str, Any],
+        spec: Mapping[str, object],
+        queries: Sequence[Sequence[Dims]],
+        per_query_seeds: Optional[Sequence[int]] = None,
+        dedup: bool = True,
+    ) -> Tuple[List[Placement], Dict[str, float]]:
+        """Answer a placement batch: dedup, shard, fan out, reassemble.
+
+        Returns ``(placements, merged_stats)`` where ``placements`` is in
+        input order (duplicates share one result object) and
+        ``merged_stats`` sums the per-worker ``stats()`` counter deltas
+        plus pool-level ``pool_*`` counters.
+        """
+        self._counters["batches"] += 1
+        frozen = [tuple((int(w), int(h)) for w, h in query) for query in queries]
+        if dedup and per_query_seeds is None:
+            order: List[Tuple[Dims, ...]] = []
+            positions: Dict[Tuple[Dims, ...], List[int]] = {}
+            for position, query in enumerate(frozen):
+                if query not in positions:
+                    positions[query] = []
+                    order.append(query)
+                positions[query].append(position)
+        else:
+            # Per-query seeds make every query unique by construction.
+            order = list(frozen)
+            positions = {}
+
+        num_jobs = self._workers
+        if len(order) < max(self._min_pool_queries, 2):
+            num_jobs = 1
+        jobs = make_placement_jobs(
+            circuit_data, spec, order, num_jobs, per_query_seeds=per_query_seeds
+        )
+        job_results = self.run_jobs(jobs, run_placement_job)
+
+        unique_results: List[Placement] = []
+        merged: Dict[str, float] = {}
+        for job_result in job_results:
+            unique_results.extend(job_result.results)
+            for key, value in job_result.stats.items():
+                merged[key] = merged.get(key, 0.0) + value
+        merged["pool_jobs"] = float(len(job_results))
+        merged["pool_unique_queries"] = float(len(order))
+        merged["pool_dedup_hits"] = float(len(frozen) - len(order))
+        merged["pool_worker_processes"] = float(
+            len({result.worker_pid for result in job_results})
+        )
+
+        if positions:
+            results: List[Optional[Placement]] = [None] * len(frozen)
+            for key, result in zip(order, unique_results):
+                for position in positions[key]:
+                    results[position] = result
+            return results, merged  # type: ignore[return-value] # every slot filled
+        return unique_results, merged
+
+    def route_batch(
+        self,
+        circuit_data: Dict[str, Any],
+        rects_batch: Sequence[Mapping[str, Tuple[int, int, int, int]]],
+        router_config: Optional[object] = None,
+    ) -> Tuple[List[Any], Dict[str, float]]:
+        """Route a batch of placed floorplans across the pool.
+
+        ``rects_batch`` entries are plain ``{block: (x, y, w, h)}`` dicts;
+        returns ``(layouts, merged_stats)`` in input order.
+        """
+        self._counters["batches"] += 1
+        frozen = [
+            {name: tuple(int(v) for v in values) for name, values in rects.items()}
+            for rects in rects_batch
+        ]
+        num_jobs = self._workers if len(frozen) >= self._min_pool_queries else 1
+        chunks = chunk_evenly(frozen, num_jobs)
+        jobs = [
+            RouteJob(
+                circuit_data=circuit_data,
+                rects_batch=tuple(chunk),
+                router_config=router_config,
+                job_id=job_id,
+            )
+            for job_id, chunk in enumerate(chunks)
+        ]
+        job_results = self.run_jobs(jobs, run_route_job)
+        layouts: List[Any] = []
+        merged: Dict[str, float] = {}
+        for job_result in job_results:
+            layouts.extend(job_result.results)
+            for key, value in job_result.stats.items():
+                merged[key] = merged.get(key, 0.0) + value
+        merged["pool_jobs"] = float(len(job_results))
+        return layouts, merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "started" if self._executor is not None else "idle"
+        return (
+            f"WorkerPool(workers={self._workers}, "
+            f"start_method={self._start_method!r}, {state})"
+        )

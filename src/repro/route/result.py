@@ -65,6 +65,21 @@ class RoutedLayout:
         object.__setattr__(self, "nets", MappingProxyType(dict(self.nets)))
         object.__setattr__(self, "metadata", MappingProxyType(dict(self.metadata)))
 
+    # ``MappingProxyType`` cannot be pickled; plain-dict state lets routed
+    # layouts return from parallel routing workers (mirrors
+    # :meth:`repro.api.Placement.__getstate__`).
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        state["nets"] = dict(self.nets)
+        state["metadata"] = dict(self.metadata)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        for key, value in state.items():
+            if key in ("nets", "metadata"):
+                value = MappingProxyType(dict(value))  # type: ignore[arg-type]
+            object.__setattr__(self, key, value)
+
     # ------------------------------------------------------------------ #
     # Wirelength
     # ------------------------------------------------------------------ #

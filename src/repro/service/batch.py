@@ -41,6 +41,10 @@ class BatchResult:
     elapsed_seconds: float = 0.0
     #: Sources of the returned placements, tallied over *all* queries.
     source_counts: Dict[str, int] = field(default_factory=dict)
+    #: Merged worker/pool counters when the batch ran on a process pool
+    #: (``pool_jobs``, ``pool_worker_processes``, worker stats deltas, …);
+    #: empty for in-process batches.
+    pool_stats: Dict[str, float] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.results)

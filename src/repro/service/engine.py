@@ -17,7 +17,10 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, replace
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (parallel imports service)
+    from repro.parallel.pool import WorkerPool
 
 from repro.circuit.netlist import Circuit
 from repro.core.generator import GeneratorConfig, MultiPlacementGenerator
@@ -114,6 +117,31 @@ class ServiceStats:
         """An independent copy of the current counters."""
         return replace(self)
 
+    #: Counter fields that merge additively across workers (derived rates
+    #: and per-request tallies the parent already counts are excluded).
+    WORKER_MERGE_FIELDS = (
+        "memo_hits",
+        "structures_loaded",
+        "structures_generated",
+        "cache_hits",
+        "cache_misses",
+    )
+
+    def merge_worker_counters(self, counters: Mapping[str, float]) -> None:
+        """Fold a worker's ``ServiceStats.as_dict`` delta into these counters.
+
+        Only infrastructure counters merge: the parent service counts
+        queries, batches, tier hits and latency itself (from the results
+        it hands back), so merging those again would double-count.  What
+        the parent *cannot* see — which worker loaded or generated a
+        structure, hit its LRU, or answered from its memo table — flows in
+        here.
+        """
+        for name in self.WORKER_MERGE_FIELDS:
+            value = counters.get(name)
+            if isinstance(value, (int, float)) and value:
+                setattr(self, name, getattr(self, name) + int(value))
+
     def as_dict(self) -> Dict[str, float]:
         """Plain-data form for reports and benchmark output."""
         return {
@@ -178,6 +206,7 @@ class PlacementService:
     ) -> None:
         self._registry = registry
         self._default_config = default_config
+        self._cache_capacity = cache_capacity
         self._memo_capacity = memo_capacity
         self._fallback_mode = fallback_mode
         self._max_workers = max_workers
@@ -188,6 +217,10 @@ class PlacementService:
         self._default_router = default_router
         self._stats = ServiceStats()
         self._lock = threading.RLock()
+        # Process pools for the workers=N fan-out, keyed by worker count
+        # and reused across batches (workers cache their placers, so a
+        # warm pool answers from loaded structures).
+        self._pools: Dict[int, "WorkerPool"] = {}
 
     @property
     def registry(self) -> Optional[StructureRegistry]:
@@ -223,9 +256,15 @@ class PlacementService:
         Queries for the structure's circuit under ``config`` (default: the
         service's default config) are then served from it directly — the
         generation cost is never paid again, even without a registry.
+        When the service *has* a registry, the structure is persisted into
+        it too, so the ``workers=N`` process fan-out (whose workers answer
+        from the registry) and future services see the adopted structure
+        instead of regenerating a default one.
         """
         config = config if config is not None else self._default_config
         key = structure_key(structure.circuit, config)
+        if self._registry is not None:
+            self._registry.put(structure, config)
         with self._lock:
             memoizing = MemoizingInstantiator(
                 PlacementInstantiator(structure, fallback_mode=self._fallback_mode),
@@ -296,8 +335,20 @@ class PlacementService:
         dims_batch: Sequence[Sequence[Dims]],
         config: Optional[GeneratorConfig] = None,
         max_workers: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> BatchResult:
-        """Serve a whole batch of queries with deduplication and fan-out."""
+        """Serve a whole batch of queries with deduplication and fan-out.
+
+        ``max_workers`` sizes the historical in-process *thread* pool;
+        ``workers`` asks for a real *process* pool instead — the batch is
+        deduplicated, sharded into picklable jobs, and each worker rebuilds
+        a service over this service's registry (so the structure loads once
+        per worker and the per-worker :class:`ServiceStats` deltas merge
+        back into these counters).  Needs a registry; without one the call
+        degrades to the thread path.
+        """
+        if workers is not None and workers > 1 and self._registry is not None:
+            return self._instantiate_batch_processes(circuit, dims_batch, config, workers)
         with Timer() as timer:
             instantiator = self.instantiator_for(circuit, config)
             structure_circuit = instantiator.structure.circuit
@@ -324,6 +375,79 @@ class PlacementService:
                 stats.record_source(source, count)
             stats.total_seconds += timer.elapsed
         return batch
+
+    # ------------------------------------------------------------------ #
+    # Process fan-out
+    # ------------------------------------------------------------------ #
+    def _pool_for(self, workers: int) -> "WorkerPool":
+        from repro.parallel.pool import WorkerPool
+
+        with self._lock:
+            pool = self._pools.get(workers)
+            if pool is None:
+                pool = WorkerPool(workers=workers)
+                self._pools[workers] = pool
+            return pool
+
+    def _worker_spec(self, config: Optional[GeneratorConfig]) -> Dict[str, object]:
+        """The declarative spec a worker rebuilds this service from.
+
+        Ships the *resolved* generation config (never the ``scale`` name),
+        so the worker's registry keys match the parent's exactly.
+        """
+        assert self._registry is not None
+        config = config if config is not None else self._default_config
+        return {
+            "kind": "service",
+            "registry": str(self._registry.root),
+            "config": config if config is not None else GeneratorConfig(),
+            "cache": self._cache_capacity,
+            "memo": self._memo_capacity,
+            "fallback": self._fallback_mode,
+        }
+
+    def _instantiate_batch_processes(
+        self,
+        circuit: Circuit,
+        dims_batch: Sequence[Sequence[Dims]],
+        config: Optional[GeneratorConfig],
+        workers: int,
+    ) -> BatchResult:
+        from repro.core.serialization import circuit_to_dict
+
+        with Timer() as timer:
+            pool = self._pool_for(workers)
+            results, merged = pool.place_batch(
+                circuit_to_dict(circuit), self._worker_spec(config), dims_batch
+            )
+        source_counts: Dict[str, int] = {}
+        for result in results:
+            source_counts[result.source] = source_counts.get(result.source, 0) + 1
+        duplicates = int(merged.get("pool_dedup_hits", 0))
+        with self._lock:
+            stats = self._stats
+            stats.batches += 1
+            stats.queries += len(results)
+            stats.dedup_hits += duplicates
+            for source, count in source_counts.items():
+                stats.record_source(source, count)
+            stats.total_seconds += timer.elapsed
+            stats.merge_worker_counters(merged)
+        return BatchResult(
+            results=list(results),
+            unique_queries=int(merged.get("pool_unique_queries", len(results))),
+            duplicate_queries=duplicates,
+            elapsed_seconds=timer.elapsed,
+            source_counts=source_counts,
+            pool_stats=merged,
+        )
+
+    def close(self) -> None:
+        """Shut down any process pools the fan-out paths started."""
+        with self._lock:
+            pools, self._pools = self._pools, {}
+        for pool in pools.values():
+            pool.close()
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -374,6 +498,80 @@ class PlacementService:
                 self._stats.route_cache_hits += 1
             self._stats.route_seconds += timer.elapsed
         return layout
+
+    def route_batch(
+        self,
+        circuit: Circuit,
+        dims_batch: Sequence[Sequence[Dims]],
+        config: Optional[GeneratorConfig] = None,
+        router: Optional[RouterConfig] = None,
+        workers: Optional[int] = None,
+    ) -> List[Tuple[Placement, RoutedLayout]]:
+        """Serve a batch of placements *with* routed layouts.
+
+        Placements come from :meth:`instantiate_batch` (``workers`` fans
+        both stages across the same process pool); distinct floorplans are
+        then routed once each — first through the route cache, the cache
+        misses across the pool — and every duplicate shares the layout.
+        """
+        batch = self.instantiate_batch(circuit, dims_batch, config, workers=workers)
+        router_config = router if router is not None else self._default_router
+        skey = structure_key(
+            circuit, config if config is not None else self._default_config
+        )
+        with Timer() as timer:
+            # One routing job per distinct floorplan; cache hits never route.
+            order: List[RectsKey] = []
+            rects_by_key: Dict[RectsKey, Mapping[str, Rect]] = {}
+            for placement in batch.results:
+                key = rects_key(placement.rects)
+                if key not in rects_by_key:
+                    rects_by_key[key] = placement.rects
+                    order.append(key)
+            layouts: Dict[RectsKey, RoutedLayout] = {}
+            misses: List[RectsKey] = []
+            cache_hits = 0
+            for key in order:
+                cached = self._routes.get((skey, key, router_config))
+                if cached is not None:
+                    layouts[key] = cached
+                    cache_hits += 1
+                else:
+                    misses.append(key)
+            if misses:
+                if workers is not None and workers > 1 and len(misses) > 1:
+                    from repro.core.serialization import circuit_to_dict
+
+                    routed, _ = self._pool_for(workers).route_batch(
+                        circuit_to_dict(circuit),
+                        [
+                            {
+                                name: (rect.x, rect.y, rect.w, rect.h)
+                                for name, rect in rects_by_key[key].items()
+                            }
+                            for key in misses
+                        ],
+                        router_config,
+                    )
+                else:
+                    routed = [
+                        route_placement(
+                            circuit, rects_by_key[key], config=router_config
+                        )
+                        for key in misses
+                    ]
+                for key, layout in zip(misses, routed):
+                    layouts[key] = layout
+                    self._routes.put((skey, key, router_config), layout)
+        with self._lock:
+            self._stats.route_queries += len(batch.results)
+            self._stats.route_cache_hits += cache_hits
+            self._stats.route_seconds += timer.elapsed
+        return [
+            (placement.with_routing(layouts[rects_key(placement.rects)]),
+             layouts[rects_key(placement.rects)])
+            for placement in batch.results
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         registry = "none" if self._registry is None else str(self._registry.root)

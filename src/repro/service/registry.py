@@ -18,6 +18,7 @@ import json
 import os
 import tempfile
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -37,6 +38,9 @@ LOGGER = get_logger("service.registry")
 
 INDEX_NAME = "index.json"
 INDEX_FORMAT_VERSION = 1
+
+#: Temp files older than this are considered orphaned by a crashed writer.
+STALE_TEMP_SECONDS = 60.0
 
 
 @dataclass(frozen=True)
@@ -114,6 +118,7 @@ class StructureRegistry:
         self._lock = threading.RLock()
         self._entries: Dict[str, RegistryEntry] = {}
         self._stats = RegistryStats()
+        self.reap_temp_files()
         self._load_index()
 
     @property
@@ -244,6 +249,45 @@ class StructureRegistry:
     # ------------------------------------------------------------------ #
     # Maintenance
     # ------------------------------------------------------------------ #
+    def reload(self) -> None:
+        """Re-read the on-disk index, picking up other processes' writes.
+
+        The in-memory entry table is a point-in-time view; concurrent
+        services sharing one directory call this (under an advisory lock)
+        before deciding a structure is missing, so a sibling's freshly
+        indexed structure is never regenerated.
+        """
+        with self._lock:
+            self._load_index()
+
+    def reap_temp_files(self, max_age_seconds: float = STALE_TEMP_SECONDS) -> List[Path]:
+        """Delete orphaned ``*.tmp`` files left by crashed writers.
+
+        Atomic writes stage their payload in a ``.{name}.XXXX.tmp`` file
+        before :func:`os.replace`; a writer killed between the two steps
+        leaks the temp file forever.  Files younger than
+        ``max_age_seconds`` are left alone — they may belong to a write in
+        flight in another process.  Runs automatically on registry open;
+        returns the paths it removed.
+        """
+        reaped: List[Path] = []
+        now = time.time()
+        try:
+            candidates = list(self._root.iterdir())
+        except OSError:
+            return reaped
+        for path in candidates:
+            if not (path.is_file() and path.suffix == ".tmp"):
+                continue
+            try:
+                if now - path.stat().st_mtime < max_age_seconds:
+                    continue
+                path.unlink()
+                reaped.append(path)
+            except OSError:
+                continue  # a concurrent writer finished (or reaped) it first
+        return reaped
+
     def clear(self) -> None:
         """Delete every registered structure file and empty the index."""
         with self._lock:

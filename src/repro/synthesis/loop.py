@@ -14,8 +14,10 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
+from repro.annealing.acceptance import metropolis_accept
+from repro.annealing.schedule import AdaptiveSchedule
 from repro.api import Placement, Placer, make_placer
 from repro.route.batch import rects_key
 from repro.route.result import RoutedLayout
@@ -29,8 +31,52 @@ from repro.synthesis.parasitics import (
 )
 from repro.synthesis.performance import PerformanceReport, PerformanceSpec
 from repro.synthesis.sizing import SizingPoint
-from repro.utils.rng import RandomLike
+from repro.utils.rng import RandomLike, make_rng, stream_rng
 from repro.utils.timer import Timer
+
+
+#: Builtin engine kinds that answer every query independently of the
+#: previous ones — safe to shard across workers without reseeding.
+_STATELESS_KINDS = frozenset({"mps", "service", "template"})
+
+
+def _resolve_backend(
+    spec: Union[Mapping[str, object], str], circuit, config: "SynthesisConfig"
+) -> Placer:
+    """Build the backend for a declarative spec, honouring ``config.workers``.
+
+    In batched mode a spec-described backend is wrapped in the
+    ``parallel`` engine (unless it already is one), so the loop's batched
+    candidate evaluation actually fans across processes.  Stateless kinds
+    are wrapped only when there is more than one worker; every other kind
+    carries hidden RNG state across queries, so it is wrapped *at any
+    worker count* with ``reseed="per_query"`` — each query gets a
+    deterministic seed stream, which is what keeps the trajectory
+    bit-identical whether the batch runs on 1 worker or 8.  Hand-built
+    :class:`Placer` instances are never wrapped — the caller controls
+    their concurrency.
+    """
+    from repro.api.registry import normalize_spec
+
+    normalized = normalize_spec(spec)
+    kind = normalized.get("kind")
+    if config.workers > 0 and kind != "parallel":
+        if kind not in _STATELESS_KINDS:
+            return make_placer(
+                {
+                    "kind": "parallel",
+                    "inner": normalized,
+                    "workers": config.workers,
+                    "reseed": "per_query",
+                },
+                circuit,
+            )
+        if config.workers > 1:
+            return make_placer(
+                {"kind": "parallel", "inner": normalized, "workers": config.workers},
+                circuit,
+            )
+    return make_placer(normalized, circuit)
 
 
 @dataclass(frozen=True)
@@ -58,6 +104,19 @@ class SynthesisConfig:
     #: placements, so revisits would otherwise re-run the whole maze
     #: search for a byte-identical result.
     route_memo_capacity: int = 256
+    #: ``workers > 0`` switches :meth:`LayoutInclusiveSynthesis.run` to
+    #: *batched* candidate evaluation: each temperature step proposes
+    #: ``optimizer.moves_per_temperature`` candidates at once — every
+    #: candidate drawing from its own deterministic RNG stream — places
+    #: them through the backend's batch path (where a ``parallel`` or
+    #: ``service`` backend fans them across processes), and only then runs
+    #: the sequential first-accept Metropolis pass.  Because proposals and
+    #: acceptance never depend on how the batch was fanned out, the
+    #: trajectory is bit-identical at any worker count.  When the backend
+    #: is given as a declarative spec, it is additionally wrapped in
+    #: ``{"kind": "parallel", "workers": ...}`` so the batch really runs
+    #: concurrently.
+    workers: int = 0
 
 
 @dataclass
@@ -142,8 +201,9 @@ class LayoutInclusiveSynthesis:
         self._spec = spec
         # A declarative spec ({"kind": "mps", ...}, "template", JSON) is as
         # good as a hand-built placer.
+        self._owns_backend = not isinstance(backend, Placer)
         if not isinstance(backend, Placer):
-            backend = make_placer(backend, sizing_model.circuit)
+            backend = _resolve_backend(backend, sizing_model.circuit, config)
         self._backend = backend
         self._config = config
         self._seed = seed
@@ -161,16 +221,58 @@ class LayoutInclusiveSynthesis:
         """The placement backend in use."""
         return self._backend
 
+    def close(self) -> None:
+        """Release backend resources this loop created.
+
+        A spec backend built under ``workers > 0`` owns a process pool;
+        closing the loop shuts it down.  Hand-built placers passed in by
+        the caller are left alone.  Safe to call repeatedly — the loop
+        (and a wrapped backend's pool) restarts on the next use.
+        """
+        closer = getattr(self._backend, "close", None)
+        if self._owns_backend and callable(closer):
+            closer()
+
+    def __enter__(self) -> "LayoutInclusiveSynthesis":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # ------------------------------------------------------------------ #
     # Single-point evaluation
     # ------------------------------------------------------------------ #
     def evaluate(self, point: SizingPoint) -> SynthesisEvaluation:
         """Run the full sizes -> layout -> performance chain for one point."""
-        circuit = self._sizing_model.circuit
         dims = self._sizing_model.dims_for(point)
         with Timer() as placement_timer:
             placement = self._backend.place(dims)
         self._placement_seconds += placement_timer.elapsed
+        return self._complete_evaluation(point, placement)
+
+    def evaluate_batch(self, points: Sequence[SizingPoint]) -> List[SynthesisEvaluation]:
+        """Evaluate many sizing points, placing them through one batch call.
+
+        The placement stage goes through :meth:`Placer.place_batch` —
+        deduplicated and, for parallel/service backends, fanned across
+        worker processes — and each point's parasitics/performance chain
+        completes in input order, so the result list is a pure function of
+        ``points`` regardless of worker count.
+        """
+        dims_batch = [self._sizing_model.dims_for(point) for point in points]
+        with Timer() as placement_timer:
+            placements = self._backend.place_batch(dims_batch)
+        self._placement_seconds += placement_timer.elapsed
+        return [
+            self._complete_evaluation(point, placement)
+            for point, placement in zip(points, placements)
+        ]
+
+    def _complete_evaluation(
+        self, point: SizingPoint, placement: Placement
+    ) -> SynthesisEvaluation:
+        """Parasitics -> performance -> objective for an already-placed point."""
+        circuit = self._sizing_model.circuit
         config = self._config
         if self._router is not None:
             routed = self._route_memoized(placement)
@@ -230,11 +332,18 @@ class LayoutInclusiveSynthesis:
     # Full synthesis run
     # ------------------------------------------------------------------ #
     def run(self, initial: Optional[SizingPoint] = None) -> SynthesisResult:
-        """Anneal the sizing point against the layout-inclusive objective."""
+        """Anneal the sizing point against the layout-inclusive objective.
+
+        With ``config.workers > 0`` the annealing runs in *batched* mode
+        (see :attr:`SynthesisConfig.workers`); otherwise it is the
+        historical one-candidate-at-a-time loop.
+        """
         self._placement_seconds = 0.0
         self._routing_seconds = 0.0
         self._evaluations = 0
         self._best = None
+        if self._config.workers > 0:
+            return self._run_batched(initial)
         optimizer = SizingOptimizer(
             self._sizing_model.design_space,
             objective=lambda point: self.evaluate(point).objective,
@@ -253,5 +362,79 @@ class LayoutInclusiveSynthesis:
             backend=self._backend.name,
             routing_seconds=self._routing_seconds,
             history=list(anneal_result.cost_history),
+            backend_stats=stats or None,
+        )
+
+    def _run_batched(self, initial: Optional[SizingPoint]) -> SynthesisResult:
+        """Batched speculative annealing over the sizing space.
+
+        Mirrors the :class:`SizingOptimizer` schedule, but each temperature
+        step proposes the whole ``moves_per_temperature`` quota up front —
+        candidate ``i`` of step ``s`` perturbs the current point with the
+        RNG stream ``(base, s, i)`` — evaluates them in one
+        :meth:`evaluate_batch` call, and then runs the sequential
+        Metropolis pass in candidate order, keeping the first acceptance
+        (the rest were proposed from a state that no longer exists).  All
+        randomness is drawn from pure stream RNGs before any evaluation
+        happens, so the trajectory never depends on how the backend fanned
+        the batch out.
+        """
+        space = self._sizing_model.design_space
+        optimizer_config = self._config.optimizer
+        start = space.clamp(initial) if initial is not None else space.default_point()
+        # One draw from the caller's seed pins the whole run's streams.
+        base_seed = make_rng(self._seed).getrandbits(64)
+
+        with Timer() as timer:
+            current = dict(start)
+            current_cost = self.evaluate(start).objective
+            history: List[float] = [current_cost]
+            schedule = AdaptiveSchedule(
+                reference_cost=max(abs(current_cost), 1e-9),
+                fraction=optimizer_config.initial_temperature_fraction,
+                alpha=optimizer_config.alpha,
+            )
+            step = 0
+            while (
+                not schedule.finished(step)
+                and self._evaluations <= optimizer_config.max_iterations
+            ):
+                temperature = schedule.temperature(step)
+                quota = min(
+                    optimizer_config.moves_per_temperature,
+                    optimizer_config.max_iterations - self._evaluations + 1,
+                )
+                if quota <= 0:
+                    break
+                candidates = [
+                    space.perturb(
+                        current,
+                        stream_rng(base_seed, step, index),
+                        fraction=optimizer_config.perturb_fraction,
+                        step_fraction=optimizer_config.perturb_step_fraction,
+                    )
+                    for index in range(quota)
+                ]
+                evaluations = self.evaluate_batch(candidates)
+                accept_rng = stream_rng(base_seed, step, "accept")
+                for candidate, evaluation in zip(candidates, evaluations):
+                    if metropolis_accept(
+                        current_cost, evaluation.objective, temperature, accept_rng
+                    ):
+                        current = dict(candidate)
+                        current_cost = evaluation.objective
+                        history.append(current_cost)
+                        break  # later candidates were proposed from the old state
+                step += 1
+        assert self._best is not None
+        stats = self._backend.stats()
+        return SynthesisResult(
+            best=self._best,
+            evaluations=self._evaluations,
+            elapsed_seconds=timer.elapsed,
+            placement_seconds=self._placement_seconds,
+            backend=self._backend.name,
+            routing_seconds=self._routing_seconds,
+            history=history,
             backend_stats=stats or None,
         )

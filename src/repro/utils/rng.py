@@ -8,6 +8,7 @@ tests are deterministic.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Optional, Union
 
@@ -23,6 +24,31 @@ def make_rng(seed: RandomLike = None) -> random.Random:
     if isinstance(seed, random.Random):
         return seed
     return random.Random(seed)
+
+
+def stream_seed(base: int, *indices: object) -> int:
+    """A stable 64-bit seed for the stream identified by ``(base, *indices)``.
+
+    The mix goes through SHA-256 rather than Python's ``hash`` so the same
+    coordinates produce the same seed in every process (``PYTHONHASHSEED``
+    randomizes string hashing), which is what lets batched optimizers hand
+    each candidate its own RNG stream and stay bit-identical no matter how
+    many workers the batch is fanned across.
+    """
+    payload = ":".join([str(int(base))] + [repr(index) for index in indices])
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def stream_rng(base: int, *indices: object) -> random.Random:
+    """An independent :class:`random.Random` for the ``(base, *indices)`` stream.
+
+    Unlike :func:`spawn_rng`, this never consumes state from a parent RNG:
+    the stream is a pure function of its coordinates, so candidate ``i`` of
+    batch ``step`` draws the same numbers whether it is evaluated first,
+    last, or on another worker process entirely.
+    """
+    return random.Random(stream_seed(base, *indices))
 
 
 def spawn_rng(parent: random.Random, salt: Optional[int] = None) -> random.Random:

@@ -1,0 +1,127 @@
+"""Golden regression fixtures: fixed-seed end-to-end synthesis trajectories.
+
+Each scenario runs the full layout-inclusive synthesis chain with a pinned
+seed and compares its cost history, evaluation count, best objective and
+chosen placement against a fixture checked into ``fixtures/``.  Any change
+to the optimizer, the cost model, the placement engines or the batched
+parallel path that moves a trajectory shows up here as a diff — on purpose.
+
+Refresh after an *intentional* behavior change with::
+
+    PYTHONPATH=src python -m pytest tests/golden --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.instantiator import PlacementInstantiator
+from repro.synthesis.loop import LayoutInclusiveSynthesis, SynthesisConfig
+from repro.synthesis.opamp_design import two_stage_opamp_design
+from repro.synthesis.optimizer import SizingOptimizerConfig
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Relative tolerance for floating-point trajectory comparison.  The
+#: trajectories are deterministic pure-Python float math; the tolerance
+#: only absorbs last-ulp libm differences across platforms.
+REL = 1e-9
+
+
+def _run_template_sequential():
+    design = two_stage_opamp_design()
+    loop = LayoutInclusiveSynthesis(
+        design.sizing_model,
+        design.performance_model,
+        design.spec,
+        {"kind": "template"},
+        config=SynthesisConfig(optimizer=SizingOptimizerConfig(max_iterations=10)),
+        seed=11,
+    )
+    return loop.run()
+
+
+def _run_template_batched():
+    # The batched speculative-annealing path (workers=1 exercises the exact
+    # batch semantics without pool overhead; any worker count is
+    # bit-identical — see test_batched_loop.py).
+    design = two_stage_opamp_design()
+    loop = LayoutInclusiveSynthesis(
+        design.sizing_model,
+        design.performance_model,
+        design.spec,
+        {"kind": "template"},
+        config=SynthesisConfig(
+            optimizer=SizingOptimizerConfig(max_iterations=12), workers=1
+        ),
+        seed=11,
+    )
+    return loop.run()
+
+
+def _run_mps_sequential(structure):
+    design = two_stage_opamp_design()
+    loop = LayoutInclusiveSynthesis(
+        design.sizing_model,
+        design.performance_model,
+        design.spec,
+        PlacementInstantiator(structure),
+        config=SynthesisConfig(optimizer=SizingOptimizerConfig(max_iterations=10)),
+        seed=11,
+    )
+    return loop.run()
+
+
+def _snapshot(result) -> dict:
+    """The trajectory facts a fixture pins down."""
+    return {
+        "backend": result.backend,
+        "evaluations": result.evaluations,
+        "history": list(result.history),
+        "best_objective": result.best.objective,
+        "best_spec_penalty": result.best.spec_penalty,
+        "best_rects": {
+            name: [rect.x, rect.y, rect.w, rect.h]
+            for name, rect in sorted(result.best.placement.rects.items())
+        },
+    }
+
+
+def _check_against_fixture(name: str, result, update_golden: bool) -> None:
+    snapshot = _snapshot(result)
+    path = FIXTURES / f"{name}.json"
+    if update_golden:
+        FIXTURES.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    assert path.exists(), (
+        f"golden fixture {path} missing; generate it with --update-golden"
+    )
+    golden = json.loads(path.read_text())
+    assert snapshot["backend"] == golden["backend"]
+    assert snapshot["evaluations"] == golden["evaluations"]
+    assert snapshot["best_rects"] == golden["best_rects"]
+    assert len(snapshot["history"]) == len(golden["history"]), (
+        "trajectory length changed — the optimizer took a different path"
+    )
+    assert snapshot["history"] == pytest.approx(golden["history"], rel=REL)
+    assert snapshot["best_objective"] == pytest.approx(golden["best_objective"], rel=REL)
+    assert snapshot["best_spec_penalty"] == pytest.approx(
+        golden["best_spec_penalty"], rel=REL, abs=1e-12
+    )
+
+
+def test_golden_template_sequential(update_golden):
+    _check_against_fixture("template_sequential", _run_template_sequential(), update_golden)
+
+
+def test_golden_template_batched(update_golden):
+    _check_against_fixture("template_batched", _run_template_batched(), update_golden)
+
+
+def test_golden_mps_sequential(update_golden, generated_opamp_structure):
+    _check_against_fixture(
+        "mps_sequential", _run_mps_sequential(generated_opamp_structure), update_golden
+    )

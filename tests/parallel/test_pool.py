@@ -1,0 +1,151 @@
+"""Tests for the worker pool and its picklable job layer."""
+
+import pickle
+
+import pytest
+
+from repro.core.serialization import circuit_to_dict
+from repro.parallel.jobs import (
+    PlacementJob,
+    chunk_evenly,
+    make_placement_jobs,
+    run_placement_job,
+)
+from repro.parallel.pool import WorkerPool, default_workers, resolve_start_method
+from tests.conftest import build_chain_circuit
+
+
+@pytest.fixture(scope="module")
+def chain_data():
+    return circuit_to_dict(build_chain_circuit())
+
+
+def make_queries(n, unique=None):
+    unique = unique if unique is not None else n
+    vectors = [[(4 + i % 9, 4 + (i * 3) % 9)] * 4 for i in range(unique)]
+    return [vectors[i % unique] for i in range(n)]
+
+
+class TestChunking:
+    def test_chunks_cover_in_order(self):
+        chunks = chunk_evenly(list(range(10)), 3)
+        assert [len(c) for c in chunks] == [4, 3, 3]
+        assert [x for chunk in chunks for x in chunk] == list(range(10))
+
+    def test_more_chunks_than_items(self):
+        chunks = chunk_evenly([1, 2], 8)
+        assert chunks == [[1], [2]]
+
+    def test_empty_and_invalid(self):
+        assert chunk_evenly([], 4) == []
+        with pytest.raises(ValueError):
+            chunk_evenly([1], 0)
+
+
+class TestJobs:
+    def test_jobs_are_picklable(self, chain_data):
+        jobs = make_placement_jobs(chain_data, {"kind": "template"}, make_queries(6), 2)
+        assert len(jobs) == 2
+        for job in jobs:
+            clone = pickle.loads(pickle.dumps(job))
+            assert clone.queries == job.queries
+            assert clone.spec == job.spec
+
+    def test_run_job_inline_matches_direct_placement(self, chain_data):
+        queries = make_queries(4)
+        job = make_placement_jobs(chain_data, {"kind": "template"}, queries, 1)[0]
+        result = run_placement_job(job)
+        assert len(result.results) == 4
+        from repro.api import make_placer
+
+        direct = make_placer({"kind": "template"}, build_chain_circuit())
+        expected = [direct.place(query) for query in queries]
+        for got, want in zip(result.results, expected):
+            assert dict(got.rects) == dict(want.rects)
+            assert got.cost == want.cost
+
+    def test_per_query_seed_length_checked(self, chain_data):
+        with pytest.raises(ValueError):
+            PlacementJob(
+                circuit_data=chain_data,
+                spec={"kind": "template"},
+                queries=tuple(tuple(q) for q in make_queries(3)),
+                per_query_seeds=(1, 2),
+            )
+
+    def test_worker_cache_distinguishes_same_named_circuits(self):
+        # Regression: the worker placer cache used to key on circuit *name*,
+        # serving a stale engine for a different circuit with the same name.
+        small = circuit_to_dict(build_chain_circuit(num_blocks=4, name="chain"))
+        large = circuit_to_dict(build_chain_circuit(num_blocks=6, name="chain"))
+        job_small = make_placement_jobs(small, {"kind": "template"}, [[(6, 6)] * 4], 1)[0]
+        job_large = make_placement_jobs(large, {"kind": "template"}, [[(6, 6)] * 6], 1)[0]
+        run_placement_job(job_small)
+        result = run_placement_job(job_large)  # used to hit the 4-block placer
+        assert len(result.results[0].rects) == 6
+
+    def test_job_stats_report_worker_counters(self, chain_data):
+        job = make_placement_jobs(chain_data, {"kind": "template"}, make_queries(5), 1)[0]
+        result = run_placement_job(job)
+        assert result.stats.get("queries", 0) >= 1
+        assert result.worker_pid > 0
+
+
+class TestWorkerPool:
+    def test_start_method_resolution(self):
+        assert resolve_start_method() in ("fork", "spawn")
+        with pytest.raises(ValueError):
+            resolve_start_method("not-a-method")
+        assert default_workers() >= 1
+
+    def test_inline_and_pooled_results_identical(self, chain_data):
+        queries = make_queries(12, unique=6)
+        with WorkerPool(workers=1) as inline_pool:
+            inline, _ = inline_pool.place_batch(chain_data, {"kind": "template"}, queries)
+        with WorkerPool(workers=3) as pool:
+            pooled, stats = pool.place_batch(chain_data, {"kind": "template"}, queries)
+        assert len(inline) == len(pooled) == 12
+        for a, b in zip(inline, pooled):
+            assert dict(a.rects) == dict(b.rects)
+            assert a.cost == b.cost
+        assert stats["pool_unique_queries"] == 6
+        assert stats["pool_dedup_hits"] == 6
+
+    def test_duplicates_share_one_result_object(self, chain_data):
+        queries = make_queries(8, unique=2)
+        with WorkerPool(workers=2) as pool:
+            results, _ = pool.place_batch(chain_data, {"kind": "template"}, queries)
+        assert results[0] is results[2]
+        assert results[1] is results[3]
+
+    def test_pool_counters_accumulate(self, chain_data):
+        pool = WorkerPool(workers=1)
+        pool.place_batch(chain_data, {"kind": "template"}, make_queries(3))
+        pool.place_batch(chain_data, {"kind": "template"}, make_queries(3))
+        counters = pool.counters
+        assert counters["batches"] == 2
+        assert counters["jobs"] == 2
+        pool.close()
+
+    def test_close_is_idempotent_and_restartable(self, chain_data):
+        pool = WorkerPool(workers=2)
+        pool.place_batch(chain_data, {"kind": "template"}, make_queries(8))
+        pool.close()
+        pool.close()
+        results, _ = pool.place_batch(chain_data, {"kind": "template"}, make_queries(4))
+        assert len(results) == 4
+        pool.close()
+
+    def test_route_batch_on_pool(self, chain_data):
+        queries = make_queries(4, unique=2)
+        with WorkerPool(workers=2) as pool:
+            placements, _ = pool.place_batch(chain_data, {"kind": "template"}, queries)
+            rects_batch = [
+                {name: (rect.x, rect.y, rect.w, rect.h) for name, rect in p.rects.items()}
+                for p in placements
+            ]
+            layouts, stats = pool.route_batch(chain_data, rects_batch)
+        assert len(layouts) == 4
+        assert stats["route_queries"] == 4
+        for layout in layouts:
+            assert layout.total_wirelength >= 0

@@ -1,0 +1,141 @@
+"""Tests for the shard-aware registry and layout auto-detection."""
+
+import json
+
+import pytest
+
+from repro.core.generator import GeneratorConfig
+from repro.parallel.sharding import (
+    MARKER_NAME,
+    ShardedStructureRegistry,
+    advisory_lock,
+    open_registry,
+)
+from repro.service.registry import StructureRegistry
+from tests.conftest import build_chain_circuit
+
+SMOKE = GeneratorConfig.smoke(seed=7)
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ShardedStructureRegistry(tmp_path / "registry")
+
+
+class TestSharding:
+    def test_keys_land_in_prefix_shards(self, registry):
+        circuit = build_chain_circuit()
+        registry.get_or_generate(circuit, SMOKE)
+        key = registry.key_for(circuit, SMOKE)
+        shard_dir = registry.root / key[: registry.shard_chars]
+        assert shard_dir.is_dir()
+        assert (shard_dir / f"{key}.json").exists()
+        assert registry.keys() == [key]
+        assert len(registry) == 1
+
+    def test_distinct_configs_distinct_slots(self, registry):
+        circuit = build_chain_circuit()
+        registry.get_or_generate(circuit, SMOKE)
+        registry.get_or_generate(circuit, GeneratorConfig.smoke(seed=8))
+        assert len(registry) == 2
+
+    def test_fetch_generates_once_then_loads(self, registry):
+        circuit = build_chain_circuit()
+        _, generated = registry.fetch(circuit, SMOKE)
+        assert generated
+        _, generated = registry.fetch(circuit, SMOKE)
+        assert not generated
+        assert registry.stats.generations == 1
+        assert registry.stats.loads == 1
+
+    def test_cross_instance_visibility(self, registry):
+        # A structure put by one instance is immediately fetchable by a
+        # second instance sharing the root (the reload-under-lock path).
+        circuit = build_chain_circuit()
+        registry.get_or_generate(circuit, SMOKE)
+        sibling = ShardedStructureRegistry(registry.root)
+        structure, generated = sibling.fetch(circuit, SMOKE)
+        assert not generated
+        assert structure.num_placements > 0
+        assert sibling.contains(circuit, SMOKE)
+
+    def test_marker_pins_shard_chars(self, tmp_path):
+        root = tmp_path / "registry"
+        ShardedStructureRegistry(root, shard_chars=3)
+        reopened = ShardedStructureRegistry(root, shard_chars=1)
+        assert reopened.shard_chars == 3
+        with (root / MARKER_NAME).open() as handle:
+            assert json.load(handle)["shard_chars"] == 3
+
+    def test_entries_and_entry_lookup(self, registry):
+        circuit = build_chain_circuit()
+        registry.get_or_generate(circuit, SMOKE)
+        key = registry.key_for(circuit, SMOKE)
+        entries = registry.entries()
+        assert [entry.key for entry in entries] == [key]
+        assert registry.entry(key) == entries[0]
+        assert registry.entry("0" * 33) is None
+
+    def test_clear_empties_every_shard(self, registry):
+        circuit = build_chain_circuit()
+        registry.get_or_generate(circuit, SMOKE)
+        registry.get_or_generate(build_chain_circuit(num_blocks=3, name="c3"), SMOKE)
+        registry.clear()
+        assert len(registry) == 0
+        assert ShardedStructureRegistry(registry.root).keys() == []
+
+    def test_invalid_shard_chars_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardedStructureRegistry(tmp_path / "r", shard_chars=0)
+
+
+class TestOpenRegistry:
+    def test_fresh_root_defaults_to_flat(self, tmp_path):
+        assert isinstance(open_registry(tmp_path / "fresh"), StructureRegistry)
+
+    def test_fresh_root_sharded_on_request(self, tmp_path):
+        assert isinstance(
+            open_registry(tmp_path / "fresh", sharded=True), ShardedStructureRegistry
+        )
+
+    def test_existing_layouts_autodetected(self, tmp_path, generated_chain_structure):
+        flat_root = tmp_path / "flat"
+        StructureRegistry(flat_root).put(generated_chain_structure, SMOKE)
+        sharded_root = tmp_path / "sharded"
+        ShardedStructureRegistry(sharded_root)
+        assert isinstance(open_registry(flat_root), StructureRegistry)
+        assert isinstance(open_registry(sharded_root), ShardedStructureRegistry)
+
+    def test_layout_conflicts_raise(self, tmp_path, generated_chain_structure):
+        flat_root = tmp_path / "flat"
+        StructureRegistry(flat_root).put(generated_chain_structure, SMOKE)
+        with pytest.raises(ValueError):
+            open_registry(flat_root, sharded=True)
+        sharded_root = tmp_path / "sharded"
+        ShardedStructureRegistry(sharded_root)
+        with pytest.raises(ValueError):
+            open_registry(sharded_root, sharded=False)
+
+
+class TestAdvisoryLock:
+    def test_lock_creates_file_and_releases(self, tmp_path):
+        lock_path = tmp_path / "locks" / "key.lock"
+        with advisory_lock(lock_path):
+            assert lock_path.exists()
+        # Re-acquirable after release (same process).
+        with advisory_lock(lock_path):
+            pass
+
+    def test_reap_temp_files_across_shards(self, registry):
+        circuit = build_chain_circuit()
+        registry.get_or_generate(circuit, SMOKE)
+        key = registry.key_for(circuit, SMOKE)
+        shard_dir = registry.root / key[: registry.shard_chars]
+        stale = shard_dir / ".victim.json.abc.tmp"
+        stale.write_text("{}")
+        import os
+
+        os.utime(stale, (0, 0))  # pretend the writer died long ago
+        reaped = registry.reap_temp_files()
+        assert stale in reaped
+        assert not stale.exists()

@@ -1,0 +1,120 @@
+"""Shared machinery for the property-based test layer.
+
+These tests are *randomized but reproducible*: every case draws from a
+seeded :class:`random.Random` (no third-party property-testing dependency),
+runs many trials, and prints nothing unless an invariant breaks — in which
+case the seed in the test id pins the failure exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.circuit.block import Block
+from repro.circuit.devices import DeviceType
+from repro.circuit.net import Net, Terminal
+from repro.circuit.netlist import Circuit
+from repro.circuit.pin import Pin
+from repro.circuit.symmetry import SymmetryGroup
+
+#: Number of randomized trials per property (kept small; each is cheap).
+TRIALS = 25
+
+
+def random_block(rng: random.Random, name: str, symmetry_group: Optional[str] = None) -> Block:
+    """A block with random (but valid) dimension bounds and pins."""
+    min_w = rng.randint(2, 10)
+    min_h = rng.randint(2, 10)
+    # Every block keeps the conventional centre pin "c" (nets must reference
+    # pins that exist) plus a few random extras.
+    pins = {"c": Pin("c", 0.5, 0.5)}
+    for index in range(rng.randint(0, 3)):
+        pin_name = f"p{index}"
+        pins[pin_name] = Pin(pin_name, round(rng.random(), 3), round(rng.random(), 3))
+    return Block(
+        name=name,
+        min_w=min_w,
+        max_w=min_w + rng.randint(0, 12),
+        min_h=min_h,
+        max_h=min_h + rng.randint(0, 12),
+        device_type=rng.choice(list(DeviceType)),
+        generator=rng.choice([None, "mosfet", "capacitor", "resistor"]),
+        symmetry_group=symmetry_group,
+        pins=pins,
+    )
+
+
+def random_circuit(rng: random.Random, name: str = "prop") -> Circuit:
+    """A random multi-block circuit with nets and (sometimes) a symmetry group."""
+    num_blocks = rng.randint(2, 7)
+    block_names = [f"b{i}" for i in range(num_blocks)]
+    symmetry: Optional[SymmetryGroup] = None
+    symmetry_members: dict = {}
+    if num_blocks >= 4 and rng.random() < 0.5:
+        pair = (block_names[0], block_names[1])
+        self_symmetric = (block_names[2],) if rng.random() < 0.5 else ()
+        symmetry = SymmetryGroup("sym0", (pair,), self_symmetric)
+        symmetry_members = {name: "sym0" for name in pair + self_symmetric}
+
+    circuit = Circuit(name)
+    blocks = [
+        random_block(rng, block_name, symmetry_members.get(block_name))
+        for block_name in block_names
+    ]
+    for block in blocks:
+        circuit.add_block(block)
+
+    num_nets = rng.randint(1, num_blocks + 2)
+    for index in range(num_nets):
+        size = rng.randint(2, min(4, num_blocks))
+        members = rng.sample(block_names, size)
+        terminals = []
+        for member in members:
+            pin_names = sorted(blocks[block_names.index(member)].pins)
+            terminals.append(Terminal(member, rng.choice(pin_names)))
+        circuit.add_net(
+            Net(
+                name=f"n{index}",
+                terminals=tuple(terminals),
+                weight=round(rng.uniform(0.5, 3.0), 3),
+                external=rng.random() < 0.3,
+                io_position=(round(rng.random(), 3), round(rng.random(), 3)),
+            )
+        )
+    if symmetry is not None:
+        circuit.add_symmetry_group(symmetry)
+    return circuit
+
+
+def shuffled_clone(circuit: Circuit, rng: random.Random, name: Optional[str] = None) -> Circuit:
+    """The same topology re-declared with blocks and nets in shuffled order."""
+    clone = Circuit(name if name is not None else circuit.name)
+    blocks = list(circuit.blocks)
+    rng.shuffle(blocks)
+    for block in blocks:
+        clone.add_block(block)
+    nets = list(circuit.nets)
+    rng.shuffle(nets)
+    for net in nets:
+        # Terminal order inside a net is also declaration order; shuffle it too.
+        terminals = list(net.terminals)
+        rng.shuffle(terminals)
+        clone.add_net(
+            Net(
+                name=net.name,
+                terminals=tuple(terminals),
+                weight=net.weight,
+                external=net.external,
+                io_position=net.io_position,
+            )
+        )
+    groups = list(circuit.symmetry_groups)
+    rng.shuffle(groups)
+    for group in groups:
+        pairs = list(group.pairs)
+        rng.shuffle(pairs)
+        clone.add_symmetry_group(
+            SymmetryGroup(group.name, tuple(pairs), group.self_symmetric)
+        )
+    return clone

@@ -1,0 +1,144 @@
+"""Property: every serialization boundary round-trips losslessly.
+
+Circuits, multi-placement structures and placements all cross process and
+disk boundaries (registry files, worker pools, golden fixtures); each
+randomized case must survive ``to_dict -> json -> from_dict`` and pickling
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import random
+
+import pytest
+
+from repro.api.placement import Placement
+from repro.core.placement_entry import DimensionRange
+from repro.core.serialization import (
+    circuit_from_dict,
+    circuit_to_dict,
+    placement_from_dict,
+    placement_to_dict,
+    structure_from_dict,
+    structure_to_dict,
+)
+from repro.core.structure import MultiPlacementStructure
+from repro.cost.cost_function import CostBreakdown
+from repro.geometry.floorplan import FloorplanBounds
+from repro.geometry.rect import Rect
+from repro.service.fingerprint import circuit_fingerprint
+from tests.properties.conftest import TRIALS, random_circuit
+
+
+def random_placement(rng: random.Random) -> Placement:
+    """A random placement with a full cost breakdown and typical metadata."""
+    num = rng.randint(1, 6)
+    rects = {
+        f"b{i}": Rect(rng.randint(0, 40), rng.randint(0, 40), rng.randint(1, 12), rng.randint(1, 12))
+        for i in range(num)
+    }
+    cost = CostBreakdown(
+        total=round(rng.uniform(0, 500), 6),
+        wirelength=round(rng.uniform(0, 300), 6),
+        area=round(rng.uniform(0, 200), 6),
+        overlap=round(rng.uniform(0, 5), 6),
+        symmetry=round(rng.uniform(0, 5), 6),
+    )
+    metadata = {
+        "dims": tuple((rect.w, rect.h) for rect in rects.values()),
+        "placement_index": rng.randint(0, 9),
+        "memoized": rng.random() < 0.5,
+    }
+    if rng.random() < 0.3:
+        metadata["routing"] = {"routed_wirelength": round(rng.uniform(0, 100), 6)}
+    return Placement(
+        rects=rects,
+        cost=cost,
+        placer=rng.choice(["mps", "service", "template"]),
+        source=rng.choice(["structure", "nearest", "fallback"]),
+        elapsed_seconds=round(rng.uniform(0, 0.01), 9),
+        metadata=metadata,
+    )
+
+
+def random_structure(rng: random.Random) -> MultiPlacementStructure:
+    """A hand-built random structure (no generation run needed)."""
+    circuit = random_circuit(rng)
+    bounds = FloorplanBounds(rng.randint(30, 80), rng.randint(30, 80))
+    structure = MultiPlacementStructure(circuit, bounds)
+    if rng.random() < 0.7:
+        structure.set_fallback(
+            [(rng.randint(0, 20), rng.randint(0, 20)) for _ in circuit.blocks]
+        )
+    for _ in range(rng.randint(1, 5)):
+        ranges = []
+        for block in circuit.blocks:
+            w0 = rng.randint(block.min_w, block.max_w)
+            h0 = rng.randint(block.min_h, block.max_h)
+            ranges.append(
+                DimensionRange.from_tuple(
+                    (w0, rng.randint(w0, block.max_w), h0, rng.randint(h0, block.max_h))
+                )
+            )
+        average_cost = round(rng.uniform(1, 100), 6)
+        structure.add_placement(
+            anchors=[(rng.randint(0, 30), rng.randint(0, 30)) for _ in circuit.blocks],
+            ranges=ranges,
+            average_cost=average_cost,
+            best_cost=round(rng.uniform(0, average_cost), 6),
+            best_dims=[(rng.randint(2, 12), rng.randint(2, 12)) for _ in circuit.blocks],
+        )
+    return structure
+
+
+@pytest.mark.parametrize("seed", range(TRIALS))
+def test_circuit_round_trip(seed):
+    rng = random.Random(seed)
+    circuit = random_circuit(rng)
+    data = json.loads(json.dumps(circuit_to_dict(circuit)))
+    rebuilt = circuit_from_dict(data)
+    assert circuit_fingerprint(rebuilt) == circuit_fingerprint(circuit)
+    assert circuit_to_dict(rebuilt) == circuit_to_dict(circuit)
+    assert rebuilt.block_names() == circuit.block_names()
+
+
+@pytest.mark.parametrize("seed", range(TRIALS))
+def test_structure_round_trip(seed):
+    rng = random.Random(4000 + seed)
+    structure = random_structure(rng)
+    data = json.loads(json.dumps(structure_to_dict(structure)))
+    rebuilt = structure_from_dict(data)
+    assert structure_to_dict(rebuilt) == structure_to_dict(structure)
+    assert rebuilt.num_placements == structure.num_placements
+    assert rebuilt.fallback_anchors == structure.fallback_anchors
+
+
+@pytest.mark.parametrize("seed", range(TRIALS))
+def test_placement_round_trip(seed):
+    rng = random.Random(5000 + seed)
+    placement = random_placement(rng)
+    data = json.loads(json.dumps(placement_to_dict(placement)))
+    rebuilt = placement_from_dict(data)
+    assert dict(rebuilt.rects) == dict(placement.rects)
+    assert rebuilt.cost == placement.cost
+    assert rebuilt.placer == placement.placer
+    assert rebuilt.source == placement.source
+    assert rebuilt.elapsed_seconds == placement.elapsed_seconds
+    assert dict(rebuilt.metadata) == dict(placement.metadata)
+    # ``dims`` must come back as the tuple form accessors expect.
+    assert rebuilt.dims == placement.dims
+
+
+@pytest.mark.parametrize("seed", range(TRIALS))
+def test_placement_pickle_round_trip(seed):
+    rng = random.Random(6000 + seed)
+    placement = random_placement(rng)
+    rebuilt = pickle.loads(pickle.dumps(placement))
+    assert dict(rebuilt.rects) == dict(placement.rects)
+    assert rebuilt.cost == placement.cost
+    assert dict(rebuilt.metadata) == dict(placement.metadata)
+    # The rehydrated mapping is frozen again, not a mutable dict.
+    with pytest.raises(TypeError):
+        rebuilt.rects["new"] = Rect(0, 0, 1, 1)  # type: ignore[index]

@@ -1,0 +1,73 @@
+"""Property: orientation transforms obey their group algebra.
+
+The eight layout orientations form the dihedral group of the square;
+random pin offsets and footprints must round-trip through every
+orientation/inverse pair, involutions must self-invert, and offsets must
+stay inside the unit square.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry.transform import Orientation, oriented_dims, oriented_pin_offset
+from tests.properties.conftest import TRIALS
+
+#: Each orientation and the orientation that undoes it.
+INVERSES = {
+    Orientation.R0: Orientation.R0,
+    Orientation.R90: Orientation.R270,
+    Orientation.R180: Orientation.R180,
+    Orientation.R270: Orientation.R90,
+    Orientation.MX: Orientation.MX,
+    Orientation.MY: Orientation.MY,
+    Orientation.MX90: Orientation.MX90,
+    Orientation.MY90: Orientation.MY90,
+}
+
+
+@pytest.mark.parametrize("seed", range(TRIALS))
+@pytest.mark.parametrize("orientation", list(Orientation))
+def test_pin_offset_round_trips_through_inverse(seed, orientation):
+    rng = random.Random(seed)
+    fx, fy = rng.random(), rng.random()
+    gx, gy = oriented_pin_offset(fx, fy, orientation)
+    hx, hy = oriented_pin_offset(gx, gy, INVERSES[orientation])
+    assert hx == pytest.approx(fx, abs=1e-12)
+    assert hy == pytest.approx(fy, abs=1e-12)
+
+
+@pytest.mark.parametrize("seed", range(TRIALS))
+@pytest.mark.parametrize("orientation", list(Orientation))
+def test_pin_offset_stays_in_unit_square(seed, orientation):
+    rng = random.Random(500 + seed)
+    fx, fy = rng.random(), rng.random()
+    gx, gy = oriented_pin_offset(fx, fy, orientation)
+    assert 0.0 <= gx <= 1.0
+    assert 0.0 <= gy <= 1.0
+
+
+@pytest.mark.parametrize("seed", range(TRIALS))
+@pytest.mark.parametrize("orientation", list(Orientation))
+def test_dims_round_trip_and_swap_consistency(seed, orientation):
+    rng = random.Random(900 + seed)
+    w, h = rng.randint(1, 64), rng.randint(1, 64)
+    ow, oh = oriented_dims(w, h, orientation)
+    if orientation.swaps_dimensions:
+        assert (ow, oh) == (h, w)
+    else:
+        assert (ow, oh) == (w, h)
+    # Applying the inverse footprint transform restores the original.
+    assert oriented_dims(ow, oh, INVERSES[orientation]) == (w, h)
+    # Area is always preserved.
+    assert ow * oh == w * h
+
+
+@pytest.mark.parametrize("orientation", list(Orientation))
+def test_corner_pins_map_to_corners(orientation):
+    """Orientations permute the unit square's corners among themselves."""
+    corners = {(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)}
+    mapped = {oriented_pin_offset(fx, fy, orientation) for fx, fy in corners}
+    assert mapped == corners

@@ -112,3 +112,62 @@ class TestDurability:
         (root / INDEX_NAME).write_text(json.dumps({"format_version": 99, "entries": []}))
         with pytest.raises(ValueError):
             StructureRegistry(root)
+
+    def test_reload_picks_up_sibling_writes(self, registry, generated_chain_structure):
+        sibling = StructureRegistry(registry.root)
+        sibling.put(generated_chain_structure, SMOKE)
+        # The first instance read the index before the sibling's write...
+        assert len(registry) == 0
+        registry.reload()
+        assert len(registry) == 1
+
+
+class TestTempFileReaping:
+    """A writer killed between mkstemp and os.replace leaks a ``*.tmp`` file."""
+
+    def test_stale_temp_files_reaped_on_open(self, tmp_path):
+        import os
+
+        root = tmp_path / "registry"
+        root.mkdir()
+        stale = root / ".victim.json.abc123.tmp"
+        stale.write_text('{"partial": ')
+        os.utime(stale, (0, 0))  # crashed long ago
+        registry = StructureRegistry(root)
+        assert not stale.exists()
+        assert len(registry) == 0  # and it never shows up as an entry
+
+    def test_fresh_temp_files_survive(self, tmp_path):
+        # A young temp file may belong to a write in flight in another
+        # process; reaping it would break that writer's os.replace.
+        root = tmp_path / "registry"
+        root.mkdir()
+        fresh = root / ".victim.json.def456.tmp"
+        fresh.write_text('{"partial": ')
+        StructureRegistry(root)
+        assert fresh.exists()
+
+    def test_explicit_reap_with_zero_age(self, tmp_path):
+        root = tmp_path / "registry"
+        registry = StructureRegistry(root)
+        fresh = root / ".victim.json.xyz.tmp"
+        fresh.write_text('{"partial": ')
+        reaped = registry.reap_temp_files(max_age_seconds=0.0)
+        assert fresh in reaped
+        assert not fresh.exists()
+
+    def test_interrupted_save_structure_cleans_up(self, tmp_path, generated_chain_structure, monkeypatch):
+        # Force the final rename to fail: the temp file must not survive.
+        from repro.core import serialization
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(serialization.os, "replace", boom)
+        target = tmp_path / "structure.json"
+        with pytest.raises(OSError):
+            serialization.save_structure(generated_chain_structure, target)
+        monkeypatch.undo()
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+        assert not target.exists()
