@@ -47,6 +47,12 @@ Module map
   advisory-lock exactly-once generation, and the ``"parallel"`` engine
   (:class:`~repro.parallel.placer.ParallelPlacer`) fanning any inner
   spec's batches across workers.
+* :mod:`repro.obs` — observability: the process-local
+  :class:`~repro.obs.MetricsRegistry` (counters, gauges, bounded
+  histograms, Prometheus export), hierarchical :func:`~repro.obs.span`
+  tracing that re-parents worker-pool spans into the coordinator's
+  trace, Chrome-trace/JSONL exporters and run manifests. Off by
+  default; enabling it never perturbs an RNG.
 * :mod:`repro.benchcircuits` / :mod:`repro.experiments` — the paper's
   benchmark circuits and table/figure reproductions.
 * :mod:`repro.viz` / :mod:`repro.utils` — rendering and shared utilities.

@@ -28,10 +28,35 @@ from typing import Callable, Generic, List, Optional, Protocol, TypeVar
 
 from repro.annealing.acceptance import metropolis_accept
 from repro.annealing.schedule import CoolingSchedule, GeometricSchedule
+from repro.obs.spans import is_enabled as _obs_enabled, metrics as _obs_metrics, span
 from repro.utils.rng import RandomLike, make_rng
 from repro.utils.stats import RunningStats
 
 State = TypeVar("State")
+
+
+def _engine_eval_stats(engine: object) -> dict:
+    """Numeric ``stats()`` counters of a delta engine, if it exposes any.
+
+    The :class:`DeltaEngine` protocol does not require counters, but the
+    incremental evaluators behind the placement optimizers all report
+    moves/commits/reverts; the annealer mirrors their per-run deltas into
+    the observability metrics (``eval.*``) when tracing is on.
+    """
+    stats = getattr(engine, "stats", None)
+    if not callable(stats):
+        return {}
+    try:
+        raw = stats()
+    except Exception:  # pragma: no cover - defensive: stats must never abort a run
+        return {}
+    if not isinstance(raw, dict):
+        return {}
+    return {
+        key: value
+        for key, value in raw.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
 
 
 class DeltaEngine(Protocol[State]):
@@ -132,6 +157,17 @@ class SimulatedAnnealer(Generic[State]):
         self._history_stride = history_stride
         self._rng = make_rng(seed)
 
+    @staticmethod
+    def _flush_anneal_metrics(iterations: int, accepted: int, steps: int) -> None:
+        """Mirror one run's loop counters into the global obs metrics."""
+        if not _obs_enabled():
+            return
+        metrics = _obs_metrics()
+        metrics.inc("anneal.runs")
+        metrics.inc("anneal.iterations", iterations)
+        metrics.inc("anneal.accepted", accepted)
+        metrics.inc("anneal.temperature_steps", steps)
+
     def run(self, initial_state: State) -> AnnealResult[State]:
         """Anneal starting from ``initial_state`` and return the best state found."""
         if self._evaluate is None or self._propose is None:
@@ -149,25 +185,28 @@ class SimulatedAnnealer(Generic[State]):
         iterations = 0
         accepted = 0
         step = 0
-        while not self._schedule.finished(step) and iterations < self._max_iterations:
-            temperature = self._schedule.temperature(step)
-            for _ in range(self._moves):
-                if iterations >= self._max_iterations:
-                    break
-                candidate = self._propose(current, self._rng)
-                candidate_cost = self._evaluate(candidate)
-                iterations += 1
-                stats.add(candidate_cost)
-                if metropolis_accept(current_cost, candidate_cost, temperature, self._rng):
-                    current = candidate
-                    current_cost = candidate_cost
-                    accepted += 1
-                    if self._record_history and accepted % self._history_stride == 0:
-                        history.append(current_cost)
-                    if current_cost < best_cost:
-                        best = current
-                        best_cost = current_cost
-            step += 1
+        with span("anneal.run") as obs_span:
+            while not self._schedule.finished(step) and iterations < self._max_iterations:
+                temperature = self._schedule.temperature(step)
+                for _ in range(self._moves):
+                    if iterations >= self._max_iterations:
+                        break
+                    candidate = self._propose(current, self._rng)
+                    candidate_cost = self._evaluate(candidate)
+                    iterations += 1
+                    stats.add(candidate_cost)
+                    if metropolis_accept(current_cost, candidate_cost, temperature, self._rng):
+                        current = candidate
+                        current_cost = candidate_cost
+                        accepted += 1
+                        if self._record_history and accepted % self._history_stride == 0:
+                            history.append(current_cost)
+                        if current_cost < best_cost:
+                            best = current
+                            best_cost = current_cost
+                step += 1
+            obs_span.set(iterations=iterations, accepted=accepted, steps=step)
+            self._flush_anneal_metrics(iterations, accepted, step)
         return AnnealResult(
             best_state=best,
             best_cost=best_cost,
@@ -196,26 +235,38 @@ class SimulatedAnnealer(Generic[State]):
         iterations = 0
         accepted = 0
         step = 0
-        while not self._schedule.finished(step) and iterations < self._max_iterations:
-            temperature = self._schedule.temperature(step)
-            for _ in range(self._moves):
-                if iterations >= self._max_iterations:
-                    break
-                candidate_cost = engine.propose(self._rng)
-                iterations += 1
-                stats.add(candidate_cost)
-                if metropolis_accept(current_cost, candidate_cost, temperature, self._rng):
-                    engine.commit()
-                    current_cost = candidate_cost
-                    accepted += 1
-                    if self._record_history and accepted % self._history_stride == 0:
-                        history.append(current_cost)
-                    if current_cost < best_cost:
-                        best = engine.snapshot()
-                        best_cost = current_cost
-                else:
-                    engine.revert()
-            step += 1
+        with span("anneal.run_incremental") as obs_span:
+            eval_before = _engine_eval_stats(engine) if _obs_enabled() else {}
+            while not self._schedule.finished(step) and iterations < self._max_iterations:
+                temperature = self._schedule.temperature(step)
+                for _ in range(self._moves):
+                    if iterations >= self._max_iterations:
+                        break
+                    candidate_cost = engine.propose(self._rng)
+                    iterations += 1
+                    stats.add(candidate_cost)
+                    if metropolis_accept(current_cost, candidate_cost, temperature, self._rng):
+                        engine.commit()
+                        current_cost = candidate_cost
+                        accepted += 1
+                        if self._record_history and accepted % self._history_stride == 0:
+                            history.append(current_cost)
+                        if current_cost < best_cost:
+                            best = engine.snapshot()
+                            best_cost = current_cost
+                    else:
+                        engine.revert()
+                step += 1
+            obs_span.set(iterations=iterations, accepted=accepted, steps=step)
+            self._flush_anneal_metrics(iterations, accepted, step)
+            if _obs_enabled():
+                eval_after = _engine_eval_stats(engine)
+                if eval_after:
+                    metrics = _obs_metrics()
+                    for key, value in eval_after.items():
+                        delta = value - eval_before.get(key, 0)
+                        if delta:
+                            metrics.inc(f"eval.{key}", delta)
         return AnnealResult(
             best_state=best,
             best_cost=best_cost,

@@ -189,6 +189,18 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--skip-synthesis", action="store_true", help="skip the synthesis-loop comparison"
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="enable span tracing and write a Chrome trace-event JSON "
+        "(load it in chrome://tracing or Perfetto) covering the whole run",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="enable metrics collection and append a Prometheus-style "
+        "metrics dump to the report",
+    )
     args = parser.parse_args(argv)
     if args.list:
         for name in SECTIONS:
@@ -202,13 +214,32 @@ def main(argv=None) -> int:
         _validate_sections(args.only)
     except KeyError as exc:
         parser.error(str(exc.args[0]) if exc.args else str(exc))
-    report = build_report(
-        scale,
-        seed=args.seed,
-        include_synthesis=not args.skip_synthesis,
-        only=args.only,
-        backends=backends,
-    )
+    observing = bool(args.trace) or args.metrics
+    if observing:
+        from repro import obs
+
+        obs.configure(enabled=True)
+
+    def _run() -> str:
+        return build_report(
+            scale,
+            seed=args.seed,
+            include_synthesis=not args.skip_synthesis,
+            only=args.only,
+            backends=backends,
+        )
+
+    if observing:
+        with obs.span("experiments.report", scale=args.scale, seed=args.seed):
+            report = _run()
+        if args.trace:
+            obs.export_chrome_trace(args.trace)
+        if args.metrics:
+            report = "\n".join(
+                [report, "", "## Metrics", obs.metrics().to_prometheus()]
+            )
+    else:
+        report = _run()
     print(report)
     return 0
 

@@ -1,0 +1,85 @@
+"""Unified observability: metrics registry, span tracing, exporters.
+
+Every subsystem — service, registry, router, evaluator, worker pool,
+synthesis loop — reports into this one substrate:
+
+* :func:`metrics` — the process-global :class:`~repro.obs.MetricsRegistry`
+  of named counters, gauges and bounded-memory timing histograms
+  (``metrics().snapshot()`` → plain dict, ``metrics().to_prometheus()`` →
+  text exposition).
+* :func:`span` — hierarchical tracing: ``with span("service.instantiate_batch",
+  queries=64):`` opens a timed span parented on the thread's current one;
+  trace context propagates through :class:`~repro.parallel.pool.WorkerPool`
+  job specs so worker-side spans re-parent into the coordinator's trace.
+* :mod:`~repro.obs.exporters` — Chrome trace-event JSON
+  (``chrome://tracing`` / Perfetto), JSONL event logs, run manifests and
+  Prometheus/JSON metrics dumps.
+
+Everything is **off by default**: until :func:`configure` runs, a span is
+a single flag check and metrics mirroring is skipped, so fixed-seed
+trajectories (and their wall-clock) are untouched.  Enabling tracing never
+touches any RNG — identifiers come from a process-local counter — so the
+same trajectories stay bit-identical with tracing on.
+
+Quickstart::
+
+    from repro import obs
+
+    obs.configure(enabled=True, export_dir="runs/")   # auto-export each run
+    ... run a service batch / synthesis loop ...
+    print(obs.metrics().to_prometheus())
+    obs.export_chrome_trace("trace.json")             # or rely on export_dir
+"""
+
+from repro.obs.exporters import (
+    export_chrome_trace,
+    export_jsonl,
+    export_metrics,
+    export_run,
+    write_run_manifest,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import (
+    Span,
+    add_root_hook,
+    clear_spans,
+    clock,
+    configure,
+    current_span,
+    current_trace_id,
+    ingest_spans,
+    is_enabled,
+    metrics,
+    remote_span_capture,
+    reset,
+    span,
+    spans_snapshot,
+    trace_context,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "add_root_hook",
+    "clear_spans",
+    "clock",
+    "configure",
+    "current_span",
+    "current_trace_id",
+    "export_chrome_trace",
+    "export_jsonl",
+    "export_metrics",
+    "export_run",
+    "ingest_spans",
+    "is_enabled",
+    "metrics",
+    "remote_span_capture",
+    "reset",
+    "span",
+    "spans_snapshot",
+    "trace_context",
+    "write_run_manifest",
+]

@@ -1,0 +1,224 @@
+"""Trace and metrics exporters: Chrome trace events, JSONL, manifests.
+
+Three durable artifact formats come out of the in-memory span buffer and
+the metrics registry:
+
+* **Chrome trace-event JSON** (:func:`export_chrome_trace`) — loadable in
+  ``chrome://tracing`` and Perfetto.  Spans become complete (``"ph": "X"``)
+  events on a per-process/per-thread timeline, so a 4-worker batch shows
+  the coordinator lane plus one lane per worker PID.
+* **JSONL event logs** (:func:`export_jsonl`) — one span record per line,
+  grep- and pandas-friendly.
+* **Run manifests** (:func:`write_run_manifest`) — a single JSON document
+  tying a run label to its span count, wall-clock window, metrics
+  snapshot and sibling artifact paths.
+
+When :func:`repro.obs.configure` is given an ``export_dir``, every *root*
+span (one service batch, one routed batch, one synthesis run) triggers
+:func:`export_run` automatically on completion.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.obs import spans as _spans
+from repro.obs.spans import add_root_hook, metrics, spans_snapshot
+
+__all__ = [
+    "export_chrome_trace",
+    "export_jsonl",
+    "export_metrics",
+    "export_run",
+    "spans_to_chrome_events",
+    "write_run_manifest",
+]
+
+PathLike = Union[str, Path]
+
+
+def spans_to_chrome_events(records: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Convert span records to Chrome trace-event dicts.
+
+    Timestamps are microseconds relative to the earliest span in the set
+    (Chrome's viewer prefers small offsets over epoch-scale numbers); the
+    per-record wall-clock start is preserved under ``args.start_unix_s``.
+    """
+    if not records:
+        return []
+    origin = min(record["start"] for record in records)
+    events: List[Dict[str, Any]] = []
+    seen_lanes = set()
+    for record in records:
+        pid = int(record.get("pid", 0))
+        tid = int(record.get("tid", 0)) % 0x7FFFFFFF
+        args = {str(key): value for key, value in record.get("attrs", {}).items()}
+        args["trace_id"] = record["trace_id"]
+        args["span_id"] = record["span_id"]
+        if record.get("parent_id"):
+            args["parent_id"] = record["parent_id"]
+        args["start_unix_s"] = record["start"]
+        events.append(
+            {
+                "name": record["name"],
+                "cat": record["name"].split(".", 1)[0],
+                "ph": "X",
+                "ts": (record["start"] - origin) * 1e6,
+                "dur": record["duration"] * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+        if pid not in seen_lanes:
+            seen_lanes.add(pid)
+            role = "coordinator" if pid == os.getpid() else "worker"
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": f"{role} {pid}"},
+                }
+            )
+    return events
+
+
+def export_chrome_trace(
+    path: PathLike,
+    records: Optional[Sequence[Dict[str, Any]]] = None,
+    trace_id: Optional[str] = None,
+) -> Path:
+    """Write a Chrome trace-event JSON file and return its path.
+
+    ``records`` defaults to the buffered spans (optionally filtered to one
+    ``trace_id``).
+    """
+    if records is None:
+        records = spans_snapshot(trace_id)
+    payload = {
+        "traceEvents": spans_to_chrome_events(records),
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.obs", "span_count": len(records)},
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, sort_keys=True, default=str), encoding="utf-8")
+    return path
+
+
+def export_jsonl(
+    path: PathLike,
+    records: Optional[Sequence[Dict[str, Any]]] = None,
+    trace_id: Optional[str] = None,
+) -> Path:
+    """Write span records as JSON Lines and return the file path."""
+    if records is None:
+        records = spans_snapshot(trace_id)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+    return path
+
+
+def export_metrics(path: PathLike, fmt: str = "prometheus") -> Path:
+    """Write the global metrics snapshot as ``prometheus`` text or ``json``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if fmt == "prometheus":
+        path.write_text(metrics().to_prometheus(), encoding="utf-8")
+    elif fmt == "json":
+        path.write_text(
+            json.dumps(metrics().snapshot(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    else:
+        raise ValueError(f"unknown metrics format {fmt!r}; use 'prometheus' or 'json'")
+    return path
+
+
+def write_run_manifest(
+    path: PathLike,
+    label: str,
+    records: Optional[Sequence[Dict[str, Any]]] = None,
+    artifacts: Optional[Dict[str, str]] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write the run manifest tying a labelled run to its artifacts."""
+    if records is None:
+        records = spans_snapshot()
+    starts = [record["start"] for record in records]
+    ends = [record["start"] + record["duration"] for record in records]
+    manifest: Dict[str, Any] = {
+        "label": label,
+        "written_at": time.time(),
+        "host": platform.node(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "pid": os.getpid(),
+        "span_count": len(records),
+        "trace_ids": sorted({record["trace_id"] for record in records}),
+        "started_at": min(starts) if starts else None,
+        "finished_at": max(ends) if ends else None,
+        "artifacts": dict(artifacts or {}),
+        "metrics": metrics().snapshot(),
+    }
+    if extra:
+        manifest["extra"] = dict(extra)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True, default=str) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def export_run(
+    directory: PathLike,
+    label: str,
+    trace_id: Optional[str] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Path]:
+    """Write the full artifact set for one run into ``directory``.
+
+    Produces ``<label>.trace.json`` (Chrome), ``<label>.jsonl`` (event
+    log) and ``<label>.manifest.json`` (manifest + metrics snapshot);
+    returns the paths keyed by artifact kind.
+    """
+    directory = Path(directory)
+    records = spans_snapshot(trace_id)
+    safe = "".join(ch if ch.isalnum() or ch in "._-" else "_" for ch in label)
+    trace_path = export_chrome_trace(directory / f"{safe}.trace.json", records)
+    jsonl_path = export_jsonl(directory / f"{safe}.jsonl", records)
+    manifest_path = write_run_manifest(
+        directory / f"{safe}.manifest.json",
+        label,
+        records,
+        artifacts={"chrome_trace": str(trace_path), "jsonl": str(jsonl_path)},
+        extra=extra,
+    )
+    return {"chrome_trace": trace_path, "jsonl": jsonl_path, "manifest": manifest_path}
+
+
+def _auto_export_root(record: Dict[str, Any]) -> None:
+    """Root-span hook: export the finished trace when an export dir is set."""
+    directory = _spans._CONFIG.export_dir
+    if directory is None:
+        return
+    label = f"{record['name'].replace('.', '_')}-{record['trace_id']}"
+    try:
+        export_run(directory, label, trace_id=record["trace_id"])
+    except OSError:  # pragma: no cover - disk full / permissions
+        pass
+
+
+add_root_hook(_auto_export_root)

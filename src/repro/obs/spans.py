@@ -1,0 +1,468 @@
+"""Hierarchical span tracing with cross-process trace propagation.
+
+The tracing substrate follows three rules that keep it safe to leave
+compiled into every hot path:
+
+* **Off is (almost) free** — :func:`span` checks one module-level flag and
+  hands back a shared no-op context manager when tracing is disabled; no
+  allocation, no clock read, no lock.
+* **No RNG contact** — trace and span identifiers come from a process-local
+  monotonic counter plus the PID, never from :mod:`random` or
+  :mod:`uuid`, so enabling tracing cannot perturb a fixed-seed trajectory.
+* **Plain-data records** — a finished span is a JSON-ready dict; those
+  dicts cross process boundaries inside :class:`~repro.parallel.jobs.JobResult`
+  and re-parent into the coordinator's trace on merge
+  (:func:`trace_context` / :func:`remote_span_capture` / :func:`ingest_spans`).
+
+Clock discipline: durations come from :func:`clock` (``perf_counter``, the
+"span clock" that :class:`repro.utils.timer.Timer` also runs on), while
+start timestamps are wall-clock seconds so spans from different processes
+on one machine line up on a shared Chrome-trace timeline.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import contextlib
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "Span",
+    "clock",
+    "configure",
+    "current_span",
+    "current_trace_id",
+    "ingest_spans",
+    "is_enabled",
+    "metrics",
+    "remote_span_capture",
+    "reset",
+    "span",
+    "spans_snapshot",
+    "trace_context",
+]
+
+#: Default bound on the in-memory span buffer.
+DEFAULT_MAX_SPANS = 65536
+
+#: ``(trace_id, parent_span_id, origin_pid, submitted_wall_time)`` as shipped
+#: inside worker job specs.
+TraceContext = Tuple[str, str, int, float]
+
+
+def clock() -> float:
+    """The span clock: monotonic seconds (``time.perf_counter``)."""
+    return time.perf_counter()
+
+
+class _ObsConfig:
+    """Mutable module-level tracing configuration (one per process)."""
+
+    __slots__ = (
+        "enabled",
+        "span_metrics",
+        "export_dir",
+        "profile",
+        "profile_dir",
+        "jsonl_path",
+    )
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.span_metrics = True
+        self.export_dir: Optional[Path] = None
+        self.profile: Optional[str] = None
+        self.profile_dir: Optional[Path] = None
+        self.jsonl_path: Optional[Path] = None
+
+
+_CONFIG = _ObsConfig()
+_METRICS = MetricsRegistry()
+_BUFFER: Deque[Dict[str, Any]] = deque(maxlen=DEFAULT_MAX_SPANS)
+#: When set (worker-side job capture), finished spans land here instead of
+#: the buffer so the job can ship them back to the coordinator.
+_CAPTURE: Optional[List[Dict[str, Any]]] = None
+_IDS = itertools.count(1)
+_TLS = threading.local()
+_WRITE_LOCK = threading.Lock()
+_JSONL_HANDLE = None
+#: Called with the finished record of every *root* span (exporters hook in
+#: here to implement per-run auto-export); never called for child spans.
+_ROOT_HOOKS: List[Callable[[Dict[str, Any]], None]] = []
+#: Only one cProfile session can be active per process.
+_PROFILE_ACTIVE = False
+
+
+def _stack() -> List[Any]:
+    stack = getattr(_TLS, "stack", None)
+    if stack is None:
+        stack = []
+        _TLS.stack = stack
+    return stack
+
+
+def _next_id(kind: str = "s") -> str:
+    return f"{os.getpid():x}{kind}{next(_IDS):x}"
+
+
+def metrics() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _METRICS
+
+
+def is_enabled() -> bool:
+    """True when span tracing is on in this process."""
+    return _CONFIG.enabled
+
+
+def configure(
+    enabled: bool = True,
+    *,
+    max_spans: int = DEFAULT_MAX_SPANS,
+    span_metrics: bool = True,
+    jsonl: Optional[Union[str, Path]] = None,
+    export_dir: Optional[Union[str, Path]] = None,
+    profile: Optional[str] = None,
+    profile_dir: Optional[Union[str, Path]] = None,
+) -> None:
+    """Configure the process-wide observability substrate.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch.  When False every :func:`span` call returns a
+        shared no-op context and nothing below applies.
+    max_spans:
+        Bound on the in-memory span buffer (oldest spans fall off).
+    span_metrics:
+        Record every finished span's duration into the metrics histogram
+        ``span.<name>``.
+    jsonl:
+        When set, stream every finished span to this JSONL event log.
+    export_dir:
+        When set, every *root* span (a span with no parent — one service
+        batch, one routed batch, one synthesis run) writes a Chrome
+        trace-event file, a JSONL event log and a run manifest into this
+        directory on completion.
+    profile:
+        ``fnmatch`` pattern of span names to wrap in :mod:`cProfile`
+        (e.g. ``"service.instantiate_batch"`` or ``"synthesis.*"``).
+    profile_dir:
+        Directory receiving the per-span ``.prof`` dumps (defaults to
+        ``export_dir`` or the current directory).
+    """
+    global _BUFFER, _JSONL_HANDLE
+    with _WRITE_LOCK:
+        if _JSONL_HANDLE is not None:
+            _JSONL_HANDLE.close()
+            _JSONL_HANDLE = None
+        _CONFIG.enabled = enabled
+        _CONFIG.span_metrics = span_metrics
+        _CONFIG.export_dir = Path(export_dir) if export_dir is not None else None
+        _CONFIG.profile = profile
+        _CONFIG.profile_dir = Path(profile_dir) if profile_dir is not None else None
+        _CONFIG.jsonl_path = Path(jsonl) if jsonl is not None else None
+        if max_spans != (_BUFFER.maxlen or 0):
+            _BUFFER = deque(_BUFFER, maxlen=max_spans)
+        if enabled and _CONFIG.jsonl_path is not None:
+            _CONFIG.jsonl_path.parent.mkdir(parents=True, exist_ok=True)
+            _JSONL_HANDLE = _CONFIG.jsonl_path.open("a", encoding="utf-8")
+
+
+def reset() -> None:
+    """Disable tracing, drop buffered spans and zero the metrics registry."""
+    configure(enabled=False)
+    _BUFFER.clear()
+    _METRICS.reset()
+    stack = getattr(_TLS, "stack", None)
+    if stack:
+        stack.clear()
+
+
+class _Anchor:
+    """A synthetic parent representing a coordinator-side span in a worker."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+
+class _NullSpan:
+    """The shared no-op span handed out while tracing is disabled."""
+
+    __slots__ = ()
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+    parent_id: Optional[str] = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        """Discard attributes (tracing is off)."""
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live timed operation; use via ``with span("name", **attrs):``."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start_wall",
+        "duration",
+        "_start_perf",
+        "_profile",
+    )
+
+    def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.trace_id = ""
+        self.span_id = _next_id()
+        self.parent_id: Optional[str] = None
+        self.start_wall = 0.0
+        self.duration = 0.0
+        self._start_perf = 0.0
+        self._profile: Optional[cProfile.Profile] = None
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) attributes on the live span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        global _PROFILE_ACTIVE
+        stack = _stack()
+        if stack:
+            parent = stack[-1]
+            self.trace_id = parent.trace_id
+            self.parent_id = parent.span_id
+        else:
+            self.trace_id = _next_id("t")
+        stack.append(self)
+        pattern = _CONFIG.profile
+        if pattern is not None and not _PROFILE_ACTIVE and fnmatch(self.name, pattern):
+            self._profile = cProfile.Profile()
+            _PROFILE_ACTIVE = True
+            self._profile.enable()
+        self.start_wall = time.time()
+        self._start_perf = clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _PROFILE_ACTIVE
+        self.duration = clock() - self._start_perf
+        if self._profile is not None:
+            self._profile.disable()
+            _PROFILE_ACTIVE = False
+            self._dump_profile()
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:  # pragma: no cover - exits out of order
+            stack.remove(self)
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        _finish(self.to_dict())
+        return False
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The plain-data record of this span (JSON- and pickle-ready)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start_wall,
+            "duration": self.duration,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "attrs": dict(self.attrs),
+        }
+
+    def _dump_profile(self) -> None:
+        directory = _CONFIG.profile_dir or _CONFIG.export_dir or Path(".")
+        directory.mkdir(parents=True, exist_ok=True)
+        safe = self.name.replace("/", "_").replace(".", "_")
+        try:
+            self._profile.dump_stats(str(directory / f"{safe}-{self.span_id}.prof"))
+        except OSError:  # pragma: no cover - disk full / permissions
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Span({self.name!r}, span_id={self.span_id!r})"
+
+
+def span(name: str, **attrs: Any) -> Union[Span, _NullSpan]:
+    """Start a span named ``name`` (a context manager).
+
+    With tracing disabled this is a single flag check returning a shared
+    no-op context; enabled, the span parents onto the thread's current
+    span and lands in the in-memory buffer (and the exporters) on exit.
+    """
+    if not _CONFIG.enabled:
+        return _NULL_SPAN
+    return Span(name, attrs)
+
+
+def current_span() -> Optional[Union[Span, _Anchor]]:
+    """The innermost live span on this thread, if any."""
+    stack = getattr(_TLS, "stack", None)
+    return stack[-1] if stack else None
+
+
+def current_trace_id() -> Optional[str]:
+    """The trace id of the innermost live span, if any."""
+    current = current_span()
+    return current.trace_id if current is not None else None
+
+
+def _finish(record: Dict[str, Any]) -> None:
+    """Route a finished span record to the buffer, metrics and exporters."""
+    capture = _CAPTURE
+    if capture is not None:
+        capture.append(record)
+        return
+    _BUFFER.append(record)
+    if _CONFIG.span_metrics:
+        _METRICS.observe(f"span.{record['name']}", record["duration"])
+    handle = _JSONL_HANDLE
+    if handle is not None:
+        line = json.dumps(record, sort_keys=True, default=str)
+        with _WRITE_LOCK:
+            handle.write(line + "\n")
+            handle.flush()
+    if record["parent_id"] is None and _ROOT_HOOKS:
+        for hook in list(_ROOT_HOOKS):
+            hook(record)
+
+
+def add_root_hook(hook: Callable[[Dict[str, Any]], None]) -> None:
+    """Register ``hook`` to run on every finished *root* span record."""
+    if hook not in _ROOT_HOOKS:
+        _ROOT_HOOKS.append(hook)
+
+
+def ingest_spans(records: Sequence[Dict[str, Any]]) -> None:
+    """Merge span records produced in another process into this trace.
+
+    Worker-side records already carry the coordinator's trace id and a
+    parent pointing at the coordinator span that dispatched the job (see
+    :func:`remote_span_capture`), so ingestion is append + bookkeeping.
+    """
+    for record in records:
+        _BUFFER.append(record)
+        if _CONFIG.span_metrics:
+            _METRICS.observe(f"span.{record['name']}", record["duration"])
+        queue_seconds = record.get("attrs", {}).get("queue_seconds")
+        if isinstance(queue_seconds, (int, float)):
+            _METRICS.observe("pool.queue_seconds", float(queue_seconds))
+        handle = _JSONL_HANDLE
+        if handle is not None:
+            line = json.dumps(record, sort_keys=True, default=str)
+            with _WRITE_LOCK:
+                handle.write(line + "\n")
+                handle.flush()
+
+
+def spans_snapshot(trace_id: Optional[str] = None) -> List[Dict[str, Any]]:
+    """A copy of the buffered span records (optionally one trace only)."""
+    records = list(_BUFFER)
+    if trace_id is None:
+        return records
+    return [record for record in records if record["trace_id"] == trace_id]
+
+
+def clear_spans() -> None:
+    """Drop the buffered spans (metrics and configuration stay)."""
+    _BUFFER.clear()
+
+
+# ---------------------------------------------------------------------- #
+# Cross-process propagation
+# ---------------------------------------------------------------------- #
+def trace_context() -> Optional[TraceContext]:
+    """The propagation context a job spec should carry, or ``None``.
+
+    ``None`` when tracing is off or no span is live — job specs stay
+    byte-identical to the untraced ones in that case.
+    """
+    if not _CONFIG.enabled:
+        return None
+    current = current_span()
+    if current is None:
+        return None
+    return (current.trace_id, current.span_id, os.getpid(), time.time())
+
+
+@contextlib.contextmanager
+def remote_span_capture(
+    context: Optional[TraceContext],
+) -> Iterator[Optional[List[Dict[str, Any]]]]:
+    """Worker-side counterpart of :func:`trace_context`.
+
+    Inside the block, tracing is enabled and every finished span is
+    captured into the yielded list — parented under the coordinator span
+    named by ``context`` — instead of the worker's own buffer; the job
+    returns the list so the coordinator can :func:`ingest_spans` it.
+
+    Yields ``None`` (and changes nothing) when ``context`` is ``None`` or
+    when the "worker" is actually the coordinator process running the job
+    inline — there the thread-local span stack already parents correctly.
+    """
+    global _CAPTURE
+    if context is None or context[2] == os.getpid():
+        yield None
+        return
+    trace_id, parent_id, _origin_pid, _submitted = context
+    previous_enabled = _CONFIG.enabled
+    previous_capture = _CAPTURE
+    captured: List[Dict[str, Any]] = []
+    stack = _stack()
+    anchor = _Anchor(trace_id, parent_id)
+    _CONFIG.enabled = True
+    _CAPTURE = captured
+    stack.append(anchor)
+    try:
+        yield captured
+    finally:
+        if stack and stack[-1] is anchor:
+            stack.pop()
+        elif anchor in stack:  # pragma: no cover - unbalanced exits
+            stack.remove(anchor)
+        _CAPTURE = previous_capture
+        _CONFIG.enabled = previous_enabled

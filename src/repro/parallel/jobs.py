@@ -22,10 +22,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.api.placement import Dims, Placement
+from repro.obs.spans import TraceContext, remote_span_capture, span
 from repro.utils.timer import Timer
 
 #: Worker-process cache of reconstructed placers, keyed by job identity.
@@ -72,6 +74,11 @@ class PlacementJob:
     #: engines bit-identical at any worker count.  Stateless engines
     #: (mps / service / template) never need it.
     per_query_seeds: Optional[Tuple[int, ...]] = None
+    #: Observability propagation context (``repro.obs.trace_context()``):
+    #: when set, worker-side spans re-parent under the coordinator span
+    #: that dispatched this job.  ``None`` whenever tracing is off, so
+    #: traced and untraced job specs hash/pickle identically by default.
+    trace: Optional[TraceContext] = None
 
     def __post_init__(self) -> None:
         if self.per_query_seeds is not None and len(self.per_query_seeds) != len(self.queries):
@@ -91,6 +98,8 @@ class RouteJob:
     #: Router configuration (a plain picklable dataclass), or ``None``.
     router_config: Optional[object] = None
     job_id: int = 0
+    #: Observability propagation context (see :class:`PlacementJob`).
+    trace: Optional[TraceContext] = None
 
 
 @dataclass
@@ -105,6 +114,10 @@ class JobResult:
     elapsed_seconds: float = 0.0
     #: PID of the worker that ran the job (telemetry / tests).
     worker_pid: int = 0
+    #: Plain-dict span records produced in the worker process while the
+    #: job's trace capture was active; empty for inline/untraced jobs.
+    #: The coordinator re-parents these via ``repro.obs.ingest_spans``.
+    spans: List[Dict[str, Any]] = field(default_factory=list)
 
 
 def _build_placer(circuit_data: Dict[str, Any], spec: Mapping[str, object]):
@@ -119,7 +132,8 @@ def _worker_placer(job: PlacementJob):
     key = f"{circuit_data_key(job.circuit_data)}|{_freeze_spec(job.spec)}"
     placer = _WORKER_PLACERS.get(key)
     if placer is None:
-        placer = _build_placer(job.circuit_data, job.spec)
+        with span("worker.build_placer", kind=str(job.spec.get("kind"))):
+            placer = _build_placer(job.circuit_data, job.spec)
         _WORKER_PLACERS[key] = placer
     return placer
 
@@ -141,30 +155,39 @@ def run_placement_job(job: PlacementJob) -> JobResult:
 
     Module-level so it pickles by reference under any start method.
     """
-    with Timer() as timer:
-        if job.per_query_seeds is not None:
-            results: List[Placement] = []
-            stats: Dict[str, float] = {}
-            for seed, query in zip(job.per_query_seeds, job.queries):
-                spec = dict(job.spec)
-                spec["seed"] = seed
-                placer = _build_placer(job.circuit_data, spec)
-                results.append(placer.place(query))
-                for key, value in placer.stats().items():
-                    if isinstance(value, (int, float)):
-                        stats[key] = stats.get(key, 0.0) + value
-        else:
-            placer = _worker_placer(job)
-            before = dict(placer.stats())
-            results = placer.place_batch(list(job.queries))
-            stats = _stats_delta(before, placer.stats())
-    return JobResult(
-        job_id=job.job_id,
-        results=list(results),
-        stats=stats,
-        elapsed_seconds=timer.elapsed,
-        worker_pid=os.getpid(),
-    )
+    with remote_span_capture(job.trace) as captured:
+        with Timer() as timer:
+            with span(
+                "worker.job", job_id=job.job_id, queries=len(job.queries)
+            ) as job_span:
+                if job.trace is not None and job.trace[2] != os.getpid():
+                    # Time the job spent queued (and pickled) between the
+                    # coordinator's submit and this worker picking it up.
+                    job_span.set(queue_seconds=time.time() - job.trace[3])
+                if job.per_query_seeds is not None:
+                    results: List[Placement] = []
+                    stats: Dict[str, float] = {}
+                    for seed, query in zip(job.per_query_seeds, job.queries):
+                        spec = dict(job.spec)
+                        spec["seed"] = seed
+                        placer = _build_placer(job.circuit_data, spec)
+                        results.append(placer.place(query))
+                        for key, value in placer.stats().items():
+                            if isinstance(value, (int, float)):
+                                stats[key] = stats.get(key, 0.0) + value
+                else:
+                    placer = _worker_placer(job)
+                    before = dict(placer.stats())
+                    results = placer.place_batch(list(job.queries))
+                    stats = _stats_delta(before, placer.stats())
+        return JobResult(
+            job_id=job.job_id,
+            results=list(results),
+            stats=stats,
+            elapsed_seconds=timer.elapsed,
+            worker_pid=os.getpid(),
+            spans=list(captured) if captured else [],
+        )
 
 
 def run_route_job(job: RouteJob) -> JobResult:
@@ -173,24 +196,33 @@ def run_route_job(job: RouteJob) -> JobResult:
     from repro.geometry.rect import Rect
     from repro.route.router import GlobalRouter, RouterConfig
 
-    with Timer() as timer:
-        key = f"{circuit_data_key(job.circuit_data)}|{job.router_config!r}"
-        router = _WORKER_ROUTERS.get(key)
-        if router is None:
-            config = job.router_config if job.router_config is not None else RouterConfig()
-            router = GlobalRouter(circuit_from_dict(job.circuit_data), config=config)
-            _WORKER_ROUTERS[key] = router
-        results = [
-            router.route({name: Rect(*values) for name, values in rects.items()})
-            for rects in job.rects_batch
-        ]
-    return JobResult(
-        job_id=job.job_id,
-        results=results,
-        stats={"route_queries": float(len(results))},
-        elapsed_seconds=timer.elapsed,
-        worker_pid=os.getpid(),
-    )
+    with remote_span_capture(job.trace) as captured:
+        with Timer() as timer:
+            with span(
+                "worker.route_job", job_id=job.job_id, queries=len(job.rects_batch)
+            ) as job_span:
+                if job.trace is not None and job.trace[2] != os.getpid():
+                    job_span.set(queue_seconds=time.time() - job.trace[3])
+                key = f"{circuit_data_key(job.circuit_data)}|{job.router_config!r}"
+                router = _WORKER_ROUTERS.get(key)
+                if router is None:
+                    config = (
+                        job.router_config if job.router_config is not None else RouterConfig()
+                    )
+                    router = GlobalRouter(circuit_from_dict(job.circuit_data), config=config)
+                    _WORKER_ROUTERS[key] = router
+                results = [
+                    router.route({name: Rect(*values) for name, values in rects.items()})
+                    for rects in job.rects_batch
+                ]
+        return JobResult(
+            job_id=job.job_id,
+            results=results,
+            stats={"route_queries": float(len(results))},
+            elapsed_seconds=timer.elapsed,
+            worker_pid=os.getpid(),
+            spans=list(captured) if captured else [],
+        )
 
 
 def make_placement_jobs(
@@ -205,8 +237,11 @@ def make_placement_jobs(
     Contiguous chunks (rather than round-robin) keep each worker's memo
     locality and make reassembly a simple concatenation by ``job_id``.
     """
+    from repro.obs.spans import trace_context
+
     frozen = [tuple((int(w), int(h)) for w, h in query) for query in queries]
     chunks = chunk_evenly(frozen, num_jobs)
+    trace = trace_context()
     jobs: List[PlacementJob] = []
     start = 0
     for job_id, chunk in enumerate(chunks):
@@ -222,6 +257,7 @@ def make_placement_jobs(
                 queries=tuple(chunk),
                 job_id=job_id,
                 per_query_seeds=seeds,
+                trace=trace,
             )
         )
         start += len(chunk)

@@ -25,6 +25,13 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 import multiprocessing
 
 from repro.api.placement import Dims, Placement
+from repro.obs.spans import (
+    ingest_spans,
+    is_enabled as _obs_enabled,
+    metrics as _obs_metrics,
+    span,
+    trace_context,
+)
 from repro.parallel.jobs import (
     JobResult,
     RouteJob,
@@ -161,13 +168,27 @@ class WorkerPool:
         more than one worker), otherwise runs inline.
         """
         self._counters["jobs"] += len(jobs)
-        if self._workers <= 1 or len(jobs) <= 1:
-            self._counters["inline_jobs"] += len(jobs)
-            results = [runner(job) for job in jobs]
-        else:
-            self._counters["pool_jobs"] += len(jobs)
-            executor = self._ensure_executor()
-            results = list(executor.map(runner, jobs))
+        inline = self._workers <= 1 or len(jobs) <= 1
+        with span(
+            "pool.dispatch", jobs=len(jobs), workers=self._workers, inline=inline
+        ):
+            if inline:
+                self._counters["inline_jobs"] += len(jobs)
+                results = [runner(job) for job in jobs]
+            else:
+                self._counters["pool_jobs"] += len(jobs)
+                executor = self._ensure_executor()
+                results = list(executor.map(runner, jobs))
+            # Re-parent worker-side spans into this trace (records carry
+            # the coordinator's trace/span ids already; inline jobs return
+            # no records because their spans landed here directly).
+            for result in results:
+                if result.spans:
+                    ingest_spans(result.spans)
+        if _obs_enabled():
+            metrics = _obs_metrics()
+            metrics.inc("pool.jobs", len(jobs))
+            metrics.inc("pool.inline_jobs" if inline else "pool.pool_jobs", len(jobs))
         return sorted(results, key=lambda result: result.job_id)
 
     def place_batch(
@@ -186,6 +207,8 @@ class WorkerPool:
         plus pool-level ``pool_*`` counters.
         """
         self._counters["batches"] += 1
+        if _obs_enabled():
+            _obs_metrics().inc("pool.batches")
         frozen = [tuple((int(w), int(h)) for w, h in query) for query in queries]
         if dedup and per_query_seeds is None:
             order: List[Tuple[Dims, ...]] = []
@@ -241,18 +264,22 @@ class WorkerPool:
         returns ``(layouts, merged_stats)`` in input order.
         """
         self._counters["batches"] += 1
+        if _obs_enabled():
+            _obs_metrics().inc("pool.batches")
         frozen = [
             {name: tuple(int(v) for v in values) for name, values in rects.items()}
             for rects in rects_batch
         ]
         num_jobs = self._workers if len(frozen) >= self._min_pool_queries else 1
         chunks = chunk_evenly(frozen, num_jobs)
+        trace = trace_context()
         jobs = [
             RouteJob(
                 circuit_data=circuit_data,
                 rects_batch=tuple(chunk),
                 router_config=router_config,
                 job_id=job_id,
+                trace=trace,
             )
             for job_id, chunk in enumerate(chunks)
         ]

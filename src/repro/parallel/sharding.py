@@ -37,6 +37,7 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 from repro.circuit.netlist import Circuit
 from repro.core.generator import GeneratorConfig, MultiPlacementGenerator
 from repro.core.structure import MultiPlacementStructure
+from repro.obs.spans import clock, is_enabled as _obs_enabled, metrics as _obs_metrics, span
 from repro.service.fingerprint import structure_key
 from repro.service.registry import RegistryEntry, RegistryStats, StructureRegistry
 from repro.utils.logging_utils import get_logger
@@ -254,27 +255,46 @@ class ShardedStructureRegistry:
         """
         key = self.key_for(circuit, config)
         shard = self.shard_for(key)
-        structure = shard.get(circuit, config)
-        if structure is not None:
-            self._own_stats.loads += 1
-            return structure, False
-        with advisory_lock(self._lock_path(key)):
-            shard.reload()
+        with span("registry.fetch", circuit=circuit.name, sharded=True) as obs_span:
             structure = shard.get(circuit, config)
             if structure is not None:
                 self._own_stats.loads += 1
+                obs_span.set(hit=True)
+                if _obs_enabled():
+                    _obs_metrics().inc("registry.loads")
                 return structure, False
-            LOGGER.info(
-                "sharded registry miss for circuit %s (key %s); generating",
-                circuit.name,
-                key,
-            )
-            structure = MultiPlacementGenerator(
-                circuit, self._normalize(config)
-            ).generate()
-            shard.put(structure, config)
-            self._own_stats.generations += 1
-            return structure, True
+            lock_requested = clock()
+            with advisory_lock(self._lock_path(key)):
+                if _obs_enabled():
+                    # How long this process queued behind siblings for the
+                    # per-key generation lock — the cross-process
+                    # contention signal of the exactly-once path.
+                    _obs_metrics().observe(
+                        "registry.lock_wait_seconds", clock() - lock_requested
+                    )
+                shard.reload()
+                structure = shard.get(circuit, config)
+                if structure is not None:
+                    self._own_stats.loads += 1
+                    obs_span.set(hit=True, lock_waited=True)
+                    if _obs_enabled():
+                        _obs_metrics().inc("registry.loads")
+                    return structure, False
+                LOGGER.info(
+                    "sharded registry miss for circuit %s (key %s); generating",
+                    circuit.name,
+                    key,
+                )
+                obs_span.set(hit=False)
+                with span("registry.generate", circuit=circuit.name):
+                    structure = MultiPlacementGenerator(
+                        circuit, self._normalize(config)
+                    ).generate()
+                shard.put(structure, config)
+                self._own_stats.generations += 1
+                if _obs_enabled():
+                    _obs_metrics().inc("registry.generations")
+                return structure, True
 
     def get_or_generate(
         self,

@@ -33,6 +33,7 @@ from repro.circuit.netlist import Circuit
 from repro.cost.wirelength import hpwl, net_terminal_positions
 from repro.geometry.floorplan import FloorplanBounds
 from repro.geometry.rect import Rect
+from repro.obs.spans import is_enabled as _obs_enabled, metrics as _obs_metrics, span
 from repro.route.grid import DEFAULT_EDGE_CAPACITY, Edge, Node, RoutingGrid
 from repro.route.result import RoutedLayout, RoutedNet, Segment
 from repro.route.symmetry import NetPair, symmetric_net_pairs
@@ -93,7 +94,9 @@ class GlobalRouter:
     def route(self, rects: Mapping[str, Rect]) -> RoutedLayout:
         """Route all nets of the circuit over the placed ``rects``."""
         config = self._config
-        with Timer() as timer:
+        with span(
+            "route.route", circuit=self._circuit.name, nets=len(self._circuit.nets)
+        ) as obs_span, Timer() as timer:
             bounds = self._bounds if self._bounds is not None else derive_bounds(rects)
             grid = RoutingGrid(bounds, config.resolution, config.capacity)
             grid.add_blockages(rects.values())
@@ -203,6 +206,13 @@ class GlobalRouter:
                 )
                 for net in self._circuit.nets
             }
+            obs_span.set(iterations=iterations, overflow=grid.total_overflow)
+            if _obs_enabled():
+                metrics = _obs_metrics()
+                metrics.inc("route.routes")
+                metrics.inc("route.ripup_iterations", iterations)
+                if grid.total_overflow:
+                    metrics.inc("route.overflowed_layouts")
         return RoutedLayout(
             nets=nets,
             resolution=grid.resolution,

@@ -16,7 +16,6 @@ service transparently
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (parallel imports service)
@@ -34,6 +33,8 @@ from repro.core.instantiator import FALLBACK_BEST_STORED, PlacementInstantiator
 from repro.core.placement_entry import Dims
 from repro.core.structure import MultiPlacementStructure
 from repro.geometry.rect import Rect
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import is_enabled as _obs_enabled, metrics as _obs_metrics, span
 from repro.route.batch import RectsKey, rects_key
 from repro.route.result import RoutedLayout
 from repro.route.router import RouterConfig, route_placement
@@ -44,7 +45,6 @@ from repro.service.registry import StructureRegistry
 from repro.utils.timer import Timer
 
 
-@dataclass
 class ServiceStats:
     """Counters describing everything a :class:`PlacementService` served.
 
@@ -52,32 +52,89 @@ class ServiceStats:
     ``structure`` hit is the strict Equation 4/5 containment lookup, a
     ``nearest`` hit reuses the best legal stored placement outside every
     box, and ``fallback`` is the template placement of last resort.
+
+    Since the observability layer landed, the counters are *views* over a
+    :class:`~repro.obs.MetricsRegistry` (one private registry per stats
+    object, exposed as :attr:`metrics`) — attribute reads and ``+=``
+    updates behave exactly as the old dataclass fields did, and every
+    update is additionally mirrored into the process-global
+    ``repro.obs.metrics()`` registry under the same ``service.*`` names
+    while tracing is enabled.
     """
 
-    queries: int = 0
-    batches: int = 0
-    structure_hits: int = 0
-    nearest_hits: int = 0
-    fallback_hits: int = 0
-    #: Queries answered from a per-structure memo table.
-    memo_hits: int = 0
-    #: Batch queries answered by deduplication against the same batch.
-    dedup_hits: int = 0
-    #: Structures served from the on-disk registry.
-    structures_loaded: int = 0
-    #: Structures generated because no tier had them.
-    structures_generated: int = 0
-    #: Instantiators served from the in-memory LRU.
-    cache_hits: int = 0
-    cache_misses: int = 0
-    #: Wall-clock seconds spent answering queries (includes structure setup).
-    total_seconds: float = 0.0
-    #: Routing queries served (placements turned into routed layouts).
-    route_queries: int = 0
-    #: Routing queries answered from the route cache.
-    route_cache_hits: int = 0
-    #: Wall-clock seconds spent routing (cache hits included).
-    route_seconds: float = 0.0
+    #: Integer-valued counters, in :meth:`as_dict` order.
+    INT_FIELDS = (
+        "queries",
+        "batches",
+        "structure_hits",
+        "nearest_hits",
+        "fallback_hits",
+        #: Queries answered from a per-structure memo table.
+        "memo_hits",
+        #: Batch queries answered by deduplication against the same batch.
+        "dedup_hits",
+        #: Structures served from the on-disk registry.
+        "structures_loaded",
+        #: Structures generated because no tier had them.
+        "structures_generated",
+        #: Instantiators served from the in-memory LRU.
+        "cache_hits",
+        "cache_misses",
+        #: Routing queries served (placements turned into routed layouts).
+        "route_queries",
+        #: Routing queries answered from the route cache.
+        "route_cache_hits",
+    )
+    #: Seconds-valued counters (wall-clock answering / routing time).
+    FLOAT_FIELDS = ("total_seconds", "route_seconds")
+    _COUNTER_FIELDS = frozenset(INT_FIELDS + FLOAT_FIELDS)
+    #: Namespace the counters occupy in both registries.
+    METRIC_PREFIX = "service."
+
+    def __init__(self, **initial: float) -> None:
+        object.__setattr__(self, "_metrics", MetricsRegistry())
+        for name in self.INT_FIELDS + self.FLOAT_FIELDS:
+            self._metrics.counter(self.METRIC_PREFIX + name)
+        for name, value in initial.items():
+            if name not in self._COUNTER_FIELDS:
+                raise TypeError(f"unknown ServiceStats field {name!r}")
+            setattr(self, name, value)
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The backing metrics registry (counter names: ``service.*``)."""
+        return self._metrics
+
+    def __getattr__(self, name: str):
+        # Only reached for names without a real attribute — i.e. the
+        # counter fields, which live in the backing registry.
+        if name in ServiceStats._COUNTER_FIELDS:
+            value = self._metrics.counter(ServiceStats.METRIC_PREFIX + name).value
+            return float(value) if name in ServiceStats.FLOAT_FIELDS else int(value)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in self._COUNTER_FIELDS:
+            counter = self._metrics.counter(self.METRIC_PREFIX + name)
+            delta = float(value) - counter.value
+            counter.set(float(value))
+            if delta and _obs_enabled():
+                _obs_metrics().counter(self.METRIC_PREFIX + name).inc(delta)
+            return
+        object.__setattr__(self, name, value)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ServiceStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ServiceStats(queries={self.queries}, batches={self.batches}, "
+            f"structure_hits={self.structure_hits})"
+        )
 
     @property
     def tier_counts(self) -> Dict[str, int]:
@@ -115,7 +172,14 @@ class ServiceStats:
 
     def snapshot(self) -> "ServiceStats":
         """An independent copy of the current counters."""
-        return replace(self)
+        copy = ServiceStats()
+        for name in self.INT_FIELDS + self.FLOAT_FIELDS:
+            # Copy into the private registry directly: a snapshot is a
+            # read, so it must not mirror into the global metrics again.
+            copy._metrics.counter(self.METRIC_PREFIX + name).set(
+                self._metrics.counter(self.METRIC_PREFIX + name).value
+            )
+        return copy
 
     #: Counter fields that merge additively across workers (derived rates
     #: and per-request tallies the parent already counts are excluded).
@@ -316,10 +380,12 @@ class PlacementService:
         config: Optional[GeneratorConfig] = None,
     ) -> Placement:
         """Serve one placement for ``dims`` (given in ``circuit`` block order)."""
-        with Timer() as timer:
-            instantiator = self.instantiator_for(circuit, config)
-            mapped = _map_dims(circuit, instantiator.structure.circuit, dims)
-            result, from_memo = instantiator.instantiate_with_info(mapped)
+        with span("service.instantiate", circuit=circuit.name) as obs_span:
+            with Timer() as timer:
+                instantiator = self.instantiator_for(circuit, config)
+                mapped = _map_dims(circuit, instantiator.structure.circuit, dims)
+                result, from_memo = instantiator.instantiate_with_info(mapped)
+            obs_span.set(source=result.source, memo_hit=from_memo)
         with self._lock:
             stats = self._stats
             stats.queries += 1
@@ -327,6 +393,8 @@ class PlacementService:
             if from_memo:
                 stats.memo_hits += 1
             stats.total_seconds += timer.elapsed
+        if _obs_enabled():
+            _obs_metrics().observe("service.query_seconds", timer.elapsed)
         return result
 
     def instantiate_batch(
@@ -347,24 +415,37 @@ class PlacementService:
         back into these counters).  Needs a registry; without one the call
         degrades to the thread path.
         """
-        if workers is not None and workers > 1 and self._registry is not None:
-            return self._instantiate_batch_processes(circuit, dims_batch, config, workers)
-        with Timer() as timer:
-            instantiator = self.instantiator_for(circuit, config)
-            structure_circuit = instantiator.structure.circuit
-            if circuit.block_names() == structure_circuit.block_names():
-                mapped_batch = dims_batch
-            else:
-                mapped_batch = [
-                    _map_dims(circuit, structure_circuit, dims) for dims in dims_batch
-                ]
-            memo_hits_before = instantiator.memo_stats.hits
-            batch = instantiate_batch(
-                instantiator,
-                mapped_batch,
-                max_workers=max_workers if max_workers is not None else self._max_workers,
-            )
-            memo_delta = instantiator.memo_stats.hits - memo_hits_before
+        with span(
+            "service.instantiate_batch",
+            circuit=circuit.name,
+            queries=len(dims_batch),
+            workers=workers or 0,
+        ) as obs_span:
+            if workers is not None and workers > 1 and self._registry is not None:
+                batch = self._instantiate_batch_processes(
+                    circuit, dims_batch, config, workers
+                )
+                obs_span.set(
+                    unique=batch.unique_queries, dedup=batch.duplicate_queries
+                )
+                return batch
+            with Timer() as timer:
+                instantiator = self.instantiator_for(circuit, config)
+                structure_circuit = instantiator.structure.circuit
+                if circuit.block_names() == structure_circuit.block_names():
+                    mapped_batch = dims_batch
+                else:
+                    mapped_batch = [
+                        _map_dims(circuit, structure_circuit, dims) for dims in dims_batch
+                    ]
+                memo_hits_before = instantiator.memo_stats.hits
+                batch = instantiate_batch(
+                    instantiator,
+                    mapped_batch,
+                    max_workers=max_workers if max_workers is not None else self._max_workers,
+                )
+                memo_delta = instantiator.memo_stats.hits - memo_hits_before
+            obs_span.set(unique=batch.unique_queries, dedup=batch.duplicate_queries)
         with self._lock:
             stats = self._stats
             stats.batches += 1
@@ -374,6 +455,8 @@ class PlacementService:
             for source, count in batch.source_counts.items():
                 stats.record_source(source, count)
             stats.total_seconds += timer.elapsed
+        if _obs_enabled():
+            _obs_metrics().observe("service.batch_seconds", timer.elapsed)
         return batch
 
     # ------------------------------------------------------------------ #
@@ -485,18 +568,22 @@ class PlacementService:
         """
         router = router if router is not None else self._default_router
         config = config if config is not None else self._default_config
-        with Timer() as timer:
-            key = (structure_key(circuit, config), rects_key(rects), router)
-            layout = self._routes.get(key)
-            cached = layout is not None
-            if layout is None:
-                layout = route_placement(circuit, rects, config=router)
-                self._routes.put(key, layout)
+        with span("service.route", circuit=circuit.name) as obs_span:
+            with Timer() as timer:
+                key = (structure_key(circuit, config), rects_key(rects), router)
+                layout = self._routes.get(key)
+                cached = layout is not None
+                if layout is None:
+                    layout = route_placement(circuit, rects, config=router)
+                    self._routes.put(key, layout)
+            obs_span.set(cache_hit=cached)
         with self._lock:
             self._stats.route_queries += 1
             if cached:
                 self._stats.route_cache_hits += 1
             self._stats.route_seconds += timer.elapsed
+        if _obs_enabled():
+            _obs_metrics().observe("service.route_seconds", timer.elapsed)
         return layout
 
     def route_batch(
@@ -514,6 +601,25 @@ class PlacementService:
         then routed once each — first through the route cache, the cache
         misses across the pool — and every duplicate shares the layout.
         """
+        with span(
+            "service.route_batch",
+            circuit=circuit.name,
+            queries=len(dims_batch),
+            workers=workers or 0,
+        ) as obs_span:
+            return self._route_batch_inner(
+                circuit, dims_batch, config, router, workers, obs_span
+            )
+
+    def _route_batch_inner(
+        self,
+        circuit: Circuit,
+        dims_batch: Sequence[Sequence[Dims]],
+        config: Optional[GeneratorConfig],
+        router: Optional[RouterConfig],
+        workers: Optional[int],
+        obs_span,
+    ) -> List[Tuple[Placement, RoutedLayout]]:
         batch = self.instantiate_batch(circuit, dims_batch, config, workers=workers)
         router_config = router if router is not None else self._default_router
         skey = structure_key(
@@ -563,10 +669,13 @@ class PlacementService:
                 for key, layout in zip(misses, routed):
                     layouts[key] = layout
                     self._routes.put((skey, key, router_config), layout)
+        obs_span.set(unique_floorplans=len(order), route_cache_hits=cache_hits)
         with self._lock:
             self._stats.route_queries += len(batch.results)
             self._stats.route_cache_hits += cache_hits
             self._stats.route_seconds += timer.elapsed
+        if _obs_enabled():
+            _obs_metrics().observe("service.route_seconds", timer.elapsed)
         return [
             (placement.with_routing(layouts[rects_key(placement.rects)]),
              layouts[rects_key(placement.rects)])

@@ -27,6 +27,7 @@ from repro.circuit.netlist import Circuit
 from repro.core.generator import GeneratorConfig, MultiPlacementGenerator
 from repro.core.serialization import load_structure, save_structure
 from repro.core.structure import MultiPlacementStructure
+from repro.obs.spans import is_enabled as _obs_enabled, metrics as _obs_metrics, span
 from repro.service.fingerprint import (
     circuit_fingerprint,
     config_fingerprint,
@@ -223,19 +224,27 @@ class StructureRegistry:
         ``generated`` is True when the structure was built by this call
         (registry miss) and False when it was served from disk.
         """
-        structure = self.get(circuit, config)
-        if structure is not None:
-            return structure, False
-        LOGGER.info(
-            "registry miss for circuit %s (key %s); generating",
-            circuit.name,
-            self.key_for(circuit, config),
-        )
-        generator = MultiPlacementGenerator(circuit, self._normalize(config))
-        structure = generator.generate()
-        self.put(structure, config)
-        self._stats.generations += 1
-        return structure, True
+        with span("registry.fetch", circuit=circuit.name) as obs_span:
+            structure = self.get(circuit, config)
+            if structure is not None:
+                obs_span.set(hit=True)
+                if _obs_enabled():
+                    _obs_metrics().inc("registry.loads")
+                return structure, False
+            LOGGER.info(
+                "registry miss for circuit %s (key %s); generating",
+                circuit.name,
+                self.key_for(circuit, config),
+            )
+            obs_span.set(hit=False)
+            with span("registry.generate", circuit=circuit.name):
+                generator = MultiPlacementGenerator(circuit, self._normalize(config))
+                structure = generator.generate()
+            self.put(structure, config)
+            self._stats.generations += 1
+            if _obs_enabled():
+                _obs_metrics().inc("registry.generations")
+            return structure, True
 
     def get_or_generate(
         self,

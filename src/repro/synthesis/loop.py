@@ -19,6 +19,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 from repro.annealing.acceptance import metropolis_accept
 from repro.annealing.schedule import AdaptiveSchedule
 from repro.api import Placement, Placer, make_placer
+from repro.obs.spans import is_enabled as _obs_enabled, metrics as _obs_metrics, span
 from repro.route.batch import rects_key
 from repro.route.result import RoutedLayout
 from repro.route.router import GlobalRouter, RouterConfig, derive_bounds
@@ -244,11 +245,12 @@ class LayoutInclusiveSynthesis:
     # ------------------------------------------------------------------ #
     def evaluate(self, point: SizingPoint) -> SynthesisEvaluation:
         """Run the full sizes -> layout -> performance chain for one point."""
-        dims = self._sizing_model.dims_for(point)
-        with Timer() as placement_timer:
-            placement = self._backend.place(dims)
-        self._placement_seconds += placement_timer.elapsed
-        return self._complete_evaluation(point, placement)
+        with span("synthesis.evaluate"):
+            dims = self._sizing_model.dims_for(point)
+            with Timer() as placement_timer:
+                placement = self._backend.place(dims)
+            self._placement_seconds += placement_timer.elapsed
+            return self._complete_evaluation(point, placement)
 
     def evaluate_batch(self, points: Sequence[SizingPoint]) -> List[SynthesisEvaluation]:
         """Evaluate many sizing points, placing them through one batch call.
@@ -259,14 +261,15 @@ class LayoutInclusiveSynthesis:
         completes in input order, so the result list is a pure function of
         ``points`` regardless of worker count.
         """
-        dims_batch = [self._sizing_model.dims_for(point) for point in points]
-        with Timer() as placement_timer:
-            placements = self._backend.place_batch(dims_batch)
-        self._placement_seconds += placement_timer.elapsed
-        return [
-            self._complete_evaluation(point, placement)
-            for point, placement in zip(points, placements)
-        ]
+        with span("synthesis.evaluate_batch", points=len(points)):
+            dims_batch = [self._sizing_model.dims_for(point) for point in points]
+            with Timer() as placement_timer:
+                placements = self._backend.place_batch(dims_batch)
+            self._placement_seconds += placement_timer.elapsed
+            return [
+                self._complete_evaluation(point, placement)
+                for point, placement in zip(points, placements)
+            ]
 
     def _complete_evaluation(
         self, point: SizingPoint, placement: Placement
@@ -342,28 +345,42 @@ class LayoutInclusiveSynthesis:
         self._routing_seconds = 0.0
         self._evaluations = 0
         self._best = None
-        if self._config.workers > 0:
-            return self._run_batched(initial)
-        optimizer = SizingOptimizer(
-            self._sizing_model.design_space,
-            objective=lambda point: self.evaluate(point).objective,
-            config=self._config.optimizer,
-            seed=self._seed,
-        )
-        with Timer() as timer:
-            anneal_result = optimizer.run(initial)
-        assert self._best is not None
-        stats = self._backend.stats()
-        return SynthesisResult(
-            best=self._best,
-            evaluations=self._evaluations,
-            elapsed_seconds=timer.elapsed,
-            placement_seconds=self._placement_seconds,
+        with span(
+            "synthesis.run",
             backend=self._backend.name,
-            routing_seconds=self._routing_seconds,
-            history=list(anneal_result.cost_history),
-            backend_stats=stats or None,
-        )
+            workers=self._config.workers,
+            batched=self._config.workers > 0,
+        ) as obs_span:
+            if self._config.workers > 0:
+                result = self._run_batched(initial)
+            else:
+                optimizer = SizingOptimizer(
+                    self._sizing_model.design_space,
+                    objective=lambda point: self.evaluate(point).objective,
+                    config=self._config.optimizer,
+                    seed=self._seed,
+                )
+                with Timer() as timer:
+                    anneal_result = optimizer.run(initial)
+                assert self._best is not None
+                stats = self._backend.stats()
+                result = SynthesisResult(
+                    best=self._best,
+                    evaluations=self._evaluations,
+                    elapsed_seconds=timer.elapsed,
+                    placement_seconds=self._placement_seconds,
+                    backend=self._backend.name,
+                    routing_seconds=self._routing_seconds,
+                    history=list(anneal_result.cost_history),
+                    backend_stats=stats or None,
+                )
+            obs_span.set(evaluations=result.evaluations)
+            if _obs_enabled():
+                metrics = _obs_metrics()
+                metrics.inc("synthesis.runs")
+                metrics.inc("synthesis.evaluations", result.evaluations)
+                metrics.observe("synthesis.run_seconds", result.elapsed_seconds)
+        return result
 
     def _run_batched(self, initial: Optional[SizingPoint]) -> SynthesisResult:
         """Batched speculative annealing over the sizing space.

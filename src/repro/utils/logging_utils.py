@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import logging
 
+_CONSOLE_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+
 
 def get_logger(name: str) -> logging.Logger:
     """Return a logger under the ``repro`` namespace.
@@ -16,13 +18,23 @@ def get_logger(name: str) -> logging.Logger:
     return logging.getLogger(name)
 
 
-def enable_console_logging(level: int = logging.INFO) -> None:
-    """Attach a console handler to the ``repro`` root logger (idempotent)."""
+def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
+    """Attach a console handler to the ``repro`` root logger (idempotent).
+
+    Repeated calls never stack handlers; a second call with a different
+    ``level`` reconfigures the existing handler (level and formatter)
+    instead of silently keeping the first call's configuration.  Returns
+    the active handler.
+    """
     logger = logging.getLogger("repro")
     logger.setLevel(level)
-    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
-        handler = logging.StreamHandler()
-        handler.setFormatter(
-            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
-        )
-        logger.addHandler(handler)
+    for handler in logger.handlers:
+        if isinstance(handler, logging.StreamHandler):
+            handler.setLevel(level)
+            handler.setFormatter(logging.Formatter(_CONSOLE_FORMAT))
+            return handler
+    handler = logging.StreamHandler()
+    handler.setLevel(level)
+    handler.setFormatter(logging.Formatter(_CONSOLE_FORMAT))
+    logger.addHandler(handler)
+    return handler

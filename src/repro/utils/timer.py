@@ -1,9 +1,15 @@
-"""Wall-clock timing helpers used by the experiment harnesses."""
+"""Wall-clock timing helpers used by the experiment harnesses.
+
+:class:`Timer` runs on the span clock (:func:`repro.obs.clock`,
+``time.perf_counter``) — the same monotonic clock every traced span uses —
+so a timer reading and a span duration around the same region agree.
+"""
 
 from __future__ import annotations
 
-import time
-from typing import Optional
+from typing import List, Optional
+
+from repro.obs.spans import clock
 
 
 class Timer:
@@ -13,27 +19,56 @@ class Timer:
     ...     _ = sum(range(10))
     >>> t.elapsed >= 0.0
     True
+
+    :meth:`lap` records checkpoints without stopping the timer:
+
+    >>> with Timer() as t:
+    ...     first = t.lap()
+    ...     second = t.lap()
+    >>> first >= 0.0 and second >= 0.0
+    True
+    >>> len(t.laps)
+    2
     """
 
     def __init__(self) -> None:
         self._start: Optional[float] = None
         self._elapsed: float = 0.0
+        self._last_lap: Optional[float] = None
+        self.laps: List[float] = []
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        self._start = clock()
+        self._last_lap = self._start
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         if self._start is not None:
-            self._elapsed = time.perf_counter() - self._start
+            self._elapsed = clock() - self._start
             self._start = None
+            self._last_lap = None
 
     @property
     def elapsed(self) -> float:
         """Elapsed seconds (valid after the ``with`` block exits)."""
         if self._start is not None:
-            return time.perf_counter() - self._start
+            return clock() - self._start
         return self._elapsed
+
+    def lap(self) -> float:
+        """Record a checkpoint: seconds since the previous lap (or start).
+
+        The lap duration is appended to :attr:`laps` and returned.  Only
+        valid while the timer is running.
+        """
+        if self._start is None:
+            raise RuntimeError("lap() is only valid inside the timer's with-block")
+        now = clock()
+        assert self._last_lap is not None
+        duration = now - self._last_lap
+        self._last_lap = now
+        self.laps.append(duration)
+        return duration
 
 
 def format_duration(seconds: float) -> str:

@@ -125,3 +125,45 @@ def test_golden_mps_sequential(update_golden, generated_opamp_structure):
     _check_against_fixture(
         "mps_sequential", _run_mps_sequential(generated_opamp_structure), update_golden
     )
+
+
+# --------------------------------------------------------------------- #
+# Tracing must be a pure observer: the same fixed-seed runs, executed
+# with the observability layer fully enabled, must reproduce the same
+# fixtures bit for bit (span/trace ids come from a counter, never an RNG).
+# These always *compare* — the untraced tests above own fixture refresh.
+# --------------------------------------------------------------------- #
+def _run_traced(runner):
+    from repro import obs
+
+    obs.configure(enabled=True)
+    try:
+        result = runner()
+        assert obs.spans_snapshot(), "tracing was enabled but recorded no spans"
+        return result
+    finally:
+        obs.reset()
+
+
+def test_golden_template_sequential_traced(update_golden):
+    if update_golden:
+        pytest.skip("fixtures refresh from the untraced runs")
+    _check_against_fixture(
+        "template_sequential", _run_traced(_run_template_sequential), False
+    )
+
+
+def test_golden_template_batched_traced(update_golden):
+    if update_golden:
+        pytest.skip("fixtures refresh from the untraced runs")
+    _check_against_fixture("template_batched", _run_traced(_run_template_batched), False)
+
+
+def test_golden_mps_sequential_traced(update_golden, generated_opamp_structure):
+    if update_golden:
+        pytest.skip("fixtures refresh from the untraced runs")
+    _check_against_fixture(
+        "mps_sequential",
+        _run_traced(lambda: _run_mps_sequential(generated_opamp_structure)),
+        False,
+    )

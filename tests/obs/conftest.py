@@ -1,0 +1,20 @@
+"""Shared fixtures for the observability tests.
+
+The obs substrate is process-global state (config flag, span buffer,
+metrics registry), so every test in this package starts and ends from the
+pristine disabled state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Reset the observability substrate around every test."""
+    obs.reset()
+    yield
+    obs.reset()

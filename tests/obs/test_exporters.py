@@ -1,0 +1,130 @@
+"""Tests for the Chrome-trace / JSONL / manifest exporters."""
+
+import json
+import os
+
+from repro import obs
+
+
+def _run_tiny_trace():
+    obs.configure(enabled=True)
+    with obs.span("batch.root", queries=2):
+        with obs.span("batch.child"):
+            pass
+    obs.metrics().inc("demo.counter", 5)
+
+
+class TestChromeTrace:
+    def test_export_is_valid_json_with_complete_events(self, tmp_path):
+        _run_tiny_trace()
+        path = obs.export_chrome_trace(tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        complete = [event for event in events if event["ph"] == "X"]
+        assert {event["name"] for event in complete} == {"batch.root", "batch.child"}
+        for event in complete:
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert event["pid"] == os.getpid()
+        metadata = [event for event in events if event["ph"] == "M"]
+        assert any("coordinator" in event["args"]["name"] for event in metadata)
+
+    def test_parent_links_preserved_in_args(self, tmp_path):
+        _run_tiny_trace()
+        payload = json.loads(obs.export_chrome_trace(tmp_path / "t.json").read_text())
+        by_name = {
+            event["name"]: event
+            for event in payload["traceEvents"]
+            if event["ph"] == "X"
+        }
+        child = by_name["batch.child"]
+        root = by_name["batch.root"]
+        assert child["args"]["parent_id"] == root["args"]["span_id"]
+        assert child["args"]["trace_id"] == root["args"]["trace_id"]
+        assert root["args"]["queries"] == 2
+
+    def test_trace_id_filter(self, tmp_path):
+        obs.configure(enabled=True)
+        with obs.span("first") as first:
+            pass
+        with obs.span("second"):
+            pass
+        payload = json.loads(
+            obs.export_chrome_trace(
+                tmp_path / "one.json", trace_id=first.trace_id
+            ).read_text()
+        )
+        names = {e["name"] for e in payload["traceEvents"] if e["ph"] == "X"}
+        assert names == {"first"}
+
+    def test_empty_buffer_exports_empty_event_list(self, tmp_path):
+        payload = json.loads(obs.export_chrome_trace(tmp_path / "e.json").read_text())
+        assert payload["traceEvents"] == []
+
+
+class TestJsonlAndMetrics:
+    def test_export_jsonl_round_trips_records(self, tmp_path):
+        _run_tiny_trace()
+        path = obs.export_jsonl(tmp_path / "spans.jsonl")
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["name"] for line in lines] == ["batch.child", "batch.root"]
+
+    def test_export_metrics_prometheus_and_json(self, tmp_path):
+        _run_tiny_trace()
+        prom = obs.export_metrics(tmp_path / "metrics.prom")
+        assert "demo_counter 5" in prom.read_text()
+        as_json = obs.export_metrics(tmp_path / "metrics.json", fmt="json")
+        assert json.loads(as_json.read_text())["demo.counter"] == 5
+
+    def test_export_metrics_rejects_unknown_format(self, tmp_path):
+        import pytest
+
+        with pytest.raises(ValueError):
+            obs.export_metrics(tmp_path / "x", fmt="yaml")
+
+
+class TestManifestAndRunExport:
+    def test_manifest_contents(self, tmp_path):
+        _run_tiny_trace()
+        path = obs.write_run_manifest(
+            tmp_path / "run.manifest.json", "demo-run", extra={"seed": 7}
+        )
+        manifest = json.loads(path.read_text())
+        assert manifest["label"] == "demo-run"
+        assert manifest["span_count"] == 2
+        assert manifest["pid"] == os.getpid()
+        assert manifest["started_at"] <= manifest["finished_at"]
+        assert manifest["metrics"]["demo.counter"] == 5
+        assert manifest["extra"] == {"seed": 7}
+        assert len(manifest["trace_ids"]) == 1
+
+    def test_export_run_writes_all_three_artifacts(self, tmp_path):
+        _run_tiny_trace()
+        paths = obs.export_run(tmp_path, "my run/1")
+        assert set(paths) == {"chrome_trace", "jsonl", "manifest"}
+        for path in paths.values():
+            assert path.exists()
+            assert path.parent == tmp_path
+        manifest = json.loads(paths["manifest"].read_text())
+        assert manifest["artifacts"]["chrome_trace"] == str(paths["chrome_trace"])
+
+    def test_root_span_auto_exports_when_export_dir_set(self, tmp_path):
+        obs.configure(enabled=True, export_dir=tmp_path)
+        with obs.span("synthesis.run"):
+            with obs.span("synthesis.evaluate"):
+                pass
+        traces = list(tmp_path.glob("*.trace.json"))
+        manifests = list(tmp_path.glob("*.manifest.json"))
+        assert len(traces) == 1 and len(manifests) == 1
+        payload = json.loads(traces[0].read_text())
+        names = {e["name"] for e in payload["traceEvents"] if e["ph"] == "X"}
+        assert names == {"synthesis.run", "synthesis.evaluate"}
+
+    def test_child_spans_do_not_trigger_auto_export(self, tmp_path):
+        obs.configure(enabled=True, export_dir=tmp_path)
+        with obs.span("root"):
+            with obs.span("child"):
+                pass
+            # Nothing exported while the root is still open.
+            assert list(tmp_path.glob("*.manifest.json")) == []
+        assert len(list(tmp_path.glob("*.manifest.json"))) == 1

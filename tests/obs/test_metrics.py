@@ -1,0 +1,176 @@
+"""Tests for the metrics registry: counters, gauges, histograms, export."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_time_buckets,
+)
+
+
+class TestCounterAndGauge:
+    def test_counter_increments_and_sets(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        counter.set(7)
+        assert counter.value == 7.0
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("g")
+        gauge.set(10.0)
+        gauge.inc(5.0)
+        gauge.dec(2.0)
+        assert gauge.value == 13.0
+
+
+class TestHistogram:
+    def test_default_buckets_are_ascending_and_span_the_ladder(self):
+        bounds = default_time_buckets()
+        assert list(bounds) == sorted(bounds)
+        assert bounds[0] == pytest.approx(1e-6)
+        assert bounds[-1] < 200.0 <= bounds[-1] * 10 ** 0.25 * 1.01
+
+    def test_tracks_count_sum_min_max(self):
+        histogram = Histogram("h")
+        for value in (0.001, 0.010, 0.100):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(0.111)
+        assert histogram.minimum == pytest.approx(0.001)
+        assert histogram.maximum == pytest.approx(0.100)
+        assert histogram.mean == pytest.approx(0.111 / 3)
+
+    def test_quantiles_clamped_to_observed_range(self):
+        histogram = Histogram("h")
+        for _ in range(100):
+            histogram.observe(0.05)
+        assert histogram.quantile(0.0) == pytest.approx(0.05)
+        assert histogram.quantile(0.5) == pytest.approx(0.05, rel=0.8)
+        assert histogram.quantile(1.0) == pytest.approx(0.05)
+        # Every estimate stays inside [min, max].
+        for q in (0.1, 0.25, 0.5, 0.9, 0.99):
+            assert histogram.minimum <= histogram.quantile(q) <= histogram.maximum
+
+    def test_quantile_orders_correctly_across_decades(self):
+        histogram = Histogram("h")
+        for _ in range(90):
+            histogram.observe(0.001)
+        for _ in range(10):
+            histogram.observe(1.0)
+        assert histogram.quantile(0.5) < 0.01
+        assert histogram.quantile(0.99) > 0.1
+
+    def test_empty_histogram_snapshot_is_zeros(self):
+        snapshot = Histogram("h").snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["min"] == 0.0
+        assert snapshot["max"] == 0.0
+        assert snapshot["p99"] == 0.0
+
+    def test_overflow_bucket_catches_huge_values(self):
+        histogram = Histogram("h", buckets=[1.0, 2.0])
+        histogram.observe(1000.0)
+        pairs = histogram.bucket_counts()
+        assert pairs[-1] == (math.inf, 1)
+        assert pairs[0] == (1.0, 0)
+
+    def test_bucket_counts_are_cumulative(self):
+        histogram = Histogram("h", buckets=[1.0, 2.0, 4.0])
+        for value in (0.5, 1.5, 3.0, 3.5):
+            histogram.observe(value)
+        assert histogram.bucket_counts() == [
+            (1.0, 1),
+            (2.0, 2),
+            (4.0, 4),
+            (math.inf, 4),
+        ]
+
+    def test_rejects_bad_buckets_and_quantiles(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=[2.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=[])
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+        assert len(registry) == 3
+
+    def test_convenience_helpers(self):
+        registry = MetricsRegistry()
+        registry.inc("hits")
+        registry.inc("hits", 4)
+        registry.observe("latency", 0.25)
+        registry.set_gauge("depth", 3)
+        snapshot = registry.snapshot()
+        assert snapshot["hits"] == 5
+        assert snapshot["depth"] == 3.0
+        assert snapshot["latency"]["count"] == 1
+
+    def test_snapshot_uses_int_for_integral_counters(self):
+        registry = MetricsRegistry()
+        registry.inc("calls", 3)
+        registry.inc("seconds", 0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["calls"] == 3 and isinstance(snapshot["calls"], int)
+        assert snapshot["seconds"] == 0.5 and isinstance(snapshot["seconds"], float)
+
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.observe("b", 1.0)
+        registry.set_gauge("c", -2.0)
+        json.dumps(registry.snapshot())
+
+    def test_merge_counters_skips_non_numeric_and_bools(self):
+        registry = MetricsRegistry()
+        registry.merge_counters(
+            {
+                "queries": 4,
+                "seconds": 0.5,
+                "label": "worker-1",
+                "nested": {"inner": 1},
+                "flag": True,
+            },
+            prefix="w.",
+        )
+        snapshot = registry.snapshot()
+        assert snapshot["w.queries"] == 4
+        assert snapshot["w.seconds"] == 0.5
+        assert "w.label" not in snapshot
+        assert "w.nested" not in snapshot
+        assert "w.flag" not in snapshot
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.snapshot() == {}
+
+    def test_prometheus_rendering(self):
+        registry = MetricsRegistry()
+        registry.inc("service.queries", 3)
+        registry.set_gauge("pool-depth", 2)
+        registry.observe("lat", 0.5)
+        text = registry.to_prometheus()
+        assert "# TYPE service_queries counter" in text
+        assert "service_queries 3" in text
+        assert "# TYPE pool_depth gauge" in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_count 1" in text
+        assert text.endswith("\n")

@@ -1,0 +1,142 @@
+"""ServiceStats as metrics-backed views: exactness, mirroring, merging."""
+
+import pytest
+
+from repro import obs
+from repro.service.engine import ServiceStats
+
+
+class TestMetricsBackedViews:
+    def test_defaults_are_zero_with_legacy_types(self):
+        stats = ServiceStats()
+        assert stats.queries == 0 and isinstance(stats.queries, int)
+        assert stats.total_seconds == 0.0 and isinstance(stats.total_seconds, float)
+
+    def test_plus_equals_updates_like_the_old_dataclass(self):
+        stats = ServiceStats()
+        stats.queries += 3
+        stats.structure_hits += 2
+        stats.total_seconds += 0.25
+        assert stats.queries == 3
+        assert stats.structure_hits == 2
+        assert stats.total_seconds == 0.25
+
+    def test_keyword_construction_and_unknown_field_rejected(self):
+        stats = ServiceStats(queries=5, total_seconds=1.5)
+        assert stats.queries == 5
+        assert stats.total_seconds == 1.5
+        with pytest.raises(TypeError):
+            ServiceStats(teleports=1)
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            ServiceStats().bogus_counter
+
+    def test_equality_by_counter_values(self):
+        a = ServiceStats(queries=2)
+        b = ServiceStats(queries=2)
+        c = ServiceStats(queries=3)
+        assert a == b
+        assert a != c
+
+    def test_snapshot_is_independent(self):
+        stats = ServiceStats(queries=4)
+        frozen = stats.snapshot()
+        stats.queries += 10
+        assert frozen.queries == 4
+        assert stats.queries == 14
+
+    def test_metrics_snapshot_reproduces_legacy_counters_exactly(self):
+        stats = ServiceStats()
+        stats.queries += 7
+        stats.batches += 2
+        stats.memo_hits += 3
+        stats.total_seconds += 0.125
+        stats.record_source("structure", 5)
+        stats.record_source("nearest")
+        snapshot = stats.metrics.snapshot()
+        for name, value in stats.as_dict().items():
+            if name in ServiceStats._COUNTER_FIELDS:
+                assert snapshot[f"service.{name}"] == value, name
+
+    def test_derived_rates_still_work(self):
+        stats = ServiceStats(queries=4, structure_hits=3, total_seconds=2.0)
+        assert stats.structure_hit_rate == pytest.approx(0.75)
+        assert stats.mean_latency_seconds == pytest.approx(0.5)
+        assert stats.tier_counts["structure"] == 3
+
+
+class TestGlobalMirroring:
+    def test_updates_mirror_into_global_metrics_when_enabled(self):
+        obs.configure(enabled=True)
+        stats = ServiceStats()
+        stats.queries += 2
+        stats.queries += 3
+        assert obs.metrics().snapshot()["service.queries"] == 5
+
+    def test_no_mirroring_while_disabled(self):
+        stats = ServiceStats()
+        stats.queries += 2
+        assert "service.queries" not in obs.metrics().snapshot()
+
+    def test_two_services_accumulate_into_one_global_counter(self):
+        obs.configure(enabled=True)
+        a, b = ServiceStats(), ServiceStats()
+        a.queries += 1
+        b.queries += 2
+        assert obs.metrics().snapshot()["service.queries"] == 3
+        # ...while each instance keeps its exact private view.
+        assert a.queries == 1 and b.queries == 2
+
+    def test_snapshot_does_not_double_mirror(self):
+        obs.configure(enabled=True)
+        stats = ServiceStats()
+        stats.queries += 2
+        stats.snapshot()
+        assert obs.metrics().snapshot()["service.queries"] == 2
+
+
+class TestMergeWorkerCounters:
+    def test_empty_worker_list_changes_nothing(self):
+        stats = ServiceStats(queries=3)
+        before = stats.as_dict()
+        for worker_counters in []:  # no workers reported at all
+            stats.merge_worker_counters(worker_counters)
+        stats.merge_worker_counters({})  # a worker that reported nothing
+        assert stats.as_dict() == before
+
+    def test_disjoint_keys_are_ignored(self):
+        stats = ServiceStats()
+        stats.merge_worker_counters(
+            {"queries": 100, "pool_jobs": 4, "unheard_of": 9, "memo_hits": 2}
+        )
+        # Only the infrastructure counters merge; the parent counts
+        # queries itself and unknown keys never land anywhere.
+        assert stats.queries == 0
+        assert stats.memo_hits == 2
+        with pytest.raises(AttributeError):
+            stats.unheard_of
+
+    def test_nested_dict_values_are_skipped(self):
+        stats = ServiceStats()
+        stats.merge_worker_counters(
+            {
+                "memo_hits": {"by_circuit": {"chain": 3}},
+                "cache_hits": 2,
+                "structures_loaded": None,
+            }
+        )
+        assert stats.memo_hits == 0
+        assert stats.cache_hits == 2
+        assert stats.structures_loaded == 0
+
+    def test_multiple_workers_sum_additively(self):
+        stats = ServiceStats()
+        for worker_counters in (
+            {"memo_hits": 1, "cache_hits": 2},
+            {"memo_hits": 3, "structures_generated": 1},
+        ):
+            stats.merge_worker_counters(worker_counters)
+        assert stats.memo_hits == 4
+        assert stats.cache_hits == 2
+        assert stats.structures_generated == 1

@@ -1,0 +1,241 @@
+"""Tests for span tracing: lifecycle, nesting, propagation, capture."""
+
+import json
+import os
+import threading
+
+from repro import obs
+from repro.obs.spans import _NULL_SPAN, remote_span_capture
+
+
+class TestDisabledPath:
+    def test_span_is_shared_null_object_when_disabled(self):
+        assert not obs.is_enabled()
+        assert obs.span("a") is obs.span("b") is _NULL_SPAN
+
+    def test_null_span_accepts_attrs_and_nests(self):
+        with obs.span("outer", x=1) as outer:
+            outer.set(y=2)
+            with obs.span("inner"):
+                pass
+        assert obs.spans_snapshot() == []
+
+    def test_trace_context_is_none_when_disabled(self):
+        with obs.span("outer"):
+            assert obs.trace_context() is None
+
+
+class TestEnabledPath:
+    def test_root_span_recorded_with_ids_and_attrs(self):
+        obs.configure(enabled=True)
+        with obs.span("service.batch", queries=7) as live:
+            live.set(hits=6)
+        (record,) = obs.spans_snapshot()
+        assert record["name"] == "service.batch"
+        assert record["parent_id"] is None
+        assert record["trace_id"]
+        assert record["span_id"]
+        assert record["attrs"] == {"queries": 7, "hits": 6}
+        assert record["pid"] == os.getpid()
+        assert record["duration"] >= 0.0
+
+    def test_children_parent_onto_enclosing_span(self):
+        obs.configure(enabled=True)
+        with obs.span("root") as root:
+            with obs.span("child") as child:
+                with obs.span("grandchild") as grandchild:
+                    assert obs.current_span() is grandchild
+                    assert obs.current_trace_id() == root.trace_id
+        records = {record["name"]: record for record in obs.spans_snapshot()}
+        assert records["child"]["parent_id"] == root.span_id
+        assert records["grandchild"]["parent_id"] == child.span_id
+        assert {record["trace_id"] for record in records.values()} == {root.trace_id}
+
+    def test_sibling_roots_get_distinct_traces(self):
+        obs.configure(enabled=True)
+        with obs.span("first"):
+            pass
+        with obs.span("second"):
+            pass
+        first, second = obs.spans_snapshot()
+        assert first["trace_id"] != second["trace_id"]
+
+    def test_exception_recorded_and_propagated(self):
+        obs.configure(enabled=True)
+        try:
+            with obs.span("boom"):
+                raise KeyError("x")
+        except KeyError:
+            pass
+        (record,) = obs.spans_snapshot()
+        assert record["attrs"]["error"] == "KeyError"
+
+    def test_span_metrics_histogram_recorded(self):
+        obs.configure(enabled=True)
+        with obs.span("anneal.run"):
+            pass
+        snapshot = obs.metrics().snapshot()
+        assert snapshot["span.anneal.run"]["count"] == 1
+
+    def test_span_metrics_opt_out(self):
+        obs.configure(enabled=True, span_metrics=False)
+        with obs.span("quiet"):
+            pass
+        assert "span.quiet" not in obs.metrics().snapshot()
+
+    def test_buffer_is_bounded(self):
+        obs.configure(enabled=True, max_spans=4)
+        for index in range(10):
+            with obs.span(f"s{index}"):
+                pass
+        records = obs.spans_snapshot()
+        assert len(records) == 4
+        assert records[-1]["name"] == "s9"
+
+    def test_threads_keep_independent_span_stacks(self):
+        obs.configure(enabled=True)
+        seen = {}
+
+        def worker():
+            with obs.span("thread.root") as live:
+                seen["trace"] = live.trace_id
+                seen["parent"] = live.parent_id
+
+        with obs.span("main.root") as main_root:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # The thread's span is a root of its own trace, not a child of main.
+        assert seen["parent"] is None
+        assert seen["trace"] != main_root.trace_id
+
+    def test_ids_never_touch_the_global_rng(self):
+        import random
+
+        random.seed(123)
+        expected = random.Random(123).random()
+        obs.configure(enabled=True)
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        assert random.random() == expected
+
+    def test_jsonl_streaming(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        obs.configure(enabled=True, jsonl=path)
+        with obs.span("a"):
+            pass
+        with obs.span("b"):
+            pass
+        obs.reset()  # closes the handle
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["name"] for line in lines] == ["a", "b"]
+
+    def test_clear_spans_keeps_config(self):
+        obs.configure(enabled=True)
+        with obs.span("x"):
+            pass
+        obs.clear_spans()
+        assert obs.spans_snapshot() == []
+        assert obs.is_enabled()
+
+
+class TestCrossProcessPropagation:
+    def test_trace_context_names_the_current_span(self):
+        obs.configure(enabled=True)
+        with obs.span("dispatch") as live:
+            context = obs.trace_context()
+        assert context is not None
+        trace_id, parent_id, pid, submitted = context
+        assert trace_id == live.trace_id
+        assert parent_id == live.span_id
+        assert pid == os.getpid()
+        assert submitted > 0
+
+    def test_trace_context_none_without_live_span(self):
+        obs.configure(enabled=True)
+        assert obs.trace_context() is None
+
+    def test_capture_noop_for_same_pid(self):
+        obs.configure(enabled=True)
+        with obs.span("dispatch"):
+            context = obs.trace_context()
+            with remote_span_capture(context) as captured:
+                assert captured is None
+                with obs.span("inline.child"):
+                    pass
+        records = {record["name"]: record for record in obs.spans_snapshot()}
+        # Inline execution parents through the stack, not through capture.
+        assert records["inline.child"]["parent_id"] == records["dispatch"]["span_id"]
+
+    def test_capture_reparents_under_foreign_context(self):
+        # Simulate a worker process by handing it a context from a fake pid.
+        obs.configure(enabled=True)
+        context = ("traceX", "parentY", os.getpid() + 1, 0.0)
+        with remote_span_capture(context) as captured:
+            with obs.span("worker.job"):
+                with obs.span("worker.step"):
+                    pass
+        assert captured is not None and len(captured) == 2
+        by_name = {record["name"]: record for record in captured}
+        assert by_name["worker.job"]["trace_id"] == "traceX"
+        assert by_name["worker.job"]["parent_id"] == "parentY"
+        assert by_name["worker.step"]["parent_id"] == by_name["worker.job"]["span_id"]
+        # Captured spans never leak into the local buffer.
+        assert obs.spans_snapshot() == []
+
+    def test_capture_enables_tracing_in_untraced_worker(self):
+        # A fork-started worker may have tracing off; capture turns it on
+        # for the job and restores the previous state afterwards.
+        assert not obs.is_enabled()
+        context = ("traceX", "parentY", os.getpid() + 1, 0.0)
+        with remote_span_capture(context) as captured:
+            assert obs.is_enabled()
+            with obs.span("worker.job"):
+                pass
+        assert not obs.is_enabled()
+        assert len(captured) == 1
+
+    def test_ingest_spans_appends_and_observes_queue_metric(self):
+        obs.configure(enabled=True)
+        obs.ingest_spans(
+            [
+                {
+                    "name": "worker.job",
+                    "trace_id": "t",
+                    "span_id": "s",
+                    "parent_id": "p",
+                    "start": 1.0,
+                    "duration": 0.5,
+                    "pid": 999,
+                    "tid": 1,
+                    "attrs": {"queue_seconds": 0.125},
+                }
+            ]
+        )
+        (record,) = obs.spans_snapshot()
+        assert record["pid"] == 999
+        snapshot = obs.metrics().snapshot()
+        assert snapshot["span.worker.job"]["count"] == 1
+        assert snapshot["pool.queue_seconds"]["sum"] == 0.125
+
+
+class TestProfiling:
+    def test_profile_pattern_dumps_stats(self, tmp_path):
+        obs.configure(enabled=True, profile="prof.*", profile_dir=tmp_path)
+        with obs.span("prof.hot"):
+            sum(range(1000))
+        with obs.span("other"):
+            pass
+        dumps = list(tmp_path.glob("*.prof"))
+        assert len(dumps) == 1
+        assert dumps[0].name.startswith("prof_hot")
+
+    def test_nested_matching_spans_profile_only_outermost(self, tmp_path):
+        obs.configure(enabled=True, profile="prof.*", profile_dir=tmp_path)
+        with obs.span("prof.outer"):
+            with obs.span("prof.inner"):
+                pass
+        names = sorted(path.name for path in tmp_path.glob("*.prof"))
+        assert len(names) == 1
+        assert names[0].startswith("prof_outer")

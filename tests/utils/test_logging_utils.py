@@ -1,0 +1,64 @@
+"""Tests for the logging helpers, particularly console-handler idempotency."""
+
+import logging
+
+import pytest
+
+from repro.utils.logging_utils import enable_console_logging, get_logger
+
+
+@pytest.fixture(autouse=True)
+def restore_repro_logger():
+    """Leave the ``repro`` root logger exactly as we found it."""
+    logger = logging.getLogger("repro")
+    handlers = list(logger.handlers)
+    level = logger.level
+    yield
+    logger.handlers = handlers
+    logger.setLevel(level)
+
+
+class TestGetLogger:
+    def test_namespaces_bare_names(self):
+        assert get_logger("service").name == "repro.service"
+
+    def test_keeps_already_namespaced_names(self):
+        assert get_logger("repro.service").name == "repro.service"
+
+
+class TestEnableConsoleLogging:
+    def test_attaches_one_stream_handler(self):
+        logger = logging.getLogger("repro")
+        logger.handlers = []
+        handler = enable_console_logging(logging.INFO)
+        assert handler in logger.handlers
+        assert handler.level == logging.INFO
+        assert logger.level == logging.INFO
+
+    def test_repeated_calls_never_stack_handlers(self):
+        logger = logging.getLogger("repro")
+        logger.handlers = []
+        first = enable_console_logging()
+        second = enable_console_logging()
+        assert first is second
+        assert len(logger.handlers) == 1
+
+    def test_second_call_updates_level_of_existing_handler(self):
+        # The historical bug: a second call with a different level found
+        # the existing handler and returned it unchanged, so the new
+        # level never took effect.
+        logger = logging.getLogger("repro")
+        logger.handlers = []
+        handler = enable_console_logging(logging.INFO)
+        again = enable_console_logging(logging.DEBUG)
+        assert again is handler
+        assert handler.level == logging.DEBUG
+        assert logger.level == logging.DEBUG
+        assert len(logger.handlers) == 1
+
+    def test_second_call_can_raise_the_level_too(self):
+        logger = logging.getLogger("repro")
+        logger.handlers = []
+        handler = enable_console_logging(logging.DEBUG)
+        enable_console_logging(logging.WARNING)
+        assert handler.level == logging.WARNING

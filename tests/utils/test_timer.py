@@ -24,6 +24,48 @@ class TestTimer:
         time.sleep(0.005)
         assert timer.elapsed == first
 
+    def test_runs_on_the_span_clock(self):
+        from repro.obs import clock
+
+        before = clock()
+        with Timer() as timer:
+            pass
+        assert 0.0 <= timer.elapsed <= clock() - before
+
+
+class TestTimerLaps:
+    def test_laps_accumulate_in_order(self):
+        with Timer() as timer:
+            first = timer.lap()
+            time.sleep(0.005)
+            second = timer.lap()
+        assert timer.laps == [first, second]
+        assert second >= 0.004
+
+    def test_laps_measure_since_previous_lap_not_start(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+            timer.lap()
+            second = timer.lap()
+        # The second lap starts at the first checkpoint, so it must not
+        # include the initial sleep.
+        assert second < 0.01
+
+    def test_laps_sum_to_at_most_elapsed(self):
+        with Timer() as timer:
+            for _ in range(3):
+                timer.lap()
+        assert sum(timer.laps) <= timer.elapsed
+
+    def test_lap_outside_block_rejected(self):
+        timer = Timer()
+        with pytest.raises(RuntimeError):
+            timer.lap()
+        with timer:
+            timer.lap()
+        with pytest.raises(RuntimeError):
+            timer.lap()
+
 
 class TestFormatDuration:
     def test_sub_second_uses_milliseconds(self):
