@@ -1,0 +1,252 @@
+"""Server load benchmark: a duplicate-heavy trace against a live server.
+
+A load generator replays a >=2000-query duplicate-heavy trace (the
+``bench_service_throughput`` workload shape: 16 unique vectors, half of
+them stored best dimensions) over real sockets against a
+:class:`~repro.serve.harness.ServerHarness`, in two request shapes:
+
+* **trace replay** — clients stream the trace through ``/place_batch``
+  in chunks, the way a synthesis sweep replays its query log.  This is
+  the throughput acceptance bar: at least **5x sequential-cold**.
+* **concurrent single queries** — many clients firing one ``/place`` at
+  a time, which exercises the micro-batcher; reported with client-side
+  p50/p95/p99 latency and the measured coalescing ratio.
+
+**The sequential-cold baseline** is what the trace costs *without* an
+always-on server: every query pays a cold service round — fresh
+:class:`PlacementService`, structure loaded from disk, empty caches —
+exactly the bill for a short-lived process per query.  The in-process
+warm-vs-cold instantiator comparison (no sockets, no serving) already
+lives in ``bench_service_throughput.py``; its sequential-cold number is
+reported here too (as ``cold_instantiator_qps``) for context.
+
+Results are printed and written to ``BENCH_server.json`` next to the
+working directory.
+"""
+
+import json
+import shutil
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro.benchcircuits.library import get_benchmark
+from repro.core.instantiator import PlacementInstantiator
+from repro.serve import ServerConfig, ServerHarness
+from repro.service.engine import PlacementService
+from repro.service.registry import StructureRegistry
+from benchmarks.conftest import bench_scale
+from benchmarks.bench_service_throughput import best_of, make_workload
+
+CIRCUIT = "two_stage_opamp"
+#: The replayed trace: >= 2000 queries over 16 unique vectors.
+TRACE_QUERIES = 2000
+#: The acceptance bar: server replay >= 5x the sequential-cold baseline.
+ACCEPTANCE_SPEEDUP = 5.0
+#: Client threads for the replay and single-query phases.
+REPLAY_CLIENTS = 8
+PLACE_CLIENTS = 16
+#: Queries per /place_batch request during trace replay.
+REPLAY_CHUNK = 125
+
+RESULTS_FILE = "BENCH_server.json"
+
+
+@pytest.fixture(scope="module")
+def server_setup():
+    scale = bench_scale()
+    circuit = get_benchmark(CIRCUIT)
+    config = scale.generator_config(circuit, seed=0)
+    root = tempfile.mkdtemp(prefix="repro-bench-serve-")
+    structure = StructureRegistry(root).get_or_generate(circuit, config)
+    trace = make_workload(circuit, structure, TRACE_QUERIES)
+    yield circuit, config, root, structure, trace
+    shutil.rmtree(root, ignore_errors=True)
+
+
+def warm_harness(root, config, server_config, warm_dims):
+    service = PlacementService(StructureRegistry(root), default_config=config)
+    harness = ServerHarness(service, server_config).start()
+    warm = harness.client().place(CIRCUIT, warm_dims)
+    assert warm.ok, (warm.status, warm.payload)
+    return harness
+
+
+def fan_out(trace, n_threads, worker):
+    """Run ``worker(part)`` over ``n_threads`` interleaved trace slices."""
+    parts = [trace[i::n_threads] for i in range(n_threads)]
+    threads = [threading.Thread(target=worker, args=(part,)) for part in parts]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - start
+
+
+def percentile(sorted_values, q):
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def write_results(results):
+    with open(RESULTS_FILE, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+    print(f"\n{json.dumps(results, indent=2, sort_keys=True)}")
+
+
+def test_acceptance_trace_replay_5x_sequential_cold(server_setup):
+    """Trace replay through the server >= 5x the sequential-cold baseline."""
+    circuit, config, root, structure, trace = server_setup
+
+    # Baseline 1 (the acceptance denominator): every query pays a cold
+    # service round — fresh service, disk load, empty caches.
+    def cold_service_queries(queries):
+        for dims in queries:
+            PlacementService(
+                StructureRegistry(root), default_config=config
+            ).instantiate(circuit, dims)
+
+    sample = trace[:: max(1, len(trace) // 100)]  # 100 queries is plenty
+    cold_seconds, _ = best_of(lambda: cold_service_queries(sample), repeats=3)
+    cold_service_qps = len(sample) / cold_seconds
+
+    # Baseline 2 (context): sequential cold instantiator, no disk, no server.
+    cold = PlacementInstantiator(structure)
+    instantiator_seconds, _ = best_of(
+        lambda: [cold.instantiate(dims) for dims in trace]
+    )
+    cold_instantiator_qps = len(trace) / instantiator_seconds
+
+    server_config = ServerConfig(
+        window_seconds=0.001, max_batch=64, max_inflight=8192
+    )
+    harness = warm_harness(root, config, server_config, trace[0])
+    try:
+
+        def replay(part):
+            client = harness.client()
+            for start in range(0, len(part), REPLAY_CHUNK):
+                response = client.place_batch(
+                    CIRCUIT, part[start : start + REPLAY_CHUNK]
+                )
+                assert response.ok, (response.status, response.payload)
+
+        wall = fan_out(trace, REPLAY_CLIENTS, replay)
+    finally:
+        harness.stop()
+    replay_qps = len(trace) / wall
+    speedup = replay_qps / cold_service_qps
+
+    results = {
+        "trace_queries": len(trace),
+        "unique_vectors": len({tuple(map(tuple, dims)) for dims in trace}),
+        "cold_service_qps": round(cold_service_qps),
+        "cold_instantiator_qps": round(cold_instantiator_qps),
+        "replay_qps": round(replay_qps),
+        "replay_clients": REPLAY_CLIENTS,
+        "replay_chunk": REPLAY_CHUNK,
+        "speedup_vs_sequential_cold": round(speedup, 1),
+    }
+    write_results(results)
+    assert speedup >= ACCEPTANCE_SPEEDUP, (
+        f"server replay only {speedup:.1f}x sequential cold "
+        f"({replay_qps:.0f} vs {cold_service_qps:.0f} q/s, "
+        f"needs >= {ACCEPTANCE_SPEEDUP}x)"
+    )
+
+
+def test_single_query_latency_percentiles(server_setup):
+    """Concurrent /place load: p50/p95/p99 and the coalescing ratio."""
+    circuit, config, root, structure, trace = server_setup
+    server_config = ServerConfig(
+        window_seconds=0.001, max_batch=64, max_inflight=4096
+    )
+    harness = warm_harness(root, config, server_config, trace[0])
+    latencies = []
+    lock = threading.Lock()
+    try:
+
+        def fire(part):
+            client = harness.client()
+            local = []
+            for dims in part:
+                start = time.perf_counter()
+                response = client.place(CIRCUIT, dims)
+                local.append(time.perf_counter() - start)
+                assert response.ok, (response.status, response.payload)
+            with lock:
+                latencies.extend(local)
+
+        wall = fan_out(trace, PLACE_CLIENTS, fire)
+        snapshot = harness.server.metrics.snapshot()
+    finally:
+        harness.stop()
+
+    latencies.sort()
+    place_qps = len(trace) / wall
+    dispatches = snapshot["serve.dispatches"]
+    coalesced = snapshot["serve.coalesced_queries"]
+    results = {
+        "place_qps": round(place_qps),
+        "place_clients": PLACE_CLIENTS,
+        "p50_ms": round(percentile(latencies, 0.50) * 1000, 2),
+        "p95_ms": round(percentile(latencies, 0.95) * 1000, 2),
+        "p99_ms": round(percentile(latencies, 0.99) * 1000, 2),
+        "dispatches": int(dispatches),
+        "mean_batch_fill": round(coalesced / max(1, dispatches), 1),
+    }
+    try:
+        with open(RESULTS_FILE, encoding="utf-8") as handle:
+            merged = json.load(handle)
+    except (OSError, ValueError):
+        merged = {}
+    merged.update(results)
+    write_results(merged)
+
+    # Micro-batching must be doing real work: far fewer dispatches than
+    # queries, and single-query latency bounded even under 16-way load.
+    assert dispatches < len(trace) / 2
+    assert results["p99_ms"] < 1000.0
+    assert results["p50_ms"] < 250.0
+
+
+def test_overload_sheds_and_never_hangs(server_setup):
+    """A full inflight queue answers 429 + Retry-After promptly, never hangs."""
+    circuit, config, root, structure, trace = server_setup
+    server_config = ServerConfig(
+        window_seconds=0.05, max_batch=4, max_inflight=2
+    )
+    harness = warm_harness(root, config, server_config, trace[0])
+    outcomes = []
+    lock = threading.Lock()
+    try:
+
+        def slam(part):
+            client = harness.client()
+            for dims in part[:4]:
+                response = client.place(CIRCUIT, dims)
+                with lock:
+                    outcomes.append((response.status, response.retry_after))
+
+        threads = [
+            threading.Thread(target=slam, args=(trace[i::24],)) for i in range(24)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+            assert not thread.is_alive(), "a shed request hung instead of answering"
+    finally:
+        harness.stop()
+
+    statuses = {status for status, _ in outcomes}
+    assert statuses <= {200, 429}
+    assert 429 in statuses, "overload never triggered a shed"
+    assert all(
+        retry_after is not None and retry_after >= 1
+        for status, retry_after in outcomes
+        if status == 429
+    )

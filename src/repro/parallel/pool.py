@@ -17,7 +17,9 @@ predictable:
 
 from __future__ import annotations
 
+import atexit
 import os
+import threading
 import weakref
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -51,6 +53,38 @@ MIN_POOL_QUERIES = 4
 def _shutdown_executor(executor: ProcessPoolExecutor) -> None:
     """Finalizer target: tear an abandoned executor down without blocking."""
     executor.shutdown(wait=False, cancel_futures=True)
+
+
+#: Every pool with a live executor, so a crashed or signalled process can
+#: still reap its worker processes at interpreter exit.  Weak references:
+#: registration must never keep an abandoned pool (or its executor) alive.
+_LIVE_POOLS: "weakref.WeakSet[WorkerPool]" = weakref.WeakSet()
+_ATEXIT_LOCK = threading.Lock()
+_ATEXIT_REGISTERED = False
+
+
+def _close_live_pools() -> None:
+    """The atexit guard: shut down every pool still holding worker processes.
+
+    A server that crashes (or a test run that never reaches ``close()``)
+    must not leak executor processes past interpreter exit — orphaned
+    workers survive their parent and pile up across runs.  ``wait=False``:
+    exit teardown must not block behind in-flight jobs.
+    """
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.close(wait=False)
+        except Exception:  # pragma: no cover - teardown must never raise
+            pass
+
+
+def _register_atexit_guard(pool: "WorkerPool") -> None:
+    global _ATEXIT_REGISTERED
+    with _ATEXIT_LOCK:
+        if not _ATEXIT_REGISTERED:
+            atexit.register(_close_live_pools)
+            _ATEXIT_REGISTERED = True
+        _LIVE_POOLS.add(pool)
 
 
 def default_workers() -> int:
@@ -102,6 +136,7 @@ class WorkerPool:
         self._min_pool_queries = min_pool_queries
         self._executor: Optional[ProcessPoolExecutor] = None
         self._finalizer: Optional[weakref.finalize] = None
+        self._close_lock = threading.Lock()
         #: Cumulative pool counters (inline runs included).
         self._counters: Dict[str, float] = {
             "jobs": 0.0,
@@ -131,22 +166,40 @@ class WorkerPool:
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
             context = multiprocessing.get_context(self._start_method)
-            self._executor = ProcessPoolExecutor(
+            executor = ProcessPoolExecutor(
                 max_workers=self._workers, mp_context=context
             )
-            # If the pool is abandoned without close(), reclaim the worker
-            # processes at garbage collection instead of interpreter exit.
-            self._finalizer = weakref.finalize(
-                self, _shutdown_executor, self._executor
-            )
+            # Publish the executor and its cleanup hooks together: if the
+            # finalizer registration itself failed we would rather not
+            # keep a half-wired executor on the instance.
+            try:
+                self._finalizer = weakref.finalize(self, _shutdown_executor, executor)
+                self._executor = executor
+                _register_atexit_guard(self)
+            except BaseException:  # pragma: no cover - registration failure
+                executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = None
+                self._finalizer = None
+                raise
         return self._executor
 
-    def close(self) -> None:
-        """Shut the pool down (idempotent; the pool restarts on next use)."""
-        if self._executor is not None:
-            self._finalizer.detach()
-            self._executor.shutdown(wait=True)
-            self._executor = None
+    def close(self, wait: bool = True) -> None:
+        """Shut the pool down (idempotent; the pool restarts on next use).
+
+        Safe to call any number of times, from ``__exit__`` after an
+        error, and concurrently with the atexit guard: the executor handle
+        is claimed under a lock before shutdown, so exactly one caller
+        tears it down.
+        """
+        with self._close_lock:
+            executor, self._executor = self._executor, None
+            finalizer, self._finalizer = self._finalizer, None
+        if executor is None:
+            return
+        if finalizer is not None:
+            finalizer.detach()
+        _LIVE_POOLS.discard(self)
+        executor.shutdown(wait=wait, cancel_futures=not wait)
 
     def __enter__(self) -> "WorkerPool":
         return self

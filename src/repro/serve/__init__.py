@@ -1,0 +1,58 @@
+"""The serving subsystem: an always-on placement server over HTTP/1.1.
+
+Every scaling layer below this one is a library — the cached
+:class:`~repro.service.engine.PlacementService`, the dedup → shard →
+fan-out machinery of :mod:`repro.parallel`, the :mod:`repro.obs`
+instrumentation.  :mod:`repro.serve` is the process that stays up and
+takes traffic:
+
+* :mod:`repro.serve.protocol` — the JSON/HTTP wire protocol: payload
+  shapes, the error taxonomy (429 backpressure, 503 draining, 504
+  deadline), and circuit resolution.
+* :mod:`repro.serve.batcher` — :class:`MicroBatcher`: concurrent requests
+  entering within a small window coalesce into one batched service call.
+* :mod:`repro.serve.admission` — the bounded inflight budget that sheds
+  overload with 429 + ``Retry-After`` instead of queueing it.
+* :mod:`repro.serve.quotas` — per-tenant token buckets keyed by the
+  ``X-Tenant`` header.
+* :mod:`repro.serve.server` — :class:`PlacementServer`: the asyncio
+  daemon (``/place`` ``/place_batch`` ``/route`` ``/healthz``
+  ``/metrics``) with graceful SIGTERM drain.
+* :mod:`repro.serve.harness` — :class:`ServerHarness` +
+  :class:`ServeClient` for tests, benchmarks and examples.
+* :mod:`repro.serve.cli` — the ``python -m repro.serve`` entry point.
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionTicket
+from repro.serve.batcher import MicroBatcher
+from repro.serve.harness import ServeClient, ServeResponse, ServerHarness
+from repro.serve.protocol import (
+    BadRequest,
+    DeadlineExceeded,
+    Overloaded,
+    QuotaExceeded,
+    ServeError,
+    ServerDraining,
+)
+from repro.serve.quotas import TenantQuotas, TokenBucket
+from repro.serve.server import PlacementServer, ServerConfig, run_server
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionTicket",
+    "BadRequest",
+    "DeadlineExceeded",
+    "MicroBatcher",
+    "Overloaded",
+    "PlacementServer",
+    "QuotaExceeded",
+    "ServeClient",
+    "ServeError",
+    "ServeResponse",
+    "ServerConfig",
+    "ServerDraining",
+    "ServerHarness",
+    "TenantQuotas",
+    "TokenBucket",
+    "run_server",
+]

@@ -1,0 +1,153 @@
+"""Admission control: a bounded inflight budget that sheds load early.
+
+A placement server that queues without bound converts overload into
+unbounded latency — every request eventually answers, seconds too late to
+matter.  :class:`AdmissionController` inverts that: the server admits at
+most ``max_inflight`` queries at a time and *sheds* the rest immediately
+with a 429 and a ``Retry-After`` hint, so clients back off instead of
+piling on.  The hint tracks an exponentially weighted average of recent
+request service time — when batches slow down, rejected clients are told
+to stay away longer.
+
+The controller is event-loop affine: all mutation happens on the server's
+asyncio thread, so plain integers suffice (no locks on the hot path).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.protocol import Overloaded
+
+#: Smoothing factor of the service-time EWMA behind ``Retry-After``.
+EWMA_ALPHA = 0.2
+#: Floor for the Retry-After hint (seconds); never tell a client "now".
+MIN_RETRY_AFTER = 0.05
+
+
+class AdmissionTicket:
+    """Proof of admission; release it exactly once when the work finishes."""
+
+    __slots__ = ("_controller", "_cost", "_released")
+
+    def __init__(self, controller: "AdmissionController", cost: int) -> None:
+        self._controller = controller
+        self._cost = cost
+        self._released = False
+
+    @property
+    def cost(self) -> int:
+        """How many inflight slots this ticket holds."""
+        return self._cost
+
+    def release(self) -> None:
+        """Return the slots (idempotent)."""
+        if not self._released:
+            self._released = True
+            self._controller._release(self._cost)
+
+    def __enter__(self) -> "AdmissionTicket":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+class AdmissionController:
+    """Bounded inflight-query budget with load shedding.
+
+    Parameters
+    ----------
+    max_inflight:
+        Total query cost admitted at once (a batch of 32 costs 32).
+    base_retry_after:
+        Retry-After hint before any service time has been observed.
+    metrics:
+        Registry receiving ``serve.admission.*`` counters and gauges.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int = 256,
+        base_retry_after: float = 0.1,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        self._max_inflight = max_inflight
+        self._inflight = 0
+        self._service_time_ewma = base_retry_after
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+
+    @property
+    def max_inflight(self) -> int:
+        """The admission bound."""
+        return self._max_inflight
+
+    @property
+    def inflight(self) -> int:
+        """Query cost currently admitted."""
+        return self._inflight
+
+    @property
+    def idle(self) -> bool:
+        """True when no admitted work remains (the drain condition)."""
+        return self._inflight == 0
+
+    def retry_after(self) -> float:
+        """Current backoff hint for shed requests (seconds).
+
+        Scales with how much admitted work a newcomer queues behind: a
+        full inflight window means roughly one window's worth of service
+        time before capacity frees up.
+        """
+        backlog_factor = max(1.0, self._inflight / max(1, self._max_inflight))
+        return max(MIN_RETRY_AFTER, self._service_time_ewma * backlog_factor)
+
+    def admit(self, cost: int = 1) -> AdmissionTicket:
+        """Admit ``cost`` queries or raise :class:`Overloaded` (429).
+
+        An oversized request (``cost > max_inflight``) is still admitted
+        when the server is otherwise idle — rejecting it forever would be
+        a livelock — but only one such request runs at a time.
+        """
+        if self._inflight > 0 and self._inflight + cost > self._max_inflight:
+            self._metrics.inc("serve.admission.shed")
+            self._metrics.inc("serve.admission.shed_cost", cost)
+            raise Overloaded(
+                f"inflight budget full ({self._inflight}/{self._max_inflight} "
+                f"+ {cost} requested)",
+                retry_after=self.retry_after(),
+            )
+        self._inflight += cost
+        self._metrics.inc("serve.admission.admitted")
+        self._metrics.inc("serve.admission.admitted_cost", cost)
+        self._metrics.set_gauge("serve.admission.inflight", self._inflight)
+        return AdmissionTicket(self, cost)
+
+    def observe_service_time(self, seconds: float) -> None:
+        """Feed one request's service time into the Retry-After estimate."""
+        self._service_time_ewma += EWMA_ALPHA * (seconds - self._service_time_ewma)
+
+    def _release(self, cost: int) -> None:
+        self._inflight = max(0, self._inflight - cost)
+        self._metrics.set_gauge("serve.admission.inflight", self._inflight)
+
+    def stats(self) -> Dict[str, float]:
+        """Counters as a plain dict (``admitted`` / ``shed`` / ``inflight``)."""
+        snapshot = self._metrics.snapshot()
+        return {
+            "admitted": float(snapshot.get("serve.admission.admitted", 0)),
+            "admitted_cost": float(snapshot.get("serve.admission.admitted_cost", 0)),
+            "shed": float(snapshot.get("serve.admission.shed", 0)),
+            "shed_cost": float(snapshot.get("serve.admission.shed_cost", 0)),
+            "inflight": float(self._inflight),
+            "max_inflight": float(self._max_inflight),
+            "retry_after_seconds": self.retry_after(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"AdmissionController(inflight={self._inflight}/{self._max_inflight})"
+        )

@@ -1,0 +1,279 @@
+"""Micro-batching: coalesce concurrent requests into one batched call.
+
+The entire value of the service stack — dedup, memoization, shard-affine
+process fan-out — unlocks on *batches*, but HTTP clients send requests one
+at a time.  :class:`MicroBatcher` bridges the two: requests submitted
+within a small time window (or up to a maximum batch size) coalesce into
+one dispatch, so a thousand concurrent ``/place`` calls for the same
+topology become a handful of ``instantiate_batch`` calls instead of a
+thousand single-query round trips.
+
+Semantics the tests pin down:
+
+* **Exactly-once dispatch** — every submitted item lands in exactly one
+  dispatched batch (or fails without dispatching); the pending list is
+  only touched from the event loop, so there is no window in which two
+  flushes could both claim an item.
+* **Overflow splitting** — when submissions outrun ``max_batch``, the
+  batcher dispatches a full batch immediately and re-arms the window for
+  the remainder; nothing waits behind an already-full batch.
+* **Deadlines and cancellation** — items whose deadline expired while
+  queued are failed with :class:`~repro.serve.protocol.DeadlineExceeded`
+  *before* dispatch, and items whose futures were cancelled are silently
+  dropped; neither consumes dispatch work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.protocol import DeadlineExceeded
+
+#: Dispatch callable: a list of coalesced items to one awaited result list.
+DispatchFn = Callable[[List[Any]], Awaitable[Sequence[Any]]]
+
+
+@dataclass
+class _Pending:
+    """One submitted item waiting for its batch."""
+
+    item: Any
+    future: "asyncio.Future[Any]"
+    #: Absolute event-loop time after which the item must not dispatch.
+    deadline: Optional[float]
+    enqueued_at: float
+
+
+class MicroBatcher:
+    """Coalesce single submissions into batched dispatches.
+
+    Parameters
+    ----------
+    dispatch:
+        Async callable receiving the coalesced items (in submission order)
+        and returning one result per item, same order.  A raised exception
+        fails every item of that batch.
+    window_seconds:
+        How long the first item of a batch may wait for company.
+    max_batch:
+        Dispatch immediately once this many items are pending.
+    name:
+        Metric label (``serve.batcher.<name>.*``).
+    metrics:
+        Registry receiving the batcher's counters and histograms
+        (defaults to a private one; the server passes its own).
+    """
+
+    def __init__(
+        self,
+        dispatch: DispatchFn,
+        window_seconds: float = 0.004,
+        max_batch: int = 64,
+        name: str = "default",
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if window_seconds < 0:
+            raise ValueError("window_seconds must be non-negative")
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        self._dispatch = dispatch
+        self._window = window_seconds
+        self._max_batch = max_batch
+        self._name = name
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._pending: List[_Pending] = []
+        self._window_task: Optional["asyncio.Task[None]"] = None
+        self._dispatch_tasks: "set[asyncio.Task[None]]" = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def window_seconds(self) -> float:
+        """The coalescing window."""
+        return self._window
+
+    @property
+    def max_batch(self) -> int:
+        """Largest batch one dispatch may carry."""
+        return self._max_batch
+
+    @property
+    def queued(self) -> int:
+        """Items currently waiting for a batch."""
+        return len(self._pending)
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran; further submissions raise."""
+        return self._closed
+
+    def _metric(self, suffix: str) -> str:
+        return f"serve.batcher.{self._name}.{suffix}"
+
+    def stats(self) -> Dict[str, float]:
+        """The batcher's counters as a plain dict."""
+        snapshot = self._metrics.snapshot()
+        prefix = self._metric("")
+        return {
+            key[len(prefix) :]: value
+            for key, value in snapshot.items()
+            if key.startswith(prefix) and isinstance(value, (int, float))
+        }
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    async def submit(self, item: Any, deadline: Optional[float] = None) -> Any:
+        """Queue ``item`` for the next batch and await its result.
+
+        ``deadline`` is an absolute event-loop time (``loop.time()``
+        basis); expired items fail with :class:`DeadlineExceeded` instead
+        of dispatching.  Cancelling the awaiting task drops the item from
+        its batch.
+        """
+        if self._closed:
+            raise RuntimeError(f"MicroBatcher {self._name!r} is closed")
+        loop = asyncio.get_running_loop()
+        pending = _Pending(
+            item=item,
+            future=loop.create_future(),
+            deadline=deadline,
+            enqueued_at=loop.time(),
+        )
+        self._pending.append(pending)
+        self._metrics.inc(self._metric("submitted"))
+        self._metrics.set_gauge(self._metric("queue_depth"), len(self._pending))
+        if len(self._pending) >= self._max_batch:
+            self._flush_now(reason="full")
+        elif self._window_task is None:
+            self._window_task = loop.create_task(self._window_flush())
+        return await pending.future
+
+    async def flush(self) -> None:
+        """Dispatch whatever is pending immediately (drain helper)."""
+        if self._pending:
+            self._flush_now(reason="flush")
+        await self._drain_dispatches()
+
+    async def close(self) -> None:
+        """Flush pending items, wait for in-flight dispatches, then refuse work."""
+        self._closed = True
+        if self._window_task is not None:
+            self._window_task.cancel()
+            self._window_task = None
+        if self._pending:
+            self._flush_now(reason="close")
+        await self._drain_dispatches()
+
+    async def _drain_dispatches(self) -> None:
+        while self._dispatch_tasks:
+            await asyncio.gather(*tuple(self._dispatch_tasks), return_exceptions=True)
+
+    # ------------------------------------------------------------------ #
+    # Flushing
+    # ------------------------------------------------------------------ #
+    async def _window_flush(self) -> None:
+        try:
+            await asyncio.sleep(self._window)
+        except asyncio.CancelledError:
+            raise
+        self._window_task = None
+        if self._pending:
+            self._flush_now(reason="window")
+        else:
+            # Every queued item was cancelled (and reaped) before the
+            # window closed: an empty flush, nothing dispatches.
+            self._metrics.inc(self._metric("empty_flushes"))
+
+    def _flush_now(self, reason: str) -> None:
+        """Claim up to ``max_batch`` pending items and dispatch them.
+
+        Synchronous from claim to task creation: once an item leaves
+        ``self._pending`` it belongs to exactly one dispatch task.
+        """
+        if self._window_task is not None:
+            self._window_task.cancel()
+            self._window_task = None
+        batch = self._pending[: self._max_batch]
+        self._pending = self._pending[self._max_batch :]
+        self._metrics.set_gauge(self._metric("queue_depth"), len(self._pending))
+        if self._pending:
+            # Overflow split: the remainder starts a fresh window rather
+            # than waiting behind the full batch being dispatched.
+            self._metrics.inc(self._metric("overflow_splits"))
+            self._window_task = asyncio.get_running_loop().create_task(
+                self._window_flush()
+            )
+        if not batch:
+            self._metrics.inc(self._metric("empty_flushes"))
+            return
+        task = asyncio.get_running_loop().create_task(self._run_batch(batch, reason))
+        self._dispatch_tasks.add(task)
+        task.add_done_callback(self._dispatch_tasks.discard)
+
+    async def _run_batch(self, batch: List[_Pending], reason: str) -> None:
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        live: List[_Pending] = []
+        for pending in batch:
+            if pending.future.cancelled():
+                self._metrics.inc(self._metric("cancelled"))
+                continue
+            if pending.deadline is not None and now >= pending.deadline:
+                pending.future.set_exception(
+                    DeadlineExceeded(
+                        "request deadline expired after "
+                        f"{now - pending.enqueued_at:.3f}s in the coalesce queue"
+                    )
+                )
+                self._metrics.inc(self._metric("expired"))
+                continue
+            live.append(pending)
+        if not live:
+            self._metrics.inc(self._metric("empty_flushes"))
+            return
+        self._metrics.inc(self._metric("batches"))
+        self._metrics.inc(self._metric(f"flushes_{reason}"))
+        self._metrics.inc(self._metric("items"), len(live))
+        self._metrics.observe(
+            self._metric("fill_ratio"), len(live) / self._max_batch
+        )
+        if self._window > 0:
+            # How much of the coalesce window the batch actually used —
+            # ~1.0 means the window is the bottleneck, ~0.0 means batches
+            # fill (or flush) long before it closes.
+            oldest = min(pending.enqueued_at for pending in live)
+            self._metrics.observe(
+                self._metric("window_utilization"),
+                min((now - oldest) / self._window, 1.0),
+            )
+        try:
+            results = await self._dispatch([pending.item for pending in live])
+        except Exception as exc:  # noqa: BLE001 - failures propagate per item
+            self._metrics.inc(self._metric("failed_batches"))
+            for pending in live:
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+            return
+        if len(results) != len(live):
+            mismatch = RuntimeError(
+                f"batch dispatch returned {len(results)} results for {len(live)} items"
+            )
+            for pending in live:
+                if not pending.future.done():
+                    pending.future.set_exception(mismatch)
+            return
+        for pending, result in zip(live, results):
+            if not pending.future.done():
+                pending.future.set_result(result)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"MicroBatcher(name={self._name!r}, window={self._window * 1000:.1f}ms, "
+            f"max_batch={self._max_batch}, queued={len(self._pending)})"
+        )

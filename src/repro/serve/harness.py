@@ -1,0 +1,308 @@
+"""In-process server harness and a minimal blocking HTTP client.
+
+Tests and benchmarks need a real server — real sockets, real coalescing,
+real backpressure — without shelling out to a subprocess.
+:class:`ServerHarness` runs a :class:`~repro.serve.server.PlacementServer`
+on its own event loop in a daemon thread, bound to an ephemeral port, and
+hands back :class:`ServeClient` instances (persistent keep-alive
+``http.client`` connections) to fire traffic at it.  ``stop()`` runs the
+same graceful drain SIGTERM does, so the zero-lost-requests guarantee is
+exercised by every harness teardown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.serve.protocol import DEADLINE_HEADER, TENANT_HEADER
+from repro.serve.server import PlacementServer, ServerConfig
+from repro.service.engine import PlacementService
+
+
+@dataclass
+class ServeResponse:
+    """One client-observed response: status, parsed body, headers."""
+
+    status: int
+    payload: Any
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True for a 200."""
+        return self.status == 200
+
+    @property
+    def retry_after(self) -> Optional[float]:
+        """The ``Retry-After`` hint in seconds, when present."""
+        raw = self.headers.get("retry-after")
+        return float(raw) if raw is not None else None
+
+
+class ServeClient:
+    """A blocking JSON client over one persistent keep-alive connection.
+
+    Never raises on non-200 statuses — backpressure (429/503/504) is a
+    *response*, not an exception, so load generators count outcomes
+    instead of unwinding.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: Optional[str] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._tenant = tenant
+        self._timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+        return self._connection
+
+    def close(self) -> None:
+        """Drop the underlying connection (the next request reconnects)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> ServeResponse:
+        """One round trip; retries once on a dropped keep-alive connection."""
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        headers: Dict[str, str] = {}
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        if self._tenant is not None:
+            headers[TENANT_HEADER] = self._tenant
+        if deadline_ms is not None:
+            headers[DEADLINE_HEADER] = str(deadline_ms)
+        for attempt in (1, 2):
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                raw = connection.getresponse()
+                data = raw.read()
+                break
+            except (http.client.RemoteDisconnected, OSError):
+                # The server closed the idle keep-alive connection between
+                # requests (or the socket died under us); reconnect once
+                # before giving up.
+                self.close()
+                if attempt == 2:
+                    raise
+        response_headers = {name.lower(): value for name, value in raw.getheaders()}
+        content_type = response_headers.get("content-type", "")
+        parsed: Any = data.decode("utf-8", errors="replace")
+        if content_type.startswith("application/json") and data:
+            parsed = json.loads(data)
+        if response_headers.get("connection", "").lower() == "close":
+            self.close()
+        return ServeResponse(status=raw.status, payload=parsed, headers=response_headers)
+
+    # ------------------------------------------------------------------ #
+    # Endpoint helpers
+    # ------------------------------------------------------------------ #
+    def place(
+        self,
+        circuit: Any,
+        dims: Sequence[Sequence[int]],
+        deadline_ms: Optional[float] = None,
+    ) -> ServeResponse:
+        """POST ``/place`` for one dimension vector."""
+        return self.request(
+            "POST",
+            "/place",
+            {"circuit": circuit, "dims": [list(pair) for pair in dims]},
+            deadline_ms=deadline_ms,
+        )
+
+    def place_batch(
+        self,
+        circuit: Any,
+        dims_batch: Sequence[Sequence[Sequence[int]]],
+        deadline_ms: Optional[float] = None,
+    ) -> ServeResponse:
+        """POST ``/place_batch`` for a client-assembled batch."""
+        return self.request(
+            "POST",
+            "/place_batch",
+            {
+                "circuit": circuit,
+                "dims_batch": [[list(pair) for pair in dims] for dims in dims_batch],
+            },
+            deadline_ms=deadline_ms,
+        )
+
+    def route(
+        self,
+        circuit: Any,
+        dims: Sequence[Sequence[int]],
+        deadline_ms: Optional[float] = None,
+    ) -> ServeResponse:
+        """POST ``/route`` for one dimension vector."""
+        return self.request(
+            "POST",
+            "/route",
+            {"circuit": circuit, "dims": [list(pair) for pair in dims]},
+            deadline_ms=deadline_ms,
+        )
+
+    def healthz(self) -> ServeResponse:
+        """GET ``/healthz``."""
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> ServeResponse:
+        """GET ``/metrics`` (Prometheus text)."""
+        return self.request("GET", "/metrics")
+
+
+class ServerHarness:
+    """Run a :class:`PlacementServer` on a background event-loop thread.
+
+    Parameters
+    ----------
+    service:
+        The placement service to serve.  The harness owns it: drain
+        closes its pools.
+    config:
+        Server configuration; ``port=0`` (the default) binds ephemerally.
+
+    Use as a context manager::
+
+        with ServerHarness(service, config) as harness:
+            response = harness.client().place("two_stage_opamp", dims)
+    """
+
+    def __init__(
+        self, service: PlacementService, config: Optional[ServerConfig] = None
+    ) -> None:
+        self._service = service
+        self._config = config if config is not None else ServerConfig()
+        self._server: Optional[PlacementServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._stop_requested: Optional[asyncio.Event] = None
+        self._clients: List[ServeClient] = []
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def server(self) -> PlacementServer:
+        """The live server (valid between ``start`` and ``stop``)."""
+        if self._server is None:
+            raise RuntimeError("harness is not started")
+        return self._server
+
+    @property
+    def port(self) -> int:
+        """The ephemeral port the server bound."""
+        return self.server.port
+
+    @property
+    def address(self) -> str:
+        """``http://host:port`` of the running server."""
+        return self.server.address
+
+    def start(self) -> "ServerHarness":
+        """Start the loop thread and block until the listener is bound."""
+        if self._thread is not None:
+            raise RuntimeError("harness is already started")
+        self._thread = threading.Thread(
+            target=self._run_loop, name="serve-harness", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30.0):  # pragma: no cover - hang guard
+            raise RuntimeError("server harness failed to start within 30s")
+        if self._startup_error is not None:
+            self._thread.join(timeout=5.0)
+            raise RuntimeError("server harness failed to start") from self._startup_error
+        return self
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._main())
+        finally:
+            loop.close()
+
+    async def _main(self) -> None:
+        self._server = PlacementServer(
+            self._service, self._config, owns_service=True
+        )
+        self._stop_requested = asyncio.Event()
+        try:
+            await self._server.start()
+        except BaseException as exc:  # pragma: no cover - bind failures
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        await self._stop_requested.wait()
+        await self._server.aclose()
+
+    def drain(self, timeout: float = 60.0) -> None:
+        """Run the graceful drain (the SIGTERM path) and wait for it."""
+        if self._loop is None or self._server is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(self._server.drain(), self._loop)
+        future.result(timeout=timeout)
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Drain gracefully, stop the loop, join the thread."""
+        if self._loop is None or self._thread is None:
+            return
+        for client in self._clients:
+            client.close()
+        self.drain(timeout=timeout)
+        assert self._stop_requested is not None
+        self._loop.call_soon_threadsafe(self._stop_requested.set)
+        self._thread.join(timeout=timeout)
+        self._thread = None
+        self._loop = None
+        self._server = None
+
+    def __enter__(self) -> "ServerHarness":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Clients
+    # ------------------------------------------------------------------ #
+    def client(self, tenant: Optional[str] = None, timeout: float = 30.0) -> ServeClient:
+        """A new blocking client against this server (closed by ``stop``)."""
+        client = ServeClient(
+            self._config.host, self.port, tenant=tenant, timeout=timeout
+        )
+        self._clients.append(client)
+        return client

@@ -1,0 +1,159 @@
+"""Per-tenant token-bucket quotas keyed by the ``X-Tenant`` header.
+
+Admission control (:mod:`repro.serve.admission`) protects the *server*;
+quotas protect tenants from each other.  Each tenant draws query tokens
+from its own :class:`TokenBucket` — ``rate`` tokens per second refill up
+to a ``burst`` ceiling — so a tenant replaying a synthesis sweep at full
+speed exhausts its own bucket (429 + ``Retry-After``) while every other
+tenant keeps its full allotment.
+
+Buckets are lazy (created on a tenant's first request) and the clock is
+injectable, so tests drive time explicitly instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.protocol import QuotaExceeded
+
+Clock = Callable[[], float]
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/second up to ``burst``."""
+
+    __slots__ = ("rate", "burst", "_tokens", "_updated", "_clock")
+
+    def __init__(self, rate: float, burst: float, clock: Clock = time.monotonic) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst <= 0:
+            raise ValueError("burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._clock = clock
+        self._updated = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._updated
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._updated = now
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now."""
+        self._refill()
+        return self._tokens
+
+    def try_take(self, cost: float = 1.0) -> float:
+        """Take ``cost`` tokens; return 0.0 on success, else seconds to wait.
+
+        A ``cost`` above ``burst`` can never succeed outright; such
+        requests are charged the full burst instead (they drain the bucket
+        to zero) so oversized batches are throttled, not banned forever.
+        """
+        self._refill()
+        charge = min(float(cost), self.burst)
+        if self._tokens >= charge:
+            self._tokens -= charge
+            return 0.0
+        return (charge - self._tokens) / self.rate
+
+
+class TenantQuotas:
+    """Lazy per-tenant token buckets with throttle accounting.
+
+    Parameters
+    ----------
+    rate:
+        Queries/second each tenant may sustain.  ``None`` disables
+        quotas entirely (every check passes).
+    burst:
+        Bucket capacity (defaults to ``2 * rate``, minimum 1).
+    overrides:
+        Optional ``{tenant: (rate, burst)}`` exceptions to the default.
+    metrics:
+        Registry receiving ``serve.quota.*`` counters.
+    clock:
+        Injectable time source (tests pass a fake).
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float] = None,
+        burst: Optional[float] = None,
+        overrides: Optional[Dict[str, tuple]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        self._rate = rate
+        self._burst = burst
+        self._overrides = dict(overrides) if overrides else {}
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._throttled: Dict[str, int] = {}
+        self._granted: Dict[str, int] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """True when a default rate (or any override) is configured."""
+        return self._rate is not None or bool(self._overrides)
+
+    def _bucket_for(self, tenant: str) -> Optional[TokenBucket]:
+        bucket = self._buckets.get(tenant)
+        if bucket is not None:
+            return bucket
+        if tenant in self._overrides:
+            rate, burst = self._overrides[tenant]
+        elif self._rate is not None:
+            rate = self._rate
+            burst = self._burst if self._burst is not None else max(1.0, 2 * self._rate)
+        else:
+            return None
+        bucket = TokenBucket(rate, burst, clock=self._clock)
+        self._buckets[tenant] = bucket
+        return bucket
+
+    def check(self, tenant: str, cost: float = 1.0) -> None:
+        """Charge ``tenant`` for ``cost`` queries or raise :class:`QuotaExceeded`."""
+        bucket = self._bucket_for(tenant)
+        if bucket is None:
+            return
+        wait = bucket.try_take(cost)
+        if wait > 0.0:
+            self._throttled[tenant] = self._throttled.get(tenant, 0) + 1
+            self._metrics.inc("serve.quota.throttled")
+            raise QuotaExceeded(
+                f"tenant {tenant!r} exceeded its quota "
+                f"({bucket.rate:g} queries/s, burst {bucket.burst:g})",
+                retry_after=wait,
+            )
+        self._granted[tenant] = self._granted.get(tenant, 0) + 1
+        self._metrics.inc("serve.quota.granted")
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant accounting: granted / throttled / tokens remaining."""
+        tenants = sorted({*self._granted, *self._throttled, *self._buckets})
+        return {
+            tenant: {
+                "granted": float(self._granted.get(tenant, 0)),
+                "throttled": float(self._throttled.get(tenant, 0)),
+                "tokens": (
+                    round(self._buckets[tenant].tokens, 3)
+                    if tenant in self._buckets
+                    else float("inf")
+                ),
+            }
+            for tenant in tenants
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = f"rate={self._rate!r}" if self.enabled else "disabled"
+        return f"TenantQuotas({state}, tenants={len(self._buckets)})"

@@ -1,0 +1,589 @@
+"""The always-on placement server: asyncio front end over ``PlacementService``.
+
+:class:`PlacementServer` is the process that stays up and takes traffic.
+One asyncio event loop accepts JSON-over-HTTP/1.1 connections; per-circuit
+:class:`~repro.serve.batcher.MicroBatcher` instances coalesce concurrent
+``/place`` requests into :meth:`PlacementService.instantiate_batch` calls
+(which reuse the whole dedup → shard → fan-out stack, including the
+PR 5 process pool when ``service_workers`` asks for it); admission control
+and per-tenant quotas shed overload with 429 before it turns into queueing
+latency; and SIGTERM drains gracefully — in-flight requests finish, the
+batchers flush, owned pools close, and not one accepted request is lost.
+
+The blocking service calls run on a small thread pool so the event loop
+never stalls behind a placement; the service layer is thread-safe by
+construction (PR 1) and fans out to worker *processes* on its own when
+configured, so threads here are dispatch plumbing, not the parallelism
+story.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from dataclasses import dataclass, field
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import is_enabled as _obs_enabled, metrics as _obs_metrics, span
+from repro.serve.admission import AdmissionController, AdmissionTicket
+from repro.serve.batcher import MicroBatcher
+from repro.serve.protocol import (
+    BadRequest,
+    CircuitResolver,
+    HttpRequest,
+    MethodNotAllowed,
+    NotFound,
+    PayloadTooLarge,
+    ServeError,
+    ServerDraining,
+    error_response,
+    json_response,
+    parse_dims,
+    parse_dims_batch,
+    placement_payload,
+    render_response,
+    routed_payload,
+)
+from repro.service.engine import PlacementService
+from repro.serve.quotas import TenantQuotas
+from repro.utils.logging_utils import get_logger
+
+LOGGER = get_logger("serve.server")
+
+#: Hard bound on header count per request (parser safety valve).
+MAX_HEADERS = 64
+#: Hard bound on one header/request line (bytes).
+MAX_LINE_BYTES = 16384
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything that shapes a :class:`PlacementServer`'s behavior."""
+
+    host: str = "127.0.0.1"
+    #: ``0`` binds an ephemeral port (read it back from ``server.port``).
+    port: int = 0
+    #: Coalesce window of the per-circuit micro-batchers (seconds).
+    window_seconds: float = 0.004
+    #: Largest coalesced batch one dispatch may carry.
+    max_batch: int = 64
+    #: Total query cost admitted at once; the rest sheds with 429.
+    max_inflight: int = 256
+    #: Per-tenant sustained queries/second (``None`` disables quotas).
+    quota_rate: Optional[float] = None
+    #: Per-tenant burst ceiling (defaults to ``2 * quota_rate``).
+    quota_burst: Optional[float] = None
+    #: Queueing budget applied when a request carries no ``X-Deadline-Ms``.
+    default_deadline_seconds: Optional[float] = None
+    #: Process fan-out forwarded to ``instantiate_batch(workers=...)``.
+    service_workers: Optional[int] = None
+    #: Threads running the blocking service calls off the event loop.
+    executor_threads: int = 4
+    #: Largest accepted request body.
+    max_body_bytes: int = 4 * 1024 * 1024
+    #: How long :meth:`PlacementServer.drain` waits for in-flight work.
+    drain_timeout_seconds: float = 30.0
+
+
+@dataclass
+class _HandlerResult:
+    """Response bytes plus the admission ticket released after the write."""
+
+    response: bytes
+    ticket: Optional[AdmissionTicket] = None
+    close: bool = False
+
+
+class PlacementServer:
+    """Serve ``PlacementService`` queries over asyncio HTTP/1.1.
+
+    Parameters
+    ----------
+    service:
+        The placement service answering queries.  Pass ``owns_service=True``
+        when the server should close the service's process pools on drain
+        (the CLI and harness do).
+    config:
+        A :class:`ServerConfig`.
+    owns_service:
+        Whether drain closes the service's pools.
+    """
+
+    def __init__(
+        self,
+        service: PlacementService,
+        config: Optional[ServerConfig] = None,
+        owns_service: bool = False,
+    ) -> None:
+        self._service = service
+        self._config = config if config is not None else ServerConfig()
+        self._owns_service = owns_service
+        self._metrics = MetricsRegistry()
+        self._admission = AdmissionController(
+            max_inflight=self._config.max_inflight, metrics=self._metrics
+        )
+        self._quotas = TenantQuotas(
+            rate=self._config.quota_rate,
+            burst=self._config.quota_burst,
+            metrics=self._metrics,
+        )
+        self._resolver = CircuitResolver()
+        #: id(circuit) -> (circuit, batcher); the strong circuit reference
+        #: keeps the id stable for the entry's lifetime.
+        self._batchers: Dict[int, Tuple[Any, MicroBatcher]] = {}
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: "set[asyncio.Task[None]]" = set()
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._started_at: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> ServerConfig:
+        """The configuration this server runs under."""
+        return self._config
+
+    @property
+    def service(self) -> PlacementService:
+        """The placement service answering this server's queries."""
+        return self._service
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The server's own metrics registry (``serve.*`` names)."""
+        return self._metrics
+
+    @property
+    def draining(self) -> bool:
+        """True once drain began; new requests answer 503."""
+        return self._draining
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (valid after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> str:
+        """``http://host:port`` of the running server."""
+        return f"http://{self._config.host}:{self.port}"
+
+    async def start(self) -> None:
+        """Bind the listener and start accepting connections."""
+        if self._server is not None:
+            raise RuntimeError("server is already started")
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._config.executor_threads,
+            thread_name_prefix="serve-dispatch",
+        )
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            host=self._config.host,
+            port=self._config.port,
+            family=socket.AF_INET,
+        )
+        self._started_at = asyncio.get_running_loop().time()
+        LOGGER.info("placement server listening on %s", self.address)
+
+    async def serve_until_drained(self) -> None:
+        """Block until :meth:`drain` completes (the CLI's main await)."""
+        await self._drained.wait()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight, close pools.
+
+        Idempotent.  Order matters: the listener closes first (no new
+        connections), the draining flag flips (new requests on live
+        keep-alive connections answer 503), queued batches flush, and only
+        when the admission controller reports zero inflight work — every
+        accepted request answered and written — do owned resources close.
+        """
+        if self._draining:
+            await self._drained.wait()
+            return
+        self._draining = True
+        LOGGER.info("drain: closing listener, finishing in-flight requests")
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for _, batcher in list(self._batchers.values()):
+            await batcher.flush()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self._config.drain_timeout_seconds
+        while not self._admission.idle and loop.time() < deadline:
+            await asyncio.sleep(0.005)
+        if not self._admission.idle:  # pragma: no cover - pathological stall
+            LOGGER.warning(
+                "drain: %d inflight queries still pending at timeout",
+                self._admission.inflight,
+            )
+        for _, batcher in list(self._batchers.values()):
+            await batcher.close()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._owns_service:
+            self._service.close()
+        self._flush_metrics()
+        self._drained.set()
+        LOGGER.info("drain: complete")
+
+    async def aclose(self) -> None:
+        """Drain, then tear down any connection tasks still parked on reads."""
+        await self.drain()
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*tuple(self._connections), return_exceptions=True)
+
+    def _flush_metrics(self) -> None:
+        """Log the final counter snapshot so a drained server leaves a record."""
+        summary = {
+            "admission": self._admission.stats(),
+            "quota_tenants": self._quotas.stats(),
+            "service": self._service.snapshot().as_dict(),
+        }
+        LOGGER.info("final serving stats: %s", json.dumps(summary, default=str))
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+        self._metrics.inc("serve.connections")
+        try:
+            await self._connection_loop(reader, writer)
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _connection_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            try:
+                request = await _read_request(reader, self._config.max_body_bytes)
+            except ServeError as exc:
+                writer.write(error_response(exc, close=True))
+                await writer.drain()
+                return
+            if request is None:
+                return
+            result = await self._handle_request(request)
+            try:
+                writer.write(result.response)
+                await writer.drain()
+            finally:
+                if result.ticket is not None:
+                    # Released only after the response bytes are flushed:
+                    # drain's inflight==0 therefore means every accepted
+                    # request was fully answered, not merely computed.
+                    result.ticket.release()
+            if result.close or request.wants_close:
+                return
+
+    async def _handle_request(self, request: HttpRequest) -> _HandlerResult:
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        route = (request.method, request.path.split("?", 1)[0])
+        self._metrics.inc("serve.requests")
+        with span("serve.request", method=route[0], path=route[1]) as obs_span:
+            try:
+                result = await self._route(request, route)
+                status = 200
+            except ServeError as exc:
+                status = exc.status
+                obs_span.set(error=exc.code)
+                result = _HandlerResult(
+                    response=error_response(exc, close=self._draining)
+                )
+            except Exception as exc:  # noqa: BLE001 - last-resort 500
+                LOGGER.exception("unhandled error serving %s %s", *route)
+                status = 500
+                obs_span.set(error=type(exc).__name__)
+                internal = ServeError(f"{type(exc).__name__}: {exc}")
+                result = _HandlerResult(response=error_response(internal, close=True))
+            obs_span.set(status=status)
+        elapsed = loop.time() - started
+        self._metrics.inc(f"serve.status.{status}")
+        self._metrics.observe("serve.request_seconds", elapsed)
+        if status == 200 and route[0] == "POST":
+            self._admission.observe_service_time(elapsed)
+        if _obs_enabled():
+            _obs_metrics().observe("serve.request_seconds", elapsed)
+        return result
+
+    async def _route(
+        self, request: HttpRequest, route: Tuple[str, str]
+    ) -> _HandlerResult:
+        method, path = route
+        if path == "/healthz":
+            if method != "GET":
+                raise MethodNotAllowed(f"{path} only supports GET")
+            return self._handle_healthz()
+        if path == "/metrics":
+            if method != "GET":
+                raise MethodNotAllowed(f"{path} only supports GET")
+            return self._handle_metrics()
+        if path in ("/place", "/place_batch", "/route"):
+            if method != "POST":
+                raise MethodNotAllowed(f"{path} only supports POST")
+            if self._draining:
+                raise ServerDraining("server is draining; retry against a peer")
+            handler = {
+                "/place": self._handle_place,
+                "/place_batch": self._handle_place_batch,
+                "/route": self._handle_route,
+            }[path]
+            return await handler(request)
+        raise NotFound(f"no handler for {method} {path}")
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def _handle_healthz(self) -> _HandlerResult:
+        loop = asyncio.get_running_loop()
+        queued = sum(batcher.queued for _, batcher in self._batchers.values())
+        payload = {
+            "status": "draining" if self._draining else "ok",
+            "inflight": self._admission.inflight,
+            "queued": queued,
+            "batchers": len(self._batchers),
+            "uptime_seconds": (
+                round(loop.time() - self._started_at, 3)
+                if self._started_at is not None
+                else 0.0
+            ),
+        }
+        return _HandlerResult(response=json_response(200, payload))
+
+    def _handle_metrics(self) -> _HandlerResult:
+        # Three registries render into one exposition: the server's own
+        # serve.* metrics, a consistent snapshot of the service counters,
+        # and (when tracing is on) the process-global repro.obs registry.
+        parts = [self._metrics.to_prometheus()]
+        parts.append(self._service.snapshot().metrics.to_prometheus())
+        if _obs_enabled():
+            parts.append(_obs_metrics().to_prometheus())
+        body = "".join(parts).encode("utf-8")
+        return _HandlerResult(
+            response=render_response(
+                200, body, content_type="text/plain; version=0.0.4"
+            )
+        )
+
+    def _deadline_for(self, request: HttpRequest) -> Optional[float]:
+        budget = request.deadline_seconds
+        if budget is None:
+            budget = self._config.default_deadline_seconds
+        if budget is None:
+            return None
+        return asyncio.get_running_loop().time() + budget
+
+    def _admit(self, request: HttpRequest, cost: int) -> AdmissionTicket:
+        """Quota first (cheap, per-tenant), then the global inflight budget."""
+        self._quotas.check(request.tenant, cost)
+        return self._admission.admit(cost)
+
+    async def _handle_place(self, request: HttpRequest) -> _HandlerResult:
+        payload = request.json()
+        circuit = self._resolver.resolve(payload)
+        dims = parse_dims(payload.get("dims"), circuit.num_blocks)
+        ticket = self._admit(request, 1)
+        try:
+            batcher = self._batcher_for(circuit)
+            placement = await batcher.submit(dims, deadline=self._deadline_for(request))
+        except BaseException:
+            ticket.release()
+            raise
+        return _HandlerResult(
+            response=json_response(200, placement_payload(placement)), ticket=ticket
+        )
+
+    async def _handle_place_batch(self, request: HttpRequest) -> _HandlerResult:
+        payload = request.json()
+        circuit = self._resolver.resolve(payload)
+        dims_batch = parse_dims_batch(payload.get("dims_batch"), circuit.num_blocks)
+        ticket = self._admit(request, len(dims_batch))
+        try:
+            loop = asyncio.get_running_loop()
+            batch = await loop.run_in_executor(
+                self._require_executor(),
+                partial(
+                    self._service.instantiate_batch,
+                    circuit,
+                    dims_batch,
+                    workers=self._config.service_workers,
+                ),
+            )
+        except BaseException:
+            ticket.release()
+            raise
+        body = {
+            "results": [placement_payload(placement) for placement in batch.results],
+            "unique_queries": batch.unique_queries,
+            "duplicate_queries": batch.duplicate_queries,
+            "elapsed_seconds": round(batch.elapsed_seconds, 6),
+        }
+        return _HandlerResult(response=json_response(200, body), ticket=ticket)
+
+    async def _handle_route(self, request: HttpRequest) -> _HandlerResult:
+        payload = request.json()
+        circuit = self._resolver.resolve(payload)
+        dims = parse_dims(payload.get("dims"), circuit.num_blocks)
+        ticket = self._admit(request, 1)
+        try:
+            loop = asyncio.get_running_loop()
+            placement, layout = await loop.run_in_executor(
+                self._require_executor(),
+                partial(self._service.route, circuit, dims),
+            )
+        except BaseException:
+            ticket.release()
+            raise
+        return _HandlerResult(
+            response=json_response(200, routed_payload(placement, layout)),
+            ticket=ticket,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Batching
+    # ------------------------------------------------------------------ #
+    def _require_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            raise ServerDraining("server dispatch executor is shut down")
+        return self._executor
+
+    def _batcher_for(self, circuit: Any) -> MicroBatcher:
+        entry = self._batchers.get(id(circuit))
+        if entry is not None:
+            return entry[1]
+        batcher = MicroBatcher(
+            dispatch=partial(self._dispatch_batch, circuit),
+            window_seconds=self._config.window_seconds,
+            max_batch=self._config.max_batch,
+            name=circuit.name,
+            metrics=self._metrics,
+        )
+        self._batchers[id(circuit)] = (circuit, batcher)
+        return batcher
+
+    async def _dispatch_batch(self, circuit: Any, items: List[Any]) -> List[Any]:
+        """One coalesced dispatch: the blocking batch call, off the loop."""
+        loop = asyncio.get_running_loop()
+        with span("serve.dispatch", circuit=circuit.name, queries=len(items)):
+            batch = await loop.run_in_executor(
+                self._require_executor(),
+                partial(
+                    self._service.instantiate_batch,
+                    circuit,
+                    list(items),
+                    workers=self._config.service_workers,
+                ),
+            )
+        self._metrics.inc("serve.dispatches")
+        self._metrics.inc("serve.coalesced_queries", len(items))
+        self._metrics.inc("serve.dedup_hits", batch.duplicate_queries)
+        return list(batch.results)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "draining" if self._draining else (
+            "listening" if self._server is not None else "idle"
+        )
+        return f"PlacementServer({state}, inflight={self._admission.inflight})"
+
+
+# ---------------------------------------------------------------------- #
+# HTTP parsing
+# ---------------------------------------------------------------------- #
+async def _read_request(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> Optional[HttpRequest]:
+    """Parse one HTTP/1.1 request; ``None`` on a cleanly closed connection."""
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError) as exc:
+        raise BadRequest(f"request line too long: {exc}") from exc
+    if not line:
+        return None
+    if len(line) > MAX_LINE_BYTES:
+        raise BadRequest("request line too long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise BadRequest(f"malformed request line: {line.decode('latin-1')!r}")
+    method, target, _version = parts
+    headers: Dict[str, str] = {}
+    while True:
+        header_line = await reader.readline()
+        if header_line in (b"\r\n", b"\n", b""):
+            break
+        if len(header_line) > MAX_LINE_BYTES:
+            raise BadRequest("header line too long")
+        if len(headers) >= MAX_HEADERS:
+            raise BadRequest(f"too many headers (limit {MAX_HEADERS})")
+        name, separator, value = header_line.decode("latin-1").partition(":")
+        if not separator:
+            raise BadRequest(f"malformed header line: {header_line!r}")
+        headers[name.strip().lower()] = value.strip()
+    raw_length = headers.get("content-length", "0") or "0"
+    try:
+        length = int(raw_length)
+    except ValueError as exc:
+        raise BadRequest(f"invalid Content-Length {raw_length!r}") from exc
+    if length < 0:
+        raise BadRequest(f"invalid Content-Length {raw_length!r}")
+    if length > max_body_bytes:
+        raise PayloadTooLarge(
+            f"request body of {length} bytes exceeds the {max_body_bytes}-byte bound"
+        )
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            return None
+    return HttpRequest(method=method.upper(), path=target, headers=headers, body=body)
+
+
+async def run_server(
+    server: PlacementServer, install_signal_handlers: bool = True
+) -> None:
+    """Start ``server`` and block until a signal (or :meth:`drain`) stops it.
+
+    SIGTERM and SIGINT both trigger the graceful drain; platforms without
+    ``add_signal_handler`` (Windows event loops) skip installation and
+    rely on the caller to invoke :meth:`PlacementServer.drain`.
+    """
+    import signal
+
+    await server.start()
+    if install_signal_handlers:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: asyncio.ensure_future(server.drain())
+                )
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                break
+    await server.serve_until_drained()
+    await server.aclose()

@@ -296,6 +296,21 @@ class PlacementService:
         """Live counters (use :meth:`ServiceStats.snapshot` to freeze them)."""
         return self._stats
 
+    def snapshot(self) -> ServiceStats:
+        """A *consistent* frozen copy of the counters.
+
+        Every counter update in this service happens under the service
+        lock in one atomic group (a query bumps ``queries``, its tier
+        counter and ``total_seconds`` together); ``snapshot`` takes the
+        same lock, so a reader never observes a torn state — e.g. a query
+        counted whose tier hit is missing.  This is the read path the
+        serving layer's ``/metrics`` endpoint and the batcher use while
+        requests are in flight; reading :attr:`stats` fields directly is
+        only safe when nothing is concurrently serving.
+        """
+        with self._lock:
+            return self._stats.snapshot()
+
     def reset_stats(self) -> ServiceStats:
         """Replace the counters with zeros and return the old ones."""
         with self._lock:

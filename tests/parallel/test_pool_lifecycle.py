@@ -1,0 +1,97 @@
+"""Lifecycle-safety tests for WorkerPool: double close, atexit guard."""
+
+import threading
+
+import pytest
+
+from repro.parallel import pool as pool_module
+from repro.parallel.placer import ParallelPlacer
+from repro.parallel.pool import WorkerPool, _LIVE_POOLS, _close_live_pools
+from tests.conftest import build_chain_circuit
+
+
+def started_pool():
+    pool = WorkerPool(workers=2)
+    pool._ensure_executor()
+    return pool
+
+
+class TestDoubleClose:
+    def test_close_is_idempotent(self):
+        pool = started_pool()
+        pool.close()
+        pool.close()
+        assert pool._executor is None
+
+    def test_close_without_start_is_a_noop(self):
+        WorkerPool(workers=2).close()
+
+    def test_exit_after_explicit_close(self):
+        # The pattern a failing server hits: close() in an error path,
+        # then __exit__ runs again on unwind.
+        with started_pool() as pool:
+            pool.close()
+        assert pool._executor is None
+
+    def test_exit_after_error_still_closes(self):
+        with pytest.raises(RuntimeError):
+            with started_pool() as pool:
+                raise RuntimeError("boom")
+        assert pool._executor is None
+
+    def test_pool_restarts_after_close(self):
+        pool = WorkerPool(workers=2)
+        first = pool._ensure_executor()
+        pool.close()
+        second = pool._ensure_executor()
+        assert second is not first
+        pool.close()
+
+    def test_concurrent_closes_race_safely(self):
+        pool = started_pool()
+        barrier = threading.Barrier(4)
+
+        def slam():
+            barrier.wait()
+            pool.close()
+
+        threads = [threading.Thread(target=slam) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert pool._executor is None
+
+    def test_parallel_placer_close_is_idempotent(self):
+        placer = ParallelPlacer(
+            build_chain_circuit(), {"kind": "template"}, workers=2
+        )
+        placer.close()
+        placer.close()
+        with placer:
+            pass  # __exit__ closes a third time
+
+
+class TestAtexitGuard:
+    def test_started_pool_registers_for_atexit_cleanup(self):
+        pool = started_pool()
+        assert pool in _LIVE_POOLS
+        pool.close()
+        assert pool not in _LIVE_POOLS
+
+    def test_guard_shuts_down_leaked_pools(self):
+        pool = started_pool()
+        _close_live_pools()
+        assert pool._executor is None
+        # A reaped pool is restartable and closeable as usual.
+        pool.close()
+
+    def test_guard_tolerates_already_closed_pools(self):
+        pool = started_pool()
+        pool.close()
+        _close_live_pools()
+
+    def test_atexit_hook_is_registered_once(self):
+        started_pool().close()
+        started_pool().close()
+        assert pool_module._ATEXIT_REGISTERED

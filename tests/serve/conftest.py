@@ -1,0 +1,32 @@
+"""Shared fixtures for the serving-subsystem tests.
+
+Server tests run against the in-process :class:`ServerHarness` — real
+sockets, real coalescing — but serve the cheap 4-block chain circuit
+(shipped as a serialized netlist in the request payload) with smoke-scale
+generation budgets, so an end-to-end request costs milliseconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generator import GeneratorConfig
+from repro.core.serialization import circuit_to_dict
+from repro.service.engine import PlacementService
+from tests.conftest import build_chain_circuit
+
+SMOKE = GeneratorConfig.smoke(seed=7)
+
+#: Four [w, h] pairs (one per chain block), inside the 4..12 block range.
+CHAIN_DIMS = [[6, 5], [5, 6], [7, 5], [6, 6]]
+
+
+def make_service() -> PlacementService:
+    """A fresh in-memory service with smoke-scale generation budgets."""
+    return PlacementService(default_config=SMOKE)
+
+
+@pytest.fixture(scope="session")
+def chain_payload():
+    """The chain circuit as the serialized-netlist form of ``circuit``."""
+    return circuit_to_dict(build_chain_circuit())

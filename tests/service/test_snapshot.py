@@ -1,0 +1,76 @@
+"""Consistency tests for PlacementService.snapshot().
+
+The service updates its counters in atomic groups under one lock — a
+query increments ``queries`` *and* its tier counter together.  A
+consistent snapshot must never observe the halfway state, no matter how
+hard other threads are driving the service.
+"""
+
+import threading
+
+from repro.core.generator import GeneratorConfig
+from repro.service.engine import PlacementService, ServiceStats
+from tests.conftest import build_chain_circuit
+
+SMOKE = GeneratorConfig.smoke(seed=7)
+
+
+def tier_sum(stats: ServiceStats) -> int:
+    return stats.structure_hits + stats.nearest_hits + stats.fallback_hits
+
+
+class TestSnapshot:
+    def test_snapshot_is_a_frozen_copy(self):
+        service = PlacementService(default_config=SMOKE)
+        circuit = build_chain_circuit()
+        service.instantiate(circuit, [(5, 5)] * 4)
+        frozen = service.snapshot()
+        assert frozen.queries == 1
+        service.instantiate(circuit, [(6, 6)] * 4)
+        # The copy does not move with the live counters.
+        assert frozen.queries == 1
+        assert service.stats.queries == 2
+
+    def test_snapshot_mirrors_as_dict(self):
+        service = PlacementService(default_config=SMOKE)
+        service.instantiate(build_chain_circuit(), [(5, 5)] * 4)
+        assert service.snapshot().as_dict() == service.stats.as_dict()
+
+    def test_snapshot_never_tears_under_concurrent_queries(self):
+        service = PlacementService(default_config=SMOKE)
+        circuit = build_chain_circuit()
+        service.warm(circuit)  # pay generation once, outside the race
+        stop = threading.Event()
+        errors = []
+
+        def hammer(seed):
+            sizes = [(4 + (seed + i) % 9, 4 + (seed * 3 + i) % 9) for i in range(8)]
+            index = 0
+            while not stop.is_set():
+                service.instantiate(circuit, [sizes[index % 8]] * 4)
+                index += 1
+
+        def observe():
+            while not stop.is_set():
+                frozen = service.snapshot()
+                # The atomic group: queries and the tier counter move
+                # together, so a consistent view always balances.
+                if frozen.queries != tier_sum(frozen):
+                    errors.append(
+                        f"torn snapshot: queries={frozen.queries} "
+                        f"tiers={tier_sum(frozen)}"
+                    )
+                    stop.set()
+
+        writers = [threading.Thread(target=hammer, args=(seed,)) for seed in range(4)]
+        readers = [threading.Thread(target=observe) for _ in range(2)]
+        for thread in writers + readers:
+            thread.start()
+        stop.wait(timeout=1.5)
+        stop.set()
+        for thread in writers + readers:
+            thread.join(timeout=30.0)
+        assert errors == []
+        final = service.snapshot()
+        assert final.queries == tier_sum(final)
+        assert final.queries > 0
