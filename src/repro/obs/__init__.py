@@ -38,10 +38,14 @@ from repro.obs.exporters import (
     export_run,
     write_run_manifest,
 )
+from repro.obs.flight import FlightRecorder, TraceBuffer
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.slo import SLObjective, SLOTracker
 from repro.obs.spans import (
     Span,
     add_root_hook,
+    add_span_sink,
+    anchored,
     clear_spans,
     clock,
     configure,
@@ -51,19 +55,29 @@ from repro.obs.spans import (
     is_enabled,
     metrics,
     remote_span_capture,
+    remove_root_hook,
+    remove_span_sink,
     reset,
+    root_span,
     span,
+    span_context,
     spans_snapshot,
     trace_context,
 )
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SLObjective",
+    "SLOTracker",
     "Span",
+    "TraceBuffer",
     "add_root_hook",
+    "add_span_sink",
+    "anchored",
     "clear_spans",
     "clock",
     "configure",
@@ -77,8 +91,12 @@ __all__ = [
     "is_enabled",
     "metrics",
     "remote_span_capture",
+    "remove_root_hook",
+    "remove_span_sink",
     "reset",
+    "root_span",
     "span",
+    "span_context",
     "spans_snapshot",
     "trace_context",
     "write_run_manifest",

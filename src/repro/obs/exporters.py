@@ -221,4 +221,6 @@ def _auto_export_root(record: Dict[str, Any]) -> None:
         pass
 
 
-add_root_hook(_auto_export_root)
+# Durable: the auto-export built-in survives ``obs.reset()``; only
+# session-scoped hooks (e.g. a server's trace sampler) are transient.
+add_root_hook(_auto_export_root, durable=True)

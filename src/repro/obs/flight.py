@@ -1,0 +1,271 @@
+"""Flight recorder and tail-based trace sampling.
+
+Two bounded-memory retention policies for the serving path:
+
+* :class:`FlightRecorder` — a ring of the last N request records (the
+  structured access-log dicts).  The server dumps it to JSONL on SIGTERM
+  drain or on an unhandled error, so the minutes *before* an incident are
+  always on disk without logging every request forever.
+* :class:`TraceBuffer` — tail-based trace sampling.  Head sampling
+  decides before a request runs and therefore keeps the wrong traces;
+  tail sampling decides *after* the outcome is known: error traces
+  (429/5xx/504) are always kept, the slowest percentile is kept, and the
+  boring bulk is dropped.  Spans stream in through a
+  :func:`repro.obs.add_span_sink` feed (O(1) per span — the buffer never
+  scans the global span deque), and the keep/drop decision happens when
+  the trace's root record arrives via :func:`repro.obs.add_root_hook`.
+
+Both are deterministic (no RNG — the slow threshold comes from a bucketed
+:class:`~repro.obs.metrics.Histogram` quantile, not reservoir sampling)
+and lock-guarded for cross-thread use.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict, deque
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Union
+
+from repro.obs.metrics import Histogram
+
+__all__ = ["FlightRecorder", "TraceBuffer"]
+
+PathLike = Union[str, Path]
+
+
+class FlightRecorder:
+    """A bounded ring of the most recent request records.
+
+    Records are plain JSON-ready dicts (the server's access-log entries).
+    ``dump`` writes them oldest-first as JSON Lines, atomically enough for
+    a crash dump (write then rename is overkill for an append-shaped ring;
+    a partial last line is acceptable in a post-mortem artifact).
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self._ring: "deque[Dict[str, Any]]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._recorded = 0
+
+    @property
+    def capacity(self) -> int:
+        """The ring bound."""
+        return self._ring.maxlen or 0
+
+    @property
+    def recorded(self) -> int:
+        """Total records ever recorded (not just the retained window)."""
+        return self._recorded
+
+    def record(self, entry: Mapping[str, Any]) -> None:
+        """Append one request record (oldest falls off past capacity)."""
+        with self._lock:
+            self._ring.append(dict(entry))
+            self._recorded += 1
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """A copy of the retained records, oldest first."""
+        with self._lock:
+            return [dict(entry) for entry in self._ring]
+
+    def dump(self, path: PathLike) -> Path:
+        """Write the retained records as JSONL; returns the path."""
+        records = self.snapshot()
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            for entry in records:
+                handle.write(json.dumps(entry, sort_keys=True, default=str) + "\n")
+        return path
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"FlightRecorder({len(self)}/{self.capacity})"
+
+
+def _is_error_status(status: Optional[int]) -> bool:
+    """The always-keep statuses: shed (429) and server failure (5xx/504)."""
+    return status is not None and (status == 429 or status >= 500)
+
+
+class TraceBuffer:
+    """Tail-sampled retention of complete traces.
+
+    Feed every finished span through :meth:`ingest` (a
+    ``repro.obs.add_span_sink`` target) and every finished root record
+    through :meth:`seal` (a ``repro.obs.add_root_hook`` target).  On seal
+    the buffer decides:
+
+    * **error** — the root carries a 429/5xx status or an ``error``
+      attribute: always kept;
+    * **slow** — duration at or above the ``slow_quantile`` of all
+      durations seen so far (bucketed-histogram estimate, so no sorting
+      and no RNG), once ``min_samples`` have been observed;
+    * otherwise the trace's spans are dropped.
+
+    Memory is capped three ways: at most ``max_live`` un-sealed traces
+    with at most ``max_spans_per_trace`` spans each, and at most
+    ``capacity`` kept traces — evicting oldest *slow* traces before
+    oldest *error* traces.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        slow_quantile: float = 0.9,
+        min_samples: int = 32,
+        max_live: int = 256,
+        max_spans_per_trace: int = 512,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if not 0.0 < slow_quantile < 1.0:
+            raise ValueError("slow_quantile must be in (0, 1)")
+        self._capacity = capacity
+        self._slow_quantile = slow_quantile
+        self._min_samples = max(1, min_samples)
+        self._max_live = max(1, max_live)
+        self._max_spans = max(1, max_spans_per_trace)
+        self._durations = Histogram("tracebuffer.duration")
+        self._live: "OrderedDict[str, List[Dict[str, Any]]]" = OrderedDict()
+        self._kept: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._sealed = 0
+        self._dropped = 0
+        self._evicted = 0
+        #: Cached slow threshold, recomputed every 16 seals (the quantile
+        #: walk is the one non-O(1) piece of the seal path).
+        self._slow_threshold: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Ingestion (span sink + root hook targets)
+    # ------------------------------------------------------------------ #
+    def ingest(self, record: Mapping[str, Any]) -> None:
+        """Index one finished span under its trace (O(1))."""
+        trace_id = record.get("trace_id")
+        if not trace_id:
+            return
+        with self._lock:
+            bucket = self._live.get(trace_id)
+            if bucket is None:
+                while len(self._live) >= self._max_live:
+                    self._live.popitem(last=False)
+                bucket = self._live[trace_id] = []
+            if len(bucket) < self._max_spans:
+                # The record is the span's own freshly built dict (or a
+                # worker-side ingested one); the buffer takes ownership
+                # rather than copying on the hot path.
+                bucket.append(record)  # type: ignore[arg-type]
+
+    def seal(self, root_record: Mapping[str, Any]) -> Optional[str]:
+        """Decide a finished trace's fate; returns the kept category or ``None``."""
+        trace_id = root_record.get("trace_id")
+        if not trace_id:
+            return None
+        attrs = root_record.get("attrs", {})
+        status = attrs.get("status")
+        duration = float(root_record.get("duration", 0.0))
+        with self._lock:
+            spans = self._live.pop(trace_id, None) or []
+            # The sink normally delivered the root before this hook fires;
+            # include it explicitly when the buffer was wired up root-only.
+            root_id = root_record.get("span_id")
+            if not any(record.get("span_id") == root_id for record in spans):
+                spans.append(dict(root_record))
+            self._sealed += 1
+            self._durations.observe(duration)
+            if self._durations.count >= self._min_samples and (
+                self._slow_threshold is None or self._sealed % 16 == 0
+            ):
+                self._slow_threshold = self._durations.quantile(self._slow_quantile)
+            if _is_error_status(status) or "error" in attrs:
+                category = "error"
+            elif self._slow_threshold is not None and duration >= self._slow_threshold:
+                category = "slow"
+            else:
+                self._dropped += 1
+                return None
+            self._kept[trace_id] = {
+                "trace_id": trace_id,
+                "category": category,
+                "name": root_record.get("name"),
+                "status": status,
+                "request_id": attrs.get("request_id"),
+                "start": root_record.get("start"),
+                "duration": duration,
+                "span_count": len(spans),
+                "spans": spans,
+            }
+            self._kept.move_to_end(trace_id)
+            self._evict_locked()
+            return category
+
+    def _evict_locked(self) -> None:
+        while len(self._kept) > self._capacity:
+            victim = None
+            for trace_id, entry in self._kept.items():
+                if entry["category"] == "slow":
+                    victim = trace_id
+                    break
+            if victim is None:  # all errors: evict the oldest
+                victim = next(iter(self._kept))
+            del self._kept[victim]
+            self._evicted += 1
+
+    # ------------------------------------------------------------------ #
+    # Introspection (the /debug/tracez surface)
+    # ------------------------------------------------------------------ #
+    def summaries(self) -> List[Dict[str, Any]]:
+        """Kept traces newest-first, without span payloads."""
+        with self._lock:
+            entries = [
+                {key: value for key, value in entry.items() if key != "spans"}
+                for entry in self._kept.values()
+            ]
+        entries.reverse()
+        return entries
+
+    def get(self, trace_id: str) -> Optional[List[Dict[str, Any]]]:
+        """The span records of one kept trace, or ``None``."""
+        with self._lock:
+            entry = self._kept.get(trace_id)
+            return [dict(span) for span in entry["spans"]] if entry else None
+
+    def stats(self) -> Dict[str, Any]:
+        """Sampler accounting: sealed/kept/dropped/evicted and the threshold."""
+        with self._lock:
+            slow_threshold = self._slow_threshold
+            categories: Dict[str, int] = {}
+            for entry in self._kept.values():
+                categories[entry["category"]] = categories.get(entry["category"], 0) + 1
+            return {
+                "sealed": self._sealed,
+                "kept": len(self._kept),
+                "dropped": self._dropped,
+                "evicted": self._evicted,
+                "live": len(self._live),
+                "capacity": self._capacity,
+                "slow_quantile": self._slow_quantile,
+                "slow_threshold_seconds": slow_threshold,
+                "kept_by_category": categories,
+            }
+
+    def clear(self) -> None:
+        """Drop every kept and live trace (session teardown)."""
+        with self._lock:
+            self._live.clear()
+            self._kept.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._kept)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"TraceBuffer(kept={len(self)}/{self._capacity})"

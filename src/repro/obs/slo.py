@@ -1,0 +1,236 @@
+"""Service-level objectives: rolling-window compliance and burn rates.
+
+An SLO turns a latency histogram and a status counter into the one number
+an operator pages on: *how fast is the error budget burning?*  The model
+follows the multi-window burn-rate alerting practice:
+
+* an :class:`SLObjective` names a target (``0.999`` availability, or
+  ``p`` of requests under a latency threshold) over a rolling compliance
+  window;
+* an :class:`SLOTracker` ingests per-request outcomes into time-bucketed
+  good/bad counts (O(resolution) memory, no per-request allocation), and
+* :meth:`SLOTracker.snapshot` reports compliance plus the burn rate over
+  several lookback horizons — a burn rate of 1.0 consumes exactly the
+  error budget over the window; 10x means the budget is gone in a tenth
+  of the window.
+
+Like the rest of :mod:`repro.obs`, the tracker is deterministic (no RNG,
+injectable clock) and cheap: recording one request is a handful of list
+writes.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["SLObjective", "SLOTracker"]
+
+Clock = Callable[[], float]
+
+#: Statuses the availability SLI counts as server failures.  429 is a
+#: *protective* answer (shed/quota) and 4xx is the caller's fault; 5xx —
+#: including 503 draining and 504 deadline — burns the budget.
+ERROR_STATUS_FLOOR = 500
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One objective: a target fraction of good events over a window.
+
+    Parameters
+    ----------
+    name:
+        Label in snapshots (``"availability"``, ``"latency"``).
+    target:
+        The good fraction to uphold, in ``(0, 1)`` — e.g. ``0.999``.
+    kind:
+        ``"availability"`` counts every request, good when the status is
+        below 500.  ``"latency"`` counts successful requests only, good
+        when latency is at or under ``latency_threshold``.
+    latency_threshold:
+        Seconds bound for the latency SLI (required for that kind).
+    window_seconds:
+        The rolling compliance window.
+    """
+
+    name: str
+    target: float
+    kind: str = "availability"
+    latency_threshold: Optional[float] = None
+    window_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+        if self.kind not in ("availability", "latency"):
+            raise ValueError(f"kind must be availability|latency, got {self.kind!r}")
+        if self.kind == "latency" and self.latency_threshold is None:
+            raise ValueError("latency objectives need a latency_threshold")
+        if self.window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+
+    @property
+    def error_budget(self) -> float:
+        """The tolerated bad fraction (``1 - target``)."""
+        return 1.0 - self.target
+
+
+class _WindowCounts:
+    """Good/bad counts in a ring of time buckets spanning one window."""
+
+    __slots__ = ("_bucket_seconds", "_size", "_epochs", "_good", "_bad")
+
+    def __init__(self, window_seconds: float, resolution: int) -> None:
+        self._size = resolution
+        self._bucket_seconds = window_seconds / resolution
+        self._epochs = [-1] * resolution
+        self._good = [0] * resolution
+        self._bad = [0] * resolution
+
+    def record(self, good: bool, now: float) -> None:
+        epoch = int(now // self._bucket_seconds)
+        index = epoch % self._size
+        if self._epochs[index] != epoch:
+            # Reclaim a bucket that aged out of the window.
+            self._epochs[index] = epoch
+            self._good[index] = 0
+            self._bad[index] = 0
+        if good:
+            self._good[index] += 1
+        else:
+            self._bad[index] += 1
+
+    def totals(self, now: float, horizon: Optional[float] = None) -> Tuple[int, int]:
+        """``(good, bad)`` over the trailing ``horizon`` seconds (full window
+        when ``None``), bucket-granular."""
+        epoch = int(now // self._bucket_seconds)
+        if horizon is None:
+            reach = self._size
+        else:
+            reach = max(1, min(self._size, math.ceil(horizon / self._bucket_seconds)))
+        floor = epoch - reach + 1
+        good = bad = 0
+        for index in range(self._size):
+            if floor <= self._epochs[index] <= epoch:
+                good += self._good[index]
+                bad += self._bad[index]
+        return good, bad
+
+
+class SLOTracker:
+    """Track several objectives from one per-request outcome stream.
+
+    Parameters
+    ----------
+    objectives:
+        The :class:`SLObjective` set to uphold.
+    burn_horizons:
+        Lookback horizons (seconds) for the multi-window burn rates.
+        Defaults per objective to ``(window/12, window)`` — the classic
+        short/long pairing (5 m and 1 h for an hour-long window).
+    resolution:
+        Time buckets per window; memory and ``snapshot`` cost are
+        O(resolution) per objective.
+    clock:
+        Injectable time source (tests drive time explicitly).
+    """
+
+    def __init__(
+        self,
+        objectives: Sequence[SLObjective],
+        burn_horizons: Optional[Sequence[float]] = None,
+        resolution: int = 64,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        if resolution < 2:
+            raise ValueError("resolution must be at least 2")
+        names = [objective.name for objective in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"objective names must be unique, got {names}")
+        self._objectives: Tuple[SLObjective, ...] = tuple(objectives)
+        self._burn_horizons = tuple(burn_horizons) if burn_horizons else None
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._counts: Dict[str, _WindowCounts] = {
+            objective.name: _WindowCounts(objective.window_seconds, resolution)
+            for objective in self._objectives
+        }
+
+    @property
+    def objectives(self) -> Tuple[SLObjective, ...]:
+        """The tracked objectives."""
+        return self._objectives
+
+    def record(self, status: int, latency_seconds: float) -> None:
+        """Ingest one request outcome into every objective's window."""
+        now = self._clock()
+        with self._lock:
+            for objective in self._objectives:
+                if objective.kind == "availability":
+                    self._counts[objective.name].record(
+                        status < ERROR_STATUS_FLOOR, now
+                    )
+                elif status < 400:
+                    # The latency SLI is conditioned on success: a shed or
+                    # failed request burns availability, not latency.
+                    threshold = objective.latency_threshold or 0.0
+                    self._counts[objective.name].record(
+                        latency_seconds <= threshold, now
+                    )
+
+    def _horizons_for(self, objective: SLObjective) -> Tuple[float, ...]:
+        if self._burn_horizons is not None:
+            return self._burn_horizons
+        return (objective.window_seconds / 12.0, objective.window_seconds)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Per-objective compliance and burn rates, JSON-ready.
+
+        ``burn_rate`` (the full-window rate) is the headline number:
+        below 1.0 the objective is being met; ``burn_rates`` adds the
+        shorter horizons for fast-burn detection.
+        """
+        now = self._clock()
+        report: List[Dict[str, Any]] = []
+        with self._lock:
+            for objective in self._objectives:
+                counts = self._counts[objective.name]
+                good, bad = counts.totals(now)
+                total = good + bad
+                compliance = good / total if total else 1.0
+                burn_rates: Dict[str, float] = {}
+                for horizon in self._horizons_for(objective):
+                    h_good, h_bad = counts.totals(now, horizon)
+                    h_total = h_good + h_bad
+                    rate = (
+                        (h_bad / h_total) / objective.error_budget if h_total else 0.0
+                    )
+                    burn_rates[f"{horizon:g}s"] = round(rate, 4)
+                entry: Dict[str, Any] = {
+                    "name": objective.name,
+                    "kind": objective.kind,
+                    "target": objective.target,
+                    "window_seconds": objective.window_seconds,
+                    "good": good,
+                    "total": total,
+                    "compliance": round(compliance, 6),
+                    "error_budget": round(objective.error_budget, 6),
+                    "burn_rate": (
+                        round(((total - good) / total) / objective.error_budget, 4)
+                        if total
+                        else 0.0
+                    ),
+                    "burn_rates": burn_rates,
+                }
+                if objective.latency_threshold is not None:
+                    entry["latency_threshold_seconds"] = objective.latency_threshold
+                report.append(entry)
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        names = ", ".join(objective.name for objective in self._objectives)
+        return f"SLOTracker([{names}])"

@@ -50,6 +50,9 @@ from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "Span",
+    "add_root_hook",
+    "add_span_sink",
+    "anchored",
     "clock",
     "configure",
     "current_span",
@@ -58,8 +61,12 @@ __all__ = [
     "is_enabled",
     "metrics",
     "remote_span_capture",
+    "remove_root_hook",
+    "remove_span_sink",
     "reset",
+    "root_span",
     "span",
+    "span_context",
     "spans_snapshot",
     "trace_context",
 ]
@@ -111,6 +118,15 @@ _JSONL_HANDLE = None
 #: Called with the finished record of every *root* span (exporters hook in
 #: here to implement per-run auto-export); never called for child spans.
 _ROOT_HOOKS: List[Callable[[Dict[str, Any]], None]] = []
+#: Root hooks that survive :func:`reset` (the library's own built-ins, e.g.
+#: the exporters' auto-export hook).  Everything else is transient: a hook a
+#: server session registered is dropped by ``reset()`` so repeated sessions
+#: in one process cannot leak hooks or cross-contaminate trace buffers.
+_DURABLE_ROOT_HOOKS: "set[Callable[[Dict[str, Any]], None]]" = set()
+#: Called with *every* finished (or ingested) span record, before the root
+#: hooks.  Sinks are the incremental feed tail-based samplers index traces
+#: from without ever scanning the whole buffer; all sinks are transient.
+_SPAN_SINKS: List[Callable[[Dict[str, Any]], None]] = []
 #: Only one cProfile session can be active per process.
 _PROFILE_ACTIVE = False
 
@@ -192,10 +208,17 @@ def configure(
 
 
 def reset() -> None:
-    """Disable tracing, drop buffered spans and zero the metrics registry."""
+    """Disable tracing, drop buffered spans and zero the metrics registry.
+
+    Transient root hooks and every span sink are dropped too (durable
+    built-ins like the exporters' auto-export hook survive), so a fresh
+    session never observes a previous session's taps.
+    """
     configure(enabled=False)
     _BUFFER.clear()
     _METRICS.reset()
+    _ROOT_HOOKS[:] = [hook for hook in _ROOT_HOOKS if hook in _DURABLE_ROOT_HOOKS]
+    _SPAN_SINKS.clear()
     stack = getattr(_TLS, "stack", None)
     if stack:
         stack.clear()
@@ -246,18 +269,26 @@ class Span:
         "duration",
         "_start_perf",
         "_profile",
+        "_root",
     )
 
-    def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
+    def __init__(
+        self,
+        name: str,
+        attrs: Dict[str, Any],
+        root: bool = False,
+        trace_id: Optional[str] = None,
+    ) -> None:
         self.name = name
         self.attrs = attrs
-        self.trace_id = ""
+        self.trace_id = trace_id or ""
         self.span_id = _next_id()
         self.parent_id: Optional[str] = None
         self.start_wall = 0.0
         self.duration = 0.0
         self._start_perf = 0.0
         self._profile: Optional[cProfile.Profile] = None
+        self._root = root
 
     def set(self, **attrs: Any) -> "Span":
         """Attach (or overwrite) attributes on the live span."""
@@ -267,7 +298,13 @@ class Span:
     def __enter__(self) -> "Span":
         global _PROFILE_ACTIVE
         stack = _stack()
-        if stack:
+        if self._root:
+            # A forced root: starts its own trace even when other spans are
+            # live on this thread (concurrent requests interleave awaits on
+            # one event-loop thread; each must anchor its own trace).
+            if not self.trace_id:
+                self.trace_id = _next_id("t")
+        elif stack:
             parent = stack[-1]
             self.trace_id = parent.trace_id
             self.parent_id = parent.span_id
@@ -339,6 +376,58 @@ def span(name: str, **attrs: Any) -> Union[Span, _NullSpan]:
     return Span(name, attrs)
 
 
+def root_span(
+    name: str, trace_id: Optional[str] = None, **attrs: Any
+) -> Union[Span, _NullSpan]:
+    """Start a span that roots a *new* trace regardless of the live stack.
+
+    The request boundary of a server needs this: concurrent requests
+    interleave on one event-loop thread, so stack-based parenting would
+    chain unrelated requests together.  ``trace_id`` lets the caller adopt
+    an externally supplied identifier (e.g. an ``X-Trace-Id`` header) so
+    client- and server-side spans correlate.
+    """
+    if not _CONFIG.enabled:
+        return _NULL_SPAN
+    return Span(name, attrs, root=True, trace_id=trace_id)
+
+
+@contextlib.contextmanager
+def anchored(context: Optional[Sequence[Any]]) -> Iterator[None]:
+    """Parent spans opened in this block under ``(trace_id, span_id)``.
+
+    The explicit-continuation primitive for work hopping threads or tasks
+    inside one process: a server's dispatch task and its executor threads
+    pass the originating span's ids here so the service/worker spans they
+    open land in the right trace instead of rooting new ones.  ``None``
+    (or disabled tracing) is a no-op, keeping untraced paths free.
+    """
+    if not _CONFIG.enabled or context is None:
+        yield
+        return
+    stack = _stack()
+    anchor = _Anchor(str(context[0]), str(context[1]))
+    stack.append(anchor)
+    try:
+        yield
+    finally:
+        if stack and stack[-1] is anchor:
+            stack.pop()
+        elif anchor in stack:  # pragma: no cover - interleaved task exits
+            stack.remove(anchor)
+
+
+def span_context(live: Union[Span, _NullSpan, None]) -> Optional[Tuple[str, str]]:
+    """The ``(trace_id, span_id)`` continuation tuple of a live span.
+
+    ``None`` for null spans and untraced paths, so callers can thread the
+    result straight into :func:`anchored` without flag checks.
+    """
+    if live is None or not getattr(live, "trace_id", None):
+        return None
+    return (live.trace_id, live.span_id)  # type: ignore[union-attr]
+
+
 def current_span() -> Optional[Union[Span, _Anchor]]:
     """The innermost live span on this thread, if any."""
     stack = getattr(_TLS, "stack", None)
@@ -366,15 +455,53 @@ def _finish(record: Dict[str, Any]) -> None:
         with _WRITE_LOCK:
             handle.write(line + "\n")
             handle.flush()
+    if _SPAN_SINKS:
+        for sink in list(_SPAN_SINKS):
+            sink(record)
     if record["parent_id"] is None and _ROOT_HOOKS:
         for hook in list(_ROOT_HOOKS):
             hook(record)
 
 
-def add_root_hook(hook: Callable[[Dict[str, Any]], None]) -> None:
-    """Register ``hook`` to run on every finished *root* span record."""
+def add_root_hook(
+    hook: Callable[[Dict[str, Any]], None], durable: bool = False
+) -> None:
+    """Register ``hook`` to run on every finished *root* span record.
+
+    ``durable`` hooks survive :func:`reset` — reserved for the library's
+    own built-ins (the exporters' auto-export).  Session-scoped hooks (a
+    server's trace sampler) stay transient so ``reset()`` cannot leave a
+    stale hook feeding a dead session's buffers.
+    """
     if hook not in _ROOT_HOOKS:
         _ROOT_HOOKS.append(hook)
+    if durable:
+        _DURABLE_ROOT_HOOKS.add(hook)
+
+
+def remove_root_hook(hook: Callable[[Dict[str, Any]], None]) -> None:
+    """Unregister a root hook (idempotent)."""
+    if hook in _ROOT_HOOKS:
+        _ROOT_HOOKS.remove(hook)
+    _DURABLE_ROOT_HOOKS.discard(hook)
+
+
+def add_span_sink(sink: Callable[[Dict[str, Any]], None]) -> None:
+    """Register ``sink`` to run on *every* finished or ingested span record.
+
+    Sinks fire before root hooks, so by the time a trace's root record
+    reaches a root hook, every span of that trace has already passed
+    through the sinks — the ordering tail-based samplers rely on.
+    All sinks are transient: :func:`reset` drops them.
+    """
+    if sink not in _SPAN_SINKS:
+        _SPAN_SINKS.append(sink)
+
+
+def remove_span_sink(sink: Callable[[Dict[str, Any]], None]) -> None:
+    """Unregister a span sink (idempotent)."""
+    if sink in _SPAN_SINKS:
+        _SPAN_SINKS.remove(sink)
 
 
 def ingest_spans(records: Sequence[Dict[str, Any]]) -> None:
@@ -397,6 +524,9 @@ def ingest_spans(records: Sequence[Dict[str, Any]]) -> None:
             with _WRITE_LOCK:
                 handle.write(line + "\n")
                 handle.flush()
+        if _SPAN_SINKS:
+            for sink in list(_SPAN_SINKS):
+                sink(record)
 
 
 def spans_snapshot(trace_id: Optional[str] = None) -> List[Dict[str, Any]]:

@@ -17,7 +17,10 @@ takes traffic:
   ``X-Tenant`` header.
 * :mod:`repro.serve.server` — :class:`PlacementServer`: the asyncio
   daemon (``/place`` ``/place_batch`` ``/route`` ``/healthz``
-  ``/metrics``) with graceful SIGTERM drain.
+  ``/metrics`` plus the ``/debug/statusz`` ``/debug/tracez``
+  ``/debug/vars`` debug plane) with per-request root spans, tail-based
+  trace sampling, SLO burn tracking, a flight-recorder ring, and
+  graceful SIGTERM drain.
 * :mod:`repro.serve.harness` — :class:`ServerHarness` +
   :class:`ServeClient` for tests, benchmarks and examples.
 * :mod:`repro.serve.cli` — the ``python -m repro.serve`` entry point.
@@ -33,6 +36,8 @@ from repro.serve.protocol import (
     QuotaExceeded,
     ServeError,
     ServerDraining,
+    mint_request_id,
+    with_header,
 )
 from repro.serve.quotas import TenantQuotas, TokenBucket
 from repro.serve.server import PlacementServer, ServerConfig, run_server
@@ -54,5 +59,7 @@ __all__ = [
     "ServerHarness",
     "TenantQuotas",
     "TokenBucket",
+    "mint_request_id",
     "run_server",
+    "with_header",
 ]

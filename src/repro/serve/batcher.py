@@ -26,6 +26,7 @@ Semantics the tests pin down:
 from __future__ import annotations
 
 import asyncio
+import itertools
 from dataclasses import dataclass
 from typing import Any, Awaitable, Callable, Dict, List, Optional, Sequence
 
@@ -88,6 +89,7 @@ class MicroBatcher:
         self._window_task: Optional["asyncio.Task[None]"] = None
         self._dispatch_tasks: "set[asyncio.Task[None]]" = set()
         self._closed = False
+        self._batch_ids = itertools.count(1)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -237,6 +239,14 @@ class MicroBatcher:
         if not live:
             self._metrics.inc(self._metric("empty_flushes"))
             return
+        batch_id = f"{self._name}#{next(self._batch_ids)}"
+        for pending in live:
+            # Duck-typed: items that care about batch identity (the
+            # server's _BatchItem, for tracing and access logs) expose
+            # ``on_batch``; plain payloads don't and are left alone.
+            on_batch = getattr(pending.item, "on_batch", None)
+            if on_batch is not None:
+                on_batch(batch_id, len(live))
         self._metrics.inc(self._metric("batches"))
         self._metrics.inc(self._metric(f"flushes_{reason}"))
         self._metrics.inc(self._metric("items"), len(live))

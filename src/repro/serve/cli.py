@@ -107,6 +107,43 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="enable repro.obs span tracing for the serving path",
     )
+    parser.add_argument(
+        "--access-log",
+        default=None,
+        metavar="PATH",
+        help="append a structured JSONL access-log line per request",
+    )
+    parser.add_argument(
+        "--flight-dump",
+        default=None,
+        metavar="PATH",
+        help="dump the flight-recorder ring (last N requests) here as JSONL "
+        "on drain and on unhandled errors",
+    )
+    parser.add_argument(
+        "--flight-records",
+        type=int,
+        default=512,
+        help="flight-recorder ring size (default 512)",
+    )
+    parser.add_argument(
+        "--slo-latency-ms",
+        type=float,
+        default=500.0,
+        help="latency SLO threshold in milliseconds (default 500)",
+    )
+    parser.add_argument(
+        "--slo-availability",
+        type=float,
+        default=0.999,
+        help="availability SLO target fraction (default 0.999)",
+    )
+    parser.add_argument(
+        "--slo-window-s",
+        type=float,
+        default=3600.0,
+        help="rolling SLO compliance window in seconds (default 3600)",
+    )
     return parser
 
 
@@ -148,6 +185,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
         service_workers=args.workers,
         executor_threads=args.threads,
+        slo_availability_target=args.slo_availability,
+        slo_latency_threshold_seconds=args.slo_latency_ms / 1000.0,
+        slo_window_seconds=args.slo_window_s,
+        flight_records=args.flight_records,
+        flight_dump_path=args.flight_dump,
+        access_log_path=args.access_log,
     )
 
     async def _serve() -> None:

@@ -19,7 +19,12 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.serve.protocol import DEADLINE_HEADER, TENANT_HEADER
+from repro.serve.protocol import (
+    DEADLINE_HEADER,
+    REQUEST_ID_HEADER,
+    TENANT_HEADER,
+    TRACE_ID_HEADER,
+)
 from repro.serve.server import PlacementServer, ServerConfig
 from repro.service.engine import PlacementService
 
@@ -42,6 +47,11 @@ class ServeResponse:
         """The ``Retry-After`` hint in seconds, when present."""
         raw = self.headers.get("retry-after")
         return float(raw) if raw is not None else None
+
+    @property
+    def request_id(self) -> Optional[str]:
+        """The server-stamped ``X-Request-Id``, for trace correlation."""
+        return self.headers.get("x-request-id")
 
 
 class ServeClient:
@@ -90,8 +100,15 @@ class ServeClient:
         path: str,
         payload: Optional[Dict[str, Any]] = None,
         deadline_ms: Optional[float] = None,
+        request_id: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ) -> ServeResponse:
-        """One round trip; retries once on a dropped keep-alive connection."""
+        """One round trip; retries once on a dropped keep-alive connection.
+
+        ``request_id``/``trace_id`` ride as ``X-Request-Id``/``X-Trace-Id``
+        so the caller can correlate against server-side traces; the server
+        echoes the (possibly minted) id back in every response.
+        """
         body = json.dumps(payload).encode("utf-8") if payload is not None else None
         headers: Dict[str, str] = {}
         if body is not None:
@@ -100,6 +117,10 @@ class ServeClient:
             headers[TENANT_HEADER] = self._tenant
         if deadline_ms is not None:
             headers[DEADLINE_HEADER] = str(deadline_ms)
+        if request_id is not None:
+            headers[REQUEST_ID_HEADER] = request_id
+        if trace_id is not None:
+            headers[TRACE_ID_HEADER] = trace_id
         for attempt in (1, 2):
             connection = self._connect()
             try:
@@ -178,6 +199,32 @@ class ServeClient:
     def metrics(self) -> ServeResponse:
         """GET ``/metrics`` (Prometheus text)."""
         return self.request("GET", "/metrics")
+
+    def statusz(self) -> ServeResponse:
+        """GET ``/debug/statusz`` (uptime, config, SLO burn, subsystems)."""
+        return self.request("GET", "/debug/statusz")
+
+    def tracez(
+        self, trace_id: Optional[str] = None, fmt: Optional[str] = None
+    ) -> ServeResponse:
+        """GET ``/debug/tracez``: summaries, or one trace's spans.
+
+        ``fmt="chrome"`` (with a ``trace_id``) returns Chrome trace-event
+        JSON loadable in ``chrome://tracing`` / Perfetto.
+        """
+        path = "/debug/tracez"
+        params = []
+        if trace_id is not None:
+            params.append(f"trace_id={trace_id}")
+        if fmt is not None:
+            params.append(f"fmt={fmt}")
+        if params:
+            path += "?" + "&".join(params)
+        return self.request("GET", path)
+
+    def debug_vars(self) -> ServeResponse:
+        """GET ``/debug/vars`` (raw metrics snapshots as JSON)."""
+        return self.request("GET", "/debug/vars")
 
 
 class ServerHarness:

@@ -15,19 +15,27 @@ path                 verb  payload
 ``/route``           POST  ``{"circuit": ..., "dims": [[w,h],..]}``
 ``/healthz``         GET   —
 ``/metrics``         GET   — (Prometheus text exposition)
+``/debug/statusz``   GET   — (uptime, config, SLO burn, subsystem state)
+``/debug/tracez``    GET   — (tail-sampled traces; ``?trace_id=`` for spans)
+``/debug/vars``      GET   — (raw metrics snapshot as JSON)
 ===================  ====  ===================================================
 
 ``circuit`` is either the name of a built-in benchmark circuit (served via
 :func:`repro.benchcircuits.get_benchmark`) or a full netlist dict in
-:func:`repro.core.serialization.circuit_to_dict` form.  Two request
-headers carry serving semantics: ``X-Tenant`` names the quota bucket the
-request draws from, and ``X-Deadline-Ms`` bounds how long the request may
-wait before the server drops it (a :class:`DeadlineExceeded` 504).
+:func:`repro.core.serialization.circuit_to_dict` form.  Request headers
+carry serving semantics: ``X-Tenant`` names the quota bucket the request
+draws from, ``X-Deadline-Ms`` bounds how long the request may wait before
+the server drops it (a :class:`DeadlineExceeded` 504), ``X-Request-Id``
+carries the caller's correlation id (the server mints one when absent and
+echoes it on every response), and ``X-Trace-Id`` joins the request's root
+span to an upstream trace.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -40,6 +48,27 @@ TENANT_HEADER = "x-tenant"
 DEFAULT_TENANT = "anonymous"
 #: Header bounding the request's queueing budget, in milliseconds.
 DEADLINE_HEADER = "x-deadline-ms"
+#: Header carrying the caller's request correlation id (minted when absent).
+REQUEST_ID_HEADER = "x-request-id"
+#: Header carrying an upstream trace id the request's root span should join.
+TRACE_ID_HEADER = "x-trace-id"
+
+# Request ids come from a pid-qualified counter, never an RNG, so serving
+# stays bit-identical with fixed-seed golden trajectories.
+_REQUEST_IDS = itertools.count(1)
+
+
+def mint_request_id() -> str:
+    """A process-unique request id (``<pid hex>r<counter hex>``)."""
+    return f"{os.getpid():x}r{next(_REQUEST_IDS):x}"
+
+
+def _sanitize_token(raw: Optional[str], max_len: int = 64) -> Optional[str]:
+    """Clamp a caller-supplied correlation token to a safe charset."""
+    if not raw:
+        return None
+    cleaned = "".join(ch for ch in raw.strip() if ch.isalnum() or ch in "-_.")
+    return cleaned[:max_len] or None
 
 #: HTTP reason phrases for the statuses the server emits.
 REASONS = {
@@ -182,6 +211,16 @@ class HttpRequest:
         return millis / 1000.0
 
     @property
+    def request_id(self) -> Optional[str]:
+        """The caller's ``X-Request-Id``, sanitized, or ``None``."""
+        return _sanitize_token(self.headers.get(REQUEST_ID_HEADER))
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        """The caller's ``X-Trace-Id``, sanitized, or ``None``."""
+        return _sanitize_token(self.headers.get(TRACE_ID_HEADER))
+
+    @property
     def wants_close(self) -> bool:
         """True when the client asked to drop the connection after this request."""
         return self.headers.get("connection", "").lower() == "close"
@@ -226,6 +265,20 @@ def error_response(error: ServeError, close: bool = False) -> bytes:
         # backoff down to "retry immediately".
         headers["Retry-After"] = str(max(1, int(round(error.retry_after))))
     return json_response(error.status, error.payload(), extra_headers=headers, close=close)
+
+
+def with_header(response: bytes, name: str, value: str) -> bytes:
+    """Splice one header into already-rendered response bytes.
+
+    Lets the server stamp ``X-Request-Id`` on every response — including
+    error bodies rendered deep inside handlers — without threading the id
+    through each renderer.  The header lands right after the status line.
+    """
+    newline = response.find(b"\r\n")
+    if newline < 0:
+        return response
+    injected = f"\r\n{name}: {value}".encode("ascii")
+    return response[:newline] + injected + response[newline:]
 
 
 # ---------------------------------------------------------------------- #

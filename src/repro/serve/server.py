@@ -22,13 +22,29 @@ from __future__ import annotations
 import asyncio
 import json
 import socket
-from dataclasses import dataclass, field
+import time
+import urllib.parse
+from dataclasses import asdict, dataclass, field
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.obs.exporters import spans_to_chrome_events
+from repro.obs.flight import FlightRecorder, TraceBuffer
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.spans import is_enabled as _obs_enabled, metrics as _obs_metrics, span
+from repro.obs.slo import SLObjective, SLOTracker
+from repro.obs.spans import (
+    add_root_hook,
+    add_span_sink,
+    anchored,
+    is_enabled as _obs_enabled,
+    metrics as _obs_metrics,
+    remove_root_hook,
+    remove_span_sink,
+    root_span,
+    span,
+    span_context,
+)
 from repro.serve.admission import AdmissionController, AdmissionTicket
 from repro.serve.batcher import MicroBatcher
 from repro.serve.protocol import (
@@ -42,11 +58,13 @@ from repro.serve.protocol import (
     ServerDraining,
     error_response,
     json_response,
+    mint_request_id,
     parse_dims,
     parse_dims_batch,
     placement_payload,
     render_response,
     routed_payload,
+    with_header,
 )
 from repro.service.engine import PlacementService
 from repro.serve.quotas import TenantQuotas
@@ -87,6 +105,44 @@ class ServerConfig:
     max_body_bytes: int = 4 * 1024 * 1024
     #: How long :meth:`PlacementServer.drain` waits for in-flight work.
     drain_timeout_seconds: float = 30.0
+    #: Availability objective (fraction of requests answering below 500).
+    slo_availability_target: float = 0.999
+    #: Latency objective: this fraction of successful requests must finish
+    #: within ``slo_latency_threshold_seconds``.
+    slo_latency_target: float = 0.99
+    slo_latency_threshold_seconds: float = 0.5
+    #: Rolling compliance window of both objectives.
+    slo_window_seconds: float = 3600.0
+    #: Flight-recorder ring size (last N request records).
+    flight_records: int = 512
+    #: When set, the flight ring dumps here as JSONL on drain and on 500s.
+    flight_dump_path: Optional[str] = None
+    #: When set, every request appends a structured JSONL access-log line.
+    access_log_path: Optional[str] = None
+    #: Tail-sampled trace retention (kept traces; errors evict last).
+    trace_capacity: int = 64
+    #: Keep traces at or above this duration quantile.
+    trace_slow_quantile: float = 0.9
+    #: Requests observed before the slow-keep threshold activates.
+    trace_min_samples: int = 32
+
+
+#: Paths whose outcomes feed the SLO tracker (debug/health traffic doesn't
+#: burn the error budget).
+_API_PATHS = frozenset({"/place", "/place_batch", "/route"})
+
+#: Bounded route-label set for per-route metrics (uncontrolled paths would
+#: otherwise mint one histogram per probe URL).
+_ROUTE_LABELS = {
+    "/place": "place",
+    "/place_batch": "place_batch",
+    "/route": "route",
+    "/healthz": "healthz",
+    "/metrics": "metrics",
+    "/debug/statusz": "statusz",
+    "/debug/tracez": "tracez",
+    "/debug/vars": "vars",
+}
 
 
 @dataclass
@@ -96,6 +152,38 @@ class _HandlerResult:
     response: bytes
     ticket: Optional[AdmissionTicket] = None
     close: bool = False
+    #: Coalesced-batch id the request rode, for the access log.
+    batch_id: Optional[str] = None
+    #: Admitted query cost, for the access log.
+    cost: int = 0
+
+
+class _BatchItem:
+    """One ``/place`` query riding a coalesced batch: dims plus identity.
+
+    The batcher treats items opaquely but duck-calls :meth:`on_batch` when
+    the item's batch dispatches, which is how the request learns the batch
+    id it rode (for its access-log line) and how the dispatch span learns
+    which request traces to link.
+    """
+
+    __slots__ = ("dims", "trace", "request_id", "batch_id", "batch_size")
+
+    def __init__(
+        self,
+        dims: Any,
+        trace: Optional[Tuple[str, str]] = None,
+        request_id: Optional[str] = None,
+    ) -> None:
+        self.dims = dims
+        self.trace = trace
+        self.request_id = request_id
+        self.batch_id: Optional[str] = None
+        self.batch_size = 0
+
+    def on_batch(self, batch_id: str, size: int) -> None:
+        self.batch_id = batch_id
+        self.batch_size = size
 
 
 class PlacementServer:
@@ -141,6 +229,31 @@ class PlacementServer:
         self._draining = False
         self._drained = asyncio.Event()
         self._started_at: Optional[float] = None
+        self._slo = SLOTracker(
+            [
+                SLObjective(
+                    name="availability",
+                    target=self._config.slo_availability_target,
+                    kind="availability",
+                    window_seconds=self._config.slo_window_seconds,
+                ),
+                SLObjective(
+                    name="latency",
+                    target=self._config.slo_latency_target,
+                    kind="latency",
+                    latency_threshold=self._config.slo_latency_threshold_seconds,
+                    window_seconds=self._config.slo_window_seconds,
+                ),
+            ]
+        )
+        self._flight = FlightRecorder(capacity=self._config.flight_records)
+        self._traces = TraceBuffer(
+            capacity=self._config.trace_capacity,
+            slow_quantile=self._config.trace_slow_quantile,
+            min_samples=self._config.trace_min_samples,
+        )
+        self._access_log = None
+        self._trace_taps_installed = False
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -185,6 +298,13 @@ class PlacementServer:
             max_workers=self._config.executor_threads,
             thread_name_prefix="serve-dispatch",
         )
+        self._install_trace_taps()
+        if self._config.access_log_path:
+            from pathlib import Path
+
+            log_path = Path(self._config.access_log_path)
+            log_path.parent.mkdir(parents=True, exist_ok=True)
+            self._access_log = log_path.open("a", encoding="utf-8")
         self._server = await asyncio.start_server(
             self._on_connection,
             host=self._config.host,
@@ -193,6 +313,31 @@ class PlacementServer:
         )
         self._started_at = asyncio.get_running_loop().time()
         LOGGER.info("placement server listening on %s", self.address)
+
+    def _install_trace_taps(self) -> None:
+        """Feed the tail sampler from the span substrate (session-scoped).
+
+        Both taps are transient: removed on drain and by ``obs.reset()``,
+        so repeated harness sessions in one process never leave a dead
+        server's buffers wired into the live span feed.
+        """
+        if self._trace_taps_installed:
+            return
+        add_span_sink(self._traces.ingest)
+        add_root_hook(self._on_root_span)
+        self._trace_taps_installed = True
+
+    def _remove_trace_taps(self) -> None:
+        if not self._trace_taps_installed:
+            return
+        remove_span_sink(self._traces.ingest)
+        remove_root_hook(self._on_root_span)
+        self._trace_taps_installed = False
+
+    def _on_root_span(self, record: Dict[str, Any]) -> None:
+        """Root hook: only request roots reach the tail sampler's verdict."""
+        if record.get("name") == "serve.request":
+            self._traces.seal(record)
 
     async def serve_until_drained(self) -> None:
         """Block until :meth:`drain` completes (the CLI's main await)."""
@@ -233,6 +378,20 @@ class PlacementServer:
             self._executor = None
         if self._owns_service:
             self._service.close()
+        if self._config.flight_dump_path and len(self._flight):
+            try:
+                self._flight.dump(self._config.flight_dump_path)
+                LOGGER.info(
+                    "drain: flight recorder dumped %d records to %s",
+                    len(self._flight),
+                    self._config.flight_dump_path,
+                )
+            except OSError:  # pragma: no cover - disk full / permissions
+                LOGGER.warning("drain: flight recorder dump failed")
+        if self._access_log is not None:
+            self._access_log.close()
+            self._access_log = None
+        self._remove_trace_taps()
         self._flush_metrics()
         self._drained.set()
         LOGGER.info("drain: complete")
@@ -305,13 +464,25 @@ class PlacementServer:
         loop = asyncio.get_running_loop()
         started = loop.time()
         route = (request.method, request.path.split("?", 1)[0])
+        request_id = request.request_id or mint_request_id()
         self._metrics.inc("serve.requests")
-        with span("serve.request", method=route[0], path=route[1]) as obs_span:
+        outcome = "ok"
+        # A forced-root span: concurrent requests interleave awaits on this
+        # event-loop thread, so stack parenting would chain strangers.
+        with root_span(
+            "serve.request",
+            trace_id=request.trace_id,
+            method=route[0],
+            path=route[1],
+            request_id=request_id,
+            tenant=request.tenant,
+        ) as obs_span:
             try:
-                result = await self._route(request, route)
+                result = await self._route(request, route, obs_span, request_id)
                 status = 200
             except ServeError as exc:
                 status = exc.status
+                outcome = exc.code
                 obs_span.set(error=exc.code)
                 result = _HandlerResult(
                     response=error_response(exc, close=self._draining)
@@ -319,32 +490,87 @@ class PlacementServer:
             except Exception as exc:  # noqa: BLE001 - last-resort 500
                 LOGGER.exception("unhandled error serving %s %s", *route)
                 status = 500
-                obs_span.set(error=type(exc).__name__)
+                outcome = type(exc).__name__
+                obs_span.set(error=outcome)
                 internal = ServeError(f"{type(exc).__name__}: {exc}")
                 result = _HandlerResult(response=error_response(internal, close=True))
             obs_span.set(status=status)
+            trace_ctx = span_context(obs_span)
         elapsed = loop.time() - started
         self._metrics.inc(f"serve.status.{status}")
         self._metrics.observe("serve.request_seconds", elapsed)
+        label = _ROUTE_LABELS.get(route[1], "other")
+        self._metrics.observe(f"serve.route.{label}.seconds", elapsed)
         if status == 200 and route[0] == "POST":
             self._admission.observe_service_time(elapsed)
         if _obs_enabled():
             _obs_metrics().observe("serve.request_seconds", elapsed)
+        if route[1] in _API_PATHS:
+            self._slo.record(status, elapsed)
+        self._log_request(
+            request, route, request_id, trace_ctx, status, outcome, elapsed, result
+        )
+        result.response = with_header(result.response, "X-Request-Id", request_id)
         return result
 
+    def _log_request(
+        self,
+        request: HttpRequest,
+        route: Tuple[str, str],
+        request_id: str,
+        trace_ctx: Optional[Tuple[str, str]],
+        status: int,
+        outcome: str,
+        elapsed: float,
+        result: _HandlerResult,
+    ) -> None:
+        """One structured access-log record: flight ring + optional JSONL."""
+        entry = {
+            "ts": round(time.time(), 6),
+            "request_id": request_id,
+            "trace_id": trace_ctx[0] if trace_ctx else None,
+            "tenant": request.tenant,
+            "method": route[0],
+            "route": route[1],
+            "status": status,
+            "outcome": outcome,
+            "latency_seconds": round(elapsed, 6),
+            "batch_id": result.batch_id,
+            "cost": result.cost,
+        }
+        self._flight.record(entry)
+        handle = self._access_log
+        if handle is not None:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+        if status >= 500 and self._config.flight_dump_path:
+            # An unhandled error (or 504) snapshots the minutes before it.
+            try:
+                self._flight.dump(self._config.flight_dump_path)
+            except OSError:  # pragma: no cover - disk full / permissions
+                pass
+
     async def _route(
-        self, request: HttpRequest, route: Tuple[str, str]
+        self,
+        request: HttpRequest,
+        route: Tuple[str, str],
+        obs_span: Any,
+        request_id: str,
     ) -> _HandlerResult:
         method, path = route
-        if path == "/healthz":
+        if path in ("/healthz", "/metrics", "/debug/statusz", "/debug/tracez", "/debug/vars"):
             if method != "GET":
                 raise MethodNotAllowed(f"{path} only supports GET")
-            return self._handle_healthz()
-        if path == "/metrics":
-            if method != "GET":
-                raise MethodNotAllowed(f"{path} only supports GET")
-            return self._handle_metrics()
-        if path in ("/place", "/place_batch", "/route"):
+            if path == "/healthz":
+                return self._handle_healthz()
+            if path == "/metrics":
+                return self._handle_metrics()
+            if path == "/debug/statusz":
+                return self._handle_statusz()
+            if path == "/debug/tracez":
+                return self._handle_tracez(request)
+            return self._handle_vars()
+        if path in _API_PATHS:
             if method != "POST":
                 raise MethodNotAllowed(f"{path} only supports POST")
             if self._draining:
@@ -354,7 +580,7 @@ class PlacementServer:
                 "/place_batch": self._handle_place_batch,
                 "/route": self._handle_route,
             }[path]
-            return await handler(request)
+            return await handler(request, obs_span, request_id)
         raise NotFound(f"no handler for {method} {path}")
 
     # ------------------------------------------------------------------ #
@@ -404,22 +630,32 @@ class PlacementServer:
         self._quotas.check(request.tenant, cost)
         return self._admission.admit(cost)
 
-    async def _handle_place(self, request: HttpRequest) -> _HandlerResult:
+    async def _handle_place(
+        self, request: HttpRequest, obs_span: Any, request_id: str
+    ) -> _HandlerResult:
         payload = request.json()
         circuit = self._resolver.resolve(payload)
         dims = parse_dims(payload.get("dims"), circuit.num_blocks)
         ticket = self._admit(request, 1)
+        item = _BatchItem(dims, trace=span_context(obs_span), request_id=request_id)
         try:
             batcher = self._batcher_for(circuit)
-            placement = await batcher.submit(dims, deadline=self._deadline_for(request))
+            placement = await batcher.submit(item, deadline=self._deadline_for(request))
         except BaseException:
             ticket.release()
             raise
+        if item.batch_id is not None:
+            obs_span.set(batch_id=item.batch_id, batch_size=item.batch_size)
         return _HandlerResult(
-            response=json_response(200, placement_payload(placement)), ticket=ticket
+            response=json_response(200, placement_payload(placement)),
+            ticket=ticket,
+            batch_id=item.batch_id,
+            cost=1,
         )
 
-    async def _handle_place_batch(self, request: HttpRequest) -> _HandlerResult:
+    async def _handle_place_batch(
+        self, request: HttpRequest, obs_span: Any, request_id: str
+    ) -> _HandlerResult:
         payload = request.json()
         circuit = self._resolver.resolve(payload)
         dims_batch = parse_dims_batch(payload.get("dims_batch"), circuit.num_blocks)
@@ -429,10 +665,14 @@ class PlacementServer:
             batch = await loop.run_in_executor(
                 self._require_executor(),
                 partial(
-                    self._service.instantiate_batch,
-                    circuit,
-                    dims_batch,
-                    workers=self._config.service_workers,
+                    self._anchored_call,
+                    span_context(obs_span),
+                    partial(
+                        self._service.instantiate_batch,
+                        circuit,
+                        dims_batch,
+                        workers=self._config.service_workers,
+                    ),
                 ),
             )
         except BaseException:
@@ -444,9 +684,13 @@ class PlacementServer:
             "duplicate_queries": batch.duplicate_queries,
             "elapsed_seconds": round(batch.elapsed_seconds, 6),
         }
-        return _HandlerResult(response=json_response(200, body), ticket=ticket)
+        return _HandlerResult(
+            response=json_response(200, body), ticket=ticket, cost=len(dims_batch)
+        )
 
-    async def _handle_route(self, request: HttpRequest) -> _HandlerResult:
+    async def _handle_route(
+        self, request: HttpRequest, obs_span: Any, request_id: str
+    ) -> _HandlerResult:
         payload = request.json()
         circuit = self._resolver.resolve(payload)
         dims = parse_dims(payload.get("dims"), circuit.num_blocks)
@@ -455,7 +699,11 @@ class PlacementServer:
             loop = asyncio.get_running_loop()
             placement, layout = await loop.run_in_executor(
                 self._require_executor(),
-                partial(self._service.route, circuit, dims),
+                partial(
+                    self._anchored_call,
+                    span_context(obs_span),
+                    partial(self._service.route, circuit, dims),
+                ),
             )
         except BaseException:
             ticket.release()
@@ -463,7 +711,75 @@ class PlacementServer:
         return _HandlerResult(
             response=json_response(200, routed_payload(placement, layout)),
             ticket=ticket,
+            cost=1,
         )
+
+    # ------------------------------------------------------------------ #
+    # Debug plane
+    # ------------------------------------------------------------------ #
+    def _handle_statusz(self) -> _HandlerResult:
+        loop = asyncio.get_running_loop()
+        import platform as _platform
+
+        payload = {
+            "status": "draining" if self._draining else "ok",
+            "uptime_seconds": (
+                round(loop.time() - self._started_at, 3)
+                if self._started_at is not None
+                else 0.0
+            ),
+            "build": {
+                "python": _platform.python_version(),
+                "platform": _platform.platform(),
+            },
+            "config": asdict(self._config),
+            "slo": self._slo.snapshot(),
+            "admission": self._admission.stats(),
+            "quotas": self._quotas.stats(),
+            "batchers": {
+                circuit.name: batcher.stats()
+                for circuit, batcher in self._batchers.values()
+            },
+            "tracing": {
+                "enabled": _obs_enabled(),
+                "sampler": self._traces.stats(),
+                "flight_records": len(self._flight),
+            },
+        }
+        return _HandlerResult(response=json_response(200, payload))
+
+    def _handle_tracez(self, request: HttpRequest) -> _HandlerResult:
+        query = urllib.parse.urlparse(request.path).query
+        params = urllib.parse.parse_qs(query)
+        trace_id = params.get("trace_id", [None])[0]
+        if trace_id:
+            records = self._traces.get(trace_id)
+            if records is None:
+                raise NotFound(f"trace {trace_id!r} is not in the sample buffer")
+            fmt = params.get("fmt", ["spans"])[0]
+            if fmt == "chrome":
+                body = {
+                    "traceEvents": spans_to_chrome_events(records),
+                    "displayTimeUnit": "ms",
+                }
+                return _HandlerResult(response=json_response(200, body))
+            return _HandlerResult(
+                response=json_response(200, {"trace_id": trace_id, "spans": records})
+            )
+        payload = {
+            "sampler": self._traces.stats(),
+            "traces": self._traces.summaries(),
+        }
+        return _HandlerResult(response=json_response(200, payload))
+
+    def _handle_vars(self) -> _HandlerResult:
+        payload: Dict[str, Any] = {
+            "serve": self._metrics.snapshot(),
+            "service": self._service.snapshot().metrics.snapshot(),
+        }
+        if _obs_enabled():
+            payload["obs"] = _obs_metrics().snapshot()
+        return _HandlerResult(response=json_response(200, payload))
 
     # ------------------------------------------------------------------ #
     # Batching
@@ -487,23 +803,51 @@ class PlacementServer:
         self._batchers[id(circuit)] = (circuit, batcher)
         return batcher
 
+    @staticmethod
+    def _anchored_call(ctx: Optional[Tuple[str, str]], fn: Callable[[], Any]) -> Any:
+        """Run ``fn`` on this (executor) thread, parented under ``ctx``.
+
+        ``run_in_executor`` severs the thread-local span stack; the anchor
+        re-attaches the service-side spans to the request trace.
+        """
+        with anchored(ctx):
+            return fn()
+
     async def _dispatch_batch(self, circuit: Any, items: List[Any]) -> List[Any]:
         """One coalesced dispatch: the blocking batch call, off the loop."""
         loop = asyncio.get_running_loop()
-        with span("serve.dispatch", circuit=circuit.name, queries=len(items)):
-            batch = await loop.run_in_executor(
-                self._require_executor(),
-                partial(
-                    self._service.instantiate_batch,
-                    circuit,
-                    list(items),
-                    workers=self._config.service_workers,
-                ),
-            )
+        batch = await loop.run_in_executor(
+            self._require_executor(),
+            partial(self._dispatch_blocking, circuit, list(items)),
+        )
         self._metrics.inc("serve.dispatches")
         self._metrics.inc("serve.coalesced_queries", len(items))
         self._metrics.inc("serve.dedup_hits", batch.duplicate_queries)
         return list(batch.results)
+
+    def _dispatch_blocking(self, circuit: Any, items: List[_BatchItem]) -> Any:
+        """The blocking half of a dispatch, on an executor thread.
+
+        The dispatch span opens *here*, not on the event loop: the
+        executor thread's span stack then parents the service-side spans
+        naturally, and the span never sits on the loop thread's stack
+        where concurrent requests would mis-parent onto it.  It anchors
+        onto the first coalesced request's trace and links the rest via
+        the ``links`` attribute, so every rider's trace names the batch.
+        """
+        dims_list = [item.dims for item in items]
+        primary = next((item.trace for item in items if item.trace), None)
+        links = sorted({item.trace[0] for item in items if item.trace})
+        attrs: Dict[str, Any] = {"circuit": circuit.name, "queries": len(items)}
+        if items and items[0].batch_id is not None:
+            attrs["batch_id"] = items[0].batch_id
+        if links:
+            attrs["links"] = ",".join(links)
+        with anchored(primary):
+            with span("serve.dispatch", **attrs):
+                return self._service.instantiate_batch(
+                    circuit, dims_list, workers=self._config.service_workers
+                )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         state = "draining" if self._draining else (

@@ -1,0 +1,137 @@
+"""Tests for the flight recorder and the tail-based TraceBuffer."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.flight import FlightRecorder, TraceBuffer
+
+
+def root(trace_id, status=200, duration=0.01, name="serve.request", **attrs):
+    """A root span record of the shape spans.py emits."""
+    record_attrs = {"status": status, **attrs}
+    return {
+        "name": name,
+        "trace_id": trace_id,
+        "span_id": f"{trace_id}-root",
+        "parent_id": None,
+        "start": 1000.0,
+        "duration": duration,
+        "pid": 1,
+        "tid": 1,
+        "attrs": record_attrs,
+    }
+
+
+def child(trace_id, index=0):
+    return {
+        "name": "serve.dispatch",
+        "trace_id": trace_id,
+        "span_id": f"{trace_id}-c{index}",
+        "parent_id": f"{trace_id}-root",
+        "start": 1000.0,
+        "duration": 0.001,
+        "pid": 1,
+        "tid": 1,
+        "attrs": {},
+    }
+
+
+class TestFlightRecorder:
+    def test_ring_keeps_only_the_last_n(self):
+        flight = FlightRecorder(capacity=3)
+        for index in range(10):
+            flight.record({"request_id": f"r{index}"})
+        assert len(flight) == 3
+        assert flight.recorded == 10
+        assert [entry["request_id"] for entry in flight.snapshot()] == ["r7", "r8", "r9"]
+
+    def test_dump_writes_jsonl_oldest_first(self, tmp_path):
+        flight = FlightRecorder(capacity=8)
+        flight.record({"request_id": "a", "status": 200})
+        flight.record({"request_id": "b", "status": 504})
+        path = flight.dump(tmp_path / "flight.jsonl")
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [entry["request_id"] for entry in lines] == ["a", "b"]
+        assert lines[1]["status"] == 504
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestTraceBufferPolicy:
+    def test_error_traces_are_always_kept(self):
+        buffer = TraceBuffer(capacity=8, min_samples=1)
+        for status in (429, 500, 503, 504):
+            trace_id = f"t{status}"
+            buffer.ingest(child(trace_id))
+            assert buffer.seal(root(trace_id, status=status, duration=0.0)) == "error"
+        assert len(buffer) == 4
+        spans = buffer.get("t504")
+        assert spans is not None and len(spans) == 2
+
+    def test_error_attr_keeps_a_trace_even_with_status_200(self):
+        buffer = TraceBuffer(capacity=8, min_samples=1)
+        verdict = buffer.seal(root("t1", status=200, error="ValueError"))
+        assert verdict == "error"
+
+    def test_boring_bulk_is_dropped_and_slowest_kept(self):
+        buffer = TraceBuffer(capacity=16, slow_quantile=0.9, min_samples=10)
+        for index in range(50):
+            trace_id = f"fast{index}"
+            buffer.ingest(child(trace_id))
+            buffer.seal(root(trace_id, duration=0.010))
+        verdict = buffer.seal(root("slow1", duration=5.0))
+        assert verdict == "slow"
+        stats = buffer.stats()
+        assert stats["dropped"] > 0
+        assert stats["kept_by_category"].get("slow", 0) >= 1
+        # The fast bulk did not accumulate: memory stays bounded.
+        assert stats["kept"] <= 16
+
+    def test_no_slow_keeps_before_min_samples(self):
+        buffer = TraceBuffer(capacity=8, min_samples=100)
+        assert buffer.seal(root("t1", duration=99.0)) is None
+
+    def test_eviction_prefers_dropping_slow_over_error(self):
+        buffer = TraceBuffer(capacity=2, min_samples=1)
+        buffer.seal(root("err1", status=500, duration=0.0))
+        buffer.seal(root("slow1", duration=10.0))
+        buffer.seal(root("slow2", duration=20.0))  # evicts slow1, not err1
+        kept = {entry["trace_id"] for entry in buffer.summaries()}
+        assert kept == {"err1", "slow2"}
+        assert buffer.stats()["evicted"] == 1
+
+    def test_live_span_index_is_bounded(self):
+        buffer = TraceBuffer(capacity=4, max_live=3, min_samples=1)
+        for index in range(10):
+            buffer.ingest(child(f"t{index}"))
+        assert buffer.stats()["live"] == 3
+
+    def test_summaries_omit_span_payloads(self):
+        buffer = TraceBuffer(capacity=4, min_samples=1)
+        buffer.ingest(child("t1"))
+        buffer.seal(root("t1", status=500))
+        (summary,) = buffer.summaries()
+        assert "spans" not in summary
+        assert summary["span_count"] == 2
+        assert summary["category"] == "error"
+
+
+class TestTraceBufferWiredToSpans:
+    def test_sink_and_root_hook_capture_a_real_trace(self):
+        obs.configure(enabled=True)
+        buffer = TraceBuffer(capacity=4, min_samples=1)
+        obs.add_span_sink(buffer.ingest)
+        obs.add_root_hook(lambda record: buffer.seal(record))
+        with obs.root_span("serve.request", status=500, request_id="r1"):
+            with obs.span("serve.dispatch"):
+                pass
+        assert len(buffer) == 1
+        (summary,) = buffer.summaries()
+        assert summary["request_id"] == "r1"
+        spans = buffer.get(summary["trace_id"])
+        names = {record["name"] for record in spans}
+        assert names == {"serve.request", "serve.dispatch"}

@@ -101,6 +101,35 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram("h").quantile(1.5)
 
+    def test_quantile_of_empty_histogram_is_zero(self):
+        histogram = Histogram("h")
+        for q in (0.0, 0.5, 0.9, 1.0):
+            assert histogram.quantile(q) == 0.0
+
+    def test_quantile_of_single_sample_is_that_sample(self):
+        histogram = Histogram("h")
+        histogram.observe(0.037)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == pytest.approx(0.037)
+
+    def test_quantile_with_all_equal_samples_collapses_to_the_value(self):
+        histogram = Histogram("h")
+        for _ in range(1000):
+            histogram.observe(2.5)
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert histogram.quantile(q) == pytest.approx(2.5)
+
+    def test_quantile_beyond_last_bucket_stays_clamped_to_max(self):
+        # Every observation lands in the implicit overflow bucket.
+        histogram = Histogram("h", buckets=[1.0, 2.0])
+        for value in (50.0, 100.0, 150.0):
+            histogram.observe(value)
+        assert histogram.quantile(1.0) == pytest.approx(150.0)
+        assert histogram.quantile(0.5) <= 150.0
+        assert histogram.quantile(0.0) == pytest.approx(50.0)
+        for q in (0.1, 0.5, 0.9):
+            assert 50.0 <= histogram.quantile(q) <= 150.0
+
 
 class TestMetricsRegistry:
     def test_get_or_create_returns_same_instance(self):
@@ -174,3 +203,23 @@ class TestMetricsRegistry:
         assert 'lat_bucket{le="+Inf"} 1' in text
         assert "lat_count 1" in text
         assert text.endswith("\n")
+
+    def test_prometheus_histogram_buckets_are_cumulative_with_inf(self):
+        # Scrape-compatibility contract: every bucket line is cumulative,
+        # ends with +Inf == _count, and bounds render in ascending order.
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=[1.0, 2.0, 4.0])
+        for value in (0.5, 1.5, 3.0, 3.5, 10.0):
+            histogram.observe(value)
+        text = registry.to_prometheus()
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="2"} 2' in text
+        assert 'lat_bucket{le="4"} 4' in text
+        assert 'lat_bucket{le="+Inf"} 5' in text
+        assert "lat_count 5" in text
+        bucket_lines = [
+            line for line in text.splitlines() if line.startswith("lat_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+        assert counts == sorted(counts)
+        assert bucket_lines[-1].startswith('lat_bucket{le="+Inf"}')

@@ -1,0 +1,108 @@
+"""Regression tests: reset() vs root hooks and span sinks.
+
+Repeated server sessions in one process register a root hook (the tail
+sampler's seal) and a span sink (its ingest feed) per session.  Before the
+durable/transient split, ``obs.reset()`` left those registered, so a dead
+session's buffers kept receiving live spans and hooks accumulated across
+sessions.  These tests pin the fixed contract.
+"""
+
+from repro import obs
+from repro.obs import spans as spans_module
+from repro.obs.exporters import _auto_export_root
+
+
+class TestResetSemantics:
+    def test_reset_drops_transient_root_hooks(self):
+        seen = []
+        obs.add_root_hook(seen.append)
+        obs.reset()
+        obs.configure(enabled=True)
+        with obs.span("op"):
+            pass
+        assert seen == []
+
+    def test_reset_keeps_durable_builtin_hooks(self):
+        # The exporters' auto-export hook registers as durable at import
+        # time; reset() must not strip the library's own built-ins.
+        obs.reset()
+        assert _auto_export_root in spans_module._ROOT_HOOKS
+
+    def test_reset_drops_span_sinks(self):
+        seen = []
+        obs.add_span_sink(seen.append)
+        obs.reset()
+        obs.configure(enabled=True)
+        with obs.span("op"):
+            pass
+        assert seen == []
+
+    def test_clear_spans_keeps_hooks_and_sinks(self):
+        # clear_spans() is the light-weight buffer wipe: taps survive it.
+        obs.configure(enabled=True)
+        roots, all_spans = [], []
+        obs.add_root_hook(roots.append)
+        obs.add_span_sink(all_spans.append)
+        obs.clear_spans()
+        with obs.span("op"):
+            pass
+        assert len(roots) == 1
+        assert len(all_spans) == 1
+
+    def test_registering_the_same_hook_twice_is_idempotent(self):
+        seen = []
+        obs.configure(enabled=True)
+        obs.add_root_hook(seen.append)
+        obs.add_root_hook(seen.append)
+        with obs.span("op"):
+            pass
+        assert len(seen) == 1
+        obs.remove_root_hook(seen.append)
+        with obs.span("op2"):
+            pass
+        assert len(seen) == 1
+
+    def test_remove_is_idempotent(self):
+        def hook(record):
+            pass
+
+        obs.remove_root_hook(hook)  # never registered: no-op
+        obs.remove_span_sink(hook)
+
+
+class TestRepeatedSessions:
+    def test_sessions_do_not_cross_contaminate_trace_buffers(self):
+        """Two sequential sampler sessions: the first's buffer stays frozen."""
+        obs.configure(enabled=True)
+
+        first = obs.TraceBuffer(capacity=4, min_samples=1)
+        obs.add_span_sink(first.ingest)
+        obs.add_root_hook(first.seal)
+        with obs.root_span("serve.request", status=500):
+            pass
+        assert len(first) == 1
+
+        # Session teardown path: reset drops the taps.
+        obs.reset()
+        obs.configure(enabled=True)
+
+        second = obs.TraceBuffer(capacity=4, min_samples=1)
+        obs.add_span_sink(second.ingest)
+        obs.add_root_hook(second.seal)
+        with obs.root_span("serve.request", status=503):
+            pass
+
+        assert len(first) == 1   # frozen: no leakage from session two
+        assert len(second) == 1
+        assert first.summaries()[0]["status"] == 500
+        assert second.summaries()[0]["status"] == 503
+
+    def test_repeated_register_reset_cycles_do_not_accumulate_hooks(self):
+        baseline = len(spans_module._ROOT_HOOKS)
+        for _ in range(5):
+            buffer = obs.TraceBuffer(capacity=2, min_samples=1)
+            obs.add_span_sink(buffer.ingest)
+            obs.add_root_hook(buffer.seal)
+            obs.reset()
+        assert len(spans_module._ROOT_HOOKS) == baseline
+        assert len(spans_module._SPAN_SINKS) == 0

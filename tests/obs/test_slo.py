@@ -1,0 +1,147 @@
+"""Tests for the SLO tracker: rolling windows, burn rates, both SLI kinds."""
+
+import pytest
+
+from repro.obs.slo import SLObjective, SLOTracker
+
+
+class FakeClock:
+    """An injectable clock driven explicitly by the test."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def availability(target=0.999, window=3600.0):
+    return SLObjective(name="availability", target=target, window_seconds=window)
+
+
+def latency(target=0.99, threshold=0.5, window=3600.0):
+    return SLObjective(
+        name="latency",
+        target=target,
+        kind="latency",
+        latency_threshold=threshold,
+        window_seconds=window,
+    )
+
+
+class TestSLObjective:
+    def test_error_budget_is_one_minus_target(self):
+        assert availability(target=0.999).error_budget == pytest.approx(0.001)
+        assert latency(target=0.95).error_budget == pytest.approx(0.05)
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SLObjective(name="x", target=1.0)
+        with pytest.raises(ValueError):
+            SLObjective(name="x", target=0.0)
+        with pytest.raises(ValueError):
+            SLObjective(name="x", target=0.9, kind="throughput")
+        with pytest.raises(ValueError):
+            SLObjective(name="x", target=0.9, kind="latency")  # no threshold
+        with pytest.raises(ValueError):
+            SLObjective(name="x", target=0.9, window_seconds=0.0)
+
+
+class TestAvailabilitySLI:
+    def test_compliance_counts_5xx_as_bad_and_4xx_as_good(self):
+        clock = FakeClock()
+        tracker = SLOTracker([availability()], clock=clock)
+        for _ in range(98):
+            tracker.record(200, 0.01)
+        tracker.record(429, 0.01)  # protective shed: caller retries, not an outage
+        tracker.record(500, 0.01)
+        (report,) = tracker.snapshot()
+        assert report["total"] == 100
+        assert report["good"] == 99
+        assert report["compliance"] == pytest.approx(0.99)
+
+    def test_burn_rate_is_bad_fraction_over_error_budget(self):
+        clock = FakeClock()
+        tracker = SLOTracker([availability(target=0.99)], clock=clock)
+        for _ in range(95):
+            tracker.record(200, 0.01)
+        for _ in range(5):
+            tracker.record(503, 0.01)
+        (report,) = tracker.snapshot()
+        # bad fraction 0.05 against a 0.01 budget: burning 5x.
+        assert report["burn_rate"] == pytest.approx(5.0)
+
+    def test_empty_window_reports_full_compliance_and_zero_burn(self):
+        tracker = SLOTracker([availability()], clock=FakeClock())
+        (report,) = tracker.snapshot()
+        assert report["total"] == 0
+        assert report["compliance"] == 1.0
+        assert report["burn_rate"] == 0.0
+
+
+class TestLatencySLI:
+    def test_only_successful_requests_feed_the_latency_window(self):
+        clock = FakeClock()
+        tracker = SLOTracker([latency(threshold=0.1)], clock=clock)
+        tracker.record(200, 0.05)   # good
+        tracker.record(200, 0.50)   # slow -> bad
+        tracker.record(500, 9.99)   # failure: burns availability, not latency
+        tracker.record(429, 9.99)   # shed: excluded too
+        (report,) = tracker.snapshot()
+        assert report["total"] == 2
+        assert report["good"] == 1
+
+    def test_snapshot_carries_the_threshold(self):
+        tracker = SLOTracker([latency(threshold=0.25)], clock=FakeClock())
+        (report,) = tracker.snapshot()
+        assert report["latency_threshold_seconds"] == pytest.approx(0.25)
+
+
+class TestRollingWindow:
+    def test_outcomes_age_out_of_the_window(self):
+        clock = FakeClock()
+        tracker = SLOTracker(
+            [availability(window=60.0)], resolution=6, clock=clock
+        )
+        for _ in range(10):
+            tracker.record(500, 0.01)
+        (report,) = tracker.snapshot()
+        assert report["total"] == 10 and report["good"] == 0
+        # Two full windows later the bad epoch has aged out entirely.
+        clock.advance(120.0)
+        tracker.record(200, 0.01)
+        (report,) = tracker.snapshot()
+        assert report["total"] == 1
+        assert report["good"] == 1
+        assert report["burn_rate"] == 0.0
+
+    def test_multi_window_burn_rates_show_a_fast_burn(self):
+        clock = FakeClock()
+        tracker = SLOTracker(
+            [availability(target=0.99, window=3600.0)],
+            burn_horizons=(300.0, 3600.0),
+            resolution=72,
+            clock=clock,
+        )
+        # An hour of clean traffic...
+        for _ in range(50):
+            tracker.record(200, 0.01)
+            clock.advance(60.0)
+        # ...then a hard 5-minute outage.
+        for _ in range(10):
+            tracker.record(500, 0.01)
+            clock.advance(25.0)
+        (report,) = tracker.snapshot()
+        short = report["burn_rates"]["300s"]
+        long = report["burn_rates"]["3600s"]
+        # The short horizon sees (almost) pure failure; the long horizon
+        # dilutes the outage across the hour of clean traffic.
+        assert short > long
+        assert short > 50.0
+
+    def test_objective_names_must_be_unique(self):
+        with pytest.raises(ValueError):
+            SLOTracker([availability(), availability()])

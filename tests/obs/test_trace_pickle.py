@@ -1,0 +1,82 @@
+"""Trace-context propagation through a pickled pool job spec.
+
+The process pool ships :class:`PlacementJob` specs to workers by pickle
+(fork *and* spawn start methods).  The trace context rides inside the
+spec, so it must survive the round trip byte-exactly — and stay ``None``
+(spec bytes untouched) when tracing is off.
+"""
+
+import dataclasses
+import os
+import pickle
+
+from repro import obs
+from repro.core.serialization import circuit_to_dict
+from repro.parallel.jobs import make_placement_jobs, run_placement_job
+from tests.conftest import build_chain_circuit
+
+SPEC = {"kind": "template"}
+
+
+def make_jobs(num_jobs=2):
+    circuit_data = circuit_to_dict(build_chain_circuit())
+    queries = [[(6, 5), (5, 6), (7, 5), (6, 6)] for _ in range(4)]
+    return make_placement_jobs(circuit_data, SPEC, queries, num_jobs)
+
+
+class TestTraceContextPickling:
+    def test_untraced_jobs_carry_no_context(self):
+        for job in make_jobs():
+            assert job.trace is None
+            clone = pickle.loads(pickle.dumps(job))
+            assert clone.trace is None
+
+    def test_trace_context_survives_a_pickle_round_trip(self):
+        obs.configure(enabled=True)
+        with obs.span("coordinator.batch") as live:
+            jobs = make_jobs()
+        for job in jobs:
+            assert job.trace is not None
+            trace_id, parent_id, origin_pid, submitted = job.trace
+            assert trace_id == live.trace_id
+            assert parent_id == live.span_id
+            assert origin_pid == os.getpid()
+            assert submitted > 0.0
+            clone = pickle.loads(pickle.dumps(job))
+            assert clone.trace == job.trace
+            assert clone == job  # frozen dataclass: full spec equality
+
+    def test_pickled_job_reparents_like_the_original(self):
+        """Running the *unpickled* clone in a simulated worker re-parents
+        its spans under the coordinator span named by the context."""
+        obs.configure(enabled=True)
+        with obs.span("coordinator.batch") as live:
+            (job,) = make_jobs(num_jobs=1)
+        clone = pickle.loads(pickle.dumps(job))
+        # Simulate crossing a process boundary: remote_span_capture only
+        # engages when the origin pid differs from the executing pid.
+        foreign = dataclasses.replace(
+            clone,
+            trace=(clone.trace[0], clone.trace[1], clone.trace[2] + 1, clone.trace[3]),
+        )
+        result = run_placement_job(foreign)
+        assert result.spans, "foreign jobs must capture their spans for ingestion"
+        job_spans = [r for r in result.spans if r["name"] == "worker.job"]
+        assert len(job_spans) == 1
+        assert job_spans[0]["trace_id"] == live.trace_id
+        assert job_spans[0]["parent_id"] == live.span_id
+        # The queue-latency attribute derives from the submitted timestamp
+        # that rode the pickled spec.
+        assert "queue_seconds" in job_spans[0]["attrs"]
+
+    def test_results_identical_with_and_without_trace_context(self):
+        (untraced,) = make_jobs(num_jobs=1)
+        obs.configure(enabled=True)
+        with obs.span("coordinator.batch"):
+            (traced,) = make_jobs(num_jobs=1)
+        obs.reset()  # disable tracing again before running either job
+        baseline = run_placement_job(untraced)
+        shadowed = run_placement_job(traced)
+        assert [dict(p.rects) for p in baseline.results] == [
+            dict(p.rects) for p in shadowed.results
+        ]

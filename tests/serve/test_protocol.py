@@ -15,9 +15,11 @@ from repro.serve.protocol import (
     ServerDraining,
     error_response,
     json_response,
+    mint_request_id,
     parse_dims,
     parse_dims_batch,
     render_response,
+    with_header,
 )
 from tests.conftest import build_chain_circuit
 
@@ -60,6 +62,62 @@ class TestHttpRequest:
     def test_wants_close_reads_connection_header(self):
         assert not make_request().wants_close
         assert make_request(headers={"connection": "Close"}).wants_close
+
+
+class TestCorrelationHeaders:
+    def test_request_and_trace_ids_default_to_none(self):
+        request = make_request()
+        assert request.request_id is None
+        assert request.trace_id is None
+
+    def test_ids_pass_through_when_clean(self):
+        request = make_request(
+            headers={"x-request-id": "req-42.a_b", "x-trace-id": "trace7"}
+        )
+        assert request.request_id == "req-42.a_b"
+        assert request.trace_id == "trace7"
+
+    def test_hostile_characters_are_stripped(self):
+        # Header values end up in logs and response headers: no CR/LF or
+        # exotic bytes may survive sanitization.
+        request = make_request(
+            headers={"x-request-id": "evil\r\nSet-Cookie: x=1", "x-trace-id": "  t 1  "}
+        )
+        assert "\r" not in request.request_id
+        assert "\n" not in request.request_id
+        assert request.request_id == "evilSet-Cookiex1"
+        assert request.trace_id == "t1"
+
+    def test_overlong_ids_are_clamped(self):
+        request = make_request(headers={"x-request-id": "a" * 500})
+        assert len(request.request_id) == 64
+
+    def test_all_garbage_id_becomes_none(self):
+        assert make_request(headers={"x-request-id": "///"}).request_id is None
+
+    def test_minted_ids_are_unique_and_clean(self):
+        first, second = mint_request_id(), mint_request_id()
+        assert first != second
+        assert all(ch.isalnum() for ch in first)
+
+
+class TestWithHeader:
+    def test_injects_after_the_status_line(self):
+        raw = with_header(render_response(200, b"{}"), "X-Request-Id", "r1")
+        head, _, body = raw.partition(b"\r\n\r\n")
+        lines = head.split(b"\r\n")
+        assert lines[0] == b"HTTP/1.1 200 OK"
+        assert lines[1] == b"X-Request-Id: r1"
+        assert body == b"{}"
+
+    def test_body_and_content_length_are_untouched(self):
+        original = json_response(200, {"a": 1})
+        stamped = with_header(original, "X-Request-Id", "r2")
+        assert stamped.partition(b"\r\n\r\n")[2] == original.partition(b"\r\n\r\n")[2]
+        assert b"Content-Length: " in stamped
+
+    def test_headerless_bytes_pass_through(self):
+        assert with_header(b"garbage", "X", "y") == b"garbage"
 
 
 class TestResponses:
