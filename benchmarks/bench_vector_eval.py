@@ -1,0 +1,148 @@
+"""Vectorized batch scoring vs the scalar and incremental paths.
+
+PR 9 stacked candidate layouts into ``(n_candidates, n_blocks, 4)`` rect
+tensors and moved population/batch scoring onto
+:class:`~repro.eval.BatchEvaluator`'s fused array kernels.  This bench
+scores random candidate populations of a 64-module synthetic circuit three
+ways at several batch sizes:
+
+* the historical scalar loop — one ``evaluate_layout`` per candidate,
+* the incremental evaluator — ``rebase`` onto each candidate in turn (the
+  genetic placer's previous population-scoring path), and
+* the batch evaluator — one vectorized sweep over the stacked tensor.
+
+Two bars are asserted:
+
+* at batch size :data:`ASSERT_BATCH` the vectorized sweep is at least
+  :data:`MIN_SPEEDUP` x faster than the scalar loop (best of several
+  interleaved repetitions, so one scheduler hiccup cannot fail the
+  build), and
+* the three paths agree on every total *bitwise* — the batch kernels are
+  drop-in replacements, not approximations.
+
+Results (candidates/second per path and batch size) are printed and
+written to ``BENCH_eval.json`` next to the test file.
+"""
+
+import json
+import random
+import time
+
+import pytest
+
+from repro.cost.cost_function import CostWeights, PlacementCostFunction
+from repro.geometry.floorplan import FloorplanBounds
+
+from benchmarks.bench_incremental_eval import NUM_BLOCKS, build_synthetic_circuit
+
+np = pytest.importorskip("numpy")
+
+#: Candidate-batch sizes scored by every path.
+BATCH_SIZES = (8, 64, 512)
+#: The batch size the acceptance bar is measured at.
+ASSERT_BATCH = 64
+#: Interleaved (scalar, incremental, batch) repetitions; best ratio asserted.
+REPETITIONS = 3
+#: Acceptance bar: vectorized scoring at least this many times faster than
+#: the scalar loop at ASSERT_BATCH candidates.
+MIN_SPEEDUP = 5.0
+
+RESULTS_FILE = "BENCH_eval.json"
+
+
+class _Harness:
+    """Random candidate populations of one synthetic placement problem."""
+
+    def __init__(self, seed=29):
+        self.circuit = build_synthetic_circuit()
+        self.bounds = FloorplanBounds.for_blocks(
+            self.circuit.max_dims(), whitespace_factor=1.8
+        )
+        self.cost_fn = PlacementCostFunction(
+            self.circuit, self.bounds, weights=CostWeights().with_legalization()
+        )
+        self.evaluator = self.cost_fn.batch()
+        rng = random.Random(seed)
+        self.dims = tuple(
+            (rng.randint(b.min_w, b.max_w), rng.randint(b.min_h, b.max_h))
+            for b in self.circuit.blocks
+        )
+        self._rng = rng
+
+    def population(self, count):
+        rng = self._rng
+        return [
+            tuple(
+                self.bounds.clamp_anchor(
+                    rng.randrange(self.bounds.width),
+                    rng.randrange(self.bounds.height),
+                    w,
+                    h,
+                )
+                for (w, h) in self.dims
+            )
+            for _ in range(count)
+        ]
+
+    def run_scalar(self, population):
+        start = time.perf_counter()
+        totals = [
+            self.cost_fn.evaluate_layout(anchors, self.dims).total
+            for anchors in population
+        ]
+        return totals, time.perf_counter() - start
+
+    def run_incremental(self, population):
+        start = time.perf_counter()
+        evaluator = self.cost_fn.bind(population[0], self.dims)
+        totals = [evaluator.rebase(anchors=anchors) for anchors in population]
+        return totals, time.perf_counter() - start
+
+    def run_batch(self, population):
+        start = time.perf_counter()
+        totals = self.evaluator.totals(
+            self.evaluator.stack(population, self.dims)
+        ).tolist()
+        return totals, time.perf_counter() - start
+
+
+def test_vectorized_scoring_speedup_and_bitwise_totals():
+    harness = _Harness()
+    results = {"blocks": NUM_BLOCKS, "batch_sizes": {}}
+    ratios_at_bar = []
+
+    for batch_size in BATCH_SIZES:
+        population = harness.population(batch_size)
+
+        # Correctness first: all three paths agree bit for bit.
+        scalar_totals, _ = harness.run_scalar(population)
+        incremental_totals, _ = harness.run_incremental(population)
+        batch_totals, _ = harness.run_batch(population)
+        assert batch_totals == scalar_totals
+        assert incremental_totals == scalar_totals
+
+        best = {"scalar": 0.0, "incremental": 0.0, "batch": 0.0}
+        for _ in range(REPETITIONS):
+            for name, runner in (
+                ("scalar", harness.run_scalar),
+                ("incremental", harness.run_incremental),
+                ("batch", harness.run_batch),
+            ):
+                _, seconds = runner(population)
+                best[name] = max(best[name], batch_size / max(seconds, 1e-12))
+        results["batch_sizes"][str(batch_size)] = {
+            f"{name}_candidates_per_second": round(rate, 1)
+            for name, rate in best.items()
+        }
+        if batch_size == ASSERT_BATCH:
+            ratios_at_bar = [best["batch"] / max(best["scalar"], 1e-12)]
+
+    with open(RESULTS_FILE, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+    print(f"\n{json.dumps(results, indent=2, sort_keys=True)}")
+
+    speedup = ratios_at_bar[0]
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized scoring speedup {speedup:.2f}x over the scalar loop at "
+        f"batch {ASSERT_BATCH} is below the {MIN_SPEEDUP}x bar"
+    )

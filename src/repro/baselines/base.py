@@ -86,6 +86,24 @@ class CircuitPlacer(_PlacerProtocol):
             for key, value in evaluator.stats().items():
                 key = f"delta_{key}"
                 self._eval_counters[key] = self._eval_counters.get(key, 0) + value
+
+    def _accumulate_vector_stats(
+        self, evals: int = 0, candidates: int = 0, fallbacks: int = 0
+    ) -> None:
+        """Fold vectorized batch-scoring counters into this placer's stats.
+
+        The ``batch_evals`` / ``batch_candidates`` / ``vector_fallbacks``
+        keys mirror the ``delta_*`` convention and flow through
+        ``stats()`` into ``SynthesisResult.vector_eval_stats``.
+        """
+        with self._stats_lock:
+            for key, value in (
+                ("batch_evals", evals),
+                ("batch_candidates", candidates),
+                ("vector_fallbacks", fallbacks),
+            ):
+                if value:
+                    self._eval_counters[key] = self._eval_counters.get(key, 0) + value
     def _clamp_dims(self, dims: Sequence[Dims]) -> Tuple[Dims, ...]:
         if len(dims) != self._circuit.num_blocks:
             raise ValueError(

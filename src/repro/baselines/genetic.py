@@ -9,12 +9,16 @@ during evolution so illegal intermediate individuals are driven out.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.baselines.base import CircuitPlacer, Dims, Placement
 from repro.baselines.random_placer import RandomPlacer
 from repro.cost.cost_function import CostWeights
+from repro.eval.batch import batch_evaluator_for, record_batch, record_fallback
 from repro.eval.incremental import IncrementalEvaluator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.eval.vector import BatchEvaluator
 from repro.utils.rng import make_rng
 from repro.utils.timer import Timer
 
@@ -40,6 +44,12 @@ class GeneticPlacerConfig:
     #: evaluator's current layout (mutated children re-price only their
     #: jittered anchors); ``False`` re-scores every individual from scratch.
     incremental: bool = True
+    #: Score each generation's whole population in one vectorized
+    #: :class:`~repro.eval.BatchEvaluator` sweep (bitwise-identical
+    #: fitness, so fixed-seed trajectories are unchanged).  Falls back to
+    #: the incremental/scalar path when numpy is unavailable, the cost
+    #: subclass overrides evaluation, or ``REPRO_VECTORIZE=0``.
+    vectorize: bool = True
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -87,10 +97,13 @@ class GeneticPlacer(CircuitPlacer):
     def _evolve(self, dims: Tuple[Dims, ...]) -> Chromosome:
         config = self._config
         population = [self._random_chromosome(dims) for _ in range(config.population_size)]
+        batch: Optional["BatchEvaluator"] = None
+        if config.vectorize:
+            batch = batch_evaluator_for(self._fitness_cost)
         evaluator: Optional[IncrementalEvaluator] = None
-        if config.incremental and self._fitness_cost.supports_incremental:
+        if batch is None and config.incremental and self._fitness_cost.supports_incremental:
             evaluator = self._fitness_cost.bind(population[0], dims)
-        scored = [(self._fitness(ind, dims, evaluator), ind) for ind in population]
+        scored = self._score_population(population, dims, evaluator, batch)
         scored.sort(key=lambda pair: pair[0])
         for _ in range(config.generations):
             next_population: List[Chromosome] = [ind for _, ind in scored[: config.elite_count]]
@@ -104,11 +117,34 @@ class GeneticPlacer(CircuitPlacer):
                 if self._rng.random() < config.mutation_rate:
                     child = self._mutate(child, dims)
                 next_population.append(child)
-            scored = [(self._fitness(ind, dims, evaluator), ind) for ind in next_population]
+            scored = self._score_population(next_population, dims, evaluator, batch)
             scored.sort(key=lambda pair: pair[0])
         if evaluator is not None:
             self._accumulate_eval_stats(evaluator)
         return scored[0][1]
+
+    def _score_population(
+        self,
+        population: List[Chromosome],
+        dims: Tuple[Dims, ...],
+        evaluator: Optional[IncrementalEvaluator],
+        batch: Optional["BatchEvaluator"],
+    ) -> List[Tuple[float, Chromosome]]:
+        """Fitness-score one generation, batched when vectorization is on.
+
+        The vectorized sweep produces bitwise-identical totals, and the
+        subsequent sort is stable on equal keys, so trajectories match the
+        scalar/incremental path for any fixed seed.
+        """
+        if batch is not None:
+            totals = batch.totals(batch.stack(population, dims)).tolist()
+            record_batch(len(totals))
+            self._accumulate_vector_stats(evals=1, candidates=len(totals))
+            return list(zip(totals, population))
+        if self._config.vectorize:
+            record_fallback()
+            self._accumulate_vector_stats(fallbacks=1)
+        return [(self._fitness(ind, dims, evaluator), ind) for ind in population]
 
     def _fitness(
         self,

@@ -73,6 +73,8 @@ class PlacementInstantiator(Placer):
         self._fallback_mode = fallback_mode
         #: (structure mutation count, placements in ascending best-cost order).
         self._sorted_stored: Optional[Tuple[int, Tuple[StoredPlacement, ...]]] = None
+        #: (structure mutation count, stacked stored anchors (S, B, 2)).
+        self._stored_anchor_stack: Optional[Tuple[int, object]] = None
         self._stats_lock = threading.Lock()
         self._tier_hits: Dict[str, int] = {
             SOURCE_STRUCTURE: 0,
@@ -81,6 +83,11 @@ class PlacementInstantiator(Placer):
         }
         self._queries = 0
         self._total_seconds = 0.0
+        self._vector_counters: Dict[str, int] = {
+            "batch_evals": 0,
+            "batch_candidates": 0,
+            "vector_fallbacks": 0,
+        }
 
     @property
     def structure(self) -> MultiPlacementStructure:
@@ -125,11 +132,82 @@ class PlacementInstantiator(Placer):
         """Batch instantiation with duplicate elimination.
 
         Delegates to :func:`repro.service.batch.instantiate_batch`, so any
-        caller going through the unified API gets deduplication for free.
+        caller going through the unified API gets deduplication (and, when
+        numpy is available, one vectorized cost sweep over the unique
+        queries) for free.
         """
         from repro.service.batch import instantiate_batch
 
         return list(instantiate_batch(self, queries).results)
+
+    def instantiate_many(self, dims_batch: Sequence[Sequence[Dims]]) -> List[Placement]:
+        """Instantiate a batch of queries, scoring every lookup in one sweep.
+
+        Tier resolution (structure / nearest / fallback) runs per query
+        exactly as :meth:`instantiate` would — tier-hit statistics are
+        identical — but the winning layouts of the whole batch are then
+        cost-evaluated in a single :class:`~repro.eval.BatchEvaluator`
+        sweep instead of one scalar evaluation per query.  Costs are
+        bitwise identical either way.  Falls back to the scalar loop when
+        vectorization is unavailable (see
+        :func:`repro.eval.batch.batch_evaluator_for`).
+        """
+        evaluator = self._vector()
+        if evaluator is None:
+            from repro.eval.batch import record_fallback
+
+            record_fallback()
+            with self._stats_lock:
+                self._vector_counters["vector_fallbacks"] += 1
+            return [self.instantiate(dims) for dims in dims_batch]
+
+        from repro.eval.batch import record_batch
+
+        with Timer() as timer:
+            circuit = self._structure.circuit
+            resolved: List[Tuple[Tuple[Dims, ...], Tuple[Tuple[int, int], ...], str, Optional[int]]] = []
+            for dims in dims_batch:
+                clamped = tuple(
+                    block.clamp_dims(int(w), int(h))
+                    for block, (w, h) in zip(circuit.blocks, dims)
+                )
+                anchors, source, index = self._resolve_anchors(clamped)
+                resolved.append((clamped, anchors, source, index))
+            anchors_batch = [anchors for _, anchors, _, _ in resolved]
+            dims_stack = [clamped for clamped, _, _, _ in resolved]
+            breakdowns = evaluator.breakdowns(
+                evaluator.stack(anchors_batch, dims_stack)
+            )
+        count = len(resolved)
+        record_batch(count)
+        per_query = timer.elapsed / count if count else 0.0
+        with self._stats_lock:
+            self._queries += count
+            for _, _, source, _ in resolved:
+                self._tier_hits[source] += 1
+            self._total_seconds += timer.elapsed
+            self._vector_counters["batch_evals"] += 1
+            self._vector_counters["batch_candidates"] += count
+        return [
+            Placement(
+                rects=self._rects(anchors, clamped),
+                cost=cost,
+                placer=self.name,
+                source=source,
+                elapsed_seconds=per_query,
+                metadata={"dims": clamped, "placement_index": index},
+            )
+            for (clamped, anchors, source, index), cost in zip(resolved, breakdowns)
+        ]
+
+    def vector_ready(self) -> bool:
+        """True when batch lookups will score on the vectorized path."""
+        return self._vector() is not None
+
+    def vector_stats(self) -> Dict[str, int]:
+        """Snapshot of the vectorized batch-scoring counters."""
+        with self._stats_lock:
+            return dict(self._vector_counters)
 
     def stats(self) -> Dict[str, float]:
         """Per-tier hit counters and timing of every query served."""
@@ -140,6 +218,7 @@ class PlacementInstantiator(Placer):
                 "nearest_hits": self._tier_hits[SOURCE_NEAREST],
                 "fallback_hits": self._tier_hits[SOURCE_FALLBACK],
                 "total_seconds": self._total_seconds,
+                **self._vector_counters,
             }
 
     def instantiate_from_params(
@@ -188,6 +267,24 @@ class PlacementInstantiator(Placer):
         rects = self._rects(anchors, clamped)
         return rects, SOURCE_FALLBACK, None, self._cost_function.evaluate(rects)
 
+    def _resolve_anchors(
+        self, clamped: Tuple[Dims, ...]
+    ) -> Tuple[Tuple[Tuple[int, int], ...], str, Optional[int]]:
+        """``(anchors, source, placement_index)`` — tier resolution without costing.
+
+        Runs the exact tier order of :meth:`_lookup` but leaves cost
+        evaluation to the caller, so :meth:`instantiate_many` can score a
+        whole batch of resolved layouts in one sweep.
+        """
+        placement = self._structure.query(clamped)
+        if placement is not None:
+            return placement.anchors, SOURCE_STRUCTURE, placement.index
+        if self._fallback_mode == FALLBACK_BEST_STORED:
+            stored = self._best_feasible_entry(clamped)
+            if stored is not None:
+                return stored.anchors, SOURCE_NEAREST, stored.index
+        return self._fallback_anchors(), SOURCE_FALLBACK, None
+
     def _best_feasible_stored(
         self, dims: Tuple[Dims, ...]
     ) -> Optional[Tuple[StoredPlacement, Dict[str, Rect], CostBreakdown]]:
@@ -197,12 +294,71 @@ class PlacementInstantiator(Placer):
         first legal hit is the answer; the cost function then runs exactly
         once, on the winner, instead of on every legal candidate.
         """
-        for stored in self._stored_by_best_cost():
-            rects = self._rects(stored.anchors, dims)
-            if not self._is_legal(rects):
-                continue
-            return stored, rects, self._cost_function.evaluate(rects)
+        stored = self._best_feasible_entry(dims)
+        if stored is None:
+            return None
+        rects = self._rects(stored.anchors, dims)
+        return stored, rects, self._cost_function.evaluate(rects)
+
+    def _best_feasible_entry(self, dims: Tuple[Dims, ...]) -> Optional[StoredPlacement]:
+        """First stored placement (ascending best-cost order) legal at ``dims``.
+
+        With numpy available the legality of *all* stored candidates is
+        checked in one :meth:`~repro.eval.BatchEvaluator.feasible_mask`
+        sweep over the cached stored-anchor tensor, short-circuiting on the
+        first feasible index; the mask reproduces the scalar
+        ``contains``/``intersects`` checks exactly, so the winner — and
+        therefore the tier-hit statistics — are identical to the scalar
+        scan.
+        """
+        ordered = self._stored_by_best_cost()
+        if not ordered:
+            return None
+        evaluator = self._vector()
+        if evaluator is not None and len(ordered) > 1:
+            from repro.eval.batch import record_batch
+
+            mask = evaluator.feasible_mask(
+                evaluator.stack(self._stored_anchor_array(ordered), dims)
+            )
+            record_batch(len(ordered))
+            with self._stats_lock:
+                self._vector_counters["batch_evals"] += 1
+                self._vector_counters["batch_candidates"] += len(ordered)
+            hits = mask.nonzero()[0]
+            return ordered[int(hits[0])] if hits.size else None
+        for stored in ordered:
+            if self._is_legal(self._rects(stored.anchors, dims)):
+                return stored
         return None
+
+    def _vector(self):
+        """The batch evaluator for this instantiator, or ``None`` (scalar path).
+
+        Beyond :func:`~repro.eval.batch.batch_evaluator_for`'s own gating,
+        the legality sweep additionally requires the cost function's bounds
+        to be the structure's canvas — ``_is_legal`` checks against the
+        structure, so a custom cost function scoring a different canvas
+        must keep the scalar scan.
+        """
+        from repro.eval.batch import batch_evaluator_for
+
+        evaluator = batch_evaluator_for(self._cost_function)
+        if evaluator is None or self._cost_function.bounds != self._structure.bounds:
+            return None
+        return evaluator
+
+    def _stored_anchor_array(self, ordered: Tuple[StoredPlacement, ...]):
+        """Stacked ``(n_stored, n_blocks, 2)`` anchors, cached per structure state."""
+        version = self._structure.mutation_count
+        cached = self._stored_anchor_stack
+        if cached is None or cached[0] != version:
+            from repro.eval.vector import require_numpy
+
+            np = require_numpy()
+            cached = (version, np.asarray([sp.anchors for sp in ordered], dtype=np.int64))
+            self._stored_anchor_stack = cached
+        return cached[1]
 
     def _stored_by_best_cost(self) -> Tuple[StoredPlacement, ...]:
         """Stored placements sorted ascending by best cost, cached per structure state."""

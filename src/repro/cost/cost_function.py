@@ -27,6 +27,7 @@ from repro.geometry.rect import Rect
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (eval imports cost)
     from repro.eval.incremental import IncrementalEvaluator
+    from repro.eval.vector import BatchEvaluator
 
 
 @dataclass(frozen=True)
@@ -147,6 +148,44 @@ class PlacementCostFunction:
             and cls.evaluate_layout is PlacementCostFunction.evaluate_layout
             and cls.rects_from is PlacementCostFunction.rects_from
         )
+
+    @property
+    def supports_vectorized(self) -> bool:
+        """True when :meth:`batch` scores stacked layouts matching this evaluation.
+
+        Mirrors :attr:`supports_incremental`: subclasses that override
+        :meth:`evaluate`, :meth:`evaluate_layout` or :meth:`rects_from`
+        change the evaluation in ways the generic array kernels know
+        nothing about.  :meth:`compose` is additionally checked because
+        the :class:`~repro.eval.vector.BatchEvaluator` re-expresses its
+        weighting arithmetic elementwise rather than calling it.  Batch
+        consumers check this flag (via
+        :func:`repro.eval.batch.batch_evaluator_for`) and fall back to
+        the scalar loop for overriding subclasses.
+        """
+        cls = type(self)
+        return (
+            cls.evaluate is PlacementCostFunction.evaluate
+            and cls.evaluate_layout is PlacementCostFunction.evaluate_layout
+            and cls.rects_from is PlacementCostFunction.rects_from
+            and cls.compose is PlacementCostFunction.compose
+        )
+
+    def batch(self) -> "BatchEvaluator":
+        """Build a :class:`~repro.eval.vector.BatchEvaluator` over this cost.
+
+        The evaluator scores ``(n_candidates, n_blocks, 4)`` rect tensors
+        with this cost function's weights, bounds and wirelength model,
+        bitwise identical to :meth:`evaluate_layout` per candidate — the
+        weights stay the single source of truth, exactly as with
+        :meth:`bind`.  Raises for unsupported subclasses and models (see
+        :attr:`supports_vectorized`); callers that want automatic scalar
+        fallback should go through
+        :func:`repro.eval.batch.batch_evaluator_for` instead.
+        """
+        from repro.eval.vector import BatchEvaluator
+
+        return BatchEvaluator(self)
 
     def bind(
         self,

@@ -149,7 +149,15 @@ def _run_unique(
     max_workers: Optional[int],
     executor: Optional[Executor],
 ) -> List[Placement]:
-    """Instantiate each unique key, in order, serially or on a pool."""
+    """Instantiate each unique key, in order, serially or on a pool.
+
+    Serial batches of more than one unique query go through the
+    instantiator's
+    :meth:`~repro.core.instantiator.PlacementInstantiator.instantiate_many`,
+    which scores the whole batch in one vectorized cost sweep — bitwise
+    identical to the per-query loop — and itself falls back to (and
+    counts) the scalar loop when vectorization is unavailable.
+    """
     if executor is not None:
         return list(executor.map(instantiator.instantiate, unique_keys))
     if (
@@ -159,4 +167,7 @@ def _run_unique(
     ):
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
             return list(pool.map(instantiator.instantiate, unique_keys))
+    instantiate_many = getattr(instantiator, "instantiate_many", None)
+    if len(unique_keys) > 1 and instantiate_many is not None:
+        return instantiate_many(unique_keys)
     return [instantiator.instantiate(key) for key in unique_keys]

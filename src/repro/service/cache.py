@@ -160,6 +160,38 @@ class MemoizingInstantiator:
         """Memoized :meth:`PlacementInstantiator.instantiate`."""
         return self.instantiate_with_info(dims)[0]
 
+    def instantiate_many(self, dims_batch: Sequence[Sequence[Dims]]) -> List[Placement]:
+        """Memoized :meth:`PlacementInstantiator.instantiate_many`.
+
+        Memo hits are answered from the table; the misses run through the
+        wrapped instantiator's single vectorized cost sweep and are stored
+        for next time.  Memo hit/miss statistics match the per-query path.
+        """
+        keys = [self.cache_key(dims) for dims in dims_batch]
+        resolved: Dict[Tuple[Dims, ...], Placement] = {}
+        pending: List[Tuple[Dims, ...]] = []
+        for key in keys:
+            if key in resolved or key in pending:
+                continue
+            cached = self._memo.get(key)
+            if cached is not None:
+                resolved[key] = cached
+            else:
+                pending.append(key)
+        if pending:
+            for key, placement in zip(pending, self._instantiator.instantiate_many(pending)):
+                self._memo.put(key, placement)
+                resolved[key] = placement
+        return [resolved[key] for key in keys]
+
+    def vector_ready(self) -> bool:
+        """Whether batch queries will score on the vectorized path."""
+        return self._instantiator.vector_ready()
+
+    def vector_stats(self) -> Dict[str, int]:
+        """The wrapped instantiator's vectorized batch-scoring counters."""
+        return self._instantiator.vector_stats()
+
     def instantiate_with_info(
         self, dims: Sequence[Dims]
     ) -> Tuple[Placement, bool]:

@@ -84,6 +84,12 @@ class ServiceStats:
         "route_queries",
         #: Routing queries answered from the route cache.
         "route_cache_hits",
+        #: Vectorized batch cost sweeps run by the served instantiators.
+        "batch_evals",
+        #: Candidate layouts scored inside those sweeps.
+        "batch_candidates",
+        #: Batches that fell back to the scalar evaluation loop.
+        "vector_fallbacks",
     )
     #: Seconds-valued counters (wall-clock answering / routing time).
     FLOAT_FIELDS = ("total_seconds", "route_seconds")
@@ -189,6 +195,9 @@ class ServiceStats:
         "structures_generated",
         "cache_hits",
         "cache_misses",
+        "batch_evals",
+        "batch_candidates",
+        "vector_fallbacks",
     )
 
     def merge_worker_counters(self, counters: Mapping[str, float]) -> None:
@@ -226,7 +235,19 @@ class ServiceStats:
             "route_queries": self.route_queries,
             "route_cache_hits": self.route_cache_hits,
             "route_seconds": self.route_seconds,
+            "batch_evals": self.batch_evals,
+            "batch_candidates": self.batch_candidates,
+            "vector_fallbacks": self.vector_fallbacks,
         }
+
+    def merge_vector_delta(
+        self, before: Mapping[str, int], after: Mapping[str, int]
+    ) -> None:
+        """Fold an instantiator's ``vector_stats()`` before/after delta in."""
+        for name in ("batch_evals", "batch_candidates", "vector_fallbacks"):
+            delta = int(after.get(name, 0)) - int(before.get(name, 0))
+            if delta:
+                setattr(self, name, getattr(self, name) + delta)
 
 
 class PlacementService:
@@ -399,7 +420,9 @@ class PlacementService:
             with Timer() as timer:
                 instantiator = self.instantiator_for(circuit, config)
                 mapped = _map_dims(circuit, instantiator.structure.circuit, dims)
+                vector_before = instantiator.vector_stats()
                 result, from_memo = instantiator.instantiate_with_info(mapped)
+                vector_after = instantiator.vector_stats()
             obs_span.set(source=result.source, memo_hit=from_memo)
         with self._lock:
             stats = self._stats
@@ -408,6 +431,7 @@ class PlacementService:
             if from_memo:
                 stats.memo_hits += 1
             stats.total_seconds += timer.elapsed
+            stats.merge_vector_delta(vector_before, vector_after)
         if _obs_enabled():
             _obs_metrics().observe("service.query_seconds", timer.elapsed)
         return result
@@ -454,12 +478,14 @@ class PlacementService:
                         _map_dims(circuit, structure_circuit, dims) for dims in dims_batch
                     ]
                 memo_hits_before = instantiator.memo_stats.hits
+                vector_before = instantiator.vector_stats()
                 batch = instantiate_batch(
                     instantiator,
                     mapped_batch,
                     max_workers=max_workers if max_workers is not None else self._max_workers,
                 )
                 memo_delta = instantiator.memo_stats.hits - memo_hits_before
+                vector_after = instantiator.vector_stats()
             obs_span.set(unique=batch.unique_queries, dedup=batch.duplicate_queries)
         with self._lock:
             stats = self._stats
@@ -470,6 +496,7 @@ class PlacementService:
             for source, count in batch.source_counts.items():
                 stats.record_source(source, count)
             stats.total_seconds += timer.elapsed
+            stats.merge_vector_delta(vector_before, vector_after)
         if _obs_enabled():
             _obs_metrics().observe("service.batch_seconds", timer.elapsed)
         return batch

@@ -180,6 +180,24 @@ class SynthesisResult:
         }
 
     @property
+    def vector_eval_stats(self) -> Dict[str, float]:
+        """The placement backend's vectorized batch-scoring counters, if any.
+
+        Backends that score candidate batches through
+        :class:`~repro.eval.BatchEvaluator` (genetic populations, batched
+        instantiation) report ``batch_evals`` / ``batch_candidates`` /
+        ``vector_fallbacks``, quantifying how much of the loop's placement
+        traffic ran on the array path versus the scalar fallback.
+        """
+        if not self.backend_stats:
+            return {}
+        return {
+            key: value
+            for key, value in self.backend_stats.items()
+            if key in ("batch_evals", "batch_candidates", "vector_fallbacks")
+        }
+
+    @property
     def service_stats(self) -> Optional[Dict[str, float]]:
         """Deprecated alias of :attr:`backend_stats`."""
         return self.backend_stats

@@ -80,7 +80,7 @@ class TestBDIOEquivalence:
 class TestGeneticPlacerEquivalence:
     def test_same_seed_same_population_outcome(self, circuit, bounds):
         dims = mid_dims(circuit)
-        config = GeneticPlacerConfig(population_size=10, generations=8)
+        config = GeneticPlacerConfig(population_size=10, generations=8, vectorize=False)
         incremental = GeneticPlacer(circuit, bounds, config=config, seed=5).place(dims)
         scratch = GeneticPlacer(
             circuit, bounds, config=replace(config, incremental=False), seed=5
@@ -90,12 +90,69 @@ class TestGeneticPlacerEquivalence:
 
     def test_delta_counters_reported(self, circuit, bounds):
         placer = GeneticPlacer(
-            circuit, bounds, config=GeneticPlacerConfig(population_size=8, generations=4), seed=1
+            circuit,
+            bounds,
+            config=GeneticPlacerConfig(population_size=8, generations=4, vectorize=False),
+            seed=1,
         )
         placer.place(mid_dims(circuit))
         stats = placer.stats()
         assert stats["delta_moves"] > 0
         assert stats["delta_moves"] == stats["delta_commits"]
+
+
+class TestGeneticVectorizedEquivalence:
+    """Array-batch population scoring leaves fixed-seed trajectories intact."""
+
+    def test_vectorized_trajectory_bit_identical(self, circuit, bounds):
+        pytest.importorskip("numpy")
+        dims = mid_dims(circuit)
+        config = GeneticPlacerConfig(population_size=10, generations=8)
+        vectorized = GeneticPlacer(
+            circuit, bounds, config=replace(config, vectorize=True), seed=5
+        )
+        scalar = GeneticPlacer(
+            circuit, bounds, config=replace(config, vectorize=False, incremental=False), seed=5
+        )
+        a = vectorized.place(dims)
+        b = scalar.place(dims)
+        assert a.cost == b.cost  # every component, bit for bit
+        assert dict(a.rects) == dict(b.rects)
+
+    def test_vectorized_trajectory_matches_incremental(self, circuit, bounds):
+        pytest.importorskip("numpy")
+        dims = mid_dims(circuit)
+        config = GeneticPlacerConfig(population_size=10, generations=6)
+        a = GeneticPlacer(
+            circuit, bounds, config=replace(config, vectorize=True), seed=2
+        ).place(dims)
+        b = GeneticPlacer(
+            circuit, bounds, config=replace(config, vectorize=False, incremental=True), seed=2
+        ).place(dims)
+        assert a.cost.total == b.cost.total
+        assert dict(a.rects) == dict(b.rects)
+
+    def test_vector_counters_reported(self, circuit, bounds, monkeypatch):
+        pytest.importorskip("numpy")
+        monkeypatch.delenv("REPRO_VECTORIZE", raising=False)
+        config = GeneticPlacerConfig(population_size=8, generations=4)
+        placer = GeneticPlacer(circuit, bounds, config=config, seed=1)
+        placer.place(mid_dims(circuit))
+        stats = placer.stats()
+        # One sweep per scored generation: the initial population plus one
+        # per evolved generation; every sweep scores the whole population.
+        assert stats["batch_evals"] == config.generations + 1
+        assert stats["batch_candidates"] == (config.generations + 1) * config.population_size
+        assert "delta_moves" not in stats
+
+    def test_env_gate_reports_fallbacks(self, circuit, bounds, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTORIZE", "0")
+        config = GeneticPlacerConfig(population_size=8, generations=3, incremental=False)
+        placer = GeneticPlacer(circuit, bounds, config=config, seed=1)
+        placer.place(mid_dims(circuit))
+        stats = placer.stats()
+        assert stats["vector_fallbacks"] == config.generations + 1
+        assert "batch_evals" not in stats
 
 
 class TestCustomCostFallback:

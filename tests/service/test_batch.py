@@ -127,3 +127,36 @@ class TestBatchResult:
         assert result.elapsed_seconds >= 0.0
         assert result.queries_per_second >= 0.0
         assert [r.source for r in result] == [result[0].source, result[1].source]
+
+
+class TestVectorizedBatchPath:
+    def test_serial_batch_matches_scalar_loop(self, monkeypatch):
+        pytest.importorskip("numpy")
+        batch = [all_dims(4, 4 + (i % 9), 4 + ((i * 3) % 9)) for i in range(24)]
+        monkeypatch.setenv("REPRO_VECTORIZE", "0")
+        scalar = instantiate_batch(PlacementInstantiator(build_structure(4)), batch)
+        monkeypatch.delenv("REPRO_VECTORIZE")
+        instantiator = PlacementInstantiator(build_structure(4))
+        vectorized = instantiate_batch(instantiator, batch)
+        assert instantiator.vector_stats()["batch_evals"] >= 1
+        assert scalar.unique_queries == vectorized.unique_queries
+        assert scalar.source_counts == vectorized.source_counts
+        for a, b in zip(scalar, vectorized):
+            assert a.source == b.source
+            assert a.cost == b.cost
+            assert dict(a.rects) == dict(b.rects)
+
+    def test_memoizing_batch_uses_vector_path(self, monkeypatch):
+        pytest.importorskip("numpy")
+        monkeypatch.delenv("REPRO_VECTORIZE", raising=False)
+        memo = MemoizingInstantiator(PlacementInstantiator(build_structure()))
+        assert memo.vector_ready()
+        batch = [all_dims(2, 5, 5), all_dims(2, 6, 6), all_dims(2, 5, 5)]
+        first = instantiate_batch(memo, batch)
+        assert memo.vector_stats()["batch_evals"] >= 1
+        sweeps = memo.vector_stats()["batch_evals"]
+        # Replaying the batch answers from the memo table: no new sweep.
+        again = instantiate_batch(memo, batch)
+        assert memo.vector_stats()["batch_evals"] == sweeps
+        for a, b in zip(first, again):
+            assert a is b

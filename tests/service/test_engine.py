@@ -173,3 +173,50 @@ class TestBlockOrderIndependence:
     def test_dimension_vector_length_is_validated(self, service):
         with pytest.raises(ValueError):
             service.instantiate(build_chain_circuit(2), [(5, 5)])
+
+
+class TestVectorEvalStats:
+    def test_batch_records_vector_counters(self, service, monkeypatch):
+        pytest.importorskip("numpy")
+        monkeypatch.delenv("REPRO_VECTORIZE", raising=False)
+        circuit = build_chain_circuit(2)
+        batch = [IN_BOX] * 2 + [OUT_OF_BOX_LEGAL] * 2 + [[(7, 7), (7, 7)]]
+        service.instantiate_batch(circuit, batch)
+        stats = service.stats
+        assert stats.batch_evals >= 1
+        assert stats.batch_candidates >= stats.batch_evals
+        assert stats.vector_fallbacks == 0
+        as_dict = stats.as_dict()
+        assert as_dict["batch_evals"] == stats.batch_evals
+        assert as_dict["batch_candidates"] == stats.batch_candidates
+
+    def test_env_gate_records_fallback(self, service, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTORIZE", "0")
+        circuit = build_chain_circuit(2)
+        service.instantiate_batch(circuit, [IN_BOX, OUT_OF_BOX_LEGAL, [(7, 7), (7, 7)]])
+        stats = service.stats
+        assert stats.batch_evals == 0
+        assert stats.vector_fallbacks == 1
+
+    def test_results_identical_with_and_without_vectorization(
+        self, tmp_path, monkeypatch
+    ):
+        pytest.importorskip("numpy")
+        circuit = build_chain_circuit(2)
+        batch = [IN_BOX, OUT_OF_BOX_LEGAL, OUT_OF_BOX_ILLEGAL, [(7, 7), (7, 7)]]
+
+        def serve(env_value):
+            if env_value is None:
+                monkeypatch.delenv("REPRO_VECTORIZE", raising=False)
+            else:
+                monkeypatch.setenv("REPRO_VECTORIZE", env_value)
+            registry = StructureRegistry(tmp_path / f"registry-{env_value}")
+            registry.put(build_structure())
+            return PlacementService(registry).instantiate_batch(circuit, batch)
+
+        scalar = serve("0")
+        vectorized = serve(None)
+        assert scalar.source_counts == vectorized.source_counts
+        for a, b in zip(scalar, vectorized):
+            assert a.cost == b.cost
+            assert dict(a.rects) == dict(b.rects)

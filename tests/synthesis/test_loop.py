@@ -137,6 +137,27 @@ class TestSynthesisLoop:
         assert stats["delta_moves"] > 0
         assert stats["delta_commits"] + stats["delta_reverts"] == stats["delta_moves"]
 
+    def test_genetic_backend_reports_vector_eval_stats(self, opamp_setup, monkeypatch):
+        pytest.importorskip("numpy")
+        monkeypatch.delenv("REPRO_VECTORIZE", raising=False)
+        design, _, _ = opamp_setup
+        loop = LayoutInclusiveSynthesis(
+            design.sizing_model,
+            design.performance_model,
+            design.spec,
+            {"kind": "genetic", "population": 8, "generations": 3, "seed": 0},
+            config=SynthesisConfig(optimizer=SizingOptimizerConfig(max_iterations=3)),
+            seed=0,
+        )
+        result = loop.run()
+        assert result.backend == "genetic"
+        # Populations scored in vectorized sweeps; the counters flow from
+        # the placer's stats() into the synthesis result.
+        stats = result.vector_eval_stats
+        assert stats["batch_evals"] > 0
+        assert stats["batch_candidates"] >= stats["batch_evals"] * 8
+        assert "vector_fallbacks" not in stats
+
     def test_loop_accepts_spec_dict(self, opamp_setup):
         design, _, structure = opamp_setup
         loop = LayoutInclusiveSynthesis(
