@@ -25,6 +25,7 @@ working directory.
 """
 
 import json
+import random
 import shutil
 import tempfile
 import threading
@@ -35,8 +36,10 @@ import pytest
 from repro import obs
 from repro.benchcircuits.library import get_benchmark
 from repro.core.instantiator import PlacementInstantiator
+from repro.parallel.sharding import ShardOwnerMap
 from repro.serve import ServerConfig, ServerHarness
 from repro.service.engine import PlacementService
+from repro.service.fingerprint import structure_key
 from repro.service.registry import StructureRegistry
 from benchmarks.conftest import bench_scale
 from benchmarks.bench_service_throughput import best_of, make_workload
@@ -53,6 +56,22 @@ PLACE_CLIENTS = 16
 REPLAY_CHUNK = 125
 
 RESULTS_FILE = "BENCH_server.json"
+
+#: The shard-affinity comparison: worker processes, candidate circuits
+#: (small ones — the fixture generates a structure per pick), and the
+#: acceptance bar for shard-affine vs shard-blind p95.
+AFFINITY_WORKERS = 4
+AFFINITY_CANDIDATES = [
+    "two_stage_opamp",
+    "single_ended_opamp",
+    "circ01",
+    "circ02",
+    "circ06",
+    "mixer",
+]
+AFFINITY_P95_SPEEDUP = 1.2
+#: Queries per mixed /place_batch request (each spans every shard).
+AFFINITY_CHUNK = 50
 
 
 @pytest.fixture(scope="module")
@@ -295,6 +314,155 @@ def test_traced_replay_overhead(server_setup):
         f"tracing adds {overhead_pct:.1f}% to median request latency "
         f"({medians['traced']*1000:.2f} ms traced vs "
         f"{medians['untraced']*1000:.2f} ms untraced, budget is 5%)"
+    )
+
+
+@pytest.fixture(scope="module")
+def affinity_setup():
+    """A multi-circuit registry plus a mixed duplicate-heavy trace.
+
+    Picks circuits greedily so their fingerprint shards land on as many
+    distinct worker slots as possible — a trace whose shards all hash to
+    one owner would serialize the affine run and measure nothing.
+    """
+    scale = bench_scale()
+    root = tempfile.mkdtemp(prefix="repro-bench-affinity-")
+    registry = StructureRegistry(root)
+    shared_config = scale.generator_config(get_benchmark(CIRCUIT), seed=0)
+    owners = ShardOwnerMap(workers=AFFINITY_WORKERS)
+    picked, slots_taken = [], set()
+    for name in AFFINITY_CANDIDATES:
+        slot = owners.owner_for_key(structure_key(get_benchmark(name), shared_config))
+        if slot not in slots_taken or len(AFFINITY_CANDIDATES) - len(picked) <= (
+            AFFINITY_WORKERS - len(picked)
+        ):
+            picked.append(name)
+            slots_taken.add(slot)
+        if len(picked) == AFFINITY_WORKERS:
+            break
+    while len(picked) < AFFINITY_WORKERS:
+        picked.append(
+            next(name for name in AFFINITY_CANDIDATES if name not in picked)
+        )
+    per_circuit = TRACE_QUERIES // len(picked)
+    trace = []
+    for name in picked:
+        circuit = get_benchmark(name)
+        structure = registry.get_or_generate(circuit, shared_config)
+        workload = make_workload(circuit, structure, per_circuit)
+        trace.append([{"circuit": name, "dims": dims} for dims in workload])
+    # Shuffle (fixed seed), so every replay chunk spans every shard and
+    # the server really splits each request's batch before fan-out.
+    mixed = [query for round_ in zip(*trace) for query in round_]
+    random.Random(11).shuffle(mixed)
+    yield root, shared_config, picked, mixed
+    shutil.rmtree(root, ignore_errors=True)
+
+
+def _replay_mixed(harness, mixed, chunk=AFFINITY_CHUNK, record_shards=None):
+    """Replay the mixed trace; returns (wall_seconds, per-request latencies)."""
+    latencies = []
+    lock = threading.Lock()
+
+    def replay(part):
+        client = harness.client()
+        local, shards_local = [], []
+        for start in range(0, len(part), chunk):
+            begin = time.perf_counter()
+            response = client.place_queries(part[start : start + chunk])
+            local.append(time.perf_counter() - begin)
+            assert response.ok, (response.status, response.payload)
+            shards_local.extend(response.payload.get("shards", []))
+        with lock:
+            latencies.extend(local)
+            if record_shards is not None:
+                record_shards.extend(shards_local)
+
+    wall = fan_out(mixed, REPLAY_CLIENTS, replay)
+    latencies.sort()
+    return wall, latencies
+
+
+def test_affinity_beats_shard_blind_dispatch(affinity_setup):
+    """Shard-affine routing vs shard-blind fan-out on the mixed trace.
+
+    Same trace, same worker count, same server — only
+    ``ServerConfig.affinity`` flips.  Shard-blind pays ``workers`` IPC
+    round trips and a full-pool barrier per sub-batch; shard-affine pays
+    one round trip to the owner process whose caches stay warm across
+    chunks.  The bar: shard-blind p95 >= 1.2x the shard-affine p95.
+    """
+    root, shared_config, picked, mixed = affinity_setup
+    p95, qps, hit_stats, shard_elapsed = {}, {}, {}, []
+    for mode, affine in (("affinity_off", False), ("affinity_on", True)):
+        server_config = ServerConfig(
+            window_seconds=0.001,
+            max_batch=64,
+            max_inflight=8192,
+            service_workers=AFFINITY_WORKERS,
+            affinity=affine,
+            executor_threads=8,
+        )
+        service = PlacementService(
+            StructureRegistry(root), default_config=shared_config
+        )
+        harness = ServerHarness(service, server_config).start()
+        try:
+            # Warm every circuit's worker-side caches before timing.
+            warm_client = harness.client()
+            for _ in range(2):
+                warm = warm_client.place_queries(mixed[: 4 * len(picked)])
+                assert warm.ok, (warm.status, warm.payload)
+            record = shard_elapsed if affine else None
+            wall, latencies = _replay_mixed(harness, mixed, record_shards=record)
+            if affine:
+                hit_stats = harness.client().statusz().payload["affinity"]
+        finally:
+            harness.stop()
+        p95[mode] = percentile(latencies, 0.95)
+        qps[mode] = len(mixed) / wall
+
+    # Per-shard p95 of the affine run, from the per-response shard timings.
+    by_shard = {}
+    for entry in shard_elapsed:
+        by_shard.setdefault(entry["shard"], []).append(entry["elapsed_seconds"])
+    shard_p95 = {
+        shard: {
+            "p95_ms": round(percentile(sorted(values), 0.95) * 1000, 2),
+            "dispatches": len(values),
+        }
+        for shard, values in by_shard.items()
+    }
+    speedup = p95["affinity_off"] / p95["affinity_on"]
+
+    results = {
+        "affinity_circuits": picked,
+        "affinity_workers": AFFINITY_WORKERS,
+        "affinity_off_p95_ms": round(p95["affinity_off"] * 1000, 2),
+        "affinity_on_p95_ms": round(p95["affinity_on"] * 1000, 2),
+        "affinity_off_qps": round(qps["affinity_off"]),
+        "affinity_on_qps": round(qps["affinity_on"]),
+        "affinity_p95_speedup": round(speedup, 2),
+        "affinity_hits": hit_stats.get("hits"),
+        "affinity_misses": hit_stats.get("misses"),
+        "affinity_shard_p95": shard_p95,
+    }
+    try:
+        with open(RESULTS_FILE, encoding="utf-8") as handle:
+            merged = json.load(handle)
+    except (OSError, ValueError):
+        merged = {}
+    merged.update(results)
+    write_results(merged)
+
+    # The affine run must actually have pinned its dispatches...
+    assert hit_stats.get("active"), hit_stats
+    assert hit_stats.get("hits", 0) > 0
+    # ...and beat the shard-blind configuration where it counts.
+    assert speedup >= AFFINITY_P95_SPEEDUP, (
+        f"shard-affine p95 only {speedup:.2f}x better than shard-blind "
+        f"({results['affinity_on_p95_ms']} ms vs "
+        f"{results['affinity_off_p95_ms']} ms, needs >= {AFFINITY_P95_SPEEDUP}x)"
     )
 
 

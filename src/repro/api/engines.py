@@ -210,3 +210,29 @@ def make_parallel(
         start_method=start_method,
         min_batch=min_batch,
     )
+
+
+def preload_engine_modules() -> None:
+    """Import every module the factories above load lazily.
+
+    Fork-based worker pools call this (through
+    :func:`repro.api.registry.preload_builtin_factories`) before spawning
+    workers.  A forked child inherits the parent's per-module import
+    locks exactly as they were at fork time — a sibling thread caught
+    mid-import leaves a lock no thread in the child can ever release.
+    With these modules already in ``sys.modules`` the children never
+    touch the import machinery at all.
+    """
+    import repro.baselines.annealing_placer  # noqa: F401
+    import repro.baselines.genetic  # noqa: F401
+    import repro.baselines.random_placer  # noqa: F401
+    import repro.baselines.template  # noqa: F401
+    import repro.core.generator  # noqa: F401
+    import repro.core.instantiator  # noqa: F401
+    import repro.core.serialization  # noqa: F401
+    import repro.geometry.rect  # noqa: F401
+    import repro.parallel.placer  # noqa: F401
+    import repro.parallel.sharding  # noqa: F401
+    import repro.route.router  # noqa: F401
+    import repro.service.engine  # noqa: F401
+    import repro.service.placer  # noqa: F401

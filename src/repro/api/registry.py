@@ -102,6 +102,20 @@ def normalize_spec(spec: Spec) -> Dict[str, object]:
     return normalized
 
 
+def preload_builtin_factories() -> None:
+    """Resolve every builtin factory and its lazy imports into this process.
+
+    Called by fork-based pools before they spawn workers, so forked
+    children find every worker-side module already in ``sys.modules``
+    and never have to acquire an import lock (which a parent thread may
+    have held at fork time — permanently, from the child's view).
+    """
+    for kind in list(_BUILTIN_FACTORIES):
+        _resolve_factory(kind)
+    engines = importlib.import_module("repro.api.engines")
+    engines.preload_engine_modules()
+
+
 def make_placer(spec: Spec, circuit, bounds=None) -> Placer:
     """Build the placement engine described by ``spec`` for ``circuit``.
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 import atexit
 import os
 import threading
+import time
 import weakref
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -53,6 +54,12 @@ MIN_POOL_QUERIES = 4
 def _shutdown_executor(executor: ProcessPoolExecutor) -> None:
     """Finalizer target: tear an abandoned executor down without blocking."""
     executor.shutdown(wait=False, cancel_futures=True)
+
+
+def _prestart_nap(seconds: float) -> int:
+    """Pre-fork warm job: hold the worker busy so the next submit forks."""
+    time.sleep(seconds)
+    return os.getpid()
 
 
 #: Every pool with a live executor, so a crashed or signalled process can
@@ -136,12 +143,22 @@ class WorkerPool:
         self._min_pool_queries = min_pool_queries
         self._executor: Optional[ProcessPoolExecutor] = None
         self._finalizer: Optional[weakref.finalize] = None
+        #: Shard-affine slots: one single-process executor per pinned slot,
+        #: so every job pinned to slot *k* runs in the same OS process and
+        #: finds that process's placer/structure caches warm.
+        self._pinned: Dict[int, ProcessPoolExecutor] = {}
+        self._pinned_finalizers: Dict[int, weakref.finalize] = {}
         self._close_lock = threading.Lock()
+        #: Serializes lazy executor creation: concurrent dispatch threads
+        #: must not fork at the same time (and must not each build an
+        #: executor for the same slot, orphaning the loser's processes).
+        self._create_lock = threading.Lock()
         #: Cumulative pool counters (inline runs included).
         self._counters: Dict[str, float] = {
             "jobs": 0.0,
             "pool_jobs": 0.0,
             "inline_jobs": 0.0,
+            "pinned_jobs": 0.0,
             "batches": 0.0,
         }
 
@@ -164,24 +181,82 @@ class WorkerPool:
         return dict(self._counters)
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
-        if self._executor is None:
-            context = multiprocessing.get_context(self._start_method)
-            executor = ProcessPoolExecutor(
-                max_workers=self._workers, mp_context=context
+        with self._create_lock:
+            if self._executor is None:
+                context = multiprocessing.get_context(self._start_method)
+                executor = ProcessPoolExecutor(
+                    max_workers=self._workers, mp_context=context
+                )
+                # Publish the executor and its cleanup hooks together: if the
+                # finalizer registration itself failed we would rather not
+                # keep a half-wired executor on the instance.
+                try:
+                    self._finalizer = weakref.finalize(
+                        self, _shutdown_executor, executor
+                    )
+                    self._executor = executor
+                    _register_atexit_guard(self)
+                except BaseException:  # pragma: no cover - registration failure
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    self._executor = None
+                    self._finalizer = None
+                    raise
+            return self._executor
+
+    def _ensure_pinned(self, slot: int) -> ProcessPoolExecutor:
+        """The single-process executor bound to pinned ``slot`` (lazy)."""
+        if not 0 <= slot < self._workers:
+            raise ValueError(
+                f"pin slot {slot} out of range for {self._workers} workers"
             )
-            # Publish the executor and its cleanup hooks together: if the
-            # finalizer registration itself failed we would rather not
-            # keep a half-wired executor on the instance.
-            try:
-                self._finalizer = weakref.finalize(self, _shutdown_executor, executor)
-                self._executor = executor
-                _register_atexit_guard(self)
-            except BaseException:  # pragma: no cover - registration failure
-                executor.shutdown(wait=False, cancel_futures=True)
-                self._executor = None
-                self._finalizer = None
-                raise
-        return self._executor
+        with self._create_lock:
+            executor = self._pinned.get(slot)
+            if executor is None:
+                context = multiprocessing.get_context(self._start_method)
+                executor = ProcessPoolExecutor(max_workers=1, mp_context=context)
+                try:
+                    self._pinned_finalizers[slot] = weakref.finalize(
+                        self, _shutdown_executor, executor
+                    )
+                    self._pinned[slot] = executor
+                    _register_atexit_guard(self)
+                except BaseException:  # pragma: no cover - registration failure
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    self._pinned.pop(slot, None)
+                    self._pinned_finalizers.pop(slot, None)
+                    raise
+            return executor
+
+    def prestart(self, pin_slots: Sequence[int] = ()) -> None:
+        """Fork every worker process now, from a quiescent thread state.
+
+        A fork taken mid-traffic copies any lock a sibling thread holds
+        at that instant — import locks included — into the child *held*,
+        with no thread left to release it: the worker deadlocks on its
+        first lazy import.  Servers call this once at startup, before
+        request threads exist.  Worker-side modules are imported into the
+        parent first (forked children then find them in ``sys.modules``),
+        the fan-out pool and every pinned slot fork here, and dispatches
+        during traffic reuse the warm processes.
+        """
+        if self._workers <= 1:
+            return
+        from repro.api.registry import preload_builtin_factories
+
+        preload_builtin_factories()
+        executor = self._ensure_executor()
+        # submit() forks at most one worker per call and only while none
+        # sits idle; the naps keep already-forked workers busy so that N
+        # submissions really fork all N processes.
+        warm = [
+            executor.submit(_prestart_nap, 0.05) for _ in range(self._workers)
+        ]
+        warm.extend(
+            self._ensure_pinned(slot).submit(_prestart_nap, 0.0)
+            for slot in pin_slots
+        )
+        for future in warm:
+            future.result()
 
     def close(self, wait: bool = True) -> None:
         """Shut the pool down (idempotent; the pool restarts on next use).
@@ -194,12 +269,22 @@ class WorkerPool:
         with self._close_lock:
             executor, self._executor = self._executor, None
             finalizer, self._finalizer = self._finalizer, None
-        if executor is None:
+            pinned, self._pinned = dict(self._pinned), {}
+            pinned_finalizers, self._pinned_finalizers = (
+                dict(self._pinned_finalizers),
+                {},
+            )
+        if executor is None and not pinned:
             return
+        for slot_finalizer in pinned_finalizers.values():
+            slot_finalizer.detach()
         if finalizer is not None:
             finalizer.detach()
         _LIVE_POOLS.discard(self)
-        executor.shutdown(wait=wait, cancel_futures=not wait)
+        for slot_executor in pinned.values():
+            slot_executor.shutdown(wait=wait, cancel_futures=not wait)
+        if executor is not None:
+            executor.shutdown(wait=wait, cancel_futures=not wait)
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -214,20 +299,34 @@ class WorkerPool:
         self,
         jobs: Sequence[Any],
         runner: Callable[[Any], JobResult],
+        pin_slot: Optional[int] = None,
     ) -> List[JobResult]:
         """Run ``jobs`` through ``runner`` and return results sorted by job id.
 
         Uses the pool when it can pay for itself (more than one job and
-        more than one worker), otherwise runs inline.
+        more than one worker), otherwise runs inline.  With ``pin_slot``
+        every job runs in that slot's dedicated worker process — even a
+        single job, because the point of pinning is *which* process does
+        the work (warm shard caches), not fan-out.  A one-worker pool
+        ignores pinning: the calling process already owns everything.
         """
         self._counters["jobs"] += len(jobs)
-        inline = self._workers <= 1 or len(jobs) <= 1
+        pinned = pin_slot is not None and self._workers > 1
+        inline = not pinned and (self._workers <= 1 or len(jobs) <= 1)
         with span(
-            "pool.dispatch", jobs=len(jobs), workers=self._workers, inline=inline
+            "pool.dispatch",
+            jobs=len(jobs),
+            workers=self._workers,
+            inline=inline,
+            pin_slot=pin_slot if pinned else None,
         ):
             if inline:
                 self._counters["inline_jobs"] += len(jobs)
                 results = [runner(job) for job in jobs]
+            elif pinned:
+                self._counters["pinned_jobs"] += len(jobs)
+                executor = self._ensure_pinned(pin_slot)  # type: ignore[arg-type]
+                results = list(executor.map(runner, jobs))
             else:
                 self._counters["pool_jobs"] += len(jobs)
                 executor = self._ensure_executor()
@@ -241,7 +340,12 @@ class WorkerPool:
         if _obs_enabled():
             metrics = _obs_metrics()
             metrics.inc("pool.jobs", len(jobs))
-            metrics.inc("pool.inline_jobs" if inline else "pool.pool_jobs", len(jobs))
+            if inline:
+                metrics.inc("pool.inline_jobs", len(jobs))
+            elif pinned:
+                metrics.inc("pool.pinned_jobs", len(jobs))
+            else:
+                metrics.inc("pool.pool_jobs", len(jobs))
         return sorted(results, key=lambda result: result.job_id)
 
     def place_batch(
@@ -251,13 +355,17 @@ class WorkerPool:
         queries: Sequence[Sequence[Dims]],
         per_query_seeds: Optional[Sequence[int]] = None,
         dedup: bool = True,
+        pin_slot: Optional[int] = None,
     ) -> Tuple[List[Placement], Dict[str, float]]:
         """Answer a placement batch: dedup, shard, fan out, reassemble.
 
         Returns ``(placements, merged_stats)`` where ``placements`` is in
         input order (duplicates share one result object) and
         ``merged_stats`` sums the per-worker ``stats()`` counter deltas
-        plus pool-level ``pool_*`` counters.
+        plus pool-level ``pool_*`` counters.  With ``pin_slot`` the whole
+        batch runs as one job in that slot's dedicated worker process
+        (shard-affine dispatch): one IPC round trip, warm caches, no
+        barrier across workers that don't own the shard.
         """
         self._counters["batches"] += 1
         if _obs_enabled():
@@ -277,12 +385,12 @@ class WorkerPool:
             positions = {}
 
         num_jobs = self._workers
-        if len(order) < max(self._min_pool_queries, 2):
+        if pin_slot is not None or len(order) < max(self._min_pool_queries, 2):
             num_jobs = 1
         jobs = make_placement_jobs(
             circuit_data, spec, order, num_jobs, per_query_seeds=per_query_seeds
         )
-        job_results = self.run_jobs(jobs, run_placement_job)
+        job_results = self.run_jobs(jobs, run_placement_job, pin_slot=pin_slot)
 
         unique_results: List[Placement] = []
         merged: Dict[str, float] = {}
@@ -296,6 +404,8 @@ class WorkerPool:
         merged["pool_worker_processes"] = float(
             len({result.worker_pid for result in job_results})
         )
+        if pin_slot is not None:
+            merged["pool_pinned_slot"] = float(pin_slot)
 
         if positions:
             results: List[Optional[Placement]] = [None] * len(frozen)

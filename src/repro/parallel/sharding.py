@@ -24,10 +24,12 @@ sharded root from a flat one and hand back the right flavor.
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import json
 import os
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 try:  # POSIX advisory locks; Windows degrades to lock-free (flat semantics).
     import fcntl
@@ -176,7 +178,7 @@ class ShardedStructureRegistry:
     _normalize = staticmethod(StructureRegistry._normalize)
 
     def __len__(self) -> int:
-        return sum(len(self._open_shard(name)) for name in self.shard_names())
+        return sum(len(self._fresh_shard(name)) for name in self.shard_names())
 
     def _open_shard(self, name: str) -> StructureRegistry:
         shard = self._shards.get(name)
@@ -185,18 +187,31 @@ class ShardedStructureRegistry:
             self._shards[name] = shard
         return shard
 
+    def _fresh_shard(self, name: str) -> StructureRegistry:
+        """The shard with its index re-read when we had it cached.
+
+        Aggregate views (``__len__`` / ``keys`` / ``entries``) must see
+        what sibling processes have written since our last read; a shard
+        opened for the first time already reads the on-disk index.
+        """
+        shard = self._shards.get(name)
+        if shard is None:
+            return self._open_shard(name)
+        shard.reload()
+        return shard
+
     def keys(self) -> List[str]:
         """All registry keys across every shard, sorted."""
         keys: List[str] = []
         for name in self.shard_names():
-            keys.extend(self._open_shard(name).keys())
+            keys.extend(self._fresh_shard(name).keys())
         return sorted(keys)
 
     def entries(self) -> List[RegistryEntry]:
         """All index entries across every shard, sorted by key."""
         entries: List[RegistryEntry] = []
         for name in self.shard_names():
-            entries.extend(self._open_shard(name).entries())
+            entries.extend(self._fresh_shard(name).entries())
         return sorted(entries, key=lambda entry: entry.key)
 
     def entry(self, key: str) -> Optional[RegistryEntry]:
@@ -334,6 +349,57 @@ class ShardedStructureRegistry:
             f"ShardedStructureRegistry(root={str(self._root)!r}, "
             f"shard_chars={self._shard_chars}, shards={len(self.shard_names())})"
         )
+
+
+@dataclass(frozen=True)
+class ShardOwnerMap:
+    """Deterministic shard-prefix → worker-slot assignment.
+
+    The serving daemon pins each registry shard to one worker process so
+    that a shard's structure files and in-process caches stay warm in a
+    single place.  Ownership is modular over the hex value of the shard
+    prefix: fingerprints are uniformly distributed, so shards spread
+    evenly over workers, and the assignment is a pure function of
+    ``(prefix, workers)`` — every process (and every restart) computes the
+    same map without coordination.  Rebalancing on a worker-count change
+    is wholesale, which is fine for single-node process pinning; a
+    multi-node deployment would swap this for consistent hashing.
+    """
+
+    workers: int
+    shard_chars: int = DEFAULT_SHARD_CHARS
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.shard_chars < 1:
+            raise ValueError("shard_chars must be at least 1")
+
+    def prefix_for(self, key: str) -> str:
+        """The shard prefix of a registry ``key``."""
+        return key[: self.shard_chars]
+
+    def owner_for(self, prefix: str) -> int:
+        """The worker slot owning shard ``prefix`` (``0 .. workers-1``)."""
+        try:
+            value = int(prefix, 16)
+        except ValueError:
+            # Registry keys are hex fingerprints, but stay total for any
+            # string so callers never need a fallback path of their own.
+            digest = hashlib.sha256(prefix.encode("utf-8")).digest()
+            value = int.from_bytes(digest[:8], "big")
+        return value % self.workers
+
+    def owner_for_key(self, key: str) -> int:
+        """The worker slot owning the shard of registry ``key``."""
+        return self.owner_for(self.prefix_for(key))
+
+    def assignments(self, keys: Sequence[str]) -> Dict[int, List[str]]:
+        """Group ``keys`` by owning worker slot (slots with no keys omitted)."""
+        grouped: Dict[int, List[str]] = {}
+        for key in keys:
+            grouped.setdefault(self.owner_for_key(key), []).append(key)
+        return grouped
 
 
 AnyRegistry = Union[StructureRegistry, ShardedStructureRegistry]

@@ -10,7 +10,11 @@ takes traffic:
   shapes, the error taxonomy (429 backpressure, 503 draining, 504
   deadline), and circuit resolution.
 * :mod:`repro.serve.batcher` — :class:`MicroBatcher`: concurrent requests
-  entering within a small window coalesce into one batched service call.
+  entering within a small window coalesce into one batched service call,
+  optionally split into per-shard sub-batches by a plan callback.
+* :mod:`repro.serve.affinity` — :class:`AffinityRouter`: shard-affine
+  dispatch, pinning each circuit's sub-batch to the worker slot that
+  owns its registry shard.
 * :mod:`repro.serve.admission` — the bounded inflight budget that sheds
   overload with 429 + ``Retry-After`` instead of queueing it.
 * :mod:`repro.serve.quotas` — per-tenant token buckets keyed by the
@@ -27,8 +31,9 @@ takes traffic:
 """
 
 from repro.serve.admission import AdmissionController, AdmissionTicket
+from repro.serve.affinity import AffinityDecision, AffinityRouter
 from repro.serve.batcher import MicroBatcher
-from repro.serve.harness import ServeClient, ServeResponse, ServerHarness
+from repro.serve.harness import ServeClient, ServeResponse, ServerHarness, StreamChunk
 from repro.serve.protocol import (
     BadRequest,
     DeadlineExceeded,
@@ -45,6 +50,8 @@ from repro.serve.server import PlacementServer, ServerConfig, run_server
 __all__ = [
     "AdmissionController",
     "AdmissionTicket",
+    "AffinityDecision",
+    "AffinityRouter",
     "BadRequest",
     "DeadlineExceeded",
     "MicroBatcher",
@@ -57,6 +64,7 @@ __all__ = [
     "ServerConfig",
     "ServerDraining",
     "ServerHarness",
+    "StreamChunk",
     "TenantQuotas",
     "TokenBucket",
     "mint_request_id",

@@ -78,6 +78,10 @@ class AdmissionController:
         self._max_inflight = max_inflight
         self._inflight = 0
         self._service_time_ewma = base_retry_after
+        # The EWMA starts as a synthetic hint, not an observation; blending
+        # the first real sample with it would skew Retry-After until enough
+        # samples wash the seed out.
+        self._ewma_observed = False
         self._metrics = metrics if metrics is not None else MetricsRegistry()
 
     @property
@@ -127,7 +131,15 @@ class AdmissionController:
         return AdmissionTicket(self, cost)
 
     def observe_service_time(self, seconds: float) -> None:
-        """Feed one request's service time into the Retry-After estimate."""
+        """Feed one request's service time into the Retry-After estimate.
+
+        The first observation *replaces* the synthetic ``base_retry_after``
+        seed; later ones blend in with :data:`EWMA_ALPHA`.
+        """
+        if not self._ewma_observed:
+            self._ewma_observed = True
+            self._service_time_ewma = seconds
+            return
         self._service_time_ewma += EWMA_ALPHA * (seconds - self._service_time_ewma)
 
     def _release(self, cost: int) -> None:

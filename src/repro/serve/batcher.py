@@ -21,6 +21,14 @@ Semantics the tests pin down:
   queued are failed with :class:`~repro.serve.protocol.DeadlineExceeded`
   *before* dispatch, and items whose futures were cancelled are silently
   dropped; neither consumes dispatch work.
+* **Complete drain** — ``flush()`` and ``close()`` loop until the pending
+  list is empty (an overflow backlog flushes as several batches), and a
+  closed batcher never re-arms a coalesce window: every submitted future
+  resolves before ``close()`` returns.
+* **Sub-batch plans** — with a ``plan``, a dispatched batch splits into
+  per-shard groups that dispatch concurrently; each group's futures
+  resolve as that group lands and a failing group fails only its own
+  items.
 """
 
 from __future__ import annotations
@@ -28,13 +36,18 @@ from __future__ import annotations
 import asyncio
 import itertools
 from dataclasses import dataclass
-from typing import Any, Awaitable, Callable, Dict, List, Optional, Sequence
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.protocol import DeadlineExceeded
 
 #: Dispatch callable: a list of coalesced items to one awaited result list.
 DispatchFn = Callable[[List[Any]], Awaitable[Sequence[Any]]]
+
+#: Sub-batch planner: the coalesced items to ``(label, indices)`` groups.
+#: Labels are opaque (the server uses shard prefixes); indices refer to the
+#: dispatched item list and should partition it.
+PlanFn = Callable[[List[Any]], Sequence[Tuple[Optional[str], Sequence[int]]]]
 
 
 @dataclass
@@ -66,6 +79,14 @@ class MicroBatcher:
     metrics:
         Registry receiving the batcher's counters and histograms
         (defaults to a private one; the server passes its own).
+    plan:
+        Optional sub-batch planner.  When a dispatched batch splits into
+        more than one ``(label, indices)`` group, each group dispatches as
+        its own concurrent sub-batch: a group's futures resolve as soon as
+        *that group's* dispatch lands (streamed partial results), and a
+        failing group fails only its own items.  Indices the plan misses
+        form a trailing unlabeled group, so a buggy plan degrades to an
+        extra sub-batch rather than stranded futures.
     """
 
     def __init__(
@@ -75,12 +96,14 @@ class MicroBatcher:
         max_batch: int = 64,
         name: str = "default",
         metrics: Optional[MetricsRegistry] = None,
+        plan: Optional[PlanFn] = None,
     ) -> None:
         if window_seconds < 0:
             raise ValueError("window_seconds must be non-negative")
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         self._dispatch = dispatch
+        self._plan = plan
         self._window = window_seconds
         self._max_batch = max_batch
         self._name = name
@@ -157,8 +180,13 @@ class MicroBatcher:
         return await pending.future
 
     async def flush(self) -> None:
-        """Dispatch whatever is pending immediately (drain helper)."""
-        if self._pending:
+        """Dispatch whatever is pending immediately (drain helper).
+
+        Loops until the pending list is empty: an overflow backlog of more
+        than ``max_batch`` items flushes as several batches rather than
+        leaving a remainder behind a fresh window.
+        """
+        while self._pending:
             self._flush_now(reason="flush")
         await self._drain_dispatches()
 
@@ -168,7 +196,10 @@ class MicroBatcher:
         if self._window_task is not None:
             self._window_task.cancel()
             self._window_task = None
-        if self._pending:
+        # Loop: one _flush_now claims at most max_batch items, and a
+        # closed batcher must not re-arm a window for the remainder — a
+        # timer firing after close() returns would strand its futures.
+        while self._pending:
             self._flush_now(reason="close")
         await self._drain_dispatches()
 
@@ -206,11 +237,14 @@ class MicroBatcher:
         self._metrics.set_gauge(self._metric("queue_depth"), len(self._pending))
         if self._pending:
             # Overflow split: the remainder starts a fresh window rather
-            # than waiting behind the full batch being dispatched.
+            # than waiting behind the full batch being dispatched.  Once
+            # closed there is no next window — close()/flush() loop until
+            # the remainder is claimed instead.
             self._metrics.inc(self._metric("overflow_splits"))
-            self._window_task = asyncio.get_running_loop().create_task(
-                self._window_flush()
-            )
+            if not self._closed:
+                self._window_task = asyncio.get_running_loop().create_task(
+                    self._window_flush()
+                )
         if not batch:
             self._metrics.inc(self._metric("empty_flushes"))
             return
@@ -262,23 +296,72 @@ class MicroBatcher:
                 self._metric("window_utilization"),
                 min((now - oldest) / self._window, 1.0),
             )
+        groups = self._plan_groups(live)
+        if groups is None:
+            await self._dispatch_group(live)
+            return
+        # Shard-affine split: each group dispatches concurrently, and a
+        # group's futures resolve the moment its own dispatch lands — a
+        # fast shard's callers never wait for the slowest shard.
+        self._metrics.inc(self._metric("subbatch_splits"))
+        self._metrics.inc(self._metric("subbatches"), len(groups))
+        await asyncio.gather(
+            *(self._dispatch_group(members) for _label, members in groups)
+        )
+
+    def _plan_groups(
+        self, live: List[_Pending]
+    ) -> Optional[List[Tuple[Optional[str], List[_Pending]]]]:
+        """Split ``live`` into sub-batch groups, or ``None`` for one dispatch.
+
+        Defensive by construction: out-of-range or duplicate indices are
+        ignored, indices the plan never mentions collect into a trailing
+        unlabeled group, and a raising plan falls back to a single batch —
+        a bad plan may cost affinity, never a stranded future.
+        """
+        if self._plan is None or len(live) <= 1:
+            return None
         try:
-            results = await self._dispatch([pending.item for pending in live])
+            planned = self._plan([pending.item for pending in live])
+        except Exception:  # noqa: BLE001 - planning is best-effort
+            self._metrics.inc(self._metric("plan_errors"))
+            return None
+        groups: List[Tuple[Optional[str], List[_Pending]]] = []
+        seen: set[int] = set()
+        for label, indices in planned:
+            members: List[_Pending] = []
+            for index in indices:
+                if 0 <= index < len(live) and index not in seen:
+                    seen.add(index)
+                    members.append(live[index])
+            if members:
+                groups.append((label, members))
+        leftover = [live[i] for i in range(len(live)) if i not in seen]
+        if leftover:
+            groups.append((None, leftover))
+        if len(groups) <= 1:
+            return None
+        return groups
+
+    async def _dispatch_group(self, group: List[_Pending]) -> None:
+        """Dispatch one (sub-)batch and resolve exactly its futures."""
+        try:
+            results = await self._dispatch([pending.item for pending in group])
         except Exception as exc:  # noqa: BLE001 - failures propagate per item
             self._metrics.inc(self._metric("failed_batches"))
-            for pending in live:
+            for pending in group:
                 if not pending.future.done():
                     pending.future.set_exception(exc)
             return
-        if len(results) != len(live):
+        if len(results) != len(group):
             mismatch = RuntimeError(
-                f"batch dispatch returned {len(results)} results for {len(live)} items"
+                f"batch dispatch returned {len(results)} results for {len(group)} items"
             )
-            for pending in live:
+            for pending in group:
                 if not pending.future.done():
                     pending.future.set_exception(mismatch)
             return
-        for pending, result in zip(live, results):
+        for pending, result in zip(group, results):
             if not pending.future.done():
                 pending.future.set_result(result)
 

@@ -58,6 +58,12 @@ def build_parser() -> argparse.ArgumentParser:
         "needs --registry)",
     )
     parser.add_argument(
+        "--no-affinity",
+        action="store_true",
+        help="disable shard-affinity routing: batches fan out shard-blind "
+        "instead of pinning each shard's sub-batch to its owner worker",
+    )
+    parser.add_argument(
         "--window-ms",
         type=float,
         default=4.0,
@@ -184,6 +190,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
         ),
         service_workers=args.workers,
+        affinity=not args.no_affinity,
         executor_threads=args.threads,
         slo_availability_target=args.slo_availability,
         slo_latency_threshold_seconds=args.slo_latency_ms / 1000.0,

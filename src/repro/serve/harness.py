@@ -16,8 +16,9 @@ import asyncio
 import http.client
 import json
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from repro.serve.protocol import (
     DEADLINE_HEADER,
@@ -52,6 +53,30 @@ class ServeResponse:
     def request_id(self) -> Optional[str]:
         """The server-stamped ``X-Request-Id``, for trace correlation."""
         return self.headers.get("x-request-id")
+
+
+@dataclass
+class StreamChunk:
+    """One streamed ``/place_batch`` chunk and when the client saw it.
+
+    ``arrived_seconds`` is measured from just before the request was
+    written, so chunk timestamps are directly comparable: a fast shard's
+    chunk landing well before a slow shard's proves partial results
+    really stream.
+    """
+
+    payload: Dict[str, Any]
+    arrived_seconds: float
+
+    @property
+    def done(self) -> bool:
+        """True for the trailing summary chunk."""
+        return bool(self.payload.get("done"))
+
+    @property
+    def shard(self) -> Optional[str]:
+        """The shard prefix this chunk's results belong to."""
+        return self.payload.get("shard")
 
 
 class ServeClient:
@@ -177,6 +202,97 @@ class ServeClient:
             },
             deadline_ms=deadline_ms,
         )
+
+    def place_queries(
+        self,
+        queries: Sequence[Dict[str, Any]],
+        deadline_ms: Optional[float] = None,
+    ) -> ServeResponse:
+        """POST ``/place_batch`` in the mixed-circuit ``queries`` form.
+
+        Each query is ``{"circuit": ..., "dims": [[w, h], ...]}``; the
+        server groups them by shard before fan-out and reports per-shard
+        timings in the response's ``shards`` list.
+        """
+        return self.request(
+            "POST",
+            "/place_batch",
+            {"queries": list(queries)},
+            deadline_ms=deadline_ms,
+        )
+
+    def place_batch_stream(
+        self,
+        queries: Sequence[Dict[str, Any]],
+        deadline_ms: Optional[float] = None,
+    ) -> List[StreamChunk]:
+        """POST ``/place_batch`` with ``stream=true``; collect all chunks.
+
+        Convenience over :meth:`iter_place_batch_stream` for callers that
+        want the full chunk list (with arrival times) rather than
+        incremental consumption.
+        """
+        return list(self.iter_place_batch_stream(queries, deadline_ms=deadline_ms))
+
+    def iter_place_batch_stream(
+        self,
+        queries: Sequence[Dict[str, Any]],
+        deadline_ms: Optional[float] = None,
+    ) -> Iterator[StreamChunk]:
+        """Stream ``/place_batch`` results, yielding chunks as they land.
+
+        The server answers with chunked ndjson: one JSON line per shard
+        sub-batch as it completes, then a ``{"done": true}`` summary.
+        ``http.client`` decodes the chunked framing transparently, so each
+        ``readline()`` returns exactly one shard's payload the moment the
+        server flushes it.  Non-200 responses yield a single synthetic
+        chunk carrying the error payload.
+        """
+        body = json.dumps({"queries": list(queries), "stream": True}).encode("utf-8")
+        headers: Dict[str, str] = {"Content-Type": "application/json"}
+        if self._tenant is not None:
+            headers[TENANT_HEADER] = self._tenant
+        if deadline_ms is not None:
+            headers[DEADLINE_HEADER] = str(deadline_ms)
+        started = time.monotonic()
+        for attempt in (1, 2):
+            connection = self._connect()
+            try:
+                connection.request("POST", "/place_batch", body=body, headers=headers)
+                raw = connection.getresponse()
+                break
+            except (http.client.RemoteDisconnected, OSError):
+                self.close()
+                if attempt == 2:
+                    raise
+        if raw.status != 200:
+            data = raw.read()
+            try:
+                payload = json.loads(data) if data else {}
+            except ValueError:
+                payload = {"error": data.decode("utf-8", errors="replace")}
+            payload.setdefault("status", raw.status)
+            yield StreamChunk(
+                payload=payload, arrived_seconds=time.monotonic() - started
+            )
+            return
+        while True:
+            line = raw.readline()
+            if not line:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            chunk = StreamChunk(
+                payload=json.loads(line),
+                arrived_seconds=time.monotonic() - started,
+            )
+            yield chunk
+            if chunk.done:
+                break
+        # Drain any trailing bytes so the keep-alive connection stays
+        # usable for the next request.
+        raw.read()
 
     def route(
         self,

@@ -12,6 +12,8 @@ path                 verb  payload
 ===================  ====  ===================================================
 ``/place``           POST  ``{"circuit": <name|netlist>, "dims": [[w,h],..]}``
 ``/place_batch``     POST  ``{"circuit": ..., "dims_batch": [[[w,h],..],..]}``
+                           or ``{"queries": [{"circuit":..,"dims":..},..]}``;
+                           ``"stream": true`` flushes per-shard chunks
 ``/route``           POST  ``{"circuit": ..., "dims": [[w,h],..]}``
 ``/healthz``         GET   —
 ``/metrics``         GET   — (Prometheus text exposition)
@@ -267,6 +269,40 @@ def error_response(error: ServeError, close: bool = False) -> bytes:
     return json_response(error.status, error.payload(), extra_headers=headers, close=close)
 
 
+#: Final frame of a chunked-transfer stream (zero-length chunk).
+STREAM_TERMINATOR = b"0\r\n\r\n"
+
+
+def stream_response_head(
+    status: int = 200,
+    content_type: str = "application/x-ndjson",
+    extra_headers: Optional[Mapping[str, str]] = None,
+    close: bool = False,
+) -> bytes:
+    """The header block of a chunked-transfer response (no body yet).
+
+    Streamed ``/place_batch`` responses flush one JSON line per shard
+    sub-batch as it lands; chunked transfer encoding is self-delimiting,
+    so keep-alive connections survive a streamed response.
+    """
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        "Transfer-Encoding: chunked",
+        f"Connection: {'close' if close else 'keep-alive'}",
+    ]
+    if extra_headers:
+        lines.extend(f"{name}: {value}" for name, value in extra_headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+
+
+def encode_chunk(payload: Mapping[str, Any]) -> bytes:
+    """One JSON line framed as an HTTP chunk."""
+    data = json.dumps(payload, sort_keys=True, default=str).encode("utf-8") + b"\n"
+    return f"{len(data):x}\r\n".encode("ascii") + data + b"\r\n"
+
+
 def with_header(response: bytes, name: str, value: str) -> bytes:
     """Splice one header into already-rendered response bytes.
 
@@ -377,6 +413,37 @@ def parse_dims_batch(raw: Any, num_blocks: int) -> List[Tuple[Dims, ...]]:
         parse_dims(entry, num_blocks, field_name=f"dims_batch[{index}]")
         for index, entry in enumerate(raw)
     ]
+
+
+def parse_queries(
+    raw: Any, resolver: CircuitResolver
+) -> List[Tuple[Any, Tuple[Dims, ...]]]:
+    """Validate a mixed-circuit batch: ``[{"circuit": ..., "dims": ...}, ...]``.
+
+    Each entry resolves its own circuit (names and serialized netlists are
+    cached by the resolver, so repeated entries share one object), which
+    is what lets one ``/place_batch`` call span shards.
+    """
+    if not isinstance(raw, Sequence) or isinstance(raw, (str, bytes)):
+        raise BadRequest("'queries' must be a list of {circuit, dims} objects")
+    if not raw:
+        raise BadRequest("'queries' must not be empty")
+    queries: List[Tuple[Any, Tuple[Dims, ...]]] = []
+    for index, entry in enumerate(raw):
+        if not isinstance(entry, Mapping):
+            raise BadRequest(f"'queries[{index}]' must be a {{circuit, dims}} object")
+        circuit = resolver.resolve(entry)
+        queries.append(
+            (
+                circuit,
+                parse_dims(
+                    entry.get("dims"),
+                    circuit.num_blocks,
+                    field_name=f"queries[{index}].dims",
+                ),
+            )
+        )
+    return queries
 
 
 def placement_payload(placement: Placement) -> Dict[str, Any]:

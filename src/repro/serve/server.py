@@ -46,8 +46,10 @@ from repro.obs.spans import (
     span_context,
 )
 from repro.serve.admission import AdmissionController, AdmissionTicket
+from repro.serve.affinity import AffinityDecision, AffinityRouter
 from repro.serve.batcher import MicroBatcher
 from repro.serve.protocol import (
+    STREAM_TERMINATOR,
     BadRequest,
     CircuitResolver,
     HttpRequest,
@@ -56,14 +58,17 @@ from repro.serve.protocol import (
     PayloadTooLarge,
     ServeError,
     ServerDraining,
+    encode_chunk,
     error_response,
     json_response,
     mint_request_id,
     parse_dims,
     parse_dims_batch,
+    parse_queries,
     placement_payload,
     render_response,
     routed_payload,
+    stream_response_head,
     with_header,
 )
 from repro.service.engine import PlacementService
@@ -99,6 +104,10 @@ class ServerConfig:
     default_deadline_seconds: Optional[float] = None
     #: Process fan-out forwarded to ``instantiate_batch(workers=...)``.
     service_workers: Optional[int] = None
+    #: Shard-affine dispatch: pin each circuit's batches to the worker
+    #: process owning its registry shard (needs ``service_workers > 1``
+    #: and a registry-backed service; inert otherwise).
+    affinity: bool = True
     #: Threads running the blocking service calls off the event loop.
     executor_threads: int = 4
     #: Largest accepted request body.
@@ -156,6 +165,10 @@ class _HandlerResult:
     batch_id: Optional[str] = None
     #: Admitted query cost, for the access log.
     cost: int = 0
+    #: Chunked-transfer body: an async iterator of pre-framed chunks the
+    #: connection loop writes after ``response`` (the header block).  The
+    #: ticket is released only once the stream is fully written.
+    stream: Optional[Any] = None
 
 
 class _BatchItem:
@@ -164,18 +177,32 @@ class _BatchItem:
     The batcher treats items opaquely but duck-calls :meth:`on_batch` when
     the item's batch dispatches, which is how the request learns the batch
     id it rode (for its access-log line) and how the dispatch span learns
-    which request traces to link.
+    which request traces to link.  ``circuit`` and ``shard`` (the affinity
+    prefix, stamped at submit time) let the shared batcher split a mixed
+    coalesced batch into per-shard sub-batches.
     """
 
-    __slots__ = ("dims", "trace", "request_id", "batch_id", "batch_size")
+    __slots__ = (
+        "circuit",
+        "dims",
+        "shard",
+        "trace",
+        "request_id",
+        "batch_id",
+        "batch_size",
+    )
 
     def __init__(
         self,
         dims: Any,
         trace: Optional[Tuple[str, str]] = None,
         request_id: Optional[str] = None,
+        circuit: Any = None,
+        shard: Optional[str] = None,
     ) -> None:
+        self.circuit = circuit
         self.dims = dims
+        self.shard = shard
         self.trace = trace
         self.request_id = request_id
         self.batch_id: Optional[str] = None
@@ -220,9 +247,23 @@ class PlacementServer:
             metrics=self._metrics,
         )
         self._resolver = CircuitResolver()
-        #: id(circuit) -> (circuit, batcher); the strong circuit reference
-        #: keeps the id stable for the entry's lifetime.
-        self._batchers: Dict[int, Tuple[Any, MicroBatcher]] = {}
+        self._affinity = AffinityRouter(
+            service,
+            workers=self._config.service_workers,
+            metrics=self._metrics,
+            enabled=self._config.affinity,
+        )
+        #: One shared ``/place`` batcher for every circuit: concurrent
+        #: requests coalesce across circuits, and the affinity plan splits
+        #: the coalesced batch back into per-shard sub-batches at dispatch.
+        self._batcher = MicroBatcher(
+            dispatch=self._dispatch_batch,
+            window_seconds=self._config.window_seconds,
+            max_batch=self._config.max_batch,
+            name="place",
+            metrics=self._metrics,
+            plan=self._affinity.subbatch_plan,
+        )
         self._executor: Optional[ThreadPoolExecutor] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: "set[asyncio.Task[None]]" = set()
@@ -294,6 +335,14 @@ class PlacementServer:
         """Bind the listener and start accepting connections."""
         if self._server is not None:
             raise RuntimeError("server is already started")
+        # Pre-fork the service's worker processes while this is still the
+        # only active thread: a fork taken once dispatch threads are
+        # serving can inherit a sibling's held import lock and deadlock
+        # the child worker on its first lazy import.
+        workers = self._config.service_workers
+        if workers is not None and workers > 1:
+            pin_slots = range(workers) if self._affinity.active else ()
+            self._service.prestart_pool(workers, pin_slots=pin_slots)
         self._executor = ThreadPoolExecutor(
             max_workers=self._config.executor_threads,
             thread_name_prefix="serve-dispatch",
@@ -360,8 +409,7 @@ class PlacementServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        for _, batcher in list(self._batchers.values()):
-            await batcher.flush()
+        await self._batcher.flush()
         loop = asyncio.get_running_loop()
         deadline = loop.time() + self._config.drain_timeout_seconds
         while not self._admission.idle and loop.time() < deadline:
@@ -371,8 +419,7 @@ class PlacementServer:
                 "drain: %d inflight queries still pending at timeout",
                 self._admission.inflight,
             )
-        for _, batcher in list(self._batchers.values()):
-            await batcher.close()
+        await self._batcher.close()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
@@ -451,6 +498,14 @@ class PlacementServer:
             try:
                 writer.write(result.response)
                 await writer.drain()
+                if result.stream is not None:
+                    # Chunked body: flush each shard sub-batch the moment
+                    # it lands, then the zero-length terminator chunk.
+                    async for chunk in result.stream:
+                        writer.write(chunk)
+                        await writer.drain()
+                    writer.write(STREAM_TERMINATOR)
+                    await writer.drain()
             finally:
                 if result.ticket is not None:
                     # Released only after the response bytes are flushed:
@@ -588,12 +643,11 @@ class PlacementServer:
     # ------------------------------------------------------------------ #
     def _handle_healthz(self) -> _HandlerResult:
         loop = asyncio.get_running_loop()
-        queued = sum(batcher.queued for _, batcher in self._batchers.values())
         payload = {
             "status": "draining" if self._draining else "ok",
             "inflight": self._admission.inflight,
-            "queued": queued,
-            "batchers": len(self._batchers),
+            "queued": self._batcher.queued,
+            "batchers": 1,
             "uptime_seconds": (
                 round(loop.time() - self._started_at, 3)
                 if self._started_at is not None
@@ -637,10 +691,18 @@ class PlacementServer:
         circuit = self._resolver.resolve(payload)
         dims = parse_dims(payload.get("dims"), circuit.num_blocks)
         ticket = self._admit(request, 1)
-        item = _BatchItem(dims, trace=span_context(obs_span), request_id=request_id)
+        decision = self._affinity.route(circuit)
+        item = _BatchItem(
+            dims,
+            trace=span_context(obs_span),
+            request_id=request_id,
+            circuit=circuit,
+            shard=decision.shard,
+        )
         try:
-            batcher = self._batcher_for(circuit)
-            placement = await batcher.submit(item, deadline=self._deadline_for(request))
+            placement = await self._batcher.submit(
+                item, deadline=self._deadline_for(request)
+            )
         except BaseException:
             ticket.release()
             raise
@@ -656,37 +718,183 @@ class PlacementServer:
     async def _handle_place_batch(
         self, request: HttpRequest, obs_span: Any, request_id: str
     ) -> _HandlerResult:
+        """A whole batch in one call, split by shard owner before fan-out.
+
+        Two payload shapes: the single-circuit ``dims_batch`` form and the
+        mixed-circuit ``queries`` form.  Either way the batch groups by
+        circuit (one shard sub-batch each), every sub-batch dispatches
+        concurrently to its shard owner, and with ``"stream": true`` the
+        response flushes one chunk per sub-batch *as it lands* — callers
+        see the fast shards' placements while the slow shard still runs.
+        """
         payload = request.json()
-        circuit = self._resolver.resolve(payload)
-        dims_batch = parse_dims_batch(payload.get("dims_batch"), circuit.num_blocks)
-        ticket = self._admit(request, len(dims_batch))
+        stream = bool(payload.get("stream"))
+        raw_queries = payload.get("queries")
+        if raw_queries is not None:
+            if payload.get("dims_batch") is not None:
+                raise BadRequest("pass either 'dims_batch' or 'queries', not both")
+            queries = parse_queries(raw_queries, self._resolver)
+        else:
+            circuit = self._resolver.resolve(payload)
+            dims_batch = parse_dims_batch(payload.get("dims_batch"), circuit.num_blocks)
+            queries = [(circuit, dims) for dims in dims_batch]
+        ticket = self._admit(request, len(queries))
         try:
+            groups = self._group_queries(queries)
+            obs_span.set(queries=len(queries), shards=len(groups), stream=stream)
             loop = asyncio.get_running_loop()
-            batch = await loop.run_in_executor(
-                self._require_executor(),
-                partial(
-                    self._anchored_call,
-                    span_context(obs_span),
+            trace = span_context(obs_span)
+            started = loop.time()
+            tasks = [
+                loop.run_in_executor(
+                    self._require_executor(),
                     partial(
-                        self._service.instantiate_batch,
-                        circuit,
-                        dims_batch,
-                        workers=self._config.service_workers,
+                        self._anchored_call,
+                        trace,
+                        partial(
+                            self._dispatch_shard_blocking,
+                            group_circuit,
+                            decision,
+                            [queries[i][1] for i in indices],
+                        ),
                     ),
-                ),
-            )
+                )
+                for group_circuit, decision, indices in groups
+            ]
         except BaseException:
             ticket.release()
             raise
+        if stream:
+            return _HandlerResult(
+                response=stream_response_head(200),
+                ticket=ticket,
+                cost=len(queries),
+                stream=self._stream_shard_chunks(groups, tasks, started),
+            )
+        try:
+            batches = await asyncio.gather(*tasks)
+        except BaseException:
+            ticket.release()
+            raise
+        results: List[Any] = [None] * len(queries)
+        shards = []
+        unique = duplicates = 0
+        for (group_circuit, decision, indices), batch in zip(groups, batches):
+            for index, placement in zip(indices, batch.results):
+                results[index] = placement
+            unique += batch.unique_queries
+            duplicates += batch.duplicate_queries
+            shards.append(
+                {
+                    "shard": decision.shard,
+                    "slot": decision.slot,
+                    "circuit": group_circuit.name,
+                    "queries": len(indices),
+                    "elapsed_seconds": round(batch.elapsed_seconds, 6),
+                }
+            )
         body = {
-            "results": [placement_payload(placement) for placement in batch.results],
-            "unique_queries": batch.unique_queries,
-            "duplicate_queries": batch.duplicate_queries,
-            "elapsed_seconds": round(batch.elapsed_seconds, 6),
+            "results": [placement_payload(placement) for placement in results],
+            "unique_queries": unique,
+            "duplicate_queries": duplicates,
+            "elapsed_seconds": round(loop.time() - started, 6),
         }
+        if raw_queries is not None or len(groups) > 1:
+            body["shards"] = shards
         return _HandlerResult(
-            response=json_response(200, body), ticket=ticket, cost=len(dims_batch)
+            response=json_response(200, body), ticket=ticket, cost=len(queries)
         )
+
+    def _group_queries(
+        self, queries: List[Tuple[Any, Any]]
+    ) -> List[Tuple[Any, AffinityDecision, List[int]]]:
+        """Group (circuit, dims) queries into per-circuit shard sub-batches."""
+        order: List[int] = []
+        grouped: Dict[int, List[int]] = {}
+        circuits: Dict[int, Any] = {}
+        for index, (circuit, _dims) in enumerate(queries):
+            circuit_id = id(circuit)
+            if circuit_id not in grouped:
+                grouped[circuit_id] = []
+                circuits[circuit_id] = circuit
+                order.append(circuit_id)
+            grouped[circuit_id].append(index)
+        return [
+            (
+                circuits[circuit_id],
+                self._affinity.route(circuits[circuit_id]),
+                grouped[circuit_id],
+            )
+            for circuit_id in order
+        ]
+
+    async def _stream_shard_chunks(self, groups, tasks, started):
+        """Yield one pre-framed chunk per shard sub-batch, completion order.
+
+        A failing sub-batch yields an error chunk for *its* indices only;
+        the other shards' results still stream.  The trailing summary
+        chunk tells the client the stream is complete (on top of the
+        chunked-transfer terminator).
+        """
+        loop = asyncio.get_running_loop()
+        pending = {
+            asyncio.ensure_future(task): group for task, group in zip(tasks, groups)
+        }
+        failed = 0
+        while pending:
+            done, _ = await asyncio.wait(
+                pending.keys(), return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in done:
+                group_circuit, decision, indices = pending.pop(task)
+                chunk: Dict[str, Any] = {
+                    "shard": decision.shard,
+                    "slot": decision.slot,
+                    "circuit": group_circuit.name,
+                    "indices": list(indices),
+                }
+                try:
+                    batch = task.result()
+                except Exception as exc:  # noqa: BLE001 - per-shard isolation
+                    failed += 1
+                    chunk["error"] = f"{type(exc).__name__}: {exc}"
+                else:
+                    chunk["results"] = [
+                        placement_payload(placement) for placement in batch.results
+                    ]
+                    chunk["elapsed_seconds"] = round(batch.elapsed_seconds, 6)
+                yield encode_chunk(chunk)
+        yield encode_chunk(
+            {
+                "done": True,
+                "shards": len(groups),
+                "failed": failed,
+                "elapsed_seconds": round(loop.time() - started, 6),
+            }
+        )
+
+    def _dispatch_shard_blocking(
+        self, circuit: Any, decision: AffinityDecision, dims_list: List[Any]
+    ) -> Any:
+        """One shard sub-batch on an executor thread, pinned to its owner."""
+        attrs: Dict[str, Any] = {
+            "circuit": circuit.name,
+            "queries": len(dims_list),
+            "shard": decision.shard,
+        }
+        if decision.pinned:
+            attrs["slot"] = decision.slot
+        with span("serve.shard_dispatch", **attrs):
+            dispatch_started = time.monotonic()
+            try:
+                return self._service.instantiate_batch(
+                    circuit,
+                    dims_list,
+                    workers=self._config.service_workers,
+                    pin_slot=decision.slot,
+                )
+            finally:
+                self._affinity.record(decision, time.monotonic() - dispatch_started)
 
     async def _handle_route(
         self, request: HttpRequest, obs_span: Any, request_id: str
@@ -736,10 +944,8 @@ class PlacementServer:
             "slo": self._slo.snapshot(),
             "admission": self._admission.stats(),
             "quotas": self._quotas.stats(),
-            "batchers": {
-                circuit.name: batcher.stats()
-                for circuit, batcher in self._batchers.values()
-            },
+            "batchers": {"place": self._batcher.stats()},
+            "affinity": self._affinity.stats(),
             "tracing": {
                 "enabled": _obs_enabled(),
                 "sampler": self._traces.stats(),
@@ -789,20 +995,6 @@ class PlacementServer:
             raise ServerDraining("server dispatch executor is shut down")
         return self._executor
 
-    def _batcher_for(self, circuit: Any) -> MicroBatcher:
-        entry = self._batchers.get(id(circuit))
-        if entry is not None:
-            return entry[1]
-        batcher = MicroBatcher(
-            dispatch=partial(self._dispatch_batch, circuit),
-            window_seconds=self._config.window_seconds,
-            max_batch=self._config.max_batch,
-            name=circuit.name,
-            metrics=self._metrics,
-        )
-        self._batchers[id(circuit)] = (circuit, batcher)
-        return batcher
-
     @staticmethod
     def _anchored_call(ctx: Optional[Tuple[str, str]], fn: Callable[[], Any]) -> Any:
         """Run ``fn`` on this (executor) thread, parented under ``ctx``.
@@ -813,19 +1005,26 @@ class PlacementServer:
         with anchored(ctx):
             return fn()
 
-    async def _dispatch_batch(self, circuit: Any, items: List[Any]) -> List[Any]:
-        """One coalesced dispatch: the blocking batch call, off the loop."""
+    async def _dispatch_batch(self, items: List[Any]) -> List[Any]:
+        """One coalesced dispatch: the blocking batch call, off the loop.
+
+        The affinity plan hands this at most one circuit's items per call
+        (each sub-batch dispatches separately); the blocking half still
+        regroups defensively so a mixed item list stays correct.
+        """
         loop = asyncio.get_running_loop()
-        batch = await loop.run_in_executor(
+        results, duplicates = await loop.run_in_executor(
             self._require_executor(),
-            partial(self._dispatch_blocking, circuit, list(items)),
+            partial(self._dispatch_blocking, list(items)),
         )
         self._metrics.inc("serve.dispatches")
         self._metrics.inc("serve.coalesced_queries", len(items))
-        self._metrics.inc("serve.dedup_hits", batch.duplicate_queries)
-        return list(batch.results)
+        self._metrics.inc("serve.dedup_hits", duplicates)
+        return results
 
-    def _dispatch_blocking(self, circuit: Any, items: List[_BatchItem]) -> Any:
+    def _dispatch_blocking(
+        self, items: List[_BatchItem]
+    ) -> Tuple[List[Any], int]:
         """The blocking half of a dispatch, on an executor thread.
 
         The dispatch span opens *here*, not on the event loop: the
@@ -834,20 +1033,56 @@ class PlacementServer:
         where concurrent requests would mis-parent onto it.  It anchors
         onto the first coalesced request's trace and links the rest via
         the ``links`` attribute, so every rider's trace names the batch.
+        Each circuit's queries run as one pinned ``instantiate_batch``
+        against the circuit's shard owner.
         """
-        dims_list = [item.dims for item in items]
+        order: List[int] = []
+        grouped: Dict[int, List[int]] = {}
+        circuits: Dict[int, Any] = {}
+        for index, item in enumerate(items):
+            circuit_id = id(item.circuit)
+            if circuit_id not in grouped:
+                grouped[circuit_id] = []
+                circuits[circuit_id] = item.circuit
+                order.append(circuit_id)
+            grouped[circuit_id].append(index)
         primary = next((item.trace for item in items if item.trace), None)
         links = sorted({item.trace[0] for item in items if item.trace})
-        attrs: Dict[str, Any] = {"circuit": circuit.name, "queries": len(items)}
-        if items and items[0].batch_id is not None:
-            attrs["batch_id"] = items[0].batch_id
-        if links:
-            attrs["links"] = ",".join(links)
+        results: List[Any] = [None] * len(items)
+        duplicates = 0
         with anchored(primary):
-            with span("serve.dispatch", **attrs):
-                return self._service.instantiate_batch(
-                    circuit, dims_list, workers=self._config.service_workers
-                )
+            for circuit_id in order:
+                circuit = circuits[circuit_id]
+                indices = grouped[circuit_id]
+                decision = self._affinity.route(circuit)
+                attrs: Dict[str, Any] = {
+                    "circuit": circuit.name,
+                    "queries": len(indices),
+                    "shard": decision.shard,
+                }
+                if decision.pinned:
+                    attrs["slot"] = decision.slot
+                if items[indices[0]].batch_id is not None:
+                    attrs["batch_id"] = items[indices[0]].batch_id
+                if links:
+                    attrs["links"] = ",".join(links)
+                with span("serve.dispatch", **attrs):
+                    dispatch_started = time.monotonic()
+                    try:
+                        batch = self._service.instantiate_batch(
+                            circuit,
+                            [items[i].dims for i in indices],
+                            workers=self._config.service_workers,
+                            pin_slot=decision.slot,
+                        )
+                    finally:
+                        self._affinity.record(
+                            decision, time.monotonic() - dispatch_started
+                        )
+                duplicates += batch.duplicate_queries
+                for index, placement in zip(indices, batch.results):
+                    results[index] = placement
+        return results, duplicates
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         state = "draining" if self._draining else (

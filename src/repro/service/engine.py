@@ -313,6 +313,11 @@ class PlacementService:
         return self._registry
 
     @property
+    def default_config(self) -> Optional[GeneratorConfig]:
+        """The generation config used when a call passes none."""
+        return self._default_config
+
+    @property
     def stats(self) -> ServiceStats:
         """Live counters (use :meth:`ServiceStats.snapshot` to freeze them)."""
         return self._stats
@@ -443,6 +448,7 @@ class PlacementService:
         config: Optional[GeneratorConfig] = None,
         max_workers: Optional[int] = None,
         workers: Optional[int] = None,
+        pin_slot: Optional[int] = None,
     ) -> BatchResult:
         """Serve a whole batch of queries with deduplication and fan-out.
 
@@ -452,7 +458,10 @@ class PlacementService:
         a service over this service's registry (so the structure loads once
         per worker and the per-worker :class:`ServiceStats` deltas merge
         back into these counters).  Needs a registry; without one the call
-        degrades to the thread path.
+        degrades to the thread path.  ``pin_slot`` (with ``workers``)
+        routes the whole batch to one dedicated worker process — the
+        shard-affine path, where the owner of the circuit's registry shard
+        answers from warm caches instead of fanning out.
         """
         with span(
             "service.instantiate_batch",
@@ -462,7 +471,7 @@ class PlacementService:
         ) as obs_span:
             if workers is not None and workers > 1 and self._registry is not None:
                 batch = self._instantiate_batch_processes(
-                    circuit, dims_batch, config, workers
+                    circuit, dims_batch, config, workers, pin_slot=pin_slot
                 )
                 obs_span.set(
                     unique=batch.unique_queries, dedup=batch.duplicate_queries
@@ -514,6 +523,21 @@ class PlacementService:
                 self._pools[workers] = pool
             return pool
 
+    def prestart_pool(
+        self, workers: Optional[int], pin_slots: Sequence[int] = ()
+    ) -> None:
+        """Fork the fan-out pool for ``workers`` now (see WorkerPool.prestart).
+
+        Servers call this at startup so every worker process — including
+        the shard-pinned slots — forks before request threads exist;
+        forking mid-traffic risks inheriting a sibling thread's held
+        import lock into the child, deadlocking it.  A no-op without a
+        registry or with ``workers <= 1`` (those paths never fork).
+        """
+        if workers is None or workers <= 1 or self._registry is None:
+            return
+        self._pool_for(workers).prestart(pin_slots)
+
     def _worker_spec(self, config: Optional[GeneratorConfig]) -> Dict[str, object]:
         """The declarative spec a worker rebuilds this service from.
 
@@ -537,13 +561,17 @@ class PlacementService:
         dims_batch: Sequence[Sequence[Dims]],
         config: Optional[GeneratorConfig],
         workers: int,
+        pin_slot: Optional[int] = None,
     ) -> BatchResult:
         from repro.core.serialization import circuit_to_dict
 
         with Timer() as timer:
             pool = self._pool_for(workers)
             results, merged = pool.place_batch(
-                circuit_to_dict(circuit), self._worker_spec(config), dims_batch
+                circuit_to_dict(circuit),
+                self._worker_spec(config),
+                dims_batch,
+                pin_slot=pin_slot,
             )
         source_counts: Dict[str, int] = {}
         for result in results:

@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.serialization import circuit_to_dict
 from repro.parallel.jobs import (
+    JobResult,
     PlacementJob,
     chunk_evenly,
     make_placement_jobs,
@@ -24,6 +25,13 @@ def make_queries(n, unique=None):
     unique = unique if unique is not None else n
     vectors = [[(4 + i % 9, 4 + (i * 3) % 9)] * 4 for i in range(unique)]
     return [vectors[i % unique] for i in range(n)]
+
+
+def run_pid_job(job_id):
+    """Picklable runner reporting which process executed the job."""
+    import os
+
+    return JobResult(job_id=job_id, results=[os.getpid()], worker_pid=os.getpid())
 
 
 class TestChunking:
@@ -149,3 +157,107 @@ class TestWorkerPool:
         assert stats["route_queries"] == 4
         for layout in layouts:
             assert layout.total_wirelength >= 0
+
+
+class TestPinnedDispatch:
+    def test_pinned_jobs_land_in_one_dedicated_process(self):
+        import os
+
+        with WorkerPool(workers=3) as pool:
+            first = pool.run_jobs(list(range(4)), run_pid_job, pin_slot=1)
+            second = pool.run_jobs(list(range(4)), run_pid_job, pin_slot=1)
+            pids = {result.results[0] for result in first + second}
+        # Every job of every pinned dispatch ran in the same worker
+        # process — that process's caches stay warm across batches.
+        assert len(pids) == 1
+        assert os.getpid() not in pids
+
+    def test_distinct_slots_use_distinct_processes(self):
+        with WorkerPool(workers=2) as pool:
+            slot0 = pool.run_jobs([0], run_pid_job, pin_slot=0)
+            slot1 = pool.run_jobs([0], run_pid_job, pin_slot=1)
+        assert slot0[0].results[0] != slot1[0].results[0]
+
+    def test_pinning_bypasses_the_inline_path(self):
+        import os
+
+        with WorkerPool(workers=2) as pool:
+            # A single job would run inline without a pin; pinned it must
+            # still cross into the slot's worker process.
+            result = pool.run_jobs([0], run_pid_job, pin_slot=0)
+            counters = pool.counters
+        assert result[0].results[0] != os.getpid()
+        assert counters["pinned_jobs"] == 1
+        assert counters["inline_jobs"] == 0
+
+    def test_one_worker_pool_ignores_pinning(self):
+        import os
+
+        with WorkerPool(workers=1) as pool:
+            result = pool.run_jobs([0], run_pid_job, pin_slot=0)
+            counters = pool.counters
+        assert result[0].results[0] == os.getpid()
+        assert counters["pinned_jobs"] == 0
+        assert counters["inline_jobs"] == 1
+
+    def test_out_of_range_slot_rejected(self):
+        with WorkerPool(workers=2) as pool:
+            with pytest.raises(ValueError, match="out of range"):
+                pool.run_jobs(list(range(3)), run_pid_job, pin_slot=2)
+            with pytest.raises(ValueError, match="out of range"):
+                pool.run_jobs(list(range(3)), run_pid_job, pin_slot=-1)
+
+    def test_close_shuts_pinned_executors_and_restarts(self):
+        pool = WorkerPool(workers=2)
+        before = pool.run_jobs([0], run_pid_job, pin_slot=0)[0].results[0]
+        pool.close()
+        after = pool.run_jobs([0], run_pid_job, pin_slot=0)[0].results[0]
+        pool.close()
+        assert before != after  # a fresh process after close()
+
+    def test_place_batch_pin_slot_single_job_same_process(self, chain_data):
+        with WorkerPool(workers=3) as pool:
+            results, stats = pool.place_batch(
+                chain_data, {"kind": "template"}, make_queries(12, unique=6),
+                pin_slot=2,
+            )
+        assert len(results) == 12
+        assert stats["pool_pinned_slot"] == 2.0
+        # The whole batch ran as one job in the slot's one process.
+        assert stats["pool_jobs"] == 1.0
+        assert stats["pool_worker_processes"] == 1.0
+
+    def test_prestart_forks_workers_and_slots_eagerly(self):
+        import os
+
+        pool = WorkerPool(workers=2)
+        try:
+            pool.prestart(pin_slots=[0, 1])
+            # Every executor (fan-out and both pinned slots) exists before
+            # any dispatch: later pinned jobs reuse the pre-forked process
+            # instead of forking mid-traffic.
+            assert pool._executor is not None
+            pre = dict(pool._pinned)
+            assert set(pre) == {0, 1}
+            result = pool.run_jobs([0], run_pid_job, pin_slot=0)
+            assert result[0].results[0] != os.getpid()
+            assert pool._pinned[0] is pre[0]
+        finally:
+            pool.close()
+
+    def test_prestart_is_a_noop_for_one_worker(self):
+        pool = WorkerPool(workers=1)
+        pool.prestart()
+        assert pool._executor is None
+        pool.close()
+
+    def test_pinned_and_fanout_results_identical(self, chain_data):
+        queries = make_queries(10, unique=5)
+        with WorkerPool(workers=3) as pool:
+            fanned, _ = pool.place_batch(chain_data, {"kind": "template"}, queries)
+            pinned, _ = pool.place_batch(
+                chain_data, {"kind": "template"}, queries, pin_slot=1
+            )
+        for a, b in zip(fanned, pinned):
+            assert dict(a.rects) == dict(b.rects)
+            assert a.cost == b.cost

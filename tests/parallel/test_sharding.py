@@ -1,6 +1,10 @@
 """Tests for the shard-aware registry and layout auto-detection."""
 
 import json
+import os
+import subprocess
+import sys
+import textwrap
 
 import pytest
 
@@ -8,6 +12,7 @@ from repro.core.generator import GeneratorConfig
 from repro.parallel.sharding import (
     MARKER_NAME,
     ShardedStructureRegistry,
+    ShardOwnerMap,
     advisory_lock,
     open_registry,
 )
@@ -87,6 +92,120 @@ class TestSharding:
     def test_invalid_shard_chars_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             ShardedStructureRegistry(tmp_path / "r", shard_chars=0)
+
+
+class TestStaleAggregates:
+    """Regressions: aggregate views must see other writers' additions.
+
+    ``fetch``/``contains`` always reloaded under lock, but ``__len__`` /
+    ``keys()`` / ``entries()`` used to serve each shard's cached index —
+    a second process's writes were invisible until this instance happened
+    to touch the same shard through the fetch path.
+    """
+
+    def test_aggregates_see_sibling_writes_to_a_cached_shard(self, tmp_path):
+        registry = ShardedStructureRegistry(tmp_path / "registry", shard_chars=1)
+        circuit = build_chain_circuit()
+        # Two configs whose keys share a shard, found deterministically by
+        # fingerprinting (keys are stable across runs).
+        by_shard = {}
+        for seed in range(64):
+            config = GeneratorConfig.smoke(seed=seed)
+            key = registry.key_for(circuit, config)
+            by_shard.setdefault(key[:1], []).append((config, key))
+            if len(by_shard[key[:1]]) == 2:
+                (first, first_key), (second, second_key) = by_shard[key[:1]]
+                break
+        else:  # pragma: no cover - 64 keys over 16 shards always collide
+            pytest.fail("no two configs shared a shard")
+        registry.get_or_generate(circuit, first)
+        assert len(registry) == 1  # the shard's index is now cached
+        sibling = ShardedStructureRegistry(registry.root, shard_chars=1)
+        sibling.get_or_generate(circuit, second)
+        assert len(registry) == 2
+        assert set(registry.keys()) == {first_key, second_key}
+        assert {entry.key for entry in registry.entries()} == {first_key, second_key}
+
+    def test_aggregates_see_writes_from_another_process(self, tmp_path):
+        root = tmp_path / "registry"
+        registry = ShardedStructureRegistry(root)
+        circuit = build_chain_circuit()
+        registry.get_or_generate(circuit, GeneratorConfig.smoke(seed=7))
+        assert len(registry) == 1
+        script = textwrap.dedent(
+            f"""
+            from repro.circuit.builder import CircuitBuilder
+            from repro.circuit.devices import DeviceType
+            from repro.core.generator import GeneratorConfig
+            from repro.parallel.sharding import ShardedStructureRegistry
+
+            builder = CircuitBuilder("chain")
+            for i in range(4):
+                builder.block(f"m{{i}}", 4, 12, 4, 12, device_type=DeviceType.GENERIC)
+            for i in range(3):
+                builder.simple_net(f"n{{i}}", [f"m{{i}}", f"m{{i + 1}}"])
+            registry = ShardedStructureRegistry({str(root)!r})
+            registry.get_or_generate(builder.build(), GeneratorConfig.smoke(seed=8))
+            """
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p
+        )
+        subprocess.run(
+            [sys.executable, "-c", script],
+            check=True,
+            cwd=os.getcwd(),
+            env=env,
+            timeout=120,
+        )
+        # The writer was a different process; this instance's aggregate
+        # views must reflect its addition without an explicit reload.
+        assert len(registry) == 2
+        assert len(registry.keys()) == 2
+        assert len(registry.entries()) == 2
+
+
+class TestShardOwnerMap:
+    def test_owner_assignment_is_deterministic_and_in_range(self):
+        owners = ShardOwnerMap(workers=4)
+        for prefix in ("00", "7f", "ff", "a3"):
+            slot = owners.owner_for(prefix)
+            assert 0 <= slot < 4
+            assert owners.owner_for(prefix) == slot  # stable
+
+    def test_hex_prefixes_spread_across_workers(self):
+        owners = ShardOwnerMap(workers=4, shard_chars=2)
+        slots = {owners.owner_for(f"{value:02x}") for value in range(256)}
+        assert slots == {0, 1, 2, 3}
+
+    def test_owner_for_key_uses_the_prefix(self):
+        owners = ShardOwnerMap(workers=3, shard_chars=2)
+        key = "ab" + "0" * 30
+        assert owners.prefix_for(key) == "ab"
+        assert owners.owner_for_key(key) == owners.owner_for("ab")
+
+    def test_non_hex_prefix_falls_back_to_a_digest(self):
+        owners = ShardOwnerMap(workers=5)
+        slot = owners.owner_for("zz")
+        assert 0 <= slot < 5
+        assert owners.owner_for("zz") == slot
+
+    def test_assignments_partition_keys_by_owner(self):
+        owners = ShardOwnerMap(workers=2, shard_chars=1)
+        keys = [f"{value:x}{'0' * 31}" for value in range(16)]
+        assignments = owners.assignments(keys)
+        assert sorted(key for keys in assignments.values() for key in keys) == sorted(
+            keys
+        )
+        for slot, slot_keys in assignments.items():
+            assert all(owners.owner_for_key(key) == slot for key in slot_keys)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ShardOwnerMap(workers=0)
+        with pytest.raises(ValueError):
+            ShardOwnerMap(workers=2, shard_chars=0)
 
 
 class TestOpenRegistry:

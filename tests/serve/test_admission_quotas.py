@@ -74,6 +74,24 @@ class TestAdmissionController:
             controller.observe_service_time(2.0)
         assert controller.retry_after() == pytest.approx(2.0, rel=0.1)
 
+    def test_first_observation_replaces_the_synthetic_seed(self):
+        # base_retry_after seeds the hint before any traffic, but it is a
+        # guess, not a sample — the first real observation must replace it
+        # outright instead of blending with it.
+        controller = AdmissionController(max_inflight=2, base_retry_after=10.0)
+        assert controller.retry_after() == 10.0
+        controller.observe_service_time(0.5)
+        assert controller.retry_after() == pytest.approx(0.5)
+
+    def test_second_observation_blends_with_ewma_alpha(self):
+        from repro.serve.admission import EWMA_ALPHA
+
+        controller = AdmissionController(max_inflight=2, base_retry_after=10.0)
+        controller.observe_service_time(1.0)
+        controller.observe_service_time(2.0)
+        # first sample 1.0, second blends: 1.0 + alpha * (2.0 - 1.0)
+        assert controller.retry_after() == pytest.approx(1.0 + EWMA_ALPHA * 1.0)
+
     def test_shed_error_carries_the_retry_hint(self):
         controller = AdmissionController(max_inflight=1)
         controller.admit()

@@ -1,0 +1,300 @@
+"""Tests for shard-affine dispatch: routing, sub-batches, streaming.
+
+The unit half exercises :class:`AffinityRouter` directly; the
+integration half drives a real :class:`ServerHarness` through the
+mixed-circuit ``/place_batch`` form and the chunked streaming path,
+including an injected slow shard proving that a fast shard's chunk
+reaches the client while the slow shard is still running.
+"""
+
+import time
+
+import pytest
+
+from repro.core.generator import GeneratorConfig
+from repro.core.serialization import circuit_to_dict
+from repro.parallel.sharding import ShardedStructureRegistry
+from repro.serve.affinity import AffinityRouter
+from repro.serve.harness import ServerHarness
+from repro.serve.server import ServerConfig
+from repro.service.engine import PlacementService
+from repro.service.fingerprint import structure_key
+from tests.conftest import build_chain_circuit
+from tests.serve.conftest import CHAIN_DIMS, SMOKE, make_service
+
+#: A second topology (3 blocks) so one batch spans two shards.
+TRIO_DIMS = [[6, 5], [5, 6], [7, 5]]
+
+
+def build_trio_circuit():
+    return build_chain_circuit(num_blocks=3, name="trio")
+
+
+class TestAffinityRouter:
+    def test_inactive_without_registry(self):
+        router = AffinityRouter(make_service(), workers=4)
+        assert not router.active
+        decision = router.route(build_chain_circuit())
+        assert decision.slot is None
+        assert not decision.pinned
+        # The shard prefix is still computed (metrics and grouping use it).
+        assert decision.shard == decision.key[:2]
+
+    def test_inactive_with_one_worker(self, tmp_path):
+        registry = ShardedStructureRegistry(tmp_path / "registry")
+        service = PlacementService(registry, default_config=SMOKE)
+        assert not AffinityRouter(service, workers=1).active
+        assert not AffinityRouter(service, workers=None).active
+
+    def test_disabled_router_never_pins(self, tmp_path):
+        registry = ShardedStructureRegistry(tmp_path / "registry")
+        service = PlacementService(registry, default_config=SMOKE)
+        router = AffinityRouter(service, workers=4, enabled=False)
+        assert not router.active
+        assert router.route(build_chain_circuit()).slot is None
+
+    def test_active_router_pins_to_the_shard_owner(self, tmp_path):
+        registry = ShardedStructureRegistry(tmp_path / "registry")
+        service = PlacementService(registry, default_config=SMOKE)
+        router = AffinityRouter(service, workers=4)
+        assert router.active
+        circuit = build_chain_circuit()
+        decision = router.route(circuit)
+        assert decision.key == structure_key(circuit, SMOKE)
+        assert decision.shard == decision.key[: registry.shard_chars]
+        assert decision.slot == router.owner_map.owner_for(decision.shard)
+        # Cached: the same circuit object yields the same decision.
+        assert router.route(circuit) is decision
+
+    def test_router_honours_registry_shard_chars(self, tmp_path):
+        registry = ShardedStructureRegistry(tmp_path / "registry", shard_chars=3)
+        service = PlacementService(registry, default_config=SMOKE)
+        router = AffinityRouter(service, workers=2)
+        assert router.route(build_chain_circuit()).shard == router.route(
+            build_chain_circuit()
+        ).key[:3]
+
+    def test_subbatch_plan_groups_by_circuit(self):
+        class Item:
+            def __init__(self, circuit, shard):
+                self.circuit = circuit
+                self.shard = shard
+
+        router = AffinityRouter(make_service(), workers=2)
+        chain, trio = build_chain_circuit(), build_trio_circuit()
+        items = [
+            Item(chain, "aa"),
+            Item(trio, "bb"),
+            Item(chain, "aa"),
+            Item(trio, "bb"),
+        ]
+        plan = router.subbatch_plan(items)
+        assert plan == [("aa", [0, 2]), ("bb", [1, 3])]
+
+    def test_record_tracks_hits_misses_and_shard_latency(self, tmp_path):
+        registry = ShardedStructureRegistry(tmp_path / "registry")
+        service = PlacementService(registry, default_config=SMOKE)
+        router = AffinityRouter(service, workers=4)
+        pinned = router.route(build_chain_circuit())
+        router.record(pinned, 0.02)
+        router.record(pinned, 0.04)
+        stats = router.stats()
+        assert stats["active"]
+        assert stats["hits"] == 2
+        assert stats["misses"] == 0
+        shard_stats = stats["shards"][pinned.shard]
+        assert shard_stats["slot"] == pinned.slot
+        assert shard_stats["dispatches"] == 2
+        assert shard_stats["mean_seconds"] == pytest.approx(0.03, abs=1e-6)
+        assert shard_stats["max_seconds"] == pytest.approx(0.04, abs=1e-6)
+
+    def test_unpinned_dispatches_count_as_misses(self):
+        router = AffinityRouter(make_service(), workers=4)
+        decision = router.route(build_chain_circuit())
+        router.record(decision, 0.01)
+        stats = router.stats()
+        assert stats["hits"] == 0
+        assert stats["misses"] == 1
+        assert stats["shards"][decision.shard]["slot"] == -1
+
+
+class TestMixedBatch:
+    def test_queries_form_reports_per_shard_results(self, chain_payload):
+        trio_payload = circuit_to_dict(build_trio_circuit())
+        queries = [
+            {"circuit": chain_payload, "dims": CHAIN_DIMS},
+            {"circuit": trio_payload, "dims": TRIO_DIMS},
+            {"circuit": chain_payload, "dims": CHAIN_DIMS},
+        ]
+        with ServerHarness(make_service()) as harness:
+            response = harness.client().place_queries(queries)
+        assert response.ok
+        body = response.payload
+        assert len(body["results"]) == 3
+        # Input order survives shard grouping: queries 0 and 2 are the
+        # 4-block chain, query 1 the 3-block trio.
+        assert len(body["results"][0]["rects"]) == 4
+        assert len(body["results"][1]["rects"]) == 3
+        assert len(body["results"][2]["rects"]) == 4
+        shards = body["shards"]
+        assert len(shards) == 2
+        assert {entry["circuit"] for entry in shards} == {"chain", "trio"}
+        assert {entry["queries"] for entry in shards} == {2, 1}
+
+    def test_single_circuit_form_keeps_its_shape(self, chain_payload):
+        with ServerHarness(make_service()) as harness:
+            response = harness.client().place_batch(
+                chain_payload, [CHAIN_DIMS, CHAIN_DIMS]
+            )
+        assert response.ok
+        assert set(response.payload) == {
+            "results",
+            "unique_queries",
+            "duplicate_queries",
+            "elapsed_seconds",
+        }
+
+    def test_both_forms_at_once_is_a_bad_request(self, chain_payload):
+        with ServerHarness(make_service()) as harness:
+            response = harness.client().request(
+                "POST",
+                "/place_batch",
+                {
+                    "circuit": chain_payload,
+                    "dims_batch": [CHAIN_DIMS],
+                    "queries": [{"circuit": chain_payload, "dims": CHAIN_DIMS}],
+                },
+            )
+        assert response.status == 400
+        assert "not both" in str(response.payload)
+
+    def test_statusz_exposes_affinity_and_the_place_batcher(self, chain_payload):
+        with ServerHarness(make_service()) as harness:
+            client = harness.client()
+            assert client.place(chain_payload, CHAIN_DIMS).ok
+            status = client.statusz().payload
+        affinity = status["affinity"]
+        assert affinity["enabled"]
+        assert not affinity["active"]  # no registry, no workers
+        assert affinity["hits"] + affinity["misses"] >= 1
+        assert affinity["shards"]
+        assert "place" in status["batchers"]
+
+    def test_affinity_disabled_by_config(self, chain_payload):
+        config = ServerConfig(port=0, affinity=False)
+        with ServerHarness(make_service(), config) as harness:
+            client = harness.client()
+            assert client.place(chain_payload, CHAIN_DIMS).ok
+            status = client.statusz().payload
+        assert not status["affinity"]["enabled"]
+        assert not status["affinity"]["active"]
+
+
+class TestStreaming:
+    def test_stream_yields_one_chunk_per_shard_then_done(self, chain_payload):
+        trio_payload = circuit_to_dict(build_trio_circuit())
+        queries = [
+            {"circuit": chain_payload, "dims": CHAIN_DIMS},
+            {"circuit": trio_payload, "dims": TRIO_DIMS},
+        ]
+        with ServerHarness(make_service()) as harness:
+            client = harness.client()
+            chunks = client.place_batch_stream(queries)
+            # The keep-alive connection survives the chunked response.
+            assert client.healthz().ok
+        assert len(chunks) == 3
+        done = chunks[-1]
+        assert done.done
+        assert done.payload["shards"] == 2
+        assert done.payload["failed"] == 0
+        by_circuit = {chunk.payload["circuit"]: chunk for chunk in chunks[:-1]}
+        assert set(by_circuit) == {"chain", "trio"}
+        assert by_circuit["chain"].payload["indices"] == [0]
+        assert by_circuit["trio"].payload["indices"] == [1]
+        assert len(by_circuit["chain"].payload["results"]) == 1
+        assert len(by_circuit["chain"].payload["results"][0]["rects"]) == 4
+
+    def test_fast_shard_chunk_arrives_before_the_slow_shard_finishes(
+        self, chain_payload
+    ):
+        trio_payload = circuit_to_dict(build_trio_circuit())
+        queries = [
+            {"circuit": chain_payload, "dims": CHAIN_DIMS},
+            {"circuit": trio_payload, "dims": TRIO_DIMS},
+        ]
+        slow_seconds = 0.8
+        with ServerHarness(make_service()) as harness:
+            server = harness.server
+            original = server._dispatch_shard_blocking
+
+            def slow_on_trio(circuit, decision, dims_list):
+                if circuit.name == "trio":
+                    time.sleep(slow_seconds)
+                return original(circuit, decision, dims_list)
+
+            server._dispatch_shard_blocking = slow_on_trio
+            arrivals = {}
+            for chunk in harness.client().iter_place_batch_stream(queries):
+                if not chunk.done:
+                    arrivals[chunk.payload["circuit"]] = chunk.arrived_seconds
+        # The fast shard's placements reached the client long before the
+        # injected slow shard completed — the batch really streams instead
+        # of barriering on its slowest shard.
+        assert arrivals["chain"] < slow_seconds * 0.6
+        assert arrivals["trio"] >= slow_seconds
+        assert arrivals["trio"] - arrivals["chain"] > slow_seconds * 0.5
+
+    def test_failing_shard_streams_an_error_chunk_only_for_its_items(
+        self, chain_payload
+    ):
+        trio_payload = circuit_to_dict(build_trio_circuit())
+        queries = [
+            {"circuit": chain_payload, "dims": CHAIN_DIMS},
+            {"circuit": trio_payload, "dims": TRIO_DIMS},
+        ]
+        with ServerHarness(make_service()) as harness:
+            server = harness.server
+            original = server._dispatch_shard_blocking
+
+            def explode_on_trio(circuit, decision, dims_list):
+                if circuit.name == "trio":
+                    raise RuntimeError("shard down")
+                return original(circuit, decision, dims_list)
+
+            server._dispatch_shard_blocking = explode_on_trio
+            client = harness.client()
+            chunks = client.place_batch_stream(queries)
+            follow_up = client.healthz()
+        assert follow_up.ok
+        by_circuit = {
+            chunk.payload["circuit"]: chunk.payload
+            for chunk in chunks
+            if not chunk.done
+        }
+        assert "results" in by_circuit["chain"]
+        assert "shard down" in by_circuit["trio"]["error"]
+        assert "results" not in by_circuit["trio"]
+        assert chunks[-1].payload["failed"] == 1
+
+    def test_stream_works_for_the_single_circuit_form(self, chain_payload):
+        with ServerHarness(make_service()) as harness:
+            response_chunks = []
+            client = harness.client()
+            raw = client.request(
+                "POST",
+                "/place_batch",
+                {
+                    "circuit": chain_payload,
+                    "dims_batch": [CHAIN_DIMS, CHAIN_DIMS],
+                    "stream": True,
+                },
+            )
+            # The generic request helper reads the whole chunked body as
+            # text; every line must parse as one chunk.
+            import json
+
+            for line in str(raw.payload).strip().splitlines():
+                response_chunks.append(json.loads(line))
+        assert raw.status == 200
+        assert response_chunks[-1]["done"]
+        assert len(response_chunks[0]["results"]) == 2

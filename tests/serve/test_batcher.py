@@ -260,3 +260,257 @@ class TestFailuresAndLifecycle:
             MicroBatcher(RecordingDispatch(), window_seconds=-1.0)
         with pytest.raises(ValueError, match="max_batch"):
             MicroBatcher(RecordingDispatch(), max_batch=0)
+
+
+class TestCloseDrain:
+    """Regressions for close()/flush() stranding an overflow backlog.
+
+    An overflow backlog (pending > max_batch) can't arise through plain
+    ``submit`` — the full-batch flush keeps pending bounded — so these
+    tests widen ``max_batch`` while queueing and restore it before the
+    drain, reproducing the state the old single-flush ``close()`` hit:
+    one claim of ``max_batch`` items, a remainder left behind, and (worse)
+    a fresh coalesce window armed after the batcher refused submissions.
+    """
+
+    @staticmethod
+    def _queue_backlog(batcher, count):
+        tasks = [asyncio.ensure_future(batcher.submit(i)) for i in range(count)]
+        return tasks
+
+    def test_close_drains_overflow_backlog_completely(self):
+        max_batch = 4
+
+        async def scenario():
+            dispatch = RecordingDispatch()
+            batcher = MicroBatcher(dispatch, window_seconds=30.0, max_batch=max_batch)
+            batcher._max_batch = 100  # let 2*max_batch+1 items queue unflushed
+            tasks = self._queue_backlog(batcher, 2 * max_batch + 1)
+            await asyncio.sleep(0)  # all 9 queued, window armed, none dispatched
+            assert batcher.queued == 2 * max_batch + 1
+            batcher._max_batch = max_batch
+            await batcher.close()
+            results = await asyncio.gather(*tasks)
+            return dispatch, results, batcher
+
+        dispatch, results, batcher = asyncio.run(scenario())
+        # Every submitted future resolved before close() returned.
+        assert results == [f"result:{i}" for i in range(9)]
+        assert [len(b) for b in dispatch.batches] == [4, 4, 1]
+        assert batcher.queued == 0
+        # A closed batcher never re-arms a coalesce window.
+        assert batcher._window_task is None
+
+    def test_flush_drains_overflow_backlog_completely(self):
+        max_batch = 3
+
+        async def scenario():
+            dispatch = RecordingDispatch()
+            batcher = MicroBatcher(dispatch, window_seconds=30.0, max_batch=max_batch)
+            batcher._max_batch = 100
+            tasks = self._queue_backlog(batcher, 2 * max_batch + 1)
+            await asyncio.sleep(0)
+            batcher._max_batch = max_batch
+            await batcher.flush()
+            results = await asyncio.gather(*tasks)
+            await batcher.close()
+            return dispatch, results
+
+        dispatch, results = asyncio.run(scenario())
+        assert results == [f"result:{i}" for i in range(7)]
+        assert [len(b) for b in dispatch.batches] == [3, 3, 1]
+
+    def test_expired_deadline_during_close_fails_only_that_item(self):
+        async def scenario():
+            dispatch = RecordingDispatch()
+            batcher = MicroBatcher(dispatch, window_seconds=30.0, max_batch=8)
+            loop = asyncio.get_running_loop()
+            dead = asyncio.ensure_future(
+                batcher.submit("dead", deadline=loop.time() - 0.001)
+            )
+            alive = asyncio.ensure_future(batcher.submit("alive"))
+            await asyncio.sleep(0)  # both queued; window (30s) never fires
+            await batcher.close()
+            results = await asyncio.gather(dead, alive, return_exceptions=True)
+            return dispatch, results, batcher.stats()
+
+        dispatch, (dead, alive), stats = asyncio.run(scenario())
+        assert isinstance(dead, DeadlineExceeded)
+        assert alive == "result:alive"
+        assert dispatch.dispatched_items == ["alive"]
+        assert stats["expired"] == 1
+
+
+def plan_by_first_char(items):
+    """Group item indices by the first character of their str() form."""
+    order = []
+    groups = {}
+    for index, item in enumerate(items):
+        label = str(item)[0]
+        if label not in groups:
+            groups[label] = []
+            order.append(label)
+        groups[label].append(index)
+    return [(label, groups[label]) for label in order]
+
+
+class TestSubBatchPlans:
+    def test_plan_splits_one_coalesced_batch_into_groups(self):
+        async def scenario():
+            dispatch = RecordingDispatch()
+            batcher = MicroBatcher(
+                dispatch, window_seconds=0.02, max_batch=16, plan=plan_by_first_char
+            )
+            results = await asyncio.gather(
+                *(batcher.submit(item) for item in ["a1", "b1", "a2", "b2"])
+            )
+            await batcher.close()
+            return dispatch, results, batcher.stats()
+
+        dispatch, results, stats = asyncio.run(scenario())
+        assert results == ["result:a1", "result:b1", "result:a2", "result:b2"]
+        # One coalesced batch, dispatched as two per-label sub-batches.
+        assert sorted(map(tuple, dispatch.batches)) == [("a1", "a2"), ("b1", "b2")]
+        assert stats["batches"] == 1
+        assert stats["subbatch_splits"] == 1
+        assert stats["subbatches"] == 2
+
+    def test_fast_group_resolves_before_slow_group_lands(self):
+        async def scenario():
+            class GroupDispatch:
+                async def __call__(self, items):
+                    if any(str(item).startswith("s") for item in items):
+                        await asyncio.sleep(0.25)
+                    return [f"result:{item}" for item in items]
+
+            batcher = MicroBatcher(
+                GroupDispatch(),
+                window_seconds=0.01,
+                max_batch=16,
+                plan=plan_by_first_char,
+            )
+            fast = [asyncio.ensure_future(batcher.submit(f"f{i}")) for i in range(2)]
+            slow = asyncio.ensure_future(batcher.submit("s0"))
+            done, _ = await asyncio.wait(fast, timeout=0.15)
+            streamed = len(done) == len(fast) and not slow.done()
+            results = await asyncio.gather(*fast, slow)
+            await batcher.close()
+            return streamed, results
+
+        streamed, results = asyncio.run(scenario())
+        # The fast shard's futures resolved while the slow shard was still
+        # in flight — partial results really stream.
+        assert streamed
+        assert results == ["result:f0", "result:f1", "result:s0"]
+
+    def test_failing_group_fails_only_its_own_items(self):
+        async def scenario():
+            async def dispatch(items):
+                if any(str(item).startswith("x") for item in items):
+                    raise RuntimeError("shard down")
+                return [f"result:{item}" for item in items]
+
+            batcher = MicroBatcher(
+                dispatch, window_seconds=0.02, max_batch=16, plan=plan_by_first_char
+            )
+            results = await asyncio.gather(
+                *(batcher.submit(item) for item in ["a1", "x1", "a2", "x2"]),
+                return_exceptions=True,
+            )
+            await batcher.close()
+            return results, batcher.stats()
+
+        results, stats = asyncio.run(scenario())
+        assert results[0] == "result:a1"
+        assert results[2] == "result:a2"
+        assert isinstance(results[1], RuntimeError)
+        assert isinstance(results[3], RuntimeError)
+        assert stats["failed_batches"] == 1
+
+    def test_cancelled_future_inside_a_group_is_dropped(self):
+        async def scenario():
+            dispatch = RecordingDispatch()
+            batcher = MicroBatcher(
+                dispatch, window_seconds=0.02, max_batch=16, plan=plan_by_first_char
+            )
+            doomed = asyncio.ensure_future(batcher.submit("a1"))
+            keepers = [
+                asyncio.ensure_future(batcher.submit(item))
+                for item in ["a2", "b1", "b2"]
+            ]
+            await asyncio.sleep(0)  # all queued in one window
+            doomed.cancel()
+            results = await asyncio.gather(*keepers)
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+            await batcher.close()
+            return dispatch, results, batcher.stats()
+
+        dispatch, results, stats = asyncio.run(scenario())
+        assert results == ["result:a2", "result:b1", "result:b2"]
+        # The cancelled item vanished from its group; the group survived.
+        assert sorted(map(tuple, dispatch.batches)) == [("a2",), ("b1", "b2")]
+        assert stats["cancelled"] == 1
+
+    def test_raising_plan_degrades_to_a_single_batch(self):
+        async def scenario():
+            def bad_plan(items):
+                raise ValueError("planner bug")
+
+            dispatch = RecordingDispatch()
+            batcher = MicroBatcher(
+                dispatch, window_seconds=0.02, max_batch=16, plan=bad_plan
+            )
+            results = await asyncio.gather(
+                batcher.submit("a"), batcher.submit("b")
+            )
+            await batcher.close()
+            return dispatch, results, batcher.stats()
+
+        dispatch, results, stats = asyncio.run(scenario())
+        assert results == ["result:a", "result:b"]
+        assert dispatch.batches == [["a", "b"]]
+        assert stats["plan_errors"] == 1
+        assert stats.get("subbatch_splits", 0) == 0
+
+    def test_indices_the_plan_misses_form_a_trailing_group(self):
+        async def scenario():
+            def partial_plan(items):
+                # Mentions index 0 only (plus junk the batcher must ignore);
+                # the rest must still dispatch as a trailing group.
+                return [("a", [0, 0, 99])]
+
+            dispatch = RecordingDispatch()
+            batcher = MicroBatcher(
+                dispatch, window_seconds=0.02, max_batch=16, plan=partial_plan
+            )
+            results = await asyncio.gather(
+                *(batcher.submit(item) for item in ["p", "q", "r"])
+            )
+            await batcher.close()
+            return dispatch, results
+
+        dispatch, results = asyncio.run(scenario())
+        assert results == ["result:p", "result:q", "result:r"]
+        assert sorted(map(tuple, dispatch.batches)) == [("p",), ("q", "r")]
+
+    def test_single_item_batch_skips_the_planner(self):
+        calls = []
+
+        async def scenario():
+            def spy_plan(items):
+                calls.append(list(items))
+                return plan_by_first_char(items)
+
+            dispatch = RecordingDispatch()
+            batcher = MicroBatcher(
+                dispatch, window_seconds=0.005, max_batch=16, plan=spy_plan
+            )
+            result = await batcher.submit("solo")
+            await batcher.close()
+            return dispatch, result
+
+        dispatch, result = asyncio.run(scenario())
+        assert result == "result:solo"
+        assert dispatch.batches == [["solo"]]
+        assert calls == []
